@@ -1,0 +1,42 @@
+//! Times the closed-form analytics: the full BoundsReport, exact rate
+//! enumeration, and the remaining-distance combinatorics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshbound::queueing::remaining::{light_load_rs, max_expected_remaining_saturated};
+use meshbound::routing::dest::UniformDest;
+use meshbound::routing::rates::{all_nodes, edge_rates_enumerated};
+use meshbound::routing::GreedyXY;
+use meshbound::topology::Mesh2D;
+use meshbound::{BoundsReport, Load};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("bounds_report_n100", |b| {
+        b.iter(|| BoundsReport::compute(100, Load::TableRho(0.95)));
+    });
+
+    let mut group = c.benchmark_group("rate_enumeration");
+    for n in [8usize, 16] {
+        group.bench_function(format!("mesh_n{n}"), |b| {
+            let mesh = Mesh2D::square(n);
+            let sources = all_nodes(&mesh);
+            b.iter(|| edge_rates_enumerated(&mesh, &GreedyXY, &UniformDest, 0.1, &sources));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("remaining_combinatorics");
+    for n in [9usize, 15] {
+        group.bench_function(format!("sbar_n{n}"), |b| {
+            let mesh = Mesh2D::square(n);
+            b.iter(|| max_expected_remaining_saturated(&mesh));
+        });
+        group.bench_function(format!("light_load_rs_n{n}"), |b| {
+            let mesh = Mesh2D::square(n);
+            b.iter(|| light_load_rs(&mesh));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

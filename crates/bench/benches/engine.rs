@@ -1,0 +1,71 @@
+//! Simulator-engine ablations: event-queue implementations and raw
+//! simulation throughput.
+//!
+//! Compares the binary-heap future-event list against the calendar queue on
+//! a synthetic hold-model workload, and measures end-to-end events/sec of
+//! the network simulator at several sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use meshbound::sim::events::{CalendarQueue, EventQueue, HeapQueue};
+use meshbound::sim::{simulate_mesh, MeshSimConfig};
+
+/// Classic hold-model: pop one event, push one event at t + U(0,2).
+fn hold_model<Q: EventQueue<u32>>(queue: &mut Q, ops: usize) {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    let mut rnd = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..256u32 {
+        queue.schedule(rnd() * 2.0, i);
+    }
+    for _ in 0..ops {
+        let (t, id) = queue.next().unwrap();
+        queue.schedule(t + rnd() * 2.0, id);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_hold_model");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("binary_heap", |b| {
+        b.iter_batched(
+            HeapQueue::<u32>::new,
+            |mut q| hold_model(&mut q, 100_000),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("calendar_queue", |b| {
+        b.iter_batched(
+            || CalendarQueue::<u32>::new(64, 0.125),
+            |mut q| hold_model(&mut q, 100_000),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("network_sim_throughput");
+    group.sample_size(10);
+    for n in [5usize, 10, 20] {
+        group.bench_function(format!("mesh_n{n}_rho0.8"), |b| {
+            b.iter(|| {
+                let cfg = MeshSimConfig {
+                    n,
+                    lambda: 4.0 * 0.8 / n as f64,
+                    horizon: 500.0,
+                    warmup: 100.0,
+                    seed: 13,
+                    track_saturated: false,
+                    ..MeshSimConfig::default()
+                };
+                simulate_mesh(&cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

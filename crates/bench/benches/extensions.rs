@@ -1,0 +1,39 @@
+//! Regenerates the §4.5/§5/§6 extension studies at quick scale and times
+//! representative pieces (hypercube sim, PS-mode sim, copy system).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshbound::experiments::extensions;
+use meshbound::routing::dest::UniformDest;
+use meshbound::routing::GreedyXY;
+use meshbound::sim::copysys::CopySystemSim;
+use meshbound::sim::network::NetConfig;
+use meshbound::sim::ps::PsNetworkSim;
+use meshbound::topology::Mesh2D;
+
+fn bench(c: &mut Criterion) {
+    let scale = meshbound_bench::bench_scale();
+    println!("\n{}", extensions::render_hypercube(6, &extensions::hypercube_study(6, &[0.25, 0.5, 0.75], 0.8, &scale)));
+    println!("{}", extensions::render_butterfly(&extensions::butterfly_study(&[2, 4, 6], 0.8, &scale)));
+    println!("{}", extensions::render_randomized(8, &extensions::randomized_study(8, &[0.5, 0.8, 0.9], &scale)));
+    println!("{}", extensions::render_slotted(5, 0.5, &extensions::slotted_study(5, 0.5, &[0.5, 1.0], &scale)));
+
+    let cfg = NetConfig {
+        lambda: 0.2,
+        horizon: 1_000.0,
+        warmup: 200.0,
+        seed: 5,
+        ..NetConfig::default()
+    };
+    let mut group = c.benchmark_group("comparison_systems");
+    group.sample_size(10);
+    group.bench_function("ps_network_n5", |b| {
+        b.iter(|| PsNetworkSim::new(Mesh2D::square(5), GreedyXY, UniformDest, cfg.clone()).run());
+    });
+    group.bench_function("copy_system_n5", |b| {
+        b.iter(|| CopySystemSim::new(Mesh2D::square(5), GreedyXY, UniformDest, cfg.clone()).run());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

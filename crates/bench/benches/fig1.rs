@@ -1,0 +1,26 @@
+//! Regenerates Figure 1 (Lemma 2 layering) and times the full layering
+//! verification over all greedy routes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshbound::experiments::fig1;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig1::run(5);
+    println!("\n{}", fig1::render(&fig));
+    assert!(fig.layered);
+
+    let mut group = c.benchmark_group("fig1");
+    for n in [5usize, 10, 15] {
+        group.bench_function(format!("verify_layering_n{n}"), |b| {
+            b.iter(|| {
+                let f = fig1::run(n);
+                assert!(f.layered);
+                f
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

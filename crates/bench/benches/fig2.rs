@@ -1,0 +1,20 @@
+//! Regenerates Figure 2 (saturated edges) and times the s̄ enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshbound::experiments::fig2;
+
+fn bench(c: &mut Criterion) {
+    let (even, odd) = fig2::run(4, 5);
+    println!("\n{}", fig2::render(&even, &odd));
+
+    let mut group = c.benchmark_group("fig2");
+    for n in [8usize, 9, 16, 17] {
+        group.bench_function(format!("sbar_enumeration_n{n}"), |b| {
+            b.iter(|| fig2::run_panel(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Table I (simulation vs M/D/1 estimate) and times one cell.
+//!
+//! The full quick-scale table is printed once at startup; the Criterion
+//! measurement then times the lightest and the heaviest cells so the
+//! regeneration cost is tracked over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshbound::experiments::{table1, Scale};
+use meshbound::sim::{simulate_mesh, MeshSimConfig};
+
+fn bench(c: &mut Criterion) {
+    let scale = meshbound_bench::bench_scale();
+    let rows = table1::run(&scale);
+    println!("\n{}", table1::render(&rows));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for (n, rho) in [(5usize, 0.2f64), (10, 0.9)] {
+        group.bench_function(format!("cell_n{n}_rho{rho}"), |b| {
+            b.iter(|| {
+                let cfg = MeshSimConfig {
+                    n,
+                    lambda: 4.0 * rho / n as f64,
+                    horizon: Scale::quick().horizon(rho) / 4.0,
+                    warmup: Scale::quick().warmup(rho) / 4.0,
+                    seed: 42,
+                    track_saturated: false,
+                    ..MeshSimConfig::default()
+                };
+                simulate_mesh(&cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Table II (the ratio r = E[R]/E[N]) and times one cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshbound::experiments::table2;
+use meshbound::sim::{simulate_mesh, MeshSimConfig};
+
+fn bench(c: &mut Criterion) {
+    let scale = meshbound_bench::bench_scale();
+    let rows = table2::run(&scale);
+    println!("\n{}", table2::render(&rows));
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("cell_n10_rho0.5_with_R_tracking", |b| {
+        b.iter(|| {
+            let cfg = MeshSimConfig {
+                n: 10,
+                lambda: 4.0 * 0.5 / 10.0,
+                horizon: 2_000.0,
+                warmup: 400.0,
+                seed: 7,
+                track_saturated: false,
+                ..MeshSimConfig::default()
+            };
+            simulate_mesh(&cfg)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Table III (r_s at high load) and times a saturated-tracking
+//! cell against an untracked one (the cost of the R_s instrumentation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshbound::experiments::table3;
+use meshbound::sim::{simulate_mesh, MeshSimConfig};
+
+fn bench(c: &mut Criterion) {
+    let scale = meshbound_bench::bench_scale();
+    let rows = table3::run(&scale);
+    println!("\n{}", table3::render(&rows));
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for track in [false, true] {
+        group.bench_function(format!("cell_n5_rho0.9_track_{track}"), |b| {
+            b.iter(|| {
+                let cfg = MeshSimConfig {
+                    n: 5,
+                    lambda: 4.0 * 0.9 / 5.0,
+                    horizon: 3_000.0,
+                    warmup: 600.0,
+                    seed: 7,
+                    track_saturated: track,
+                    ..MeshSimConfig::default()
+                };
+                simulate_mesh(&cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

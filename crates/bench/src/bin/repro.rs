@@ -1,0 +1,114 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [table1|table2|table3|fig1|fig2|bounds|stability|
+//!        capacity|hypercube|butterfly|randomized|torus|kd|slotted|
+//!        nonuniform|dominance|report|all]
+//! ```
+//!
+//! Without `--quick` the publication-scale sweeps run (several minutes for
+//! the heavy ρ = 0.99 cells); with it, a reduced but structurally identical
+//! pass finishes in seconds per artifact.
+
+use meshbound::experiments::{extensions, fig1, fig2, table1, table2, table3, Scale};
+use meshbound::queueing::load::{mesh_stability_threshold, optimal_stability_threshold};
+use meshbound::{BoundsReport, Load};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+
+    let wants = |name: &str| what.contains(&name) || what.contains(&"all");
+
+    if wants("fig1") {
+        println!("{}", fig1::render(&fig1::run(5)));
+    }
+    if wants("fig2") {
+        let (even, odd) = fig2::run(4, 5);
+        println!("{}", fig2::render(&even, &odd));
+    }
+    if wants("table1") {
+        println!("Table I — simulation vs M/D/1 estimate (λ = 4ρ/n)");
+        println!("{}", table1::render(&table1::run(&scale)));
+    }
+    if wants("table2") {
+        println!("Table II — r = E[R]/E[N]");
+        println!("{}", table2::render(&table2::run(&scale)));
+    }
+    if wants("table3") {
+        println!("Table III — r_s at ρ = 0.99");
+        println!("{}", table3::render(&table3::run(&scale)));
+    }
+    if wants("bounds") {
+        let rhos = [0.2, 0.5, 0.8, 0.9, 0.95, 0.99];
+        for n in [8usize, 9] {
+            let rows = extensions::bounds_curve(n, &rhos, &scale);
+            println!("{}", extensions::render_bounds_curve(n, &rows));
+        }
+    }
+    if wants("stability") {
+        for n in [6usize, 7] {
+            let thr = mesh_stability_threshold(n);
+            let lambdas = [0.8 * thr, 0.95 * thr, 1.05 * thr, 1.2 * thr];
+            let rows = extensions::stability_sweep(n, &lambdas, false, &scale);
+            println!("{}", extensions::render_stability(n, &rows));
+        }
+        // Optimal allocation: stable between 4/n and 6/(n+1).
+        let n = 6;
+        let mid = 0.5 * (mesh_stability_threshold(n) + optimal_stability_threshold(n));
+        let rows = extensions::stability_sweep(n, &[mid], true, &scale);
+        println!("{}", extensions::render_stability(n, &rows));
+    }
+    if wants("capacity") {
+        let n = 8;
+        let lambdas = [0.1, 0.2, 0.3, 0.4];
+        let rows = extensions::capacity_comparison(n, &lambdas, &scale);
+        println!("{}", extensions::render_capacity(n, &rows));
+    }
+    if wants("hypercube") {
+        let rows = extensions::hypercube_study(8, &[0.1, 0.25, 0.5, 0.75, 0.9], 0.9, &scale);
+        println!("{}", extensions::render_hypercube(8, &rows));
+    }
+    if wants("butterfly") {
+        let rows = extensions::butterfly_study(&[2, 3, 4, 5, 6], 0.9, &scale);
+        println!("{}", extensions::render_butterfly(&rows));
+    }
+    if wants("randomized") {
+        let rows = extensions::randomized_study(10, &[0.2, 0.5, 0.8, 0.9], &scale);
+        println!("{}", extensions::render_randomized(10, &rows));
+    }
+    if wants("torus") {
+        let n = 8;
+        let lambdas = [0.1, 0.2, 0.3, 0.4];
+        let rows = extensions::torus_study(n, &lambdas, &scale);
+        println!("{}", extensions::render_torus(n, &rows));
+    }
+    if wants("kd") {
+        let rows = extensions::kd_study(&[vec![4, 4], vec![3, 3, 3], vec![4, 4, 4], vec![3, 3, 3, 3]], 0.1, &scale);
+        println!("{}", extensions::render_kd(&rows));
+    }
+    if wants("slotted") {
+        let rows = extensions::slotted_study(8, 0.7, &[0.25, 0.5, 1.0, 2.0], &scale);
+        println!("{}", extensions::render_slotted(8, 0.7, &rows));
+    }
+    if wants("nonuniform") {
+        let rows = extensions::nearby_study(8, &[0.25, 0.5, 0.75], 0.4, &scale);
+        println!("{}", extensions::render_nearby(8, 0.4, &rows));
+    }
+    if wants("dominance") {
+        let rows = extensions::dominance_study(8, &[0.2, 0.5, 0.8, 0.9], &scale);
+        println!("{}", extensions::render_dominance(8, &rows));
+    }
+    if wants("report") {
+        for n in [5usize, 10, 20] {
+            println!("{}", BoundsReport::compute(n, Load::TableRho(0.9)).to_text());
+        }
+    }
+}

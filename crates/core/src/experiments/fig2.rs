@@ -1,0 +1,101 @@
+//! Figure 2: saturated edges in even and odd arrays.
+//!
+//! Regenerates the paper's side-by-side example (an even and an odd array
+//! with their saturated edges marked) and verifies the combinatorial facts
+//! §4.6 reads off the figure: a packet crosses at most 2 saturated edges
+//! when `n` is even and at most 4 when `n` is odd, and `s̄ = 3/2` (even) or
+//! `2 + (n−1)/(n+1)` (odd).
+
+use meshbound_queueing::remaining::{
+    max_expected_remaining_saturated, max_saturated_on_path, saturated_edges, sbar_closed,
+};
+use meshbound_topology::render::render_marked;
+use meshbound_topology::Mesh2D;
+use serde::{Deserialize, Serialize};
+
+/// Output of the Figure 2 reproduction for one parity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Panel {
+    /// Array side.
+    pub n: usize,
+    /// ASCII rendering with saturated edges starred.
+    pub rendering: String,
+    /// Number of saturated edges.
+    pub saturated_count: usize,
+    /// Maximum saturated edges on any greedy route.
+    pub max_on_path: usize,
+    /// `s̄` measured by enumeration.
+    pub sbar_enumerated: f64,
+    /// `s̄` closed form.
+    pub sbar_closed: f64,
+}
+
+/// Reproduces one panel of Figure 2.
+#[must_use]
+pub fn run_panel(n: usize) -> Fig2Panel {
+    let mesh = Mesh2D::square(n);
+    let sat = saturated_edges(&mesh);
+    Fig2Panel {
+        n,
+        rendering: render_marked(&mesh, &sat),
+        saturated_count: sat.len(),
+        max_on_path: max_saturated_on_path(&mesh),
+        sbar_enumerated: max_expected_remaining_saturated(&mesh),
+        sbar_closed: sbar_closed(n),
+    }
+}
+
+/// Reproduces the full figure: one even and one odd panel (the paper uses
+/// small examples; we default to 4 and 5).
+#[must_use]
+pub fn run(even_n: usize, odd_n: usize) -> (Fig2Panel, Fig2Panel) {
+    assert!(even_n.is_multiple_of(2) && odd_n % 2 == 1);
+    (run_panel(even_n), run_panel(odd_n))
+}
+
+/// Renders both panels with their verification lines.
+#[must_use]
+pub fn render(even: &Fig2Panel, odd: &Fig2Panel) -> String {
+    let mut s = String::from("Figure 2 — saturated edges (*) in array networks\n");
+    for p in [even, odd] {
+        s.push_str(&format!(
+            "\nn = {} ({}):\n{}\nsaturated edges: {}   max on one route: {}   s̄ = {:.4} (closed form {:.4})\n",
+            p.n,
+            if p.n % 2 == 0 { "even" } else { "odd" },
+            p.rendering,
+            p.saturated_count,
+            p.max_on_path,
+            p.sbar_enumerated,
+            p.sbar_closed,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_panels_verify() {
+        let (even, odd) = run(4, 5);
+        assert_eq!(even.max_on_path, 2);
+        assert_eq!(odd.max_on_path, 4);
+        assert_eq!(even.saturated_count, 4 * 4);
+        assert_eq!(odd.saturated_count, 8 * 5);
+        assert!((even.sbar_enumerated - 1.5).abs() < 1e-9);
+        assert!((odd.sbar_enumerated - (2.0 + 4.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendering_stars_match_count() {
+        let p = run_panel(4);
+        assert_eq!(p.rendering.matches('*').count(), p.saturated_count);
+    }
+
+    #[test]
+    #[should_panic(expected = "is_multiple_of")]
+    fn run_requires_correct_parity() {
+        let _ = run(5, 4);
+    }
+}

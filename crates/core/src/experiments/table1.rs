@@ -1,0 +1,216 @@
+//! Table I: simulated mean delay vs the M/D/1 independence estimate.
+//!
+//! Grid: `n ∈ {5, 10, 15, 20}`, Table-ρ `∈ {0.2, 0.5, 0.8, 0.9, 0.95,
+//! 0.99}` with `λ = 4ρ/n`. For every cell we report the simulated delay
+//! (with a replication confidence interval), the paper's printed estimate
+//! formula, the textbook M/D/1 estimate, the Theorem 7 upper bound and the
+//! best lower bound — together with the paper's printed simulation and
+//! estimate values for side-by-side comparison.
+
+use super::{Scale, TextTable};
+use meshbound_queueing::bounds::estimate::{estimate_md1, estimate_paper};
+use meshbound_queueing::bounds::lower::best_lower_bound;
+use meshbound_queueing::bounds::upper::upper_bound_delay;
+use meshbound_sim::{simulate_mesh_replicated, MeshSimConfig};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The paper's printed Table I: `(n, ρ, T(Sim.), T(Est.))`.
+pub const PRINTED: &[(usize, f64, f64, f64)] = &[
+    (5, 0.2, 3.545, 3.256),
+    (5, 0.5, 4.176, 3.722),
+    (5, 0.8, 6.252, 5.984),
+    (5, 0.9, 8.867, 8.970),
+    (5, 0.95, 12.172, 12.877),
+    (5, 0.99, 20.333, 21.384),
+    (10, 0.2, 6.929, 6.711),
+    (10, 0.5, 7.748, 7.641),
+    (10, 0.8, 10.652, 12.183),
+    (10, 0.9, 14.718, 18.444),
+    (10, 0.95, 21.034, 28.014),
+    (10, 0.99, 63.950, 77.309),
+    (15, 0.2, 10.289, 10.123),
+    (15, 0.5, 11.192, 11.518),
+    (15, 0.8, 14.563, 18.329),
+    (15, 0.9, 19.226, 27.718),
+    (15, 0.95, 28.867, 41.990),
+    (15, 0.99, 68.220, 103.312),
+    (20, 0.2, 13.649, 13.523),
+    (20, 0.5, 14.589, 15.383),
+    (20, 0.8, 18.191, 24.465),
+    (20, 0.9, 20.041, 36.983),
+    (20, 0.95, 31.771, 56.015),
+    (20, 0.99, 77.283, 141.127),
+];
+
+/// One reproduced cell of Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Array side.
+    pub n: usize,
+    /// Table-ρ load.
+    pub rho: f64,
+    /// Our simulated mean delay.
+    pub t_sim: f64,
+    /// 95% half-width across replications (0 for a single replication).
+    pub t_sim_hw: f64,
+    /// Paper's printed estimate formula.
+    pub t_est_paper: f64,
+    /// Textbook M/D/1 estimate.
+    pub t_est_md1: f64,
+    /// Theorem 7 upper bound.
+    pub t_upper: f64,
+    /// Best lower bound.
+    pub t_lower: f64,
+    /// Paper's printed simulation value.
+    pub printed_sim: f64,
+    /// Paper's printed estimate value.
+    pub printed_est: f64,
+}
+
+/// Runs the full Table I grid at the given scale (cells in parallel).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<Table1Row> {
+    PRINTED
+        .par_iter()
+        .map(|&(n, rho, printed_sim, printed_est)| run_cell(scale, n, rho, printed_sim, printed_est))
+        .collect()
+}
+
+fn run_cell(scale: &Scale, n: usize, rho: f64, printed_sim: f64, printed_est: f64) -> Table1Row {
+    let lambda = 4.0 * rho / n as f64;
+    let cfg = MeshSimConfig {
+        n,
+        lambda,
+        horizon: scale.horizon(rho),
+        warmup: scale.warmup(rho),
+        seed: scale.seed ^ ((n as u64) << 32) ^ ((rho * 1000.0) as u64),
+        track_saturated: false,
+        ..MeshSimConfig::default()
+    };
+    let rep = simulate_mesh_replicated(&cfg, scale.reps);
+    let hw = if scale.reps >= 2 {
+        rep.delay.confidence_interval(0.95).half_width
+    } else {
+        0.0
+    };
+    Table1Row {
+        n,
+        rho,
+        t_sim: rep.delay.mean(),
+        t_sim_hw: hw,
+        t_est_paper: estimate_paper(n, lambda),
+        t_est_md1: estimate_md1(n, lambda),
+        t_upper: upper_bound_delay(n, lambda),
+        t_lower: best_lower_bound(n, lambda),
+        printed_sim,
+        printed_est,
+    }
+}
+
+/// Renders rows in the paper's layout plus our extra columns.
+#[must_use]
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut t = TextTable::new(&[
+        "n",
+        "rho",
+        "T(Sim)",
+        "±",
+        "T(Est paper)",
+        "T(Est MD1)",
+        "T(upper)",
+        "T(lower)",
+        "paper Sim",
+        "paper Est",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            format!("{:.2}", r.rho),
+            format!("{:.3}", r.t_sim),
+            format!("{:.3}", r.t_sim_hw),
+            format!("{:.3}", r.t_est_paper),
+            format!("{:.3}", r.t_est_md1),
+            format!("{:.3}", r.t_upper),
+            format!("{:.3}", r.t_lower),
+            format!("{:.3}", r.printed_sim),
+            format!("{:.3}", r.printed_est),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_columns_match_printed_table() {
+        // The analytic column must reproduce the paper's Est. values
+        // exactly (to printed precision) on the entire grid.
+        for &(n, rho, _, printed_est) in PRINTED {
+            let est = estimate_paper(n, 4.0 * rho / n as f64);
+            assert!(
+                (est - printed_est).abs() / printed_est < 2e-3,
+                "n={n}, ρ={rho}: {est} vs {printed_est}"
+            );
+        }
+    }
+
+    #[test]
+    fn quick_cell_shapes_match_paper() {
+        // One light cell and one moderate cell; shape checks only.
+        let scale = Scale::quick();
+        let light = run_cell(&scale, 5, 0.2, 3.545, 3.256);
+        // Simulation close to the printed value (±10%) at light load.
+        assert!(
+            (light.t_sim - light.printed_sim).abs() / light.printed_sim < 0.1,
+            "sim {} vs printed {}",
+            light.t_sim,
+            light.printed_sim
+        );
+        // Bounds bracket the simulation.
+        assert!(light.t_lower <= light.t_sim + 0.2);
+        assert!(light.t_sim <= light.t_upper + 0.2);
+    }
+
+    #[test]
+    fn sim_between_estimates_at_light_load() {
+        // The paper's estimate omits the residual-service term and
+        // undershoots; the textbook estimate ignores smoothing and
+        // overshoots. The truth sits between (§4.2 discussion).
+        let scale = Scale::quick();
+        let cell = run_cell(&scale, 10, 0.5, 7.748, 7.641);
+        assert!(
+            cell.t_est_paper < cell.t_sim + 0.3,
+            "paper est {} should sit below sim {}",
+            cell.t_est_paper,
+            cell.t_sim
+        );
+        assert!(
+            cell.t_sim < cell.t_est_md1 + 0.3,
+            "sim {} should sit below textbook est {}",
+            cell.t_sim,
+            cell.t_est_md1
+        );
+    }
+
+    #[test]
+    fn render_includes_all_rows() {
+        let rows = vec![Table1Row {
+            n: 5,
+            rho: 0.2,
+            t_sim: 3.5,
+            t_sim_hw: 0.01,
+            t_est_paper: 3.26,
+            t_est_md1: 3.4,
+            t_upper: 3.8,
+            t_lower: 3.2,
+            printed_sim: 3.545,
+            printed_est: 3.256,
+        }];
+        let s = render(&rows);
+        assert!(s.contains("3.500"));
+        assert!(s.contains("paper Sim"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Table II: the remaining-work ratio `r = E[R]/E[N]`.
+//!
+//! `R(t)` sums, over all packets in the system, the number of services they
+//! still need; `N(t)` counts the packets. The paper measures
+//! `r = E[R]/E[N]` by simulation (Table II) and observes that `r` depends
+//! only weakly on ρ and satisfies `r/n̄₂ < 0.7` — evidence that the
+//! Theorem 12 constant `d̄` is pessimistic.
+
+use super::{Scale, TextTable};
+use meshbound_queueing::remaining::light_load_r;
+use meshbound_sim::{simulate_mesh_replicated, MeshSimConfig};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The paper's printed Table II: `(n, ρ, r)`. The `n̄` column of the paper
+/// (3.333, 6.667, 10, 13.333) is `n̄₂ = 2n/3`.
+pub const PRINTED: &[(usize, f64, f64)] = &[
+    (5, 0.2, 2.568),
+    (5, 0.5, 2.574),
+    (5, 0.8, 2.600),
+    (5, 0.9, 2.610),
+    (5, 0.99, 2.613),
+    (10, 0.2, 4.665),
+    (10, 0.5, 4.694),
+    (10, 0.8, 4.746),
+    (10, 0.9, 4.775),
+    (10, 0.99, 4.776),
+    (15, 0.2, 6.755),
+    (15, 0.5, 6.796),
+    (15, 0.8, 6.875),
+    (15, 0.9, 6.913),
+    (15, 0.99, 6.924),
+    (20, 0.2, 8.841),
+    (20, 0.5, 8.887),
+    (20, 0.8, 8.982),
+    (20, 0.9, 9.041),
+    (20, 0.99, 9.029),
+];
+
+/// One reproduced cell of Table II.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Array side.
+    pub n: usize,
+    /// Table-ρ load.
+    pub rho: f64,
+    /// `n̄₂ = 2n/3` (the paper's second column).
+    pub nbar2: f64,
+    /// Simulated `r = E[R]/E[N]`.
+    pub r_sim: f64,
+    /// Light-load closed form `(E[D²]+E[D])/(2E[D])`.
+    pub r_light: f64,
+    /// Paper's printed `r`.
+    pub printed_r: f64,
+}
+
+/// Runs the Table II grid (cells in parallel).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<Table2Row> {
+    PRINTED
+        .par_iter()
+        .map(|&(n, rho, printed)| {
+            let lambda = 4.0 * rho / n as f64;
+            let cfg = MeshSimConfig {
+                n,
+                lambda,
+                horizon: scale.horizon(rho),
+                warmup: scale.warmup(rho),
+                seed: scale.seed ^ 0xBEE5 ^ ((n as u64) << 24) ^ ((rho * 1000.0) as u64),
+                track_saturated: false,
+                ..MeshSimConfig::default()
+            };
+            let rep = simulate_mesh_replicated(&cfg, scale.reps);
+            Table2Row {
+                n,
+                rho,
+                nbar2: 2.0 * n as f64 / 3.0,
+                r_sim: rep.r_ratio.mean(),
+                r_light: light_load_r(n),
+                printed_r: printed,
+            }
+        })
+        .collect()
+}
+
+/// Renders the reproduced Table II.
+#[must_use]
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut t = TextTable::new(&["n", "n̄₂", "rho", "r(Sim)", "r(light-load)", "paper r", "r/n̄₂"]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            format!("{:.3}", r.nbar2),
+            format!("{:.2}", r.rho),
+            format!("{:.3}", r.r_sim),
+            format!("{:.3}", r.r_light),
+            format!("{:.3}", r.printed_r),
+            format!("{:.3}", r.r_sim / r.nbar2),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_load_closed_form_matches_printed_low_rho() {
+        for &(n, rho, printed) in PRINTED {
+            if rho == 0.2 {
+                let r0 = light_load_r(n);
+                assert!(
+                    (r0 - printed).abs() / printed < 0.012,
+                    "n={n}: {r0} vs {printed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printed_r_increases_weakly_with_rho() {
+        // The paper's own data: r varies by < 3% across the whole ρ range.
+        for n in [5usize, 10, 15, 20] {
+            let rs: Vec<f64> = PRINTED
+                .iter()
+                .filter(|&&(nn, _, _)| nn == n)
+                .map(|&(_, _, r)| r)
+                .collect();
+            let spread = (rs.iter().cloned().fold(f64::MIN, f64::max)
+                - rs.iter().cloned().fold(f64::MAX, f64::min))
+                / rs[0];
+            assert!(spread < 0.03, "n={n}: spread {spread}");
+        }
+    }
+
+    #[test]
+    fn quick_sim_reproduces_r_for_small_n() {
+        let scale = Scale::quick();
+        let lambda = 4.0 * 0.5 / 5.0;
+        let cfg = MeshSimConfig {
+            n: 5,
+            lambda,
+            horizon: 6_000.0,
+            warmup: 600.0,
+            seed: 77,
+            track_saturated: false,
+            ..MeshSimConfig::default()
+        };
+        let rep = simulate_mesh_replicated(&cfg, scale.reps);
+        // Printed value 2.574; allow simulation noise.
+        assert!(
+            (rep.r_ratio.mean() - 2.574).abs() < 0.1,
+            "r = {}",
+            rep.r_ratio.mean()
+        );
+    }
+}

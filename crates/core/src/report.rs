@@ -1,0 +1,177 @@
+//! One-stop analytic report for a given array size and load.
+
+use meshbound_queueing::bounds::{estimate, lower, upper};
+use meshbound_queueing::load::{mesh_stability_threshold, optimal_stability_threshold, Load};
+use meshbound_queueing::remaining::{dbar_closed, light_load_r, sbar_closed};
+use meshbound_topology::Mesh2D;
+use serde::{Deserialize, Serialize};
+
+/// Every closed-form quantity the paper derives for an `n × n` array at a
+/// given load, gathered in one structure.
+///
+/// Use [`BoundsReport::compute`] to fill it and [`BoundsReport::to_text`]
+/// for a human-readable summary. Simulated values are *not* included here —
+/// see [`crate::experiments`] for the measurement harnesses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoundsReport {
+    /// Array side.
+    pub n: usize,
+    /// Per-node Poisson arrival rate.
+    pub lambda: f64,
+    /// Load in Table I's convention (`λn/4`).
+    pub table_rho: f64,
+    /// Peak edge utilization (`max_e λ_e`).
+    pub utilization: f64,
+    /// Mean greedy distance `n̄ = (2/3)(n − 1/n)`.
+    pub mean_distance: f64,
+    /// Theorem 7 upper bound on the mean delay.
+    pub upper: f64,
+    /// §4.2 estimate, paper's printed form (Table I "Est.").
+    pub est_paper: f64,
+    /// §4.2 estimate, textbook M/D/1 form.
+    pub est_md1: f64,
+    /// Theorem 8 lower bound (any routing).
+    pub lower_thm8_any: f64,
+    /// Theorem 8 lower bound (oblivious routing).
+    pub lower_thm8_oblivious: f64,
+    /// Theorem 10 lower bound (copy network, `d = 2(n−1)`).
+    pub lower_thm10: f64,
+    /// Theorem 12 lower bound (Markovian, `d̄ = n − 1/2`).
+    pub lower_thm12: f64,
+    /// Theorem 14 heavy-traffic lower bound (saturated edges, `s̄`).
+    pub lower_thm14: f64,
+    /// Trivial bound `n̄`.
+    pub lower_trivial: f64,
+    /// Best lower bound (max of the above).
+    pub lower_best: f64,
+    /// Maximum expected remaining distance `d̄ = n − 1/2`.
+    pub dbar: f64,
+    /// Maximum expected remaining saturated distance `s̄`.
+    pub sbar: f64,
+    /// Light-load value of Table II's ratio `r`.
+    pub light_load_r: f64,
+    /// Stability threshold of the standard array (`4/n` or `4n/(n²−1)`).
+    pub stability_lambda: f64,
+    /// Stability threshold with optimal capacity allocation, `6/(n+1)`.
+    pub optimal_stability_lambda: f64,
+}
+
+impl BoundsReport {
+    /// Computes the full report for an `n × n` array at the given load.
+    #[must_use]
+    pub fn compute(n: usize, load: Load) -> Self {
+        let lambda = load.lambda(n);
+        let rho_util = load.utilization(n);
+        Self {
+            n,
+            lambda,
+            table_rho: lambda * n as f64 / 4.0,
+            utilization: rho_util,
+            mean_distance: Mesh2D::square(n).mean_distance(),
+            upper: upper::upper_bound_delay(n, lambda),
+            est_paper: estimate::estimate_paper(n, lambda),
+            est_md1: estimate::estimate_md1(n, lambda),
+            lower_thm8_any: lower::thm8_any_routing(n, rho_util),
+            lower_thm8_oblivious: lower::thm8_oblivious(n, rho_util),
+            lower_thm10: lower::thm10_lower(n, lambda),
+            lower_thm12: lower::thm12_lower(n, lambda),
+            lower_thm14: lower::thm14_lower(n, lambda),
+            lower_trivial: lower::trivial_lower(n),
+            lower_best: lower::best_lower_bound(n, lambda),
+            dbar: dbar_closed(n),
+            sbar: sbar_closed(n),
+            light_load_r: light_load_r(n),
+            stability_lambda: mesh_stability_threshold(n),
+            optimal_stability_lambda: optimal_stability_threshold(n),
+        }
+    }
+
+    /// Ratio of upper to best lower bound (the "gap" the paper tracks).
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        self.upper / self.lower_best
+    }
+
+    /// Multi-line human-readable summary.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "array {0}x{0}: λ = {1:.5} (Table-ρ {2:.3}, peak utilization {3:.3})\n",
+            self.n, self.lambda, self.table_rho, self.utilization
+        ));
+        s.push_str(&format!(
+            "  mean distance n̄ = {:.4}   d̄ = {:.1}   s̄ = {:.4}\n",
+            self.mean_distance, self.dbar, self.sbar
+        ));
+        s.push_str(&format!(
+            "  upper bound (Thm 7)        T ≤ {:.4}\n",
+            self.upper
+        ));
+        s.push_str(&format!(
+            "  estimate (paper / M/D/1)   T ≈ {:.4} / {:.4}\n",
+            self.est_paper, self.est_md1
+        ));
+        s.push_str(&format!(
+            "  lower bounds: Thm8any {:.4}  Thm8obl {:.4}  Thm10 {:.4}  Thm12 {:.4}  Thm14 {:.4}  n̄ {:.4}\n",
+            self.lower_thm8_any,
+            self.lower_thm8_oblivious,
+            self.lower_thm10,
+            self.lower_thm12,
+            self.lower_thm14,
+            self.lower_trivial
+        ));
+        s.push_str(&format!(
+            "  best lower {:.4}   gap upper/lower = {:.3}\n",
+            self.lower_best,
+            self.gap()
+        ));
+        s.push_str(&format!(
+            "  stability: standard λ < {:.4}, optimal allocation λ < {:.4}\n",
+            self.stability_lambda, self.optimal_stability_lambda
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_internally_consistent() {
+        for n in [4usize, 5, 10, 15] {
+            for rho in [0.2, 0.8, 0.95] {
+                let r = BoundsReport::compute(n, Load::TableRho(rho));
+                assert!(r.lower_best <= r.upper, "n={n}, ρ={rho}");
+                assert!(r.est_paper <= r.est_md1);
+                assert!(r.est_md1 <= r.upper + 1e-12);
+                assert!(r.lower_best >= r.lower_trivial);
+                assert!((r.table_rho - rho).abs() < 1e-12);
+                assert!(r.gap() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_gap_bounded_for_even_n() {
+        // Theorem 14's headline: the gap is ~3 for even n near capacity.
+        let r = BoundsReport::compute(10, Load::TableRho(0.9999));
+        assert!(r.gap() < 3.1, "gap {}", r.gap());
+    }
+
+    #[test]
+    fn heavy_traffic_gap_bounded_for_odd_n() {
+        let r = BoundsReport::compute(9, Load::Utilization(0.9999));
+        assert!(r.gap() < 6.0, "gap {}", r.gap());
+    }
+
+    #[test]
+    fn text_rendering_mentions_key_quantities() {
+        let r = BoundsReport::compute(8, Load::TableRho(0.5));
+        let text = r.to_text();
+        assert!(text.contains("upper bound"));
+        assert!(text.contains("Thm12"));
+        assert!(text.contains("stability"));
+    }
+}

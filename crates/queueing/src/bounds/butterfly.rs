@@ -1,0 +1,70 @@
+//! Butterfly bounds (§4.5).
+//!
+//! In a `d`-level butterfly with Poisson inputs at the `2^d` level-0 nodes
+//! and uniform outputs, every packet crosses exactly `d` edges and every
+//! edge carries rate `λ/2`. Theorem 10 (with exactly `d` services per
+//! packet) gives a lower bound within `2d` of the product-form upper bound
+//! in heavy traffic — matching Stamoulis and Tsitsiklis, as the paper notes.
+
+use crate::single::{md1_mean_number, mm1_mean_number};
+
+/// Product-form upper bound on the mean delay:
+/// `T ≤ d·(λ/2)/(1−λ/2)/λ = d/(1−λ/2) · … ` — concretely
+/// `2d·N_{M/M/1}(λ/2)/λ` per input node.
+#[must_use]
+pub fn upper_bound_delay(d: usize, lambda: f64) -> f64 {
+    let le = lambda / 2.0;
+    if le >= 1.0 {
+        f64::INFINITY
+    } else {
+        2.0 * d as f64 * mm1_mean_number(le, 1.0) / lambda
+    }
+}
+
+/// Theorem 10 lower bound: every packet needs exactly `d` services, so
+/// `T ≥ 2d·N_{M/D/1}(λ/2)/(d·λ) = 2·N_{M/D/1}(λ/2)/λ`.
+#[must_use]
+pub fn thm10_lower(d: usize, lambda: f64) -> f64 {
+    let _ = d;
+    2.0 * md1_mean_number(lambda / 2.0) / lambda
+}
+
+/// High-load gap between the bounds: `2d`.
+#[must_use]
+pub fn gap(d: usize) -> f64 {
+    2.0 * d as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_converges_to_2d() {
+        let d = 6;
+        let lambda = 2.0 * 0.99999;
+        let ratio = upper_bound_delay(d, lambda) / thm10_lower(d, lambda);
+        assert!((ratio - gap(d)).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn light_load_delay_is_d() {
+        let d = 5;
+        assert!((upper_bound_delay(d, 1e-9) - d as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_below_upper_everywhere() {
+        for d in [2usize, 4, 8] {
+            for lambda in [0.1, 1.0, 1.9] {
+                assert!(thm10_lower(d, lambda) <= upper_bound_delay(d, lambda));
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_at_lambda_two() {
+        assert!(upper_bound_delay(4, 2.0).is_infinite());
+        assert!(upper_bound_delay(4, 1.99).is_finite());
+    }
+}

@@ -1,0 +1,125 @@
+//! Hypercube bounds (§4.5).
+//!
+//! A `d`-dimensional hypercube routes with canonical dimension order;
+//! destinations differ in each bit with probability `p` (uniform when
+//! `p = 1/2`). Every edge then carries rate `λ·p`, the network is layered by
+//! dimension and Markovian, so the Theorem 5 upper bound and the Theorem
+//! 10/12 lower bounds all apply. The maximum expected remaining distance is
+//! attained by a packet queued at a first-dimension edge:
+//! `d̄ = 1 + p(d−1)`, so the high-load gap between the bounds is
+//! `2(dp + 1 − p)` — strictly better than the previous `2d` for all
+//! `p ∈ (0, 1)`.
+
+use crate::single::{md1_mean_number, mm1_mean_number};
+
+/// Mean route length: `d·p` (each of `d` bits differs with probability `p`).
+#[must_use]
+pub fn mean_distance(d: usize, p: f64) -> f64 {
+    d as f64 * p
+}
+
+/// Product-form upper bound on the mean delay: all `d·2^d` edges carry
+/// `λp`, so `T ≤ d·p/(1 − λp)`.
+#[must_use]
+pub fn upper_bound_delay(d: usize, lambda: f64, p: f64) -> f64 {
+    let le = lambda * p;
+    if le >= 1.0 {
+        f64::INFINITY
+    } else {
+        d as f64 * mm1_mean_number(le, 1.0) / lambda
+    }
+}
+
+/// Maximum expected remaining distance `d̄ = 1 + p(d−1)` (a packet queued on
+/// a dimension-0 edge crosses each later dimension with probability `p`).
+#[must_use]
+pub fn dbar(d: usize, p: f64) -> f64 {
+    1.0 + p * (d as f64 - 1.0)
+}
+
+/// Theorem 12 lower bound: `T ≥ d·N_{M/D/1}(λp) / (d̄·λ)`.
+#[must_use]
+pub fn thm12_lower(d: usize, lambda: f64, p: f64) -> f64 {
+    d as f64 * md1_mean_number(lambda * p) / (dbar(d, p) * lambda)
+}
+
+/// Theorem 10 lower bound with the worst-case `d` services per packet.
+#[must_use]
+pub fn thm10_lower(d: usize, lambda: f64, p: f64) -> f64 {
+    d as f64 * md1_mean_number(lambda * p) / (d as f64 * lambda)
+}
+
+/// High-load bound gap of the new technique: `2(dp + 1 − p) = 2·d̄`.
+#[must_use]
+pub fn new_gap(d: usize, p: f64) -> f64 {
+    2.0 * (d as f64 * p + 1.0 - p)
+}
+
+/// High-load gap of the previous (Stamoulis–Tsitsiklis) bounds: `2d`.
+#[must_use]
+pub fn previous_gap(d: usize) -> f64 {
+    2.0 * d as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_gap_beats_previous_for_all_p() {
+        for d in [3usize, 6, 10] {
+            for p in [0.01, 0.25, 0.5, 0.75, 0.99] {
+                assert!(new_gap(d, p) < previous_gap(d), "d={d}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_case_gap_is_d_plus_one() {
+        // p = 1/2: gap = 2(d/2 + 1/2) = d + 1.
+        assert!((new_gap(8, 0.5) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_p_gap_approaches_two() {
+        assert!((new_gap(50, 1e-9) - 2.0).abs() < 1e-6);
+        // And it stays bounded by a constant for p = O(1/d).
+        let d = 1000;
+        assert!(new_gap(d, 1.0 / d as f64) < 4.0);
+    }
+
+    #[test]
+    fn ratio_converges_to_new_gap_at_high_load() {
+        let d = 8;
+        let p = 0.5;
+        // Drive edge utilization λp → 1.
+        let lambda = 0.99999 / p;
+        let ratio = upper_bound_delay(d, lambda, p) / thm12_lower(d, lambda, p);
+        assert!((ratio - new_gap(d, p)).abs() < 0.01, "ratio {ratio}");
+        let ratio10 = upper_bound_delay(d, lambda, p) / thm10_lower(d, lambda, p);
+        assert!((ratio10 - previous_gap(d)).abs() < 0.01);
+    }
+
+    #[test]
+    fn upper_bound_light_load_is_mean_distance() {
+        let d = 6;
+        let p = 0.3;
+        let t = upper_bound_delay(d, 1e-9, p);
+        assert!((t - mean_distance(d, p)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_ordered() {
+        let d = 5;
+        for p in [0.2, 0.5, 0.8] {
+            for lambda in [0.1, 0.5, 0.9] {
+                if lambda * p < 1.0 {
+                    let lo10 = thm10_lower(d, lambda, p);
+                    let lo12 = thm12_lower(d, lambda, p);
+                    let hi = upper_bound_delay(d, lambda, p);
+                    assert!(lo10 <= lo12 && lo12 <= hi, "d={d}, p={p}, λ={lambda}");
+                }
+            }
+        }
+    }
+}

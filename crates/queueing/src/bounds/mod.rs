@@ -1,0 +1,8 @@
+//! Upper and lower bounds on the mean delay, plus the §4.2 approximation.
+
+pub mod butterfly;
+pub mod estimate;
+pub mod hypercube;
+pub mod lower;
+pub mod torus;
+pub mod upper;

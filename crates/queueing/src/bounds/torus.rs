@@ -1,0 +1,139 @@
+//! Torus bounds (§6).
+//!
+//! The torus is the paper's open problem: any network containing a ring of
+//! directed edges cannot be layered, and greedy routing on the torus is not
+//! Markovian in the paper's sense, so **no Theorem 1/5 upper bound is
+//! available** — that is exactly the open question §6 poses. The Theorem 10
+//! lower bound, however, needs neither layering nor the Markov property, so
+//! it applies: with per-direction edge rates from
+//! [`meshbound_routing::rates::torus_row_rates`] and the maximum route
+//! length `d = 2⌊n/2⌋`,
+//!
+//! ```text
+//! T ≥ Σ_e N_{M/D/1}(λ_e) / (d · λn²).
+//! ```
+
+use crate::single::md1_mean_number;
+use meshbound_routing::rates::torus_row_rates;
+
+/// Maximum greedy route length on an `n × n` torus: `2⌊n/2⌋`.
+#[must_use]
+pub fn max_distance(n: usize) -> usize {
+    2 * (n / 2)
+}
+
+/// Mean greedy route length over uniform pairs (self-pairs included).
+#[must_use]
+pub fn mean_distance(n: usize) -> f64 {
+    let nf = n as f64;
+    if n.is_multiple_of(2) {
+        nf / 2.0
+    } else {
+        (nf * nf - 1.0) / (2.0 * nf)
+    }
+}
+
+/// Sum of independent-M/D/1 mean numbers over all `4n²` torus edges.
+#[must_use]
+pub fn reference_system_number(n: usize, lambda: f64) -> f64 {
+    let (pos, neg) = torus_row_rates(n, lambda);
+    // 2n² edges per axis-direction pair; row and column phases symmetric.
+    2.0 * (n * n) as f64 * (md1_mean_number(pos) + md1_mean_number(neg))
+}
+
+/// Theorem 10's lower bound for the torus (valid despite the torus being
+/// unlayerable and non-Markovian — the copy argument needs neither).
+#[must_use]
+pub fn thm10_lower(n: usize, lambda: f64) -> f64 {
+    reference_system_number(n, lambda) / (max_distance(n) as f64 * lambda * (n * n) as f64)
+}
+
+/// The trivial bound `T ≥ n̄_torus`.
+#[must_use]
+pub fn trivial_lower(n: usize) -> f64 {
+    mean_distance(n)
+}
+
+/// Best available torus lower bound.
+#[must_use]
+pub fn best_lower_bound(n: usize, lambda: f64) -> f64 {
+    thm10_lower(n, lambda).max(trivial_lower(n))
+}
+
+/// Stability threshold of the torus under greedy routing: the loaded
+/// direction saturates at `λ·E[Δ⁺] = 1`.
+#[must_use]
+pub fn stability_threshold(n: usize) -> f64 {
+    let (pos, _) = torus_row_rates(n, 1.0);
+    1.0 / pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_topology::{Topology, Torus2D};
+
+    #[test]
+    fn mean_distance_matches_topology_enumeration() {
+        for n in [3usize, 4, 5, 8] {
+            let t = Torus2D::new(n);
+            assert!((mean_distance(n) - t.mean_distance()).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn max_distance_matches_enumeration() {
+        for n in [3usize, 4, 5, 6] {
+            let t = Torus2D::new(n);
+            let mut best = 0;
+            for a in t.nodes() {
+                for b in t.nodes() {
+                    best = best.max(t.distance(a, b));
+                }
+            }
+            assert_eq!(best, max_distance(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn reference_number_matches_rate_sum() {
+        use meshbound_routing::dest::UniformDest;
+        use meshbound_routing::rates::{all_nodes, edge_rates_enumerated};
+        use meshbound_routing::TorusGreedy;
+        let n = 5;
+        let lambda = 0.2;
+        let t = Torus2D::new(n);
+        let rates = edge_rates_enumerated(&t, &TorusGreedy, &UniformDest, lambda, &all_nodes(&t));
+        let direct: f64 = rates.iter().map(|&l| md1_mean_number(l)).sum();
+        assert!((reference_system_number(n, lambda) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn torus_more_stable_than_array() {
+        // Wraparound doubles cut capacity and halves distances: the torus
+        // threshold approaches 2× the array's as n grows (odd n reaches the
+        // full factor 2; even n gets 2n/(n+2) because of the tie-break
+        // asymmetry in the positive direction).
+        for n in [4usize, 5, 8, 9, 16] {
+            let array = crate::load::mesh_stability_threshold(n);
+            let torus = stability_threshold(n);
+            assert!(torus > 1.3 * array, "n={n}: torus {torus} vs array {array}");
+        }
+        assert!((stability_threshold(9) - 2.0 * crate::load::mesh_stability_threshold(9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_grows_near_capacity() {
+        let n = 6;
+        let thr = stability_threshold(n);
+        let near = thm10_lower(n, 0.999 * thr);
+        let far = thm10_lower(n, 0.5 * thr);
+        assert!(near > 10.0 * far, "near {near}, far {far}");
+    }
+
+    #[test]
+    fn trivial_bound_dominates_at_light_load() {
+        let n = 8;
+        assert_eq!(best_lower_bound(n, 1e-6), trivial_lower(n));
+    }
+}

@@ -1,0 +1,106 @@
+//! The Theorem 5/7 upper bound.
+//!
+//! Theorem 1 (Stamoulis–Tsitsiklis) shows that for a layered network with
+//! Markovian routing and Poisson externals, the processor-sharing version
+//! stochastically dominates the FIFO version in total packet count. The
+//! array is layered under greedy routing (Lemma 2) and greedy routing with
+//! uniform destinations is Markovian (Corollary 4), so the product-form PS
+//! quantities bound the FIFO ones from above (Theorem 5). Evaluating the
+//! product form with Theorem 6's rates gives Theorem 7:
+//!
+//! ```text
+//! T ≤ (1/(λn²)) · Σ_e λ_e/(1−λ_e)
+//!   = (4/(λn)) · Σ_{i=1}^{n−1} 1/(n/(λ·i(n−i)) − 1).
+//! ```
+
+use crate::jackson;
+use crate::little::mesh_total_arrival;
+use meshbound_routing::rates::mesh_class_rate;
+
+/// Theorem 7's upper bound on the mean delay of the `n × n` array at
+/// per-node arrival rate `lambda`. Returns `∞` when some edge is saturated.
+#[must_use]
+pub fn upper_bound_delay(n: usize, lambda: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..n {
+        let le = mesh_class_rate(n, lambda, i);
+        if le >= 1.0 {
+            return f64::INFINITY;
+        }
+        sum += le / (1.0 - le);
+    }
+    // 4n edges per crossing-index class.
+    4.0 * n as f64 * sum / mesh_total_arrival(n, lambda)
+}
+
+/// Upper bound on the expected number of packets in the array (Theorem 5
+/// with the product form): `Σ_e λ_e/(1−λ_e)`.
+#[must_use]
+pub fn upper_bound_number(n: usize, lambda: f64) -> f64 {
+    upper_bound_delay(n, lambda) * mesh_total_arrival(n, lambda)
+}
+
+/// Generic form of the bound for any layered Markovian network with unit
+/// service times: mean delay ≤ product-form mean number / total arrival
+/// rate.
+#[must_use]
+pub fn upper_bound_from_rates(rates: &[f64], total_arrival: f64) -> f64 {
+    jackson::mean_number_unit(rates) / total_arrival
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_routing::rates::mesh_thm6_rates;
+    use meshbound_topology::Mesh2D;
+
+    #[test]
+    fn closed_form_matches_generic_form() {
+        for n in [4usize, 5, 9] {
+            let lambda = 0.5 * 4.0 / n as f64;
+            let mesh = Mesh2D::square(n);
+            let rates = mesh_thm6_rates(&mesh, lambda);
+            let generic = upper_bound_from_rates(&rates, mesh_total_arrival(n, lambda));
+            let closed = upper_bound_delay(n, lambda);
+            assert!((generic - closed).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn saturation_gives_infinity() {
+        // λ = 4/n saturates the central cut for even n.
+        assert!(upper_bound_delay(10, 0.4).is_infinite());
+        assert!(upper_bound_delay(10, 0.399).is_finite());
+    }
+
+    #[test]
+    fn odd_n_finite_at_lambda_4_over_n() {
+        // For odd n the peak utilization at λ = 4/n is 1 − 1/n² < 1.
+        assert!(upper_bound_delay(5, 0.8).is_finite());
+        assert!(upper_bound_delay(5, 5.0 / 6.0).is_infinite());
+    }
+
+    #[test]
+    fn upper_bound_exceeds_mean_distance() {
+        // The bound must exceed the trivial lower bound n̄ whenever stable.
+        for n in [5usize, 10, 20] {
+            for rho in [0.2, 0.5, 0.9] {
+                let lambda = 4.0 * rho / n as f64;
+                let t = upper_bound_delay(n, lambda);
+                let nbar = Mesh2D::square(n).mean_distance();
+                assert!(t > nbar, "n={n}, ρ={rho}: {t} ≤ {nbar}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_increases_with_load() {
+        let n = 8;
+        let mut prev = 0.0;
+        for rho in [0.1, 0.3, 0.5, 0.7, 0.9, 0.97] {
+            let t = upper_bound_delay(n, 4.0 * rho / n as f64);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Variable transmission rates and the Theorem 15 optimal allocation (§5.1).
+//!
+//! Service rates `φ_j` are bought under a linear budget `Σ_j d_j·φ_j = D`.
+//! For the Jackson model, Lagrange optimization (Kleinrock's classic
+//! capacity assignment) yields
+//!
+//! ```text
+//! φ_j = λ_j + (√(λ_j d_j) / Σ_k √(λ_k d_k)) · D*/d_j,   D* = D − Σ_k λ_k d_k,
+//! ```
+//!
+//! with resulting mean delay `T = (Σ_e √(λ_e d_e))² / (D*·γ)` where `γ` is
+//! the total external arrival rate. Because the Jackson model upper-bounds
+//! the deterministic-service model (Theorem 5), these values are upper
+//! bounds for the constant-transmission-time network too. Applying the
+//! identity `Σ_e λ_e = γ·n̄` shows `D* > 0` exactly when `λ < 6/(n+1)` on
+//! the unit-cost array — the stability improvement over `4/n` the paper
+//! highlights.
+
+
+/// The slack budget `D* = D − Σ_j λ_j d_j` left after giving every queue
+/// exactly its arrival rate.
+#[must_use]
+pub fn dstar(rates: &[f64], costs: &[f64], budget: f64) -> f64 {
+    budget - rates.iter().zip(costs).map(|(&l, &d)| l * d).sum::<f64>()
+}
+
+/// Theorem 15's optimal service-rate allocation.
+///
+/// Queues with zero arrival rate receive zero capacity (they are unused).
+/// Returns `None` if the budget cannot stabilize the network (`D* ≤ 0`).
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or any cost is non-positive.
+#[must_use]
+pub fn optimal_allocation(rates: &[f64], costs: &[f64], budget: f64) -> Option<Vec<f64>> {
+    assert_eq!(rates.len(), costs.len());
+    assert!(costs.iter().all(|&d| d > 0.0), "costs must be positive");
+    let slack = dstar(rates, costs, budget);
+    if slack <= 0.0 {
+        return None;
+    }
+    let denom: f64 = rates
+        .iter()
+        .zip(costs)
+        .map(|(&l, &d)| (l * d).sqrt())
+        .sum();
+    Some(
+        rates
+            .iter()
+            .zip(costs)
+            .map(|(&l, &d)| {
+                if l == 0.0 {
+                    0.0
+                } else {
+                    l + (l * d).sqrt() / denom * slack / d
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Uniform allocation for comparison: the whole budget spread evenly by
+/// cost, `φ_j = D / Σ_k d_k`.
+#[must_use]
+pub fn uniform_allocation(costs: &[f64], budget: f64) -> Vec<f64> {
+    let total: f64 = costs.iter().sum();
+    costs.iter().map(|_| budget / total).collect()
+}
+
+/// Mean delay of the Jackson network under the optimal allocation, in
+/// closed form: `T = (Σ_e √(λ_e d_e))² / (D*·γ)`.
+#[must_use]
+pub fn optimal_delay(rates: &[f64], costs: &[f64], budget: f64, total_arrival: f64) -> f64 {
+    let slack = dstar(rates, costs, budget);
+    if slack <= 0.0 {
+        return f64::INFINITY;
+    }
+    let s: f64 = rates
+        .iter()
+        .zip(costs)
+        .map(|(&l, &d)| (l * d).sqrt())
+        .sum();
+    s * s / (slack * total_arrival)
+}
+
+/// The budget that reproduces the *standard* array configuration with unit
+/// costs: one unit of service on each of the `4n(n−1)` edges.
+#[must_use]
+pub fn mesh_unit_budget(n: usize) -> f64 {
+    (4 * n * (n - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jackson;
+    use crate::little::mesh_total_arrival;
+    use crate::load::optimal_stability_threshold;
+    use meshbound_routing::rates::mesh_thm6_rates;
+    use meshbound_topology::Mesh2D;
+
+    fn mesh_setup(n: usize, lambda: f64) -> (Vec<f64>, Vec<f64>, f64) {
+        let rates = mesh_thm6_rates(&Mesh2D::square(n), lambda);
+        let costs = vec![1.0; rates.len()];
+        let budget = mesh_unit_budget(n);
+        (rates, costs, budget)
+    }
+
+    #[test]
+    fn allocation_exhausts_budget() {
+        let (rates, costs, budget) = mesh_setup(6, 0.3);
+        let phi = optimal_allocation(&rates, &costs, budget).unwrap();
+        let spent: f64 = phi.iter().zip(&costs).map(|(&p, &d)| p * d).sum();
+        assert!((spent - budget).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_matches_jackson_evaluation() {
+        let n = 6;
+        let lambda = 0.3;
+        let (rates, costs, budget) = mesh_setup(n, lambda);
+        let phi = optimal_allocation(&rates, &costs, budget).unwrap();
+        let gamma = mesh_total_arrival(n, lambda);
+        let direct = jackson::mean_delay(&rates, &phi, gamma);
+        let closed = optimal_delay(&rates, &costs, budget, gamma);
+        assert!((direct - closed).abs() < 1e-9, "{direct} vs {closed}");
+    }
+
+    #[test]
+    fn optimal_beats_uniform_and_standard() {
+        let n = 8;
+        let lambda = 0.3; // below 4/n = 0.5
+        let (rates, costs, budget) = mesh_setup(n, lambda);
+        let gamma = mesh_total_arrival(n, lambda);
+        let t_opt = optimal_delay(&rates, &costs, budget, gamma);
+        // Standard configuration: φ = 1 everywhere.
+        let t_std = jackson::mean_delay(&rates, &vec![1.0; rates.len()], gamma);
+        // Uniform split of the same budget is the same thing here (4n(n−1)
+        // edges, unit costs), so compare against standard only.
+        let t_uni = jackson::mean_delay(&rates, &uniform_allocation(&costs, budget), gamma);
+        assert!(t_opt < t_std, "{t_opt} vs {t_std}");
+        assert!((t_std - t_uni).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lagrange_optimality_local_perturbation() {
+        // Moving ε of capacity between two queues cannot reduce the Jackson
+        // mean number.
+        let n = 5;
+        let lambda = 0.4;
+        let (rates, costs, budget) = mesh_setup(n, lambda);
+        let phi = optimal_allocation(&rates, &costs, budget).unwrap();
+        let base = jackson::mean_number(&rates, &phi);
+        let eps = 1e-4;
+        for (a, b) in [(0usize, 7usize), (3, 20), (11, 40)] {
+            let mut phi2 = phi.clone();
+            phi2[a] += eps;
+            phi2[b] -= eps;
+            assert!(jackson::mean_number(&rates, &phi2) >= base - 1e-12);
+            let mut phi3 = phi.clone();
+            phi3[a] -= eps;
+            phi3[b] += eps;
+            assert!(jackson::mean_number(&rates, &phi3) >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn stability_exactly_six_over_n_plus_one() {
+        // D* > 0 ⟺ λ < 6/(n+1) for the unit-cost array.
+        for n in [4usize, 5, 10, 11] {
+            let threshold = optimal_stability_threshold(n);
+            let (rates, costs, budget) = mesh_setup(n, threshold * 0.999);
+            assert!(dstar(&rates, &costs, budget) > 0.0, "n={n} below threshold");
+            let (rates, costs, budget) = mesh_setup(n, threshold * 1.001);
+            assert!(dstar(&rates, &costs, budget) < 0.0, "n={n} above threshold");
+        }
+    }
+
+    #[test]
+    fn above_standard_capacity_still_stable_with_optimal_rates() {
+        // λ between 4/n and 6/(n+1): standard config unstable, optimal
+        // config stable with finite delay (§5.1's headline).
+        let n = 10;
+        let lambda = 0.5; // 4/n = 0.4 < 0.5 < 6/11 ≈ 0.545
+        let (rates, costs, budget) = mesh_setup(n, lambda);
+        let gamma = mesh_total_arrival(n, lambda);
+        let t_std = jackson::mean_delay(&rates, &vec![1.0; rates.len()], gamma);
+        assert!(t_std.is_infinite());
+        let t_opt = optimal_delay(&rates, &costs, budget, gamma);
+        assert!(t_opt.is_finite());
+        // And the allocation indeed leaves every queue strictly stable.
+        let phi = optimal_allocation(&rates, &costs, budget).unwrap();
+        for (l, p) in rates.iter().zip(&phi) {
+            assert!(l < p, "queue with λ={l}, φ={p}");
+        }
+    }
+
+    #[test]
+    fn insufficient_budget_returns_none() {
+        let (rates, costs, _) = mesh_setup(4, 0.3);
+        assert!(optimal_allocation(&rates, &costs, 1.0).is_none());
+    }
+
+    #[test]
+    fn delay_explodes_as_dstar_vanishes() {
+        let n = 6;
+        let (rates, costs, budget) = mesh_setup(n, 0.3);
+        let gamma = mesh_total_arrival(n, 0.3);
+        let needed = budget - dstar(&rates, &costs, budget);
+        let t_tight = optimal_delay(&rates, &costs, needed * 1.0001, gamma);
+        let t_loose = optimal_delay(&rates, &costs, budget, gamma);
+        assert!(t_tight > 100.0 * t_loose);
+    }
+}

@@ -1,0 +1,93 @@
+//! Product-form (Jackson / processor-sharing) network quantities.
+//!
+//! Under the PS discipline with unit service, or equivalently under the
+//! Jackson model with exponential unit-mean transmission times, the network
+//! is product-form (§2.2, §3.3): in equilibrium each queue `e` behaves like
+//! an independent M/M/1 queue with its own arrival rate `λ_e`, so the number
+//! of packets at `e` is geometric with mean `λ_e/(φ_e − λ_e)`.
+
+use crate::single::mm1_mean_number;
+
+/// Mean total number of packets in a product-form network with per-queue
+/// arrival rates `rates` and service rates `services`.
+///
+/// Returns `∞` if any queue is unstable.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mean_number(rates: &[f64], services: &[f64]) -> f64 {
+    assert_eq!(rates.len(), services.len());
+    rates
+        .iter()
+        .zip(services)
+        .map(|(&l, &m)| mm1_mean_number(l, m))
+        .sum()
+}
+
+/// Mean number with unit service rates everywhere (the standard model).
+#[must_use]
+pub fn mean_number_unit(rates: &[f64]) -> f64 {
+    rates.iter().map(|&l| mm1_mean_number(l, 1.0)).sum()
+}
+
+/// Mean delay through the network by Little's law, given the total external
+/// arrival rate.
+#[must_use]
+pub fn mean_delay(rates: &[f64], services: &[f64], total_arrival: f64) -> f64 {
+    mean_number(rates, services) / total_arrival
+}
+
+/// Equilibrium probability that queue `e` holds exactly `k` packets:
+/// geometric, `(1−ρ)ρᵏ` with `ρ = λ/φ`.
+#[must_use]
+pub fn queue_length_pmf(lambda: f64, mu: f64, k: u64) -> f64 {
+    let rho = lambda / mu;
+    if rho >= 1.0 {
+        0.0
+    } else {
+        (1.0 - rho) * rho.powf(k as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_per_queue_mm1() {
+        let rates = [0.5, 0.25];
+        let services = [1.0, 1.0];
+        // 0.5/0.5 + 0.25/0.75 = 1 + 1/3.
+        assert!((mean_number(&rates, &services) - (1.0 + 1.0 / 3.0)).abs() < 1e-12);
+        assert!((mean_number_unit(&rates) - (1.0 + 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_queue_infects_total() {
+        assert!(mean_number(&[1.5], &[1.0]).is_infinite());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let total: f64 = (0..1000).map(|k| queue_length_pmf(0.7, 1.0, k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_mean_matches_mm1() {
+        let mean: f64 = (0..5000)
+            .map(|k| k as f64 * queue_length_pmf(0.6, 1.0, k))
+            .sum();
+        assert!((mean - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_uses_littles_law() {
+        let rates = [0.5; 4];
+        let services = [1.0; 4];
+        let t = mean_delay(&rates, &services, 2.0);
+        assert!((t - 4.0 * 1.0 / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! Queueing-theoretic analytics for greedy routing on array networks.
+//!
+//! This crate implements every closed-form quantity in Mitzenmacher's
+//! *Bounds on the Greedy Routing Algorithm for Array Networks*:
+//!
+//! * single-queue formulas — M/M/1, M/D/1 and the Pollaczek–Khinchine
+//!   M/G/1 mean-value formula ([`single`]);
+//! * product-form (Jackson / processor-sharing) network quantities
+//!   ([`jackson`]), which give the **upper bound** of Theorems 5 and 7;
+//! * the M/D/1 independence **approximation** of §4.2 in both the paper's
+//!   printed form and the textbook form ([`bounds::estimate`]);
+//! * the **lower bounds**: Stamoulis–Tsitsiklis-style (Theorem 8), the
+//!   copy-network bounds of Theorems 10 and 12, and the saturated-edge
+//!   bound of Theorem 14 ([`bounds::lower`]);
+//! * the remaining-distance combinatorics behind Tables II and III —
+//!   `d̄ = n − 1/2`, `s̄ = 3/2` (even `n`) or `2 + (n−1)/(n+1)` (odd `n`),
+//!   and the light-load closed form for `r = E[R]/E[N]` ([`remaining`]);
+//! * hypercube and butterfly applications of §4.5
+//!   ([`bounds::hypercube`], [`bounds::butterfly`]);
+//! * the §5.1 optimal capacity allocation (Theorem 15) and the stability
+//!   thresholds `4/n`, `4n/(n²−1)` and `6/(n+1)` ([`capacity`], [`load`]).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bounds;
+pub mod capacity;
+pub mod jackson;
+pub mod little;
+pub mod load;
+pub mod remaining;
+pub mod single;
+
+pub use bounds::estimate::{estimate_md1, estimate_paper};
+pub use bounds::lower::{best_lower_bound, thm10_lower, thm12_lower, thm14_lower, thm8_oblivious};
+pub use bounds::upper::{upper_bound_delay, upper_bound_from_rates};
+pub use load::Load;

@@ -1,0 +1,36 @@
+//! Little's law `N = λT` (reference [10] of the paper).
+
+/// Mean delay from mean number in system and throughput: `T = N/λ`.
+#[must_use]
+pub fn delay_from_number(mean_number: f64, throughput: f64) -> f64 {
+    mean_number / throughput
+}
+
+/// Mean number in system from mean delay and throughput: `N = λT`.
+#[must_use]
+pub fn number_from_delay(mean_delay: f64, throughput: f64) -> f64 {
+    mean_delay * throughput
+}
+
+/// Total external arrival rate of the standard array model: `λ·n²`.
+#[must_use]
+pub fn mesh_total_arrival(n: usize, lambda: f64) -> f64 {
+    lambda * (n * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = delay_from_number(12.0, 3.0);
+        assert_eq!(t, 4.0);
+        assert_eq!(number_from_delay(t, 3.0), 12.0);
+    }
+
+    #[test]
+    fn mesh_arrival_rate() {
+        assert_eq!(mesh_total_arrival(10, 0.05), 5.0);
+    }
+}

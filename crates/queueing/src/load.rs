@@ -1,0 +1,124 @@
+//! Load conventions and stability regions for the array.
+//!
+//! Two load conventions appear in the paper and must not be conflated:
+//!
+//! * **Table ρ** — Table I parameterizes load by `ρ` with `λ = 4ρ/n`,
+//!   i.e. load relative to the even-`n` capacity `4/n`. (We verified this
+//!   numerically against the printed estimates; see DESIGN.md.) For odd `n`
+//!   the true peak utilization at Table-ρ `ρ` is `ρ·(1 − 1/n²) < ρ`.
+//! * **Utilization** — §2.1 defines `ρ = max_e λ_e/φ_e`; the asymptotic
+//!   statements ("as ρ → 1", Theorems 8 and 14) use this convention.
+//!
+//! [`Load`] converts both to a per-node arrival rate `λ`.
+
+use meshbound_routing::rates::mesh_max_rate;
+use serde::{Deserialize, Serialize};
+
+/// A load specification for the `n × n` array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Load {
+    /// Raw per-node Poisson arrival rate `λ`.
+    Lambda(f64),
+    /// Table I's convention: `λ = 4ρ/n`.
+    TableRho(f64),
+    /// Peak-utilization convention: `max_e λ_e = ρ`.
+    Utilization(f64),
+}
+
+impl Load {
+    /// The per-node arrival rate `λ` this load denotes on an `n × n` array.
+    #[must_use]
+    pub fn lambda(self, n: usize) -> f64 {
+        match self {
+            Load::Lambda(l) => l,
+            Load::TableRho(rho) => 4.0 * rho / n as f64,
+            Load::Utilization(rho) => rho / mesh_max_rate(n, 1.0),
+        }
+    }
+
+    /// The peak edge utilization this load induces on an `n × n` array
+    /// (unit service rates).
+    #[must_use]
+    pub fn utilization(self, n: usize) -> f64 {
+        mesh_max_rate(n, self.lambda(n))
+    }
+}
+
+/// Stability threshold of the standard (unit-rate) array: greedy routing is
+/// stable for `λ` below `4/n` (even `n`) or `4n/(n²−1)` (odd `n`).
+#[must_use]
+pub fn mesh_stability_threshold(n: usize) -> f64 {
+    let nf = n as f64;
+    if n.is_multiple_of(2) {
+        4.0 / nf
+    } else {
+        4.0 * nf / (nf * nf - 1.0)
+    }
+}
+
+/// Stability threshold of the *optimally configured* array (§5.1):
+/// `λ < 6/(n+1)`.
+#[must_use]
+pub fn optimal_stability_threshold(n: usize) -> f64 {
+    6.0 / (n as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rho_even_n_equals_utilization() {
+        // For even n the central cut is exactly n²/4, so Table-ρ equals
+        // peak utilization.
+        let n = 10;
+        let l = Load::TableRho(0.8);
+        assert!((l.utilization(n) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rho_odd_n_slightly_below_utilization_one() {
+        // For odd n, Table-ρ = 1 leaves peak utilization at 1 − 1/n².
+        let n = 5;
+        let l = Load::TableRho(1.0);
+        assert!((l.utilization(n) - (1.0 - 1.0 / 25.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_load_roundtrips() {
+        for n in [4usize, 5, 9, 12] {
+            let l = Load::Utilization(0.7);
+            assert!((l.utilization(n) - 0.7).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn stability_threshold_saturates_peak_edge() {
+        for n in [4usize, 5, 8, 9] {
+            let lambda = mesh_stability_threshold(n);
+            let peak = Load::Lambda(lambda).utilization(n);
+            assert!((peak - 1.0).abs() < 1e-12, "n={n}: peak {peak}");
+        }
+    }
+
+    #[test]
+    fn optimal_threshold_exceeds_standard() {
+        // The optimally configured network absorbs more traffic (§5.1);
+        // at n = 3 the odd-n standard threshold 4n/(n²−1) = 3/2 coincides
+        // with 6/(n+1), so the comparison is non-strict there.
+        assert!(
+            (optimal_stability_threshold(3) - mesh_stability_threshold(3)).abs() < 1e-12
+        );
+        for n in 4..30 {
+            assert!(
+                optimal_stability_threshold(n) > mesh_stability_threshold(n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_passthrough() {
+        assert_eq!(Load::Lambda(0.123).lambda(7), 0.123);
+    }
+}

@@ -1,0 +1,453 @@
+//! Remaining-distance combinatorics (Definitions 11 and 13, §4.4, §4.6).
+//!
+//! For a packet queued at edge `e`, the *expected remaining distance* `d_e`
+//! is the expected number of services it still needs (including the one at
+//! `e`), with the expectation taken over the conditional destination
+//! distribution of packets crossing `e`. Under greedy routing with uniform
+//! destinations this conditional distribution is uniform over the nodes the
+//! packet can still be headed to, which makes `d_e` a short sum.
+//!
+//! The module computes, exactly:
+//!
+//! * `d_e` per edge, and `d̄ = max_e d_e = n − 1/2` (Definition 11; attained
+//!   by a packet at `(1,1)` headed right);
+//! * the saturated-edge set (crossing index `n/2` for even `n`, indices
+//!   `(n±1)/2` for odd `n`) drawn in the paper's Figure 2;
+//! * `s_e` and `s̄ = max_e s_e` (Definition 13): `3/2` for even `n`,
+//!   `2 + (n−1)/(n+1)` for odd `n`;
+//! * the maximum number of saturated edges on any greedy path (2 even,
+//!   4 odd);
+//! * light-load closed forms for Table II's ratio `r = E[R]/E[N]` and Table
+//!   III's `r_s`.
+
+use meshbound_topology::{layering, Direction, EdgeId, Mesh2D, NodeId, Topology};
+
+/// Expected remaining distance `d_e` for a packet queued at edge `e`
+/// (including the service at `e`), under greedy routing with uniform
+/// destinations.
+///
+/// # Panics
+///
+/// Panics if the mesh is not square.
+#[must_use]
+pub fn edge_remaining_distance(mesh: &Mesh2D, e: EdgeId) -> f64 {
+    let n = mesh.side();
+    let ((r1, c1), (r2, c2)) = mesh.edge_coords(e);
+    match mesh.direction(e) {
+        Direction::Right => {
+            // Destination column uniform over c2..n−1, row uniform.
+            horiz_mean(c1, c2, n) + vert_mean_all(r1, n)
+        }
+        Direction::Left => horiz_mean(c1, c2, n) + vert_mean_all(r1, n),
+        Direction::Down => {
+            // Column phase: destination is (row > r1, same column).
+            let _ = c2;
+            (r2..n).map(|rd| (rd - r1) as f64).sum::<f64>() / (n - r2) as f64
+        }
+        Direction::Up => (0..=r2).map(|rd| (r1 - rd) as f64).sum::<f64>() / (r2 + 1) as f64,
+    }
+}
+
+/// Mean horizontal remaining hops for a row edge from column `c1` to `c2`:
+/// destination columns are uniform over the far side of the crossing.
+fn horiz_mean(c1: usize, c2: usize, n: usize) -> f64 {
+    if c2 > c1 {
+        // Columns c2..n−1, displacement col − c1.
+        (c2..n).map(|cd| (cd - c1) as f64).sum::<f64>() / (n - c2) as f64
+    } else {
+        (0..=c2).map(|cd| (c1 - cd) as f64).sum::<f64>() / (c2 + 1) as f64
+    }
+}
+
+/// Mean vertical hops from row `r` to a uniform destination row.
+fn vert_mean_all(r: usize, n: usize) -> f64 {
+    (0..n).map(|rd| rd.abs_diff(r) as f64).sum::<f64>() / n as f64
+}
+
+/// Maximum expected remaining distance `d̄` over all edges (Definition 11).
+#[must_use]
+pub fn max_expected_remaining_distance(mesh: &Mesh2D) -> f64 {
+    mesh.edges()
+        .map(|e| edge_remaining_distance(mesh, e))
+        .fold(0.0, f64::max)
+}
+
+/// Closed form for `d̄` on the `n × n` array: `n − 1/2` (a packet at `(1,1)`
+/// headed right: `n/2` horizontal plus `(n−1)/2` vertical).
+#[must_use]
+pub fn dbar_closed(n: usize) -> f64 {
+    n as f64 - 0.5
+}
+
+/// Maximum route length `d = 2(n−1)` (corner to opposite corner), the
+/// constant of Theorem 10.
+#[must_use]
+pub fn max_distance(n: usize) -> usize {
+    2 * (n - 1)
+}
+
+/// The saturated crossing-index classes (1-based): `{n/2}` for even `n`,
+/// `{(n−1)/2, (n+1)/2}` for odd `n`. These are the classes maximizing
+/// `i(n−i)`, i.e. the edges whose utilization equals the network load.
+#[must_use]
+pub fn saturated_classes(n: usize) -> Vec<usize> {
+    if n.is_multiple_of(2) {
+        vec![n / 2]
+    } else {
+        vec![(n - 1) / 2, n.div_ceil(2)]
+    }
+}
+
+/// All saturated edges of the mesh (Figure 2).
+#[must_use]
+pub fn saturated_edges(mesh: &Mesh2D) -> Vec<EdgeId> {
+    let classes = saturated_classes(mesh.side());
+    mesh.edges()
+        .filter(|&e| classes.contains(&mesh.crossing_index(e)))
+        .collect()
+}
+
+/// Number of saturated edges remaining on the greedy route from `cur` to
+/// `dst`, **including** the edge currently being crossed. `O(1)` per call;
+/// used by the simulator to maintain `R_s(t)` for Table III.
+#[must_use]
+pub fn remaining_saturated_count(mesh: &Mesh2D, cur: NodeId, dst: NodeId) -> usize {
+    let n = mesh.side();
+    let classes = saturated_classes(n);
+    let (r, c) = mesh.coords(cur);
+    let (rd, cd) = mesh.coords(dst);
+    let mut count = 0;
+    // Horizontal crossings: moving right from c to cd crosses indices
+    // c+1..=cd (1-based); moving left crosses n−c..=n−1−cd reversed — i.e.
+    // the left edge from column x+1 to x has index n−1−x (0-based x).
+    for &s in &classes {
+        if cd > c {
+            // Right edges crossed have indices c+1..=cd.
+            if s > c && s <= cd {
+                count += 1;
+            }
+        } else if cd < c {
+            // Left edges from x+1→x for x in cd..c−1: indices n−1−x, i.e.
+            // n−c ..= n−1−cd.
+            if s >= n - c && s <= n - 1 - cd {
+                count += 1;
+            }
+        }
+        if rd > r {
+            if s > r && s <= rd {
+                count += 1;
+            }
+        } else if rd < r && s >= n - r && s <= n - 1 - rd {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Expected number of saturated services remaining for a packet queued at
+/// `e` (Definition 13's `s_e`), by exact enumeration of the conditional
+/// destination distribution.
+#[must_use]
+pub fn edge_remaining_saturated(mesh: &Mesh2D, e: EdgeId) -> f64 {
+    let n = mesh.side();
+    let ((r1, c1), (r2, c2)) = mesh.edge_coords(e);
+    let src = mesh.node(r1, c1);
+    match mesh.direction(e) {
+        Direction::Right => {
+            let mut total = 0.0;
+            let mut count = 0.0;
+            for cd in c2..n {
+                for rd in 0..n {
+                    total += remaining_saturated_count(mesh, src, mesh.node(rd, cd)) as f64;
+                    count += 1.0;
+                }
+            }
+            total / count
+        }
+        Direction::Left => {
+            let mut total = 0.0;
+            let mut count = 0.0;
+            for cd in 0..=c2 {
+                for rd in 0..n {
+                    total += remaining_saturated_count(mesh, src, mesh.node(rd, cd)) as f64;
+                    count += 1.0;
+                }
+            }
+            total / count
+        }
+        Direction::Down => {
+            let mut total = 0.0;
+            for rd in r2..n {
+                total += remaining_saturated_count(mesh, src, mesh.node(rd, c1)) as f64;
+            }
+            total / (n - r2) as f64
+        }
+        Direction::Up => {
+            let mut total = 0.0;
+            for rd in 0..=r2 {
+                total += remaining_saturated_count(mesh, src, mesh.node(rd, c1)) as f64;
+            }
+            total / (r2 + 1) as f64
+        }
+    }
+}
+
+/// Maximum expected remaining saturated distance `s̄` (Definition 13), by
+/// enumeration over saturated edges (the maximum is always attained at a
+/// saturated edge, since `s_e` counts the service at `e` only when `e` is
+/// saturated).
+#[must_use]
+pub fn max_expected_remaining_saturated(mesh: &Mesh2D) -> f64 {
+    mesh.edges()
+        .map(|e| edge_remaining_saturated(mesh, e))
+        .fold(0.0, f64::max)
+}
+
+/// Closed form for `s̄`: `3/2` for even `n`, `2 + (n−1)/(n+1)` for odd `n`
+/// (which tends to 3 as `n → ∞`, as the paper notes).
+#[must_use]
+pub fn sbar_closed(n: usize) -> f64 {
+    if n.is_multiple_of(2) {
+        1.5
+    } else {
+        2.0 + (n as f64 - 1.0) / (n as f64 + 1.0)
+    }
+}
+
+/// Maximum number of saturated edges on any single greedy route: 2 for even
+/// `n`, 4 for odd `n` (§4.6 / Figure 2).
+#[must_use]
+pub fn max_saturated_on_path(mesh: &Mesh2D) -> usize {
+    let n = mesh.side();
+    let mut best = 0;
+    for s in mesh.nodes() {
+        for d in mesh.nodes() {
+            best = best.max(remaining_saturated_count(mesh, s, d));
+        }
+    }
+    debug_assert!(best <= if n.is_multiple_of(2) { 2 } else { 4 });
+    best
+}
+
+/// Light-load limit of Table II's ratio `r = E[R]/E[N]`:
+/// `(E[D²] + E[D]) / (2E[D])` with `D` the Manhattan distance of a uniform
+/// pair. (At vanishing load, each packet's sojourn contributes `D(D+1)/2`
+/// remaining-hop-time and `D` packet-time.)
+#[must_use]
+pub fn light_load_r(n: usize) -> f64 {
+    let nf = n as f64;
+    let e_axis = (nf * nf - 1.0) / (3.0 * nf); // E|Δ| per axis
+    let e_axis2 = (nf * nf - 1.0) / 6.0; // E[Δ²] per axis
+    let ed = 2.0 * e_axis;
+    let ed2 = 2.0 * e_axis2 + 2.0 * e_axis * e_axis;
+    (ed2 + ed) / (2.0 * ed)
+}
+
+/// Light-load limit of Table III's ratio `r_s = E[R_s]/E[N]`: the mean over
+/// uniform pairs of the sum of (1-based) positions of saturated hops on the
+/// greedy route, divided by the mean distance. Computed by exact
+/// enumeration.
+#[must_use]
+pub fn light_load_rs(mesh: &Mesh2D) -> f64 {
+    let n = mesh.side();
+    let classes = saturated_classes(n);
+    let mut pos_sum = 0.0;
+    let mut dist_sum = 0.0;
+    for s in mesh.nodes() {
+        for d in mesh.nodes() {
+            let path = layering::greedy_path(mesh, mesh.coords(s), mesh.coords(d));
+            dist_sum += path.len() as f64;
+            for (k, &e) in path.iter().enumerate() {
+                if classes.contains(&mesh.crossing_index(e)) {
+                    pos_sum += (k + 1) as f64;
+                }
+            }
+        }
+    }
+    pos_sum / dist_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_routing::{GreedyXY, Router};
+
+    #[test]
+    fn dbar_matches_closed_form() {
+        for n in [3usize, 4, 5, 8, 9] {
+            let mesh = Mesh2D::square(n);
+            let dbar = max_expected_remaining_distance(&mesh);
+            assert!(
+                (dbar - dbar_closed(n)).abs() < 1e-9,
+                "n={n}: {dbar} vs {}",
+                dbar_closed(n)
+            );
+        }
+    }
+
+    #[test]
+    fn dbar_attained_at_corner_heading_right() {
+        let n = 7;
+        let mesh = Mesh2D::square(n);
+        let corner_edge = mesh.right_edge(0, 0);
+        let de = edge_remaining_distance(&mesh, corner_edge);
+        assert!((de - dbar_closed(n)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_remaining_distance_matches_route_enumeration() {
+        // Cross-check d_e against brute-force averaging of actual greedy
+        // route tails over the conditional destination set.
+        let n = 5;
+        let mesh = Mesh2D::square(n);
+        for e in mesh.edges() {
+            let ((r1, c1), (r2, c2)) = mesh.edge_coords(e);
+            let src = mesh.node(r1, c1);
+            let mut total = 0.0;
+            let mut count = 0.0;
+            for d in mesh.nodes() {
+                let (rd, cd) = mesh.coords(d);
+                // Destination compatible with crossing e?
+                let compatible = match mesh.direction(e) {
+                    Direction::Right => cd >= c2,
+                    Direction::Left => cd <= c2,
+                    Direction::Down => cd == c1 && rd >= r2,
+                    Direction::Up => cd == c1 && rd <= r2,
+                };
+                if compatible {
+                    total += GreedyXY.remaining_hops(&mesh, src, d, ()) as f64;
+                    count += 1.0;
+                }
+            }
+            let expect = total / count;
+            let got = edge_remaining_distance(&mesh, e);
+            assert!((got - expect).abs() < 1e-9, "edge {e}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn saturated_class_counts() {
+        assert_eq!(saturated_classes(6), vec![3]);
+        assert_eq!(saturated_classes(5), vec![2, 3]);
+        // Even n: 4n saturated edges; odd n: 8n.
+        let even = Mesh2D::square(6);
+        assert_eq!(saturated_edges(&even).len(), 24);
+        let odd = Mesh2D::square(5);
+        assert_eq!(saturated_edges(&odd).len(), 40);
+    }
+
+    #[test]
+    fn saturated_classes_maximize_rate() {
+        for n in [4usize, 5, 6, 9] {
+            let classes = saturated_classes(n);
+            let max_prod = classes[0] * (n - classes[0]);
+            for i in 1..n {
+                assert!(i * (n - i) <= max_prod);
+                if classes.contains(&i) {
+                    assert_eq!(i * (n - i), max_prod);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remaining_saturated_count_matches_path_scan() {
+        for n in [4usize, 5] {
+            let mesh = Mesh2D::square(n);
+            let classes = saturated_classes(n);
+            for s in mesh.nodes() {
+                for d in mesh.nodes() {
+                    let path = layering::greedy_path(&mesh, mesh.coords(s), mesh.coords(d));
+                    let scan = path
+                        .iter()
+                        .filter(|&&e| classes.contains(&mesh.crossing_index(e)))
+                        .count();
+                    let fast = remaining_saturated_count(&mesh, s, d);
+                    assert_eq!(fast, scan, "n={n}, {s}→{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_saturated_on_path_parity() {
+        assert_eq!(max_saturated_on_path(&Mesh2D::square(4)), 2);
+        assert_eq!(max_saturated_on_path(&Mesh2D::square(6)), 2);
+        assert_eq!(max_saturated_on_path(&Mesh2D::square(5)), 4);
+        assert_eq!(max_saturated_on_path(&Mesh2D::square(7)), 4);
+    }
+
+    #[test]
+    fn sbar_matches_closed_form() {
+        for n in [4usize, 6, 8, 5, 7, 9] {
+            let mesh = Mesh2D::square(n);
+            let sbar = max_expected_remaining_saturated(&mesh);
+            assert!(
+                (sbar - sbar_closed(n)).abs() < 1e-9,
+                "n={n}: {sbar} vs {}",
+                sbar_closed(n)
+            );
+        }
+    }
+
+    #[test]
+    fn sbar_odd_tends_to_three() {
+        assert!(sbar_closed(101) > 2.97);
+        assert!(sbar_closed(101) < 3.0);
+    }
+
+    #[test]
+    fn light_load_r_matches_paper_low_rho_values() {
+        // Table II at ρ = 0.2 is already close to the light-load limit.
+        let cases = [(5usize, 2.568), (10, 4.665), (15, 6.755), (20, 8.841)];
+        for (n, printed) in cases {
+            let r0 = light_load_r(n);
+            assert!(
+                (r0 - printed).abs() / printed < 0.01,
+                "n={n}: closed form {r0} vs printed {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn r_ratio_below_paper_bound() {
+        // §4.4: r/n̄₂ < 0.7 for large n.
+        for n in [15usize, 20, 30] {
+            let nbar2 = 2.0 * n as f64 / 3.0;
+            assert!(light_load_r(n) / nbar2 < 0.7, "n={n}");
+        }
+    }
+
+    #[test]
+    fn light_load_rs_parity_pattern() {
+        // Odd n has two saturated classes per axis → roughly double r_s.
+        let rs5 = light_load_rs(&Mesh2D::square(5));
+        let rs6 = light_load_rs(&Mesh2D::square(6));
+        let rs7 = light_load_rs(&Mesh2D::square(7));
+        assert!(rs5 > rs6, "odd above even: {rs5} vs {rs6}");
+        assert!(rs7 > rs6);
+    }
+
+    #[test]
+    fn light_load_r_matches_direct_enumeration() {
+        // r₀ = E[D(D+1)/2]/E[D] by brute force.
+        for n in [3usize, 5, 8] {
+            let mesh = Mesh2D::square(n);
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for a in mesh.nodes() {
+                for b in mesh.nodes() {
+                    let d = mesh.manhattan(a, b) as f64;
+                    num += d * (d + 1.0) / 2.0;
+                    den += d;
+                }
+            }
+            let direct = num / den;
+            assert!(
+                (light_load_r(n) - direct).abs() < 1e-9,
+                "n={n}: {} vs {direct}",
+                light_load_r(n)
+            );
+        }
+    }
+}

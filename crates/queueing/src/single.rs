@@ -1,0 +1,261 @@
+//! Single-queue mean-value formulas.
+//!
+//! All formulas return [`f64::INFINITY`] for unstable parameters (utilization
+//! at or above 1), which lets parameter sweeps cross the stability boundary
+//! without panicking.
+
+/// Utilization `λ·E[S]` of a queue with arrival rate `lambda` and service
+/// rate `mu`.
+#[must_use]
+pub fn utilization(lambda: f64, mu: f64) -> f64 {
+    lambda / mu
+}
+
+/// Mean number in an M/M/1 queue with arrival rate `lambda` and service rate
+/// `mu`: `ρ/(1−ρ)`.
+#[must_use]
+pub fn mm1_mean_number(lambda: f64, mu: f64) -> f64 {
+    let rho = lambda / mu;
+    if rho >= 1.0 {
+        f64::INFINITY
+    } else {
+        rho / (1.0 - rho)
+    }
+}
+
+/// Mean sojourn time (waiting + service) in an M/M/1 queue: `1/(μ−λ)`.
+#[must_use]
+pub fn mm1_mean_sojourn(lambda: f64, mu: f64) -> f64 {
+    if lambda >= mu {
+        f64::INFINITY
+    } else {
+        1.0 / (mu - lambda)
+    }
+}
+
+/// Mean number in an M/D/1 queue with arrival rate `lambda` and unit service
+/// time: `λ + λ²/(2(1−λ))` (Pollaczek–Khinchine with `Var[S] = 0`).
+#[must_use]
+pub fn md1_mean_number(lambda: f64) -> f64 {
+    if lambda >= 1.0 {
+        f64::INFINITY
+    } else {
+        lambda + lambda * lambda / (2.0 * (1.0 - lambda))
+    }
+}
+
+/// Mean sojourn time in an M/D/1 queue with unit service:
+/// `1 + λ/(2(1−λ))`.
+#[must_use]
+pub fn md1_mean_sojourn(lambda: f64) -> f64 {
+    if lambda >= 1.0 {
+        f64::INFINITY
+    } else {
+        1.0 + lambda / (2.0 * (1.0 - lambda))
+    }
+}
+
+/// Pollaczek–Khinchine mean number in an M/G/1 queue:
+/// `N = λE[S] + λ²E[S²] / (2(1 − λE[S]))`.
+///
+/// This is the formula the paper quotes in §4.2 (there written with
+/// `E[S] = 1` and `E[S²] = 1 + Var[S]`).
+#[must_use]
+pub fn mg1_mean_number(lambda: f64, es: f64, es2: f64) -> f64 {
+    let rho = lambda * es;
+    if rho >= 1.0 {
+        f64::INFINITY
+    } else {
+        rho + lambda * lambda * es2 / (2.0 * (1.0 - rho))
+    }
+}
+
+/// Mean sojourn time in an M/G/1 queue:
+/// `T = E[S] + λE[S²] / (2(1 − λE[S]))`.
+#[must_use]
+pub fn mg1_mean_sojourn(lambda: f64, es: f64, es2: f64) -> f64 {
+    let rho = lambda * es;
+    if rho >= 1.0 {
+        f64::INFINITY
+    } else {
+        es + lambda * es2 / (2.0 * (1.0 - rho))
+    }
+}
+
+/// Poisson probability mass `e^{-m} m^k / k!`, computed in log space for
+/// numerical stability.
+#[must_use]
+pub fn poisson_pmf(mean: f64, k: usize) -> f64 {
+    if mean == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let kf = k as f64;
+    let mut log_fact = 0.0;
+    for i in 1..=k {
+        log_fact += (i as f64).ln();
+    }
+    (kf * mean.ln() - mean - log_fact).exp()
+}
+
+/// Stationary queue-length distribution of the M/D/1 queue with unit
+/// service and arrival rate `lambda`, truncated to `0..=kmax`.
+///
+/// Solved by power iteration on the embedded departure-epoch chain
+/// (`j = max(i−1, 0) + Poisson(λ)`), whose stationary law equals the
+/// time-stationary law for M/G/1 queues. Returns probabilities summing to
+/// at most 1 (the tail mass beyond `kmax` is dropped; choose `kmax` large
+/// enough that `p_{kmax}` is negligible).
+///
+/// # Panics
+///
+/// Panics if `lambda` is not in `(0, 1)`.
+#[must_use]
+pub fn md1_queue_distribution(lambda: f64, kmax: usize) -> Vec<f64> {
+    assert!(lambda > 0.0 && lambda < 1.0, "need 0 < λ < 1 for stability");
+    let a: Vec<f64> = (0..=kmax).map(|k| poisson_pmf(lambda, k)).collect();
+    let mut pi = vec![0.0; kmax + 1];
+    pi[0] = 1.0;
+    let mut next = vec![0.0; kmax + 1];
+    for _ in 0..20_000 {
+        for x in next.iter_mut() {
+            *x = 0.0;
+        }
+        for (i, &w) in pi.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let base = i.saturating_sub(1);
+            for (k, &ak) in a.iter().enumerate() {
+                let j = base + k;
+                if j > kmax {
+                    break;
+                }
+                next[j] += w * ak;
+            }
+        }
+        // Renormalize to counter truncation leakage.
+        let total: f64 = next.iter().sum();
+        for x in next.iter_mut() {
+            *x /= total;
+        }
+        let diff: f64 = pi.iter().zip(&next).map(|(p, q)| (p - q).abs()).sum();
+        std::mem::swap(&mut pi, &mut next);
+        if diff < 1e-14 {
+            break;
+        }
+    }
+    pi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md1_is_mg1_with_deterministic_service() {
+        for lambda in [0.1, 0.5, 0.9, 0.99] {
+            assert!((md1_mean_number(lambda) - mg1_mean_number(lambda, 1.0, 1.0)).abs() < 1e-12);
+            assert!((md1_mean_sojourn(lambda) - mg1_mean_sojourn(lambda, 1.0, 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mm1_is_mg1_with_exponential_service() {
+        // Exponential unit-mean service: E[S²] = 2.
+        for lambda in [0.2, 0.6, 0.95] {
+            assert!(
+                (mm1_mean_number(lambda, 1.0) - mg1_mean_number(lambda, 1.0, 2.0)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn lemma9_factor_of_two() {
+        // Lemma 9: the M/M/1 mean number is at most twice the M/D/1 mean
+        // number at the same arrival rate (and approaches 2× as ρ → 1).
+        for lambda in [0.05, 0.3, 0.7, 0.9, 0.99, 0.999] {
+            let mm1 = mm1_mean_number(lambda, 1.0);
+            let md1 = md1_mean_number(lambda);
+            assert!(mm1 <= 2.0 * md1 + 1e-12, "λ={lambda}");
+            assert!(mm1 >= md1, "λ={lambda}");
+        }
+        let ratio = mm1_mean_number(0.9999, 1.0) / md1_mean_number(0.9999);
+        assert!((ratio - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        for lambda in [0.25, 0.5, 0.75] {
+            assert!((md1_mean_number(lambda) - lambda * md1_mean_sojourn(lambda)).abs() < 1e-12);
+            assert!(
+                (mm1_mean_number(lambda, 1.0) - lambda * mm1_mean_sojourn(lambda, 1.0)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn unstable_is_infinite() {
+        assert!(md1_mean_number(1.0).is_infinite());
+        assert!(mm1_mean_number(2.0, 1.0).is_infinite());
+        assert!(mg1_mean_sojourn(1.5, 1.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn md1_distribution_mass_and_p0() {
+        for lambda in [0.2, 0.5, 0.8] {
+            let dist = md1_queue_distribution(lambda, 200);
+            let total: f64 = dist.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "λ={lambda}: mass {total}");
+            // P(empty) = 1 − ρ for any M/G/1 queue.
+            assert!(
+                (dist[0] - (1.0 - lambda)).abs() < 1e-6,
+                "λ={lambda}: p0 {}",
+                dist[0]
+            );
+        }
+    }
+
+    #[test]
+    fn md1_distribution_mean_matches_pollaczek_khinchine() {
+        for lambda in [0.3, 0.6, 0.9] {
+            let dist = md1_queue_distribution(lambda, 400);
+            let mean: f64 = dist.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+            let expect = md1_mean_number(lambda);
+            assert!(
+                (mean - expect).abs() < 1e-4,
+                "λ={lambda}: mean {mean} vs P-K {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn md1_distribution_thinner_tail_than_geometric() {
+        // Deterministic service truncates the tail relative to M/M/1's
+        // geometric distribution at equal load (the Lemma 9 effect seen at
+        // the distribution level).
+        let lambda: f64 = 0.7;
+        let dist = md1_queue_distribution(lambda, 200);
+        let md1_tail: f64 = dist[20..].iter().sum();
+        let geo_tail = lambda.powi(20); // P(N ≥ 20) for M/M/1
+        assert!(md1_tail < geo_tail / 4.0, "{md1_tail} vs {geo_tail}");
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        for mean in [0.1, 1.0, 5.0] {
+            let total: f64 = (0..100).map(|k| poisson_pmf(mean, k)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(poisson_pmf(0.0, 0), 1.0);
+        assert_eq!(poisson_pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn light_load_limits() {
+        // As λ → 0 the mean number tends to λ (just the in-service packet).
+        let lambda = 1e-6;
+        assert!((md1_mean_number(lambda) / lambda - 1.0).abs() < 1e-3);
+        assert!((md1_mean_sojourn(lambda) - 1.0).abs() < 1e-3);
+    }
+}

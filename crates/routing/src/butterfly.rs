@@ -1,0 +1,69 @@
+//! Unique-path routing on the butterfly (§4.5).
+
+use crate::router::{ObliviousRouter, Router};
+use meshbound_topology::{Butterfly, EdgeId, NodeId};
+use rand::rngs::SmallRng;
+
+/// Butterfly routing: at level `l` the packet takes the straight or cross
+/// edge according to bit `l` of the destination output row. Every packet
+/// entering at level 0 crosses exactly `d` edges, which is why Theorem 10's
+/// lower bound (with `d` services per packet) is tight in form here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ButterflyRouter;
+
+impl Router<Butterfly> for ButterflyRouter {
+    type State = ();
+
+    #[inline]
+    fn init_state(&self, _: &Butterfly, _: NodeId, _: NodeId, _: &mut SmallRng) {}
+
+    #[inline]
+    fn next_edge(&self, topo: &Butterfly, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
+        let (out_level, out_row) = topo.coords(dst);
+        debug_assert_eq!(out_level, topo.levels(), "destination must be an output node");
+        topo.step_toward(cur, out_row)
+    }
+
+    #[inline]
+    fn remaining_hops(&self, topo: &Butterfly, cur: NodeId, _: NodeId, _: ()) -> usize {
+        topo.levels() - topo.coords(cur).0
+    }
+}
+
+impl ObliviousRouter<Butterfly> for ButterflyRouter {
+    fn paths(&self, topo: &Butterfly, src: NodeId, dst: NodeId) -> Vec<(f64, Vec<EdgeId>)> {
+        vec![(1.0, self.route(topo, src, dst, ()))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_topology::Topology;
+
+    #[test]
+    fn all_routes_have_length_d() {
+        let b = Butterfly::new(3);
+        for s in 0..b.rows() {
+            for o in 0..b.rows() {
+                let route = ButterflyRouter.route(&b, b.node(0, s), b.node(3, o), ());
+                assert_eq!(route.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn remaining_hops_counts_levels() {
+        let b = Butterfly::new(4);
+        let dst = b.node(4, 9);
+        let mut cur = b.node(0, 3);
+        let mut expected = 4;
+        while let Some(e) = ButterflyRouter.next_edge(&b, cur, dst, ()) {
+            assert_eq!(ButterflyRouter.remaining_hops(&b, cur, dst, ()), expected);
+            cur = b.edge_target(e);
+            expected -= 1;
+        }
+        assert_eq!(expected, 0);
+        assert_eq!(b.coords(cur), (4, 9));
+    }
+}

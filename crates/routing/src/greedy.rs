@@ -1,0 +1,130 @@
+//! Standard greedy routing on the array: column first, then row.
+
+use crate::router::{ObliviousRouter, Router};
+use meshbound_topology::{layering, EdgeId, Mesh2D, NodeId};
+use rand::rngs::SmallRng;
+
+/// The paper's greedy routing discipline on a 2-D array.
+///
+/// A packet at `(r, c)` headed for `(r*, c*)` first corrects its column
+/// (crossing `Right`/`Left` row edges) and then its row (`Down`/`Up` column
+/// edges). The route is the unique monotone L-shaped path; its length is the
+/// Manhattan distance.
+///
+/// # Examples
+///
+/// ```
+/// use meshbound_topology::{Mesh2D, Topology};
+/// use meshbound_routing::{GreedyXY, Router};
+/// let mesh = Mesh2D::square(4);
+/// let r = GreedyXY;
+/// let route = r.route(&mesh, mesh.node(3, 0), mesh.node(0, 2), ());
+/// assert_eq!(route.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyXY;
+
+impl Router<Mesh2D> for GreedyXY {
+    type State = ();
+
+    #[inline]
+    fn init_state(&self, _: &Mesh2D, _: NodeId, _: NodeId, _: &mut SmallRng) {}
+
+    #[inline]
+    fn next_edge(&self, topo: &Mesh2D, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
+        let (r, c) = topo.coords(cur);
+        let (rd, cd) = topo.coords(dst);
+        if c < cd {
+            Some(topo.right_edge(r, c))
+        } else if c > cd {
+            Some(topo.left_edge(r, c - 1))
+        } else if r < rd {
+            Some(topo.down_edge(r, c))
+        } else if r > rd {
+            Some(topo.up_edge(r - 1, c))
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn remaining_hops(&self, topo: &Mesh2D, cur: NodeId, dst: NodeId, _: ()) -> usize {
+        topo.manhattan(cur, dst)
+    }
+}
+
+impl ObliviousRouter<Mesh2D> for GreedyXY {
+    fn paths(&self, topo: &Mesh2D, src: NodeId, dst: NodeId) -> Vec<(f64, Vec<EdgeId>)> {
+        vec![(
+            1.0,
+            layering::greedy_path(topo, topo.coords(src), topo.coords(dst)),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_topology::Topology;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn route_is_column_first() {
+        let m = Mesh2D::square(5);
+        let route = GreedyXY.route(&m, m.node(2, 4), m.node(4, 1), ());
+        assert_eq!(route.len(), 5);
+        for e in &route[..3] {
+            assert!(m.direction(*e).is_row(), "first phase must use row edges");
+        }
+        for e in &route[3..] {
+            assert!(!m.direction(*e).is_row());
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let m = Mesh2D::square(3);
+        assert!(GreedyXY.route(&m, m.node(1, 1), m.node(1, 1), ()).is_empty());
+        assert_eq!(GreedyXY.remaining_hops(&m, m.node(1, 1), m.node(1, 1), ()), 0);
+    }
+
+    #[test]
+    fn matches_reference_path_enumeration() {
+        let m = Mesh2D::square(4);
+        let mut rng = rng();
+        for a in m.nodes() {
+            for b in m.nodes() {
+                GreedyXY.init_state(&m, a, b, &mut rng);
+                let incremental = GreedyXY.route(&m, a, b, ());
+                let reference = &GreedyXY.paths(&m, a, b)[0].1;
+                assert_eq!(&incremental, reference);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_route_length_is_manhattan(n in 2usize..8, a in 0u32..64, b in 0u32..64) {
+            let m = Mesh2D::square(n);
+            let a = NodeId(a % (n * n) as u32);
+            let b = NodeId(b % (n * n) as u32);
+            let route = GreedyXY.route(&m, a, b, ());
+            prop_assert_eq!(route.len(), m.manhattan(a, b));
+            // Remaining hops decreases by exactly one per crossing.
+            let mut cur = a;
+            let mut rem = GreedyXY.remaining_hops(&m, cur, b, ());
+            for &e in &route {
+                cur = m.edge_target(e);
+                let next_rem = GreedyXY.remaining_hops(&m, cur, b, ());
+                prop_assert_eq!(next_rem + 1, rem);
+                rem = next_rem;
+            }
+            prop_assert_eq!(cur, b);
+        }
+    }
+}

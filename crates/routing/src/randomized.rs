@@ -1,0 +1,152 @@
+//! Randomized greedy routing (§6): flip a coin between column-first and
+//! row-first order.
+//!
+//! The paper notes that the Theorem 1 upper-bound argument fails for this
+//! scheme (the network is no longer layered under the mixture of orders)
+//! while the approximation and the lower bounds still apply, and reports
+//! that in simulation randomized greedy performs *slightly worse* than the
+//! standard scheme — a finding reproduced by this crate's experiment
+//! harness.
+
+use crate::router::{ObliviousRouter, Router};
+use meshbound_topology::{EdgeId, Mesh2D, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Phase order chosen per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Correct the column first (row edges), then the row — the standard
+    /// greedy order.
+    ColumnFirst,
+    /// Correct the row first (column edges), then the column.
+    RowFirst,
+}
+
+/// Greedy routing that picks [`Order`] uniformly at random per packet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomizedGreedy;
+
+impl RandomizedGreedy {
+    fn step(topo: &Mesh2D, cur: NodeId, dst: NodeId, order: Order) -> Option<EdgeId> {
+        let (r, c) = topo.coords(cur);
+        let (rd, cd) = topo.coords(dst);
+        let row_move = |topo: &Mesh2D| {
+            if c < cd {
+                Some(topo.right_edge(r, c))
+            } else if c > cd {
+                Some(topo.left_edge(r, c - 1))
+            } else {
+                None
+            }
+        };
+        let col_move = |topo: &Mesh2D| {
+            if r < rd {
+                Some(topo.down_edge(r, c))
+            } else if r > rd {
+                Some(topo.up_edge(r - 1, c))
+            } else {
+                None
+            }
+        };
+        match order {
+            Order::ColumnFirst => row_move(topo).or_else(|| col_move(topo)),
+            Order::RowFirst => col_move(topo).or_else(|| row_move(topo)),
+        }
+    }
+}
+
+impl Router<Mesh2D> for RandomizedGreedy {
+    type State = Order;
+
+    #[inline]
+    fn init_state(&self, _: &Mesh2D, _: NodeId, _: NodeId, rng: &mut SmallRng) -> Order {
+        if rng.gen_bool(0.5) {
+            Order::ColumnFirst
+        } else {
+            Order::RowFirst
+        }
+    }
+
+    #[inline]
+    fn next_edge(&self, topo: &Mesh2D, cur: NodeId, dst: NodeId, order: Order) -> Option<EdgeId> {
+        Self::step(topo, cur, dst, order)
+    }
+
+    #[inline]
+    fn remaining_hops(&self, topo: &Mesh2D, cur: NodeId, dst: NodeId, _: Order) -> usize {
+        topo.manhattan(cur, dst)
+    }
+}
+
+impl ObliviousRouter<Mesh2D> for RandomizedGreedy {
+    fn paths(&self, topo: &Mesh2D, src: NodeId, dst: NodeId) -> Vec<(f64, Vec<EdgeId>)> {
+        let mut out = Vec::with_capacity(2);
+        for order in [Order::ColumnFirst, Order::RowFirst] {
+            let mut path = Vec::new();
+            let mut cur = src;
+            while let Some(e) = Self::step(topo, cur, dst, order) {
+                path.push(e);
+                cur = topo.edge_target(e);
+            }
+            out.push((0.5, path));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_orders_reach_destination() {
+        let m = Mesh2D::square(5);
+        for order in [Order::ColumnFirst, Order::RowFirst] {
+            let route = RandomizedGreedy.route(&m, m.node(0, 0), m.node(3, 2), order);
+            assert_eq!(route.len(), 5);
+            let last = *route.last().unwrap();
+            assert_eq!(m.edge_target(last), m.node(3, 2));
+        }
+    }
+
+    #[test]
+    fn row_first_uses_column_edges_first() {
+        let m = Mesh2D::square(5);
+        let route = RandomizedGreedy.route(&m, m.node(0, 0), m.node(2, 2), Order::RowFirst);
+        assert!(!m.direction(route[0]).is_row());
+        assert!(!m.direction(route[1]).is_row());
+        assert!(m.direction(route[2]).is_row());
+    }
+
+    #[test]
+    fn column_first_matches_standard_greedy() {
+        use crate::greedy::GreedyXY;
+        let m = Mesh2D::square(4);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                let std_route = GreedyXY.route(&m, a, b, ());
+                let rnd = RandomizedGreedy.route(&m, a, b, Order::ColumnFirst);
+                assert_eq!(std_route, rnd);
+            }
+        }
+    }
+
+    #[test]
+    fn path_probabilities_sum_to_one() {
+        let m = Mesh2D::square(3);
+        let paths = RandomizedGreedy.paths(&m, m.node(0, 0), m.node(2, 2));
+        let total: f64 = paths.iter().map(|(p, _)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(paths.len(), 2);
+        assert_ne!(paths[0].1, paths[1].1);
+    }
+
+    #[test]
+    fn degenerate_pairs_share_one_path() {
+        // Same row: both orders give the identical path.
+        let m = Mesh2D::square(3);
+        let paths = RandomizedGreedy.paths(&m, m.node(1, 0), m.node(1, 2));
+        assert_eq!(paths[0].1, paths[1].1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Exact per-edge arrival rates.
+//!
+//! For any *oblivious* router the long-run arrival rate at edge `e` is
+//!
+//! ```text
+//! λ_e = Σ_{s, d} λ_s · P[dest = d | src = s] · P[path s→d crosses e]
+//! ```
+//!
+//! [`edge_rates_enumerated`] evaluates this sum exactly by path enumeration;
+//! it works for every router/destination pair in this crate and serves as
+//! the ground truth that validates the closed forms:
+//!
+//! * [`mesh_thm6_rates`] — Theorem 6 (Harchol-Balter & Black): on the
+//!   `n × n` array under greedy routing with uniform destinations, an edge
+//!   with crossing index `i` has `λ_e = (λ/n)·i(n−i)`;
+//! * [`hypercube_rate`] — §4.5: all hypercube edges carry `λ·p`;
+//! * [`butterfly_rate`] — §4.5: all butterfly edges carry `λ/2`;
+//! * [`torus_row_rates`] — wraparound flow split for the torus of §6.
+
+use crate::dest::DestSampler;
+use crate::router::ObliviousRouter;
+use meshbound_topology::{Mesh2D, NodeId, Topology};
+
+/// Exact per-edge arrival rates by path enumeration.
+///
+/// `sources` lists the packet-generating nodes (all nodes for the array, the
+/// level-0 nodes for a butterfly), each generating at Poisson rate
+/// `lambda_per_source`.
+pub fn edge_rates_enumerated<T, R, D>(
+    topo: &T,
+    router: &R,
+    dest: &D,
+    lambda_per_source: f64,
+    sources: &[NodeId],
+) -> Vec<f64>
+where
+    T: Topology,
+    R: ObliviousRouter<T>,
+    D: DestSampler<T>,
+{
+    let mut rates = vec![0.0; topo.num_edges()];
+    for &s in sources {
+        for d in topo.nodes() {
+            let w = dest.weight(topo, s, d);
+            if w == 0.0 {
+                continue;
+            }
+            for (p, path) in router.paths(topo, s, d) {
+                let contribution = lambda_per_source * w * p;
+                for e in path {
+                    rates[e.index()] += contribution;
+                }
+            }
+        }
+    }
+    rates
+}
+
+/// All nodes of a topology, as a source list.
+#[must_use]
+pub fn all_nodes<T: Topology>(topo: &T) -> Vec<NodeId> {
+    topo.nodes().collect()
+}
+
+/// Theorem 6 closed-form rates on a square mesh under greedy routing with
+/// uniform destinations: `λ_e = (λ/n)·i(n−i)` where `i` is the edge's
+/// crossing index.
+///
+/// # Panics
+///
+/// Panics if the mesh is not square.
+#[must_use]
+pub fn mesh_thm6_rates(mesh: &Mesh2D, lambda: f64) -> Vec<f64> {
+    let n = mesh.side();
+    mesh.edges()
+        .map(|e| mesh_class_rate(n, lambda, mesh.crossing_index(e)))
+        .collect()
+}
+
+/// Rate of a crossing-index class: `(λ/n)·i(n−i)`.
+#[must_use]
+pub fn mesh_class_rate(n: usize, lambda: f64, i: usize) -> f64 {
+    debug_assert!((1..n).contains(&i));
+    lambda / n as f64 * (i as f64) * ((n - i) as f64)
+}
+
+/// The largest per-edge rate on the square mesh: `(λ/n)·⌊n²/4⌋`.
+#[must_use]
+pub fn mesh_max_rate(n: usize, lambda: f64) -> f64 {
+    mesh_class_rate(n, lambda, n / 2)
+}
+
+/// Hypercube edge rate under dimension-order routing with Bernoulli-`p`
+/// destinations: every edge carries `λ·p` (§4.5).
+#[must_use]
+pub fn hypercube_rate(lambda: f64, p: f64) -> f64 {
+    lambda * p
+}
+
+/// Butterfly edge rate with uniform outputs: every edge carries `λ/2`
+/// (§4.5: each level-`l` node splits its flow evenly over two edges).
+#[must_use]
+pub fn butterfly_rate(lambda: f64) -> f64 {
+    lambda / 2.0
+}
+
+/// Torus per-direction row-edge rates `(right, left)` under shortest-wrap
+/// greedy routing with uniform destinations (ties toward `Right`).
+///
+/// By symmetry every `Right` edge carries `λ·E[Δ⁺]` where `Δ` is the wrap
+/// displacement of a uniform pair; for odd `n` the two directions are equal,
+/// for even `n` the tie-break loads `Right` more heavily. Column edges
+/// behave identically with `Down`/`Up`.
+#[must_use]
+pub fn torus_row_rates(n: usize, lambda: f64) -> (f64, f64) {
+    let nf = n as f64;
+    if n % 2 == 1 {
+        let half = (n - 1) / 2;
+        let e_pos = (half * (half + 1) / 2) as f64 / nf;
+        (lambda * e_pos, lambda * e_pos)
+    } else {
+        let pos_sum = (n / 2) * (n / 2 + 1) / 2; // 1 + … + n/2
+        let neg_sum = (n / 2 - 1) * (n / 2) / 2; // 1 + … + (n/2 − 1)
+        (lambda * pos_sum as f64 / nf, lambda * neg_sum as f64 / nf)
+    }
+}
+
+/// Sum of all edge rates; by conservation this equals
+/// `Σ_s λ_s · E[route length]`, a useful cross-check (and the identity the
+/// paper invokes in §5.1 when computing `D*`).
+#[must_use]
+pub fn total_rate(rates: &[f64]) -> f64 {
+    rates.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dest::{BernoulliDest, ButterflyOutput, UniformDest};
+    use crate::{ButterflyRouter, DimOrder, GreedyXY, RandomizedGreedy, TorusGreedy};
+    use meshbound_topology::{Butterfly, Direction, Hypercube, Torus2D};
+
+    #[test]
+    fn thm6_matches_enumeration_on_mesh() {
+        for n in [3usize, 4, 5] {
+            let m = Mesh2D::square(n);
+            let lambda = 0.37;
+            let exact =
+                edge_rates_enumerated(&m, &GreedyXY, &UniformDest, lambda, &all_nodes(&m));
+            let closed = mesh_thm6_rates(&m, lambda);
+            for e in m.edges() {
+                assert!(
+                    (exact[e.index()] - closed[e.index()]).abs() < 1e-12,
+                    "n={n}, edge {e}: {} vs {}",
+                    exact[e.index()],
+                    closed[e.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thm6_directional_forms() {
+        // Spot-check the paper's table: edge directed Right from (i, j)
+        // (1-based) has rate (λ/n)·j(n−j).
+        let n = 6;
+        let m = Mesh2D::square(n);
+        let lambda = 1.0;
+        let rates = mesh_thm6_rates(&m, lambda);
+        // Right edge from column j=2 (1-based): (λ/n)·2·4.
+        let e = m.right_edge(3, 1);
+        assert!((rates[e.index()] - 2.0 * 4.0 / 6.0).abs() < 1e-12);
+        // Left edge from (i, j=3) → (i, 2): (λ/n)(j−1)(n−j+1) = 2·4/6.
+        let e = m.left_edge(0, 1);
+        assert!((rates[e.index()] - 2.0 * 4.0 / 6.0).abs() < 1e-12);
+        // Down edge from row i=3: (λ/n)·3·3.
+        let e = m.down_edge(2, 4);
+        assert!((rates[e.index()] - 3.0 * 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_conservation_mesh() {
+        let n = 5;
+        let m = Mesh2D::square(n);
+        let lambda = 0.8;
+        let rates = mesh_thm6_rates(&m, lambda);
+        let expected = lambda * (n * n) as f64 * m.mean_distance();
+        assert!((total_rate(&rates) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn randomized_greedy_preserves_total_rate() {
+        let m = Mesh2D::square(4);
+        let lambda = 0.5;
+        let std = edge_rates_enumerated(&m, &GreedyXY, &UniformDest, lambda, &all_nodes(&m));
+        let rnd =
+            edge_rates_enumerated(&m, &RandomizedGreedy, &UniformDest, lambda, &all_nodes(&m));
+        assert!((total_rate(&std) - total_rate(&rnd)).abs() < 1e-9);
+        // Randomized greedy symmetrizes rows and columns: the rate on a right
+        // edge equals the rate on the transposed down edge.
+        let e_right = m.right_edge(1, 2);
+        let e_down = m.down_edge(2, 1);
+        assert!((rnd[e_right.index()] - rnd[e_down.index()]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn randomized_peak_rate_not_lower_than_greedy() {
+        // The coin flip spreads row-phase traffic across both edge classes;
+        // the peak stays at the central cut.
+        let m = Mesh2D::square(6);
+        let lambda = 0.4;
+        let rnd =
+            edge_rates_enumerated(&m, &RandomizedGreedy, &UniformDest, lambda, &all_nodes(&m));
+        let peak_rnd = rnd.iter().cloned().fold(0.0f64, f64::max);
+        let peak_std = mesh_max_rate(6, lambda);
+        assert!(peak_rnd >= peak_std - 1e-12);
+    }
+
+    #[test]
+    fn hypercube_rates_uniform_lambda_p() {
+        let h = Hypercube::new(4);
+        let lambda = 0.3;
+        for p in [0.25, 0.5, 0.75] {
+            let rates = edge_rates_enumerated(
+                &h,
+                &DimOrder,
+                &BernoulliDest::new(p),
+                lambda,
+                &all_nodes(&h),
+            );
+            for e in h.edges() {
+                assert!(
+                    (rates[e.index()] - hypercube_rate(lambda, p)).abs() < 1e-12,
+                    "p={p}, e={e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_rates_lambda_over_two() {
+        let b = Butterfly::new(3);
+        let lambda = 0.7;
+        let sources: Vec<NodeId> = (0..b.rows()).map(|w| b.node(0, w)).collect();
+        let rates = edge_rates_enumerated(&b, &ButterflyRouter, &ButterflyOutput, lambda, &sources);
+        for e in b.edges() {
+            assert!(
+                (rates[e.index()] - butterfly_rate(lambda)).abs() < 1e-12,
+                "e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn torus_rates_match_closed_form() {
+        for n in [4usize, 5] {
+            let t = Torus2D::new(n);
+            let lambda = 0.2;
+            let rates =
+                edge_rates_enumerated(&t, &TorusGreedy, &UniformDest, lambda, &all_nodes(&t));
+            let (right, left) = torus_row_rates(n, lambda);
+            for e in t.edges() {
+                let want = match t.direction(e) {
+                    Direction::Right | Direction::Down => right,
+                    Direction::Left | Direction::Up => left,
+                };
+                assert!(
+                    (rates[e.index()] - want).abs() < 1e-12,
+                    "n={n}, e={e}, dir {:?}: {} vs {want}",
+                    t.direction(e),
+                    rates[e.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rate_conservation_torus() {
+        let n = 5;
+        let t = Torus2D::new(n);
+        let lambda = 0.3;
+        let rates = edge_rates_enumerated(&t, &TorusGreedy, &UniformDest, lambda, &all_nodes(&t));
+        let expected = lambda * (n * n) as f64 * t.mean_distance();
+        assert!((total_rate(&rates) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! The [`Router`] and [`ObliviousRouter`] traits.
+
+use meshbound_topology::{EdgeId, NodeId, Topology};
+use rand::rngs::SmallRng;
+
+/// An incremental router: given a packet's current node, destination and
+/// per-packet state, produce the next edge to cross.
+///
+/// Routers are *incremental* so the simulator's hot loop never materializes
+/// route vectors: greedy routing is Markovian (Corollary 4 of the paper), so
+/// the next hop is a function of the current position and a few bits of
+/// per-packet state (e.g. the coin flip of randomized greedy).
+pub trait Router<T: Topology> {
+    /// Per-packet routing state, fixed at generation time.
+    type State: Copy + std::fmt::Debug;
+
+    /// Draws the per-packet state for a new packet (e.g. randomized greedy's
+    /// ordering coin). Deterministic routers return a unit-like state.
+    fn init_state(&self, topo: &T, src: NodeId, dst: NodeId, rng: &mut SmallRng) -> Self::State;
+
+    /// The next edge a packet at `cur` with destination `dst` crosses, or
+    /// `None` if it has arrived.
+    fn next_edge(&self, topo: &T, cur: NodeId, dst: NodeId, state: Self::State)
+        -> Option<EdgeId>;
+
+    /// Number of edges the packet still has to cross from `cur` (including
+    /// the next one), i.e. the "remaining distance" of Definition 11.
+    fn remaining_hops(&self, topo: &T, cur: NodeId, dst: NodeId, state: Self::State) -> usize;
+
+    /// Total route length for a fresh packet.
+    fn route_len(&self, topo: &T, src: NodeId, dst: NodeId, state: Self::State) -> usize {
+        self.remaining_hops(topo, src, dst, state)
+    }
+
+    /// Materializes the full route (test/diagnostic use only; simulation
+    /// never calls this).
+    fn route(&self, topo: &T, src: NodeId, dst: NodeId, state: Self::State) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        let mut cur = src;
+        while let Some(e) = self.next_edge(topo, cur, dst, state) {
+            out.push(e);
+            cur = topo.edge_target(e);
+            assert!(
+                out.len() <= topo.num_edges(),
+                "router cycled between {src} and {dst}"
+            );
+        }
+        out
+    }
+}
+
+/// A router whose path distribution for each source/destination pair is
+/// fixed in advance (independent of network state).
+///
+/// Oblivious routers admit *exact* per-edge arrival-rate computation by path
+/// enumeration (see [`crate::rates`]); both greedy and randomized greedy are
+/// oblivious.
+pub trait ObliviousRouter<T: Topology> {
+    /// Enumerates the `(probability, path)` pairs for a source/destination
+    /// pair. Probabilities must sum to 1; the path for `src == dst` is empty.
+    fn paths(&self, topo: &T, src: NodeId, dst: NodeId) -> Vec<(f64, Vec<EdgeId>)>;
+}

@@ -1,0 +1,104 @@
+//! Greedy routing on the torus (§6).
+//!
+//! Packets move along the shorter wrap direction in each axis, column first.
+//! The torus contains directed rings, so it cannot be layered and the
+//! Theorem 1 upper bound does not apply; Theorem 10's lower bound still
+//! holds (its proof does not need the Markov property).
+
+use crate::router::{ObliviousRouter, Router};
+use meshbound_topology::{Direction, EdgeId, NodeId, Torus2D};
+use rand::rngs::SmallRng;
+
+/// Shortest-wrap greedy routing on a 2-D torus (ties broken toward
+/// `Right`/`Down`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TorusGreedy;
+
+impl TorusGreedy {
+    fn step(topo: &Torus2D, cur: NodeId, dst: NodeId) -> Option<EdgeId> {
+        let n = topo.side();
+        let (r, c) = topo.coords(cur);
+        let (rd, cd) = topo.coords(dst);
+        let dc = Torus2D::wrap_delta(n, c, cd);
+        if dc > 0 {
+            return Some(topo.edge_in_direction(cur, Direction::Right));
+        }
+        if dc < 0 {
+            return Some(topo.edge_in_direction(cur, Direction::Left));
+        }
+        let dr = Torus2D::wrap_delta(n, r, rd);
+        if dr > 0 {
+            return Some(topo.edge_in_direction(cur, Direction::Down));
+        }
+        if dr < 0 {
+            return Some(topo.edge_in_direction(cur, Direction::Up));
+        }
+        None
+    }
+}
+
+impl Router<Torus2D> for TorusGreedy {
+    type State = ();
+
+    #[inline]
+    fn init_state(&self, _: &Torus2D, _: NodeId, _: NodeId, _: &mut SmallRng) {}
+
+    #[inline]
+    fn next_edge(&self, topo: &Torus2D, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
+        Self::step(topo, cur, dst)
+    }
+
+    #[inline]
+    fn remaining_hops(&self, topo: &Torus2D, cur: NodeId, dst: NodeId, _: ()) -> usize {
+        topo.distance(cur, dst)
+    }
+}
+
+impl ObliviousRouter<Torus2D> for TorusGreedy {
+    fn paths(&self, topo: &Torus2D, src: NodeId, dst: NodeId) -> Vec<(f64, Vec<EdgeId>)> {
+        vec![(1.0, self.route(topo, src, dst, ()))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_topology::Topology;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wraps_around_short_side() {
+        let t = Torus2D::new(5);
+        // (0,0) → (0,4): one Left hop via wraparound.
+        let route = TorusGreedy.route(&t, t.node(0, 0), t.node(0, 4), ());
+        assert_eq!(route.len(), 1);
+        assert_eq!(t.direction(route[0]), Direction::Left);
+    }
+
+    #[test]
+    fn column_phase_before_row_phase() {
+        let t = Torus2D::new(6);
+        let route = TorusGreedy.route(&t, t.node(0, 0), t.node(2, 2), ());
+        assert_eq!(route.len(), 4);
+        assert!(t.direction(route[0]).is_row());
+        assert!(t.direction(route[1]).is_row());
+        assert!(!t.direction(route[2]).is_row());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_route_length_is_torus_distance(n in 3usize..8, a in 0u32..64, b in 0u32..64) {
+            let t = Torus2D::new(n);
+            let a = NodeId(a % (n * n) as u32);
+            let b = NodeId(b % (n * n) as u32);
+            let route = TorusGreedy.route(&t, a, b, ());
+            prop_assert_eq!(route.len(), t.distance(a, b));
+            let mut cur = a;
+            for &e in &route {
+                prop_assert_eq!(t.edge_source(e), cur);
+                cur = t.edge_target(e);
+            }
+            prop_assert_eq!(cur, b);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Traffic equations: the §2.2 "system of equations" route to edge rates.
+//!
+//! The paper notes the per-queue arrival rates can be found "either by
+//! solving a system of equations [6], or by using the techniques of [1]".
+//! [`crate::rates::edge_rates_enumerated`] is the combinatorial technique
+//! of [1]; this module implements the other route: describe routing as a
+//! Markov chain **on edges** (Corollary 4 guarantees this is possible for
+//! greedy routing with uniform destinations) and solve the traffic
+//! equations
+//!
+//! ```text
+//! λ_e = γ_e + Σ_{e'} λ_{e'} · P(e' → e)
+//! ```
+//!
+//! by fixed-point iteration, which converges geometrically because routing
+//! is absorbing (spectral radius of `P` below 1).
+//!
+//! [`mesh_markov_routing`] constructs the chain for the array — the
+//! edge-level form of the Lemma 3 stopping process — and
+//! [`hypercube_markov_routing`] the one for §4.5's hypercube. Their fixed
+//! points reproduce Theorem 6's closed form and the uniform `λp` rate,
+//! respectively, which is verified in tests.
+
+use meshbound_topology::{EdgeId, Hypercube, Mesh2D, Topology};
+
+/// A Markov routing description over the edges of a network.
+#[derive(Debug, Clone)]
+pub struct MarkovRouting {
+    /// External (newly generated) arrival rate onto each edge.
+    pub external: Vec<f64>,
+    /// Transition probabilities `P(e → e')`; rows may sum to less than 1,
+    /// the deficit being the exit probability.
+    pub transitions: Vec<Vec<(EdgeId, f64)>>,
+}
+
+impl MarkovRouting {
+    /// Checks structural sanity: probabilities in `[0, 1]`, rows ≤ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violation; call in tests and debug assertions.
+    pub fn validate(&self) {
+        assert_eq!(self.external.len(), self.transitions.len());
+        for (e, row) in self.transitions.iter().enumerate() {
+            let mut total = 0.0;
+            for &(_, p) in row {
+                assert!((0.0..=1.0 + 1e-12).contains(&p), "edge {e}: p = {p}");
+                total += p;
+            }
+            assert!(total <= 1.0 + 1e-9, "edge {e}: row sum {total} > 1");
+        }
+    }
+}
+
+/// Solves the traffic equations by fixed-point iteration to absolute
+/// tolerance `tol` (at most `max_iter` sweeps).
+///
+/// # Panics
+///
+/// Panics if iteration fails to converge — which cannot happen for
+/// substochastic routing with exit probability bounded away from zero.
+#[must_use]
+pub fn traffic_fixed_point(routing: &MarkovRouting, tol: f64, max_iter: usize) -> Vec<f64> {
+    let n = routing.external.len();
+    let mut lambda = routing.external.clone();
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iter {
+        next.copy_from_slice(&routing.external);
+        for (e, row) in routing.transitions.iter().enumerate() {
+            let flow = lambda[e];
+            if flow == 0.0 {
+                continue;
+            }
+            for &(to, p) in row {
+                next[to.index()] += flow * p;
+            }
+        }
+        let diff: f64 = lambda
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        std::mem::swap(&mut lambda, &mut next);
+        if diff < tol {
+            return lambda;
+        }
+    }
+    panic!("traffic equations failed to converge in {max_iter} iterations");
+}
+
+/// The edge-level Markov chain of greedy routing with uniform destinations
+/// on a square mesh (the executable content of Corollary 4).
+///
+/// A packet on a row edge entering column `c` stops there with probability
+/// `1/(columns remaining ahead, inclusive)` — the Lemma 3 stopping rule —
+/// and on stopping splits into the column phase (down/up/exit by the
+/// uniform row distribution). Column edges stop analogously.
+///
+/// # Panics
+///
+/// Panics if the mesh is not square.
+#[must_use]
+pub fn mesh_markov_routing(mesh: &Mesh2D, lambda: f64) -> MarkovRouting {
+    let n = mesh.side();
+    let nf = n as f64;
+    let mut external = vec![0.0; mesh.num_edges()];
+    let mut transitions: Vec<Vec<(EdgeId, f64)>> = vec![Vec::new(); mesh.num_edges()];
+
+    // Probability split of the column phase starting at (r, c): the
+    // destination row is uniform over all n rows.
+    let vertical = |r: usize, c: usize| -> Vec<(EdgeId, f64)> {
+        let mut out = Vec::with_capacity(2);
+        if r + 1 < n {
+            out.push((mesh.down_edge(r, c), (nf - 1.0 - r as f64) / nf));
+        }
+        if r > 0 {
+            out.push((mesh.up_edge(r - 1, c), r as f64 / nf));
+        }
+        out
+    };
+
+    for r in 0..n {
+        for c in 0..n {
+            // External arrivals: dest column picked uniformly.
+            if c + 1 < n {
+                external[mesh.right_edge(r, c).index()] += lambda * (nf - 1.0 - c as f64) / nf;
+            }
+            if c > 0 {
+                external[mesh.left_edge(r, c - 1).index()] += lambda * c as f64 / nf;
+            }
+            // Dest column = source column (probability 1/n): enter the
+            // column phase immediately.
+            for (e, p) in vertical(r, c) {
+                external[e.index()] += lambda / nf * p;
+            }
+        }
+    }
+
+    for e in mesh.edges() {
+        let ((r1, _c1), (r2, c2)) = mesh.edge_coords(e);
+        use meshbound_topology::Direction;
+        match mesh.direction(e) {
+            Direction::Right => {
+                // Arrived at column c2; destinations uniform over c2..n−1.
+                let remaining = (n - c2) as f64;
+                let row = &mut transitions[e.index()];
+                if c2 + 1 < n {
+                    row.push((mesh.right_edge(r1, c2), (remaining - 1.0) / remaining));
+                }
+                for (v, p) in vertical(r1, c2) {
+                    row.push((v, p / remaining));
+                }
+            }
+            Direction::Left => {
+                // Arrived at column c2; destinations uniform over 0..=c2.
+                let remaining = (c2 + 1) as f64;
+                let row = &mut transitions[e.index()];
+                if c2 > 0 {
+                    row.push((mesh.left_edge(r1, c2 - 1), (remaining - 1.0) / remaining));
+                }
+                for (v, p) in vertical(r1, c2) {
+                    row.push((v, p / remaining));
+                }
+            }
+            Direction::Down => {
+                // Destinations uniform over rows r2..n−1.
+                let remaining = (n - r2) as f64;
+                if r2 + 1 < n {
+                    transitions[e.index()]
+                        .push((mesh.down_edge(r2, c2), (remaining - 1.0) / remaining));
+                }
+            }
+            Direction::Up => {
+                // Destinations uniform over rows 0..=r2.
+                let remaining = (r2 + 1) as f64;
+                if r2 > 0 {
+                    transitions[e.index()]
+                        .push((mesh.up_edge(r2 - 1, c2), (remaining - 1.0) / remaining));
+                }
+            }
+        }
+    }
+
+    MarkovRouting {
+        external,
+        transitions,
+    }
+}
+
+/// The edge-level Markov chain of dimension-order routing on the hypercube
+/// with Bernoulli-`p` destinations (§4.5): from a dimension-`i` edge the
+/// packet next crosses dimension `j > i` with probability `p(1−p)^{j−i−1}`.
+#[must_use]
+pub fn hypercube_markov_routing(cube: &Hypercube, lambda: f64, p: f64) -> MarkovRouting {
+    let d = cube.dim();
+    let mut external = vec![0.0; cube.num_edges()];
+    let mut transitions: Vec<Vec<(EdgeId, f64)>> = vec![Vec::new(); cube.num_edges()];
+    let q = 1.0 - p;
+    for u in cube.nodes() {
+        for i in 0..d {
+            // External: dims 0..i unchanged, dim i flipped.
+            let e = cube.edge_across(u, i);
+            external[e.index()] += lambda * q.powi(i as i32) * p;
+            // Transitions out of e: next flip at dimension j > i.
+            let v = cube.edge_target(e);
+            let row = &mut transitions[e.index()];
+            for j in i + 1..d {
+                row.push((cube.edge_across(v, j), p * q.powi((j - i - 1) as i32)));
+            }
+        }
+    }
+    MarkovRouting {
+        external,
+        transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::{hypercube_rate, mesh_thm6_rates};
+
+    #[test]
+    fn mesh_fixed_point_reproduces_theorem6() {
+        for n in [3usize, 5, 8] {
+            let mesh = Mesh2D::square(n);
+            let lambda = 0.37;
+            let routing = mesh_markov_routing(&mesh, lambda);
+            routing.validate();
+            let solved = traffic_fixed_point(&routing, 1e-13, 10_000);
+            let closed = mesh_thm6_rates(&mesh, lambda);
+            for e in mesh.edges() {
+                assert!(
+                    (solved[e.index()] - closed[e.index()]).abs() < 1e-9,
+                    "n={n}, {e}: {} vs {}",
+                    solved[e.index()],
+                    closed[e.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_external_rates_conserve_packets() {
+        // Total external edge-entry rate = λn²·P(dest ≠ source) = λ(n²−1)/n²·n².
+        let n = 6;
+        let mesh = Mesh2D::square(n);
+        let lambda = 0.5;
+        let routing = mesh_markov_routing(&mesh, lambda);
+        let total: f64 = routing.external.iter().sum();
+        let expect = lambda * ((n * n) as f64 - 1.0);
+        assert!((total - expect).abs() < 1e-9, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn hypercube_fixed_point_reproduces_lambda_p() {
+        let d = 5;
+        let cube = Hypercube::new(d);
+        for p in [0.25, 0.5, 0.8] {
+            let lambda = 0.6;
+            let routing = hypercube_markov_routing(&cube, lambda, p);
+            routing.validate();
+            let solved = traffic_fixed_point(&routing, 1e-13, 10_000);
+            for e in cube.edges() {
+                assert!(
+                    (solved[e.index()] - hypercube_rate(lambda, p)).abs() < 1e-9,
+                    "p={p}, {e}: {}",
+                    solved[e.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_matches_enumeration_for_nearby_walk() {
+        // The solver is not limited to uniform destinations: compare the
+        // chain built from first principles against enumeration? The nearby
+        // walk has no chain constructor here, so instead check the solver on
+        // a hand-built two-edge tandem: γ = [1, 0], P(0→1) = 0.5.
+        let routing = MarkovRouting {
+            external: vec![1.0, 0.0],
+            transitions: vec![vec![(EdgeId(1), 0.5)], vec![]],
+        };
+        routing.validate();
+        let solved = traffic_fixed_point(&routing, 1e-14, 100);
+        assert!((solved[0] - 1.0).abs() < 1e-12);
+        assert!((solved[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row sum")]
+    fn validate_rejects_superstochastic_rows() {
+        let bad = MarkovRouting {
+            external: vec![1.0, 0.0],
+            transitions: vec![vec![(EdgeId(1), 0.7), (EdgeId(1), 0.7)], vec![]],
+        };
+        bad.validate();
+    }
+}

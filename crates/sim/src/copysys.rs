@@ -1,0 +1,191 @@
+//! The "rushed" copy system of Theorem 10 (the network `Q₁`).
+//!
+//! When a packet is generated, a copy is deposited **immediately** at every
+//! queue on its route; copies are served FIFO with unit deterministic
+//! service and leave after their single service. Each queue in isolation is
+//! an M/D/1 queue with the corresponding edge arrival rate, so by linearity
+//! `E[N̄] = Σ_e N_{M/D/1}(λ_e)` — even though the queues are *dependent*
+//! (copies of one packet arrive simultaneously). Theorems 10 and 12 bound
+//! `E[N̄] ≤ d·E[N]` and `E[N̄] ≤ d̄·E[N]` against the real network; this
+//! simulator verifies both the product value and the inequalities
+//! empirically.
+
+use crate::events::{EventQueue, HeapQueue};
+use crate::network::NetConfig;
+use crate::rng::{derive_rng, exp_sample};
+use meshbound_routing::dest::DestSampler;
+use meshbound_routing::Router;
+use meshbound_stats::TimeWeighted;
+use meshbound_topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Output of a copy-system run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CopyResult {
+    /// Time-averaged total number of copies in the system, `E[N̄]`.
+    pub time_avg_copies: f64,
+    /// Packets generated post-warmup (copies / route length each).
+    pub generated: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    Arrival(u32),
+    Departure(u32),
+    Warmup,
+}
+
+/// Simulates the Theorem 10 copy network `Q₁` for any router/topology.
+pub struct CopySystemSim<T, R, D>
+where
+    T: Topology,
+    R: Router<T>,
+    D: DestSampler<T>,
+{
+    topo: T,
+    router: R,
+    dest: D,
+    cfg: NetConfig,
+}
+
+impl<T, R, D> CopySystemSim<T, R, D>
+where
+    T: Topology,
+    R: Router<T>,
+    D: DestSampler<T>,
+{
+    /// Creates the simulator; every node is a source.
+    pub fn new(topo: T, router: R, dest: D, cfg: NetConfig) -> Self {
+        assert!(cfg.slot.is_none(), "copy system uses continuous arrivals");
+        Self {
+            topo,
+            router,
+            dest,
+            cfg,
+        }
+    }
+
+    /// Runs to the horizon.
+    #[must_use]
+    pub fn run(self) -> CopyResult {
+        let cfg = self.cfg.clone();
+        let mut rng = derive_rng(cfg.seed, 2);
+        let sources: Vec<NodeId> = self.topo.nodes().collect();
+        let num_edges = self.topo.num_edges();
+        // Per-edge: number queued and next free service-start time.
+        let mut backlog: Vec<u32> = vec![0; num_edges];
+        let mut queue: HeapQueue<Ev> = HeapQueue::new();
+        let mut copies = TimeWeighted::new(0.0, 0.0);
+        let mut generated = 0u64;
+
+        for i in 0..sources.len() {
+            queue.schedule(exp_sample(&mut rng, cfg.lambda), Ev::Arrival(i as u32));
+        }
+        if cfg.warmup > 0.0 {
+            queue.schedule(cfg.warmup, Ev::Warmup);
+        }
+
+        while let Some((now, ev)) = queue.next() {
+            if now > cfg.horizon {
+                break;
+            }
+            match ev {
+                Ev::Warmup => copies.reset(cfg.warmup),
+                Ev::Arrival(i) => {
+                    let src = sources[i as usize];
+                    let dst = self.dest.sample(&self.topo, src, &mut rng);
+                    if src != dst {
+                        if now >= cfg.warmup {
+                            generated += 1;
+                        }
+                        let state = self.router.init_state(&self.topo, src, dst, &mut rng);
+                        let mut cur = src;
+                        while let Some(e) = self.router.next_edge(&self.topo, cur, dst, state) {
+                            let ei = e.index();
+                            copies.add(now, 1.0);
+                            backlog[ei] += 1;
+                            if backlog[ei] == 1 {
+                                queue.schedule(now + 1.0, Ev::Departure(ei as u32));
+                            }
+                            cur = self.topo.edge_target(e);
+                        }
+                    }
+                    queue.schedule(now + exp_sample(&mut rng, cfg.lambda), Ev::Arrival(i));
+                }
+                Ev::Departure(e) => {
+                    let ei = e as usize;
+                    debug_assert!(backlog[ei] > 0);
+                    backlog[ei] -= 1;
+                    copies.add(now, -1.0);
+                    if backlog[ei] > 0 {
+                        queue.schedule(now + 1.0, Ev::Departure(e));
+                    }
+                }
+            }
+        }
+
+        let measure = (cfg.horizon - cfg.warmup).max(f64::MIN_POSITIVE);
+        CopyResult {
+            time_avg_copies: copies.integral(cfg.horizon) / measure,
+            generated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_queueing::single::md1_mean_number;
+    use meshbound_routing::dest::UniformDest;
+    use meshbound_routing::GreedyXY;
+    use meshbound_topology::Mesh2D;
+
+    #[test]
+    fn copy_population_matches_sum_of_md1_queues() {
+        // Linearity of expectation across *dependent* M/D/1 queues: the
+        // crucial step in Theorem 10's proof, verified by simulation.
+        let n = 4;
+        let mesh = Mesh2D::square(n);
+        let lambda = 0.3;
+        let cfg = NetConfig {
+            lambda,
+            horizon: 40_000.0,
+            warmup: 2_000.0,
+            seed: 31,
+            ..NetConfig::default()
+        };
+        let res = CopySystemSim::new(mesh.clone(), GreedyXY, UniformDest, cfg).run();
+        let rates = meshbound_routing::rates::mesh_thm6_rates(&mesh, lambda);
+        let expect: f64 = rates.iter().map(|&l| md1_mean_number(l)).sum();
+        let rel = (res.time_avg_copies - expect).abs() / expect;
+        assert!(
+            rel < 0.05,
+            "copy system E[N̄] = {}, Σ M/D/1 = {expect}",
+            res.time_avg_copies
+        );
+    }
+
+    #[test]
+    fn thm12_inequality_against_fifo_network() {
+        // E[N̄] ≤ d̄ · E[N] with d̄ = n − 1/2.
+        use crate::network::NetworkSim;
+        let n = 5;
+        let mesh = Mesh2D::square(n);
+        let cfg = NetConfig {
+            lambda: 0.35,
+            horizon: 30_000.0,
+            warmup: 2_000.0,
+            seed: 32,
+            ..NetConfig::default()
+        };
+        let fifo = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg.clone()).run();
+        let copies = CopySystemSim::new(mesh, GreedyXY, UniformDest, cfg).run();
+        let dbar = n as f64 - 0.5;
+        assert!(
+            copies.time_avg_copies <= dbar * fifo.time_avg_n,
+            "E[N̄] = {} > d̄·E[N] = {}",
+            copies.time_avg_copies,
+            dbar * fifo.time_avg_n
+        );
+    }
+}

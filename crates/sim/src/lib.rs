@@ -1,0 +1,51 @@
+//! Discrete-event, packet-level simulation of greedy routing networks.
+//!
+//! This crate is the measurement instrument of the `meshbound` workspace: it
+//! simulates the paper's standard model — Poisson arrivals at every node,
+//! uniform destinations, greedy routing, FIFO edges with unit transmission
+//! time and infinite buffers — as well as every variant the paper analyzes:
+//!
+//! * **Jackson mode** (exponential transmission times, §3.3) and
+//!   **processor-sharing mode** (the Theorem 1/5 comparison system, [`ps`]);
+//! * the **copy/"rushed" reference system** of Theorem 10 ([`copysys`]);
+//! * **variable per-edge service rates** for the §5.1 capacity experiments;
+//! * **slotted time** with batch Poisson arrivals (§5.2);
+//! * alternative topologies (torus, hypercube, butterfly) and routers
+//!   (randomized greedy), via generic parameters.
+//!
+//! Simulations are deterministic given a seed; independent replications and
+//! parameter sweeps run in parallel with Rayon in [`runner`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use meshbound_sim::{MeshSimConfig, simulate_mesh};
+//!
+//! let cfg = MeshSimConfig {
+//!     n: 5,
+//!     lambda: 0.16,          // Table-ρ 0.2 on n = 5
+//!     horizon: 2_000.0,
+//!     warmup: 200.0,
+//!     seed: 1,
+//!     ..MeshSimConfig::default()
+//! };
+//! let result = simulate_mesh(&cfg);
+//! assert!(result.avg_delay > 3.0 && result.avg_delay < 4.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod copysys;
+pub mod events;
+pub mod network;
+pub mod observer;
+pub mod ps;
+pub mod queue_sim;
+pub mod rng;
+pub mod runner;
+pub mod service;
+
+pub use network::{NetworkSim, SimResult};
+pub use runner::{simulate_mesh, simulate_mesh_replicated, MeshRouterKind, MeshSimConfig};
+pub use service::ServiceKind;

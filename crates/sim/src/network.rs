@@ -1,0 +1,768 @@
+//! The packet-level FIFO network simulator (the paper's standard model and
+//! its Jackson variant).
+//!
+//! Each directed edge is a server with its own FIFO queue and service rate.
+//! Packets are generated at source nodes by Poisson processes (or in batch
+//! at slot boundaries in slotted mode, §5.2), routed incrementally by a
+//! [`Router`], and leave the system on reaching their destination. The hot
+//! loop allocates nothing per event: routes are recomputed from
+//! `(current, destination)` — legal because greedy routing is Markovian
+//! (Corollary 4) — and packet records live in a free-list slab.
+
+use crate::events::{EventQueue, HeapQueue};
+use crate::observer::Observer;
+use crate::rng::{derive_rng, exp_sample, poisson_sample};
+use crate::service::ServiceKind;
+use meshbound_routing::dest::DestSampler;
+use meshbound_routing::Router;
+use meshbound_topology::{EdgeId, NodeId, Topology};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Tuning parameters common to all topologies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Per-source Poisson arrival rate λ.
+    pub lambda: f64,
+    /// Simulated end time.
+    pub horizon: f64,
+    /// Warmup time; statistics start here.
+    pub warmup: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Transmission-time distribution.
+    pub service: ServiceKind,
+    /// Whether packets with `source == destination` count (delay 0). The
+    /// paper's model allows them; Table I averages include them.
+    pub include_self_packets: bool,
+    /// Slotted-time mode: packets arrive in Poisson batches of mean `λ·τ`
+    /// at multiples of `τ` (§5.2).
+    pub slot: Option<f64>,
+    /// Sample `N(t)` every this many time units (stability diagnostics).
+    pub sample_every: Option<f64>,
+    /// Track delay quantiles with a bounded reservoir sample.
+    pub delay_quantiles: bool,
+    /// Track per-edge time-averaged queue lengths (the §4.4 "middle queues
+    /// are larger" diagnostic). Adds one integrator update per enqueue and
+    /// dequeue.
+    pub track_edge_queues: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 0.1,
+            horizon: 1_000.0,
+            warmup: 100.0,
+            seed: 1,
+            service: ServiceKind::Deterministic,
+            include_self_packets: true,
+            slot: None,
+            sample_every: None,
+            delay_quantiles: false,
+            track_edge_queues: false,
+        }
+    }
+}
+
+/// Aggregated output of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Mean packet delay `T` (generation → delivery), zero-distance packets
+    /// included when configured.
+    pub avg_delay: f64,
+    /// Standard error of the delay mean (per-packet, correlated — use
+    /// replications for honest intervals).
+    pub delay_std_err: f64,
+    /// Packets generated after warmup.
+    pub generated: u64,
+    /// Packets delivered that were generated after warmup.
+    pub completed: u64,
+    /// Time-averaged number in system `E[N]`.
+    pub time_avg_n: f64,
+    /// Time-averaged remaining services `E[R]` (Table II numerator).
+    pub time_avg_r: f64,
+    /// Time-averaged remaining saturated services `E[R_s]` (Table III).
+    pub time_avg_rs: f64,
+    /// `r = E[R]/E[N]`.
+    pub r_ratio: f64,
+    /// `r_s = E[R_s]/E[N]`.
+    pub rs_ratio: f64,
+    /// Little's-law delay `E[N] / throughput` — should agree with
+    /// `avg_delay` when the run is long enough.
+    pub little_delay: f64,
+    /// Highest per-edge busy fraction observed.
+    pub max_edge_utilization: f64,
+    /// Per-edge empirical service throughput (completions per unit time).
+    pub edge_throughput: Vec<f64>,
+    /// `N(t)` at the horizon (large values flag instability).
+    pub final_n: f64,
+    /// Peak `N(t)` observed.
+    pub peak_n: f64,
+    /// Sampled `N(t)` trajectory, if requested.
+    pub n_samples: Vec<(f64, f64)>,
+    /// Measurement window length (horizon − warmup).
+    pub measure_time: f64,
+    /// Median delay, when `delay_quantiles` was enabled.
+    pub delay_p50: Option<f64>,
+    /// 95th-percentile delay, when `delay_quantiles` was enabled.
+    pub delay_p95: Option<f64>,
+    /// 99th-percentile delay, when `delay_quantiles` was enabled.
+    pub delay_p99: Option<f64>,
+    /// Per-edge time-averaged queue length (including the packet in
+    /// service), when `track_edge_queues` was enabled.
+    pub edge_mean_queue: Option<Vec<f64>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// Next external arrival at `sources[idx]`.
+    Arrival(u32),
+    /// Service completion at edge.
+    Departure(u32),
+    /// Slot boundary (slotted mode).
+    Slot,
+    /// Warmup boundary.
+    Warmup,
+    /// `N(t)` sampling tick.
+    Sample,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Packet<S> {
+    dst: NodeId,
+    state: S,
+    gen_time: f64,
+}
+
+#[derive(Debug, Default)]
+struct EdgeState {
+    queue: VecDeque<u32>,
+    busy: bool,
+    service_start: f64,
+    /// Time-weighted queue-length integral (optional tracking).
+    q_integral: f64,
+    q_last: f64,
+}
+
+impl EdgeState {
+    /// Accumulates the queue-length integral up to `now` (post-warmup
+    /// clipping happens at extraction time via the warmup reset).
+    #[inline]
+    fn tick(&mut self, now: f64) {
+        self.q_integral += self.queue.len() as f64 * (now - self.q_last);
+        self.q_last = now;
+    }
+}
+
+/// The generic FIFO network simulator.
+///
+/// Construct with [`NetworkSim::new`], optionally adjust sources, service
+/// rates or the saturated-edge set, then call [`NetworkSim::run`].
+pub struct NetworkSim<T, R, D>
+where
+    T: Topology,
+    R: Router<T>,
+    D: DestSampler<T>,
+{
+    topo: T,
+    router: R,
+    dest: D,
+    cfg: NetConfig,
+    sources: Vec<NodeId>,
+    service_rates: Vec<f64>,
+    sat_edge: Vec<bool>,
+    track_saturated: bool,
+}
+
+impl<T, R, D> NetworkSim<T, R, D>
+where
+    T: Topology,
+    R: Router<T>,
+    D: DestSampler<T>,
+{
+    /// Creates a simulator over `topo` where every node is a source and all
+    /// edges have unit service rate.
+    pub fn new(topo: T, router: R, dest: D, cfg: NetConfig) -> Self {
+        let sources = topo.nodes().collect();
+        let num_edges = topo.num_edges();
+        Self {
+            topo,
+            router,
+            dest,
+            cfg,
+            sources,
+            service_rates: vec![1.0; num_edges],
+            sat_edge: vec![false; num_edges],
+            track_saturated: false,
+        }
+    }
+
+    /// Restricts packet generation to the given sources (e.g. butterfly
+    /// level-0 nodes).
+    #[must_use]
+    pub fn with_sources(mut self, sources: Vec<NodeId>) -> Self {
+        assert!(!sources.is_empty());
+        self.sources = sources;
+        self
+    }
+
+    /// Sets per-edge service rates (the §5.1 variable-transmission-rate
+    /// model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the edge count or any rate is not
+    /// positive.
+    #[must_use]
+    pub fn with_service_rates(mut self, rates: Vec<f64>) -> Self {
+        assert_eq!(rates.len(), self.topo.num_edges());
+        assert!(rates.iter().all(|&r| r > 0.0));
+        self.service_rates = rates;
+        self
+    }
+
+    /// Marks the saturated edges so `R_s(t)` is tracked (Table III).
+    #[must_use]
+    pub fn with_saturated_edges(mut self, edges: &[EdgeId]) -> Self {
+        for &e in edges {
+            self.sat_edge[e.index()] = true;
+        }
+        self.track_saturated = !edges.is_empty();
+        self
+    }
+
+    /// Runs the simulation to the horizon and returns aggregate statistics.
+    #[must_use]
+    pub fn run(self) -> SimResult {
+        let cfg = self.cfg.clone();
+        let num_edges = self.topo.num_edges();
+        let mut rng = derive_rng(cfg.seed, 0);
+        let mut obs = Observer::new(num_edges, cfg.warmup);
+        if cfg.delay_quantiles {
+            obs.enable_delay_quantiles(1 << 16, cfg.seed ^ 0x5EED);
+        }
+        let mut queue: HeapQueue<Ev> = HeapQueue::with_capacity(4 * self.sources.len());
+        let mut edges: Vec<EdgeState> = (0..num_edges).map(|_| EdgeState::default()).collect();
+        let mut packets: Vec<Packet<R::State>> = Vec::with_capacity(1024);
+        let mut free: Vec<u32> = Vec::new();
+
+        // Prime the event list.
+        match cfg.slot {
+            None => {
+                for i in 0..self.sources.len() {
+                    let dt = exp_sample(&mut rng, cfg.lambda);
+                    queue.schedule(dt, Ev::Arrival(i as u32));
+                }
+            }
+            Some(tau) => {
+                assert!(tau > 0.0, "slot width must be positive");
+                queue.schedule(tau, Ev::Slot);
+            }
+        }
+        if cfg.warmup > 0.0 {
+            queue.schedule(cfg.warmup, Ev::Warmup);
+        }
+        if let Some(dt) = cfg.sample_every {
+            assert!(dt > 0.0);
+            queue.schedule(dt, Ev::Sample);
+        }
+
+        let mut now;
+        while let Some((t, ev)) = queue.next() {
+            if t > cfg.horizon {
+                break;
+            }
+            now = t;
+            match ev {
+                Ev::Warmup => {
+                    obs.reset_at_warmup();
+                    if cfg.track_edge_queues {
+                        for edge in &mut edges {
+                            edge.tick(cfg.warmup);
+                            edge.q_integral = 0.0;
+                        }
+                    }
+                }
+                Ev::Sample => {
+                    obs.sample_n(now);
+                    queue.schedule(now + cfg.sample_every.unwrap(), Ev::Sample);
+                }
+                Ev::Arrival(i) => {
+                    let src = self.sources[i as usize];
+                    self.inject(now, src, &mut rng, &mut obs, &mut edges, &mut packets, &mut free, &mut queue);
+                    let dt = exp_sample(&mut rng, cfg.lambda);
+                    queue.schedule(now + dt, Ev::Arrival(i));
+                }
+                Ev::Slot => {
+                    let tau = cfg.slot.unwrap();
+                    let mean = cfg.lambda * tau;
+                    for i in 0..self.sources.len() {
+                        let k = poisson_sample(&mut rng, mean);
+                        let src = self.sources[i];
+                        for _ in 0..k {
+                            self.inject(now, src, &mut rng, &mut obs, &mut edges, &mut packets, &mut free, &mut queue);
+                        }
+                    }
+                    queue.schedule(now + tau, Ev::Slot);
+                }
+                Ev::Departure(e) => {
+                    let ei = e as usize;
+                    if cfg.track_edge_queues {
+                        edges[ei].tick(now);
+                    }
+                    let pid = edges[ei]
+                        .queue
+                        .pop_front()
+                        .expect("departure from empty edge");
+                    let duration = now - edges[ei].service_start;
+                    obs.service_done(now, ei, duration, self.sat_edge[ei]);
+                    edges[ei].busy = false;
+                    if !edges[ei].queue.is_empty() {
+                        Self::start_service(
+                            &mut edges[ei],
+                            ei,
+                            now,
+                            cfg.service,
+                            self.service_rates[ei],
+                            &mut rng,
+                            &mut queue,
+                        );
+                    }
+                    // Move the packet onward.
+                    let cur = self.topo.edge_target(EdgeId(e));
+                    let pk = packets[pid as usize];
+                    if cur == pk.dst {
+                        obs.packet_exits(now, pk.gen_time, true);
+                        free.push(pid);
+                    } else {
+                        let next = self
+                            .router
+                            .next_edge(&self.topo, cur, pk.dst, pk.state)
+                            .expect("router stalled before destination");
+                        Self::enqueue(
+                            &mut edges[next.index()],
+                            next.index(),
+                            pid,
+                            now,
+                            cfg.service,
+                            self.service_rates[next.index()],
+                            &mut rng,
+                            &mut queue,
+                            cfg.track_edge_queues,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Close the integrals at the horizon.
+        let measure_time = (cfg.horizon - cfg.warmup).max(f64::MIN_POSITIVE);
+        let time_avg_n = obs.n_sys.integral(cfg.horizon) / measure_time;
+        let time_avg_r = obs.r_total.integral(cfg.horizon) / measure_time;
+        let time_avg_rs = obs.rs_total.integral(cfg.horizon) / measure_time;
+        let throughput = obs.completed as f64 / measure_time;
+        let max_util = obs
+            .edge_busy
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            / measure_time;
+        SimResult {
+            avg_delay: obs.delay.mean(),
+            delay_std_err: obs.delay.standard_error(),
+            generated: obs.generated,
+            completed: obs.completed,
+            time_avg_n,
+            time_avg_r,
+            time_avg_rs,
+            r_ratio: if time_avg_n > 0.0 { time_avg_r / time_avg_n } else { 0.0 },
+            rs_ratio: if time_avg_n > 0.0 { time_avg_rs / time_avg_n } else { 0.0 },
+            little_delay: if throughput > 0.0 { time_avg_n / throughput } else { 0.0 },
+            max_edge_utilization: max_util,
+            edge_throughput: obs
+                .edge_services
+                .iter()
+                .map(|&c| c as f64 / measure_time)
+                .collect(),
+            final_n: obs.n_sys.value(),
+            peak_n: obs.n_sys.peak(),
+            measure_time,
+            delay_p50: obs.delay_sample.as_ref().and_then(|r| r.quantile(0.5)),
+            delay_p95: obs.delay_sample.as_ref().and_then(|r| r.quantile(0.95)),
+            delay_p99: obs.delay_sample.as_ref().and_then(|r| r.quantile(0.99)),
+            edge_mean_queue: cfg.track_edge_queues.then(|| {
+                edges
+                    .iter_mut()
+                    .map(|e| {
+                        e.tick(cfg.horizon);
+                        e.q_integral / measure_time
+                    })
+                    .collect()
+            }),
+            n_samples: obs.n_samples,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn inject(
+        &self,
+        now: f64,
+        src: NodeId,
+        rng: &mut SmallRng,
+        obs: &mut Observer,
+        edges: &mut [EdgeState],
+        packets: &mut Vec<Packet<R::State>>,
+        free: &mut Vec<u32>,
+        queue: &mut HeapQueue<Ev>,
+    ) {
+        let dst = self.dest.sample(&self.topo, src, rng);
+        if src == dst {
+            if self.cfg.include_self_packets {
+                obs.zero_distance_packet(now);
+            }
+            return;
+        }
+        obs.packet_generated(now);
+        let state = self.router.init_state(&self.topo, src, dst, rng);
+        let hops = self.router.route_len(&self.topo, src, dst, state);
+        let sat = if self.track_saturated {
+            self.count_saturated_on_route(src, dst, state)
+        } else {
+            0
+        };
+        obs.packet_enters(now, hops, sat);
+        let pid = match free.pop() {
+            Some(id) => {
+                packets[id as usize] = Packet { dst, state, gen_time: now };
+                id
+            }
+            None => {
+                packets.push(Packet { dst, state, gen_time: now });
+                (packets.len() - 1) as u32
+            }
+        };
+        let first = self
+            .router
+            .next_edge(&self.topo, src, dst, state)
+            .expect("non-self packet must have a first edge");
+        Self::enqueue(
+            &mut edges[first.index()],
+            first.index(),
+            pid,
+            now,
+            self.cfg.service,
+            self.service_rates[first.index()],
+            rng,
+            queue,
+            self.cfg.track_edge_queues,
+        );
+    }
+
+    fn count_saturated_on_route(&self, src: NodeId, dst: NodeId, state: R::State) -> usize {
+        let mut count = 0;
+        let mut cur = src;
+        while let Some(e) = self.router.next_edge(&self.topo, cur, dst, state) {
+            if self.sat_edge[e.index()] {
+                count += 1;
+            }
+            cur = self.topo.edge_target(e);
+        }
+        count
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn enqueue(
+        edge: &mut EdgeState,
+        edge_idx: usize,
+        pid: u32,
+        now: f64,
+        service: ServiceKind,
+        rate: f64,
+        rng: &mut SmallRng,
+        queue: &mut HeapQueue<Ev>,
+        track: bool,
+    ) {
+        if track {
+            edge.tick(now);
+        }
+        edge.queue.push_back(pid);
+        if !edge.busy {
+            Self::start_service(edge, edge_idx, now, service, rate, rng, queue);
+        }
+    }
+
+    #[inline]
+    fn start_service(
+        edge: &mut EdgeState,
+        edge_idx: usize,
+        now: f64,
+        service: ServiceKind,
+        rate: f64,
+        rng: &mut SmallRng,
+        queue: &mut HeapQueue<Ev>,
+    ) {
+        debug_assert!(!edge.busy && !edge.queue.is_empty());
+        edge.busy = true;
+        edge.service_start = now;
+        let dur = service.sample(rate, rng);
+        queue.schedule(now + dur, Ev::Departure(edge_idx as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_routing::dest::UniformDest;
+    use meshbound_routing::GreedyXY;
+    use meshbound_topology::Mesh2D;
+
+    fn tiny_cfg() -> NetConfig {
+        NetConfig {
+            lambda: 0.05,
+            horizon: 500.0,
+            warmup: 50.0,
+            seed: 3,
+            ..NetConfig::default()
+        }
+    }
+
+    #[test]
+    fn light_load_delay_near_mean_distance() {
+        let mesh = Mesh2D::square(5);
+        let cfg = NetConfig {
+            lambda: 0.001,
+            horizon: 40_000.0,
+            warmup: 100.0,
+            ..tiny_cfg()
+        };
+        let res = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg).run();
+        // At vanishing load every hop costs exactly 1: T → n̄ = 3.2.
+        assert!(
+            (res.avg_delay - mesh.mean_distance()).abs() < 0.15,
+            "delay {}",
+            res.avg_delay
+        );
+    }
+
+    #[test]
+    fn littles_law_holds_in_simulation() {
+        let mesh = Mesh2D::square(5);
+        let cfg = NetConfig {
+            lambda: 0.1,
+            horizon: 20_000.0,
+            warmup: 1_000.0,
+            ..tiny_cfg()
+        };
+        let res = NetworkSim::new(mesh, GreedyXY, UniformDest, cfg).run();
+        // With self-packets included on both sides, Little's law gives
+        // avg_delay = E[N] / (total throughput incl. zero-distance packets):
+        // zero-distance packets contribute 0 to both the N-integral and the
+        // delay sum while inflating the throughput denominator equally.
+        assert!(
+            (res.avg_delay - res.little_delay).abs() < 0.12,
+            "delay {} vs little {}",
+            res.avg_delay,
+            res.little_delay
+        );
+    }
+
+    #[test]
+    fn zero_distance_packets_counted_when_enabled() {
+        let mesh = Mesh2D::square(3);
+        let cfg = NetConfig {
+            lambda: 0.02,
+            horizon: 5_000.0,
+            warmup: 0.0,
+            ..tiny_cfg()
+        };
+        let with = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg.clone()).run();
+        let cfg_no = NetConfig {
+            include_self_packets: false,
+            ..cfg
+        };
+        let without = NetworkSim::new(mesh, GreedyXY, UniformDest, cfg_no).run();
+        // Excluding zero-delay packets raises the average delay.
+        assert!(without.avg_delay > with.avg_delay);
+    }
+
+    #[test]
+    fn edge_throughput_matches_thm6_rates() {
+        let n = 4;
+        let mesh = Mesh2D::square(n);
+        let lambda = 0.2;
+        let cfg = NetConfig {
+            lambda,
+            horizon: 50_000.0,
+            warmup: 1_000.0,
+            seed: 11,
+            ..NetConfig::default()
+        };
+        let res = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg).run();
+        let expect = meshbound_routing::rates::mesh_thm6_rates(&mesh, lambda);
+        for e in mesh.edges() {
+            let got = res.edge_throughput[e.index()];
+            let want = expect[e.index()];
+            assert!(
+                (got - want).abs() < 0.05 * want.max(0.05),
+                "edge {e}: throughput {got} vs Theorem 6 rate {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mesh = Mesh2D::square(4);
+        let a = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, tiny_cfg()).run();
+        let b = NetworkSim::new(mesh, GreedyXY, UniformDest, tiny_cfg()).run();
+        assert_eq!(a.avg_delay, b.avg_delay);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.time_avg_n, b.time_avg_n);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mesh = Mesh2D::square(4);
+        let a = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, tiny_cfg()).run();
+        let mut cfg = tiny_cfg();
+        cfg.seed = 999;
+        let b = NetworkSim::new(mesh, GreedyXY, UniformDest, cfg).run();
+        assert_ne!(a.avg_delay, b.avg_delay);
+    }
+
+    #[test]
+    fn slotted_mode_close_to_continuous() {
+        let mesh = Mesh2D::square(5);
+        let lambda = 0.1;
+        let base = NetConfig {
+            lambda,
+            horizon: 30_000.0,
+            warmup: 1_000.0,
+            seed: 5,
+            ..NetConfig::default()
+        };
+        let cont = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, base.clone()).run();
+        let slotted_cfg = NetConfig {
+            slot: Some(1.0),
+            ..base
+        };
+        let slot = NetworkSim::new(mesh, GreedyXY, UniformDest, slotted_cfg).run();
+        // §5.2: the slotted average is within τ of the continuous one
+        // (plus simulation noise).
+        assert!(
+            (slot.avg_delay - cont.avg_delay).abs() < 1.0 + 0.3,
+            "slotted {} vs continuous {}",
+            slot.avg_delay,
+            cont.avg_delay
+        );
+    }
+
+    #[test]
+    fn saturated_tracking_counts_central_edges() {
+        let n = 4;
+        let mesh = Mesh2D::square(n);
+        let classes: Vec<_> = {
+            // crossing index n/2 = 2
+            mesh.edges()
+                .filter(|&e| mesh.crossing_index(e) == 2)
+                .collect()
+        };
+        let cfg = NetConfig {
+            lambda: 0.2,
+            horizon: 10_000.0,
+            warmup: 500.0,
+            seed: 4,
+            ..NetConfig::default()
+        };
+        let res = NetworkSim::new(mesh, GreedyXY, UniformDest, cfg)
+            .with_saturated_edges(&classes)
+            .run();
+        assert!(res.time_avg_rs > 0.0);
+        assert!(res.rs_ratio > 0.0 && res.rs_ratio < res.r_ratio);
+    }
+
+    #[test]
+    fn variable_service_rates_speed_up_network() {
+        let mesh = Mesh2D::square(4);
+        let cfg = NetConfig {
+            lambda: 0.15,
+            horizon: 20_000.0,
+            warmup: 1_000.0,
+            seed: 6,
+            ..NetConfig::default()
+        };
+        let slow = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg.clone()).run();
+        let fast = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg)
+            .with_service_rates(vec![2.0; mesh.num_edges()])
+            .run();
+        assert!(
+            fast.avg_delay < slow.avg_delay * 0.7,
+            "fast {} vs slow {}",
+            fast.avg_delay,
+            slow.avg_delay
+        );
+    }
+
+    #[test]
+    fn n_sampling_produces_trajectory() {
+        let mesh = Mesh2D::square(4);
+        let cfg = NetConfig {
+            lambda: 0.1,
+            horizon: 100.0,
+            warmup: 0.0,
+            sample_every: Some(10.0),
+            ..NetConfig::default()
+        };
+        let res = NetworkSim::new(mesh, GreedyXY, UniformDest, cfg).run();
+        assert!(res.n_samples.len() >= 9);
+        for w in res.n_samples.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod quantile_tests {
+    use super::*;
+    use meshbound_routing::dest::UniformDest;
+    use meshbound_routing::GreedyXY;
+    use meshbound_topology::Mesh2D;
+
+    #[test]
+    fn delay_quantiles_tracked_when_enabled() {
+        let mesh = Mesh2D::square(5);
+        let cfg = NetConfig {
+            lambda: 0.3,
+            horizon: 5_000.0,
+            warmup: 500.0,
+            seed: 8,
+            delay_quantiles: true,
+            ..NetConfig::default()
+        };
+        let res = NetworkSim::new(mesh, GreedyXY, UniformDest, cfg).run();
+        let p50 = res.delay_p50.expect("median tracked");
+        let p95 = res.delay_p95.expect("p95 tracked");
+        let p99 = res.delay_p99.expect("p99 tracked");
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Mean between median and p99 for this right-skewed distribution.
+        assert!(res.avg_delay >= p50 * 0.8);
+        assert!(res.avg_delay <= p99);
+        // Max route on a 5-mesh is 8 hops, so p50 below 8 + some queueing.
+        assert!(p50 <= 12.0);
+    }
+
+    #[test]
+    fn quantiles_absent_when_disabled() {
+        let mesh = Mesh2D::square(4);
+        let cfg = NetConfig {
+            lambda: 0.1,
+            horizon: 500.0,
+            warmup: 0.0,
+            ..NetConfig::default()
+        };
+        let res = NetworkSim::new(mesh, GreedyXY, UniformDest, cfg).run();
+        assert!(res.delay_p50.is_none());
+    }
+}

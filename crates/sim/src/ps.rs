@@ -1,0 +1,303 @@
+//! Processor-sharing network simulation (the Theorem 1/5 comparison
+//! system).
+//!
+//! Under PS every packet queued at an edge receives an equal share of the
+//! server. With equal service requirements (one unit of work each) and FIFO
+//! arrival order, packets complete in arrival order, which permits an O(1)
+//! *virtual-time* implementation: the server accumulates virtual service
+//! `dv = dt / k(t)`, a packet arriving at virtual time `v` completes at
+//! virtual time `v + 1`, and real completion instants are recovered by
+//! inverting the accumulation. Theorem 1 (Stamoulis–Tsitsiklis) states that
+//! this network's total population stochastically dominates the FIFO
+//! network's; its equilibrium is product-form, equal to the Jackson model's
+//! (§2.2, §3.3).
+
+use crate::events::{EventQueue, HeapQueue};
+use crate::network::NetConfig;
+use crate::rng::{derive_rng, exp_sample};
+use meshbound_routing::dest::DestSampler;
+use meshbound_routing::Router;
+use meshbound_topology::{EdgeId, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Output of a PS-network run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PsResult {
+    /// Mean delay of delivered packets generated post-warmup (self-packets
+    /// included as zero).
+    pub avg_delay: f64,
+    /// Time-averaged number in system.
+    pub time_avg_n: f64,
+    /// Completed post-warmup packets.
+    pub completed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    Arrival(u32),
+    /// Head-of-edge completion with an epoch for lazy invalidation.
+    Completion(u32, u32),
+    Warmup,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Packet<S> {
+    dst: NodeId,
+    state: S,
+    gen_time: f64,
+}
+
+#[derive(Debug, Default)]
+struct PsEdge {
+    /// (packet id, virtual completion time), in arrival order.
+    jobs: VecDeque<(u32, f64)>,
+    /// Accumulated virtual service.
+    vnow: f64,
+    /// Real time of the last `vnow` update.
+    last_update: f64,
+    /// Bumped whenever the head's completion event must be rescheduled.
+    epoch: u32,
+}
+
+impl PsEdge {
+    /// Advances virtual time to real time `now`.
+    fn advance(&mut self, now: f64) {
+        let k = self.jobs.len();
+        if k > 0 {
+            self.vnow += (now - self.last_update) / k as f64;
+        }
+        self.last_update = now;
+    }
+
+    /// Real completion time of the current head (requires non-empty).
+    fn head_completion(&self, now: f64) -> f64 {
+        let (_, vc) = *self.jobs.front().expect("no head");
+        now + (vc - self.vnow).max(0.0) * self.jobs.len() as f64
+    }
+}
+
+/// Simulates the PS version of a network (unit work per edge crossing).
+///
+/// Only the total-population and delay statistics are tracked; this
+/// simulator exists to verify Theorem 5 (`E[N_FIFO] ≤ E[N_PS]`) and the
+/// product-form equilibrium of §2.2.
+pub struct PsNetworkSim<T, R, D>
+where
+    T: Topology,
+    R: Router<T>,
+    D: DestSampler<T>,
+{
+    topo: T,
+    router: R,
+    dest: D,
+    cfg: NetConfig,
+}
+
+impl<T, R, D> PsNetworkSim<T, R, D>
+where
+    T: Topology,
+    R: Router<T>,
+    D: DestSampler<T>,
+{
+    /// Creates the simulator; every node is a source.
+    pub fn new(topo: T, router: R, dest: D, cfg: NetConfig) -> Self {
+        assert!(
+            cfg.slot.is_none(),
+            "PS simulator does not implement slotted arrivals"
+        );
+        Self {
+            topo,
+            router,
+            dest,
+            cfg,
+        }
+    }
+
+    /// Runs to the horizon.
+    #[must_use]
+    pub fn run(self) -> PsResult {
+        let cfg = self.cfg.clone();
+        let mut rng = derive_rng(cfg.seed, 1);
+        let num_edges = self.topo.num_edges();
+        let sources: Vec<NodeId> = self.topo.nodes().collect();
+        let mut queue: HeapQueue<Ev> = HeapQueue::new();
+        let mut edges: Vec<PsEdge> = (0..num_edges).map(|_| PsEdge::default()).collect();
+        let mut packets: Vec<Packet<R::State>> = Vec::new();
+        let mut free: Vec<u32> = Vec::new();
+        let mut delays = meshbound_stats::Welford::new();
+        let mut n_sys = meshbound_stats::TimeWeighted::new(0.0, 0.0);
+        let mut completed = 0u64;
+
+        for i in 0..sources.len() {
+            queue.schedule(exp_sample(&mut rng, cfg.lambda), Ev::Arrival(i as u32));
+        }
+        if cfg.warmup > 0.0 {
+            queue.schedule(cfg.warmup, Ev::Warmup);
+        }
+
+        let enqueue = |edges: &mut Vec<PsEdge>,
+                       queue: &mut HeapQueue<Ev>,
+                       e: usize,
+                       pid: u32,
+                       now: f64| {
+            let edge = &mut edges[e];
+            edge.advance(now);
+            edge.jobs.push_back((pid, edge.vnow + 1.0));
+            // Arrival slows the head: reschedule.
+            edge.epoch = edge.epoch.wrapping_add(1);
+            let t = edge.head_completion(now);
+            queue.schedule(t, Ev::Completion(e as u32, edge.epoch));
+        };
+
+        while let Some((now, ev)) = queue.next() {
+            if now > cfg.horizon {
+                break;
+            }
+            match ev {
+                Ev::Warmup => n_sys.reset(cfg.warmup),
+                Ev::Arrival(i) => {
+                    let src = sources[i as usize];
+                    let dst = self.dest.sample(&self.topo, src, &mut rng);
+                    if src == dst {
+                        if cfg.include_self_packets && now >= cfg.warmup {
+                            delays.push(0.0);
+                            completed += 1;
+                        }
+                    } else {
+                        let state = self.router.init_state(&self.topo, src, dst, &mut rng);
+                        let pid = match free.pop() {
+                            Some(id) => {
+                                packets[id as usize] = Packet { dst, state, gen_time: now };
+                                id
+                            }
+                            None => {
+                                packets.push(Packet { dst, state, gen_time: now });
+                                (packets.len() - 1) as u32
+                            }
+                        };
+                        n_sys.add(now, 1.0);
+                        let first = self
+                            .router
+                            .next_edge(&self.topo, src, dst, state)
+                            .expect("first edge");
+                        enqueue(&mut edges, &mut queue, first.index(), pid, now);
+                    }
+                    queue.schedule(now + exp_sample(&mut rng, cfg.lambda), Ev::Arrival(i));
+                }
+                Ev::Completion(e, epoch) => {
+                    let ei = e as usize;
+                    if edges[ei].epoch != epoch {
+                        continue; // stale event
+                    }
+                    edges[ei].advance(now);
+                    let (pid, _vc) = edges[ei].jobs.pop_front().expect("completion on empty edge");
+                    // Reschedule the new head (it speeds up).
+                    edges[ei].epoch = edges[ei].epoch.wrapping_add(1);
+                    if !edges[ei].jobs.is_empty() {
+                        let t = edges[ei].head_completion(now);
+                        queue.schedule(t, Ev::Completion(e, edges[ei].epoch));
+                    }
+                    let cur = self.topo.edge_target(EdgeId(e));
+                    let pk = packets[pid as usize];
+                    if cur == pk.dst {
+                        n_sys.add(now, -1.0);
+                        if pk.gen_time >= cfg.warmup {
+                            delays.push(now - pk.gen_time);
+                            completed += 1;
+                        }
+                        free.push(pid);
+                    } else {
+                        let next = self
+                            .router
+                            .next_edge(&self.topo, cur, pk.dst, pk.state)
+                            .expect("router stalled");
+                        enqueue(&mut edges, &mut queue, next.index(), pid, now);
+                    }
+                }
+            }
+        }
+
+        let measure = (cfg.horizon - cfg.warmup).max(f64::MIN_POSITIVE);
+        PsResult {
+            avg_delay: delays.mean(),
+            time_avg_n: n_sys.integral(cfg.horizon) / measure,
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_routing::dest::UniformDest;
+    use meshbound_routing::GreedyXY;
+    use meshbound_topology::Mesh2D;
+
+    #[test]
+    fn ps_single_packet_crosses_in_unit_time_per_edge() {
+        // With negligible load a packet is alone at each edge: PS equals
+        // FIFO and the delay is the distance.
+        let mesh = Mesh2D::square(4);
+        let cfg = NetConfig {
+            lambda: 0.0005,
+            horizon: 60_000.0,
+            warmup: 0.0,
+            seed: 21,
+            ..NetConfig::default()
+        };
+        let res = PsNetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg).run();
+        assert!(
+            (res.avg_delay - mesh.mean_distance()).abs() < 0.2,
+            "delay {}",
+            res.avg_delay
+        );
+    }
+
+    #[test]
+    fn ps_matches_product_form() {
+        // §2.2: the PS equilibrium is product-form with geometric queues:
+        // E[N] = Σ_e λ_e/(1−λ_e).
+        let n = 4;
+        let mesh = Mesh2D::square(n);
+        let lambda = 0.25; // Table-ρ 0.25·n/4 = 0.25 at n=4
+        let cfg = NetConfig {
+            lambda,
+            horizon: 60_000.0,
+            warmup: 2_000.0,
+            seed: 22,
+            ..NetConfig::default()
+        };
+        let res = PsNetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg).run();
+        let rates = meshbound_routing::rates::mesh_thm6_rates(&mesh, lambda);
+        let expect: f64 = rates.iter().map(|&l| l / (1.0 - l)).sum();
+        let rel = (res.time_avg_n - expect).abs() / expect;
+        assert!(
+            rel < 0.06,
+            "PS E[N] = {}, product form = {expect}",
+            res.time_avg_n
+        );
+    }
+
+    #[test]
+    fn ps_dominates_fifo() {
+        // Theorem 5: E[N_PS] ≥ E[N_FIFO] for the same parameters.
+        use crate::network::NetworkSim;
+        let mesh = Mesh2D::square(4);
+        let cfg = NetConfig {
+            lambda: 0.3,
+            horizon: 30_000.0,
+            warmup: 2_000.0,
+            seed: 23,
+            ..NetConfig::default()
+        };
+        let fifo = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg.clone()).run();
+        let ps = PsNetworkSim::new(mesh, GreedyXY, UniformDest, cfg).run();
+        assert!(
+            ps.time_avg_n > fifo.time_avg_n,
+            "PS {} vs FIFO {}",
+            ps.time_avg_n,
+            fifo.time_avg_n
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Single-queue simulators used to validate the analytic building blocks.
+//!
+//! A Lindley-recursion M/G/1 simulator: exact for FIFO single-server queues,
+//! used in tests to confirm the M/M/1, M/D/1 and Pollaczek–Khinchine
+//! formulas that the bounds are assembled from.
+
+use crate::rng::{derive_rng, exp_sample};
+use crate::service::ServiceKind;
+use meshbound_stats::Welford;
+use serde::{Deserialize, Serialize};
+
+/// Result of a single-queue simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueSimResult {
+    /// Mean sojourn time (wait + service).
+    pub avg_sojourn: f64,
+    /// Mean number in system via Little's law on the empirical rate.
+    pub avg_number: f64,
+    /// Customers served.
+    pub served: u64,
+}
+
+/// Simulates an M/G/1 FIFO queue by the Lindley recursion.
+///
+/// `customers` arrivals are generated with rate `lambda`; the first
+/// `warmup_customers` are discarded from statistics.
+#[must_use]
+pub fn simulate_mg1(
+    lambda: f64,
+    service: ServiceKind,
+    service_rate: f64,
+    customers: u64,
+    warmup_customers: u64,
+    seed: u64,
+) -> QueueSimResult {
+    assert!(lambda > 0.0);
+    let mut rng = derive_rng(seed, 3);
+    let mut sojourn = Welford::new();
+    let mut arrival_time = 0.0f64;
+    let mut depart_prev = 0.0f64; // departure time of the previous customer
+    let mut measured_span_start = None;
+    let mut last_arrival = 0.0;
+    for i in 0..customers {
+        arrival_time += exp_sample(&mut rng, lambda);
+        let start = depart_prev.max(arrival_time);
+        let s = service.sample(service_rate, &mut rng);
+        let depart = start + s;
+        if i >= warmup_customers {
+            sojourn.push(depart - arrival_time);
+            if measured_span_start.is_none() {
+                measured_span_start = Some(arrival_time);
+            }
+            last_arrival = arrival_time;
+        }
+        depart_prev = depart;
+    }
+    let span = last_arrival - measured_span_start.unwrap_or(0.0);
+    let measured = customers - warmup_customers;
+    let emp_rate = if span > 0.0 {
+        (measured - 1) as f64 / span
+    } else {
+        0.0
+    };
+    QueueSimResult {
+        avg_sojourn: sojourn.mean(),
+        avg_number: sojourn.mean() * emp_rate,
+        served: measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_queueing::single::{md1_mean_sojourn, mg1_mean_sojourn, mm1_mean_sojourn};
+
+    #[test]
+    fn md1_sojourn_matches_pollaczek_khinchine() {
+        for lambda in [0.3, 0.6, 0.8] {
+            let res = simulate_mg1(lambda, ServiceKind::Deterministic, 1.0, 400_000, 20_000, 7);
+            let expect = md1_mean_sojourn(lambda);
+            let rel = (res.avg_sojourn - expect).abs() / expect;
+            assert!(
+                rel < 0.03,
+                "λ={lambda}: sim {} vs P-K {expect}",
+                res.avg_sojourn
+            );
+        }
+    }
+
+    #[test]
+    fn mm1_sojourn_matches_closed_form() {
+        for lambda in [0.25, 0.5, 0.75] {
+            let res = simulate_mg1(lambda, ServiceKind::Exponential, 1.0, 400_000, 20_000, 8);
+            let expect = mm1_mean_sojourn(lambda, 1.0);
+            let rel = (res.avg_sojourn - expect).abs() / expect;
+            assert!(
+                rel < 0.05,
+                "λ={lambda}: sim {} vs M/M/1 {expect}",
+                res.avg_sojourn
+            );
+        }
+    }
+
+    #[test]
+    fn faster_server_shortens_sojourn() {
+        let slow = simulate_mg1(0.5, ServiceKind::Deterministic, 1.0, 100_000, 5_000, 9);
+        let fast = simulate_mg1(0.5, ServiceKind::Deterministic, 2.0, 100_000, 5_000, 9);
+        assert!(fast.avg_sojourn < slow.avg_sojourn);
+        let expect = mg1_mean_sojourn(0.5, 0.5, 0.25);
+        let rel = (fast.avg_sojourn - expect).abs() / expect;
+        assert!(rel < 0.05, "sim {} vs {expect}", fast.avg_sojourn);
+    }
+
+    #[test]
+    fn md1_number_via_littles_law() {
+        let lambda = 0.7;
+        let res = simulate_mg1(lambda, ServiceKind::Deterministic, 1.0, 400_000, 20_000, 10);
+        let expect = meshbound_queueing::single::md1_mean_number(lambda);
+        let rel = (res.avg_number - expect).abs() / expect;
+        assert!(rel < 0.05, "sim N {} vs {expect}", res.avg_number);
+    }
+}

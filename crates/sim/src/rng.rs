@@ -1,0 +1,155 @@
+//! Random-number utilities: seed derivation, exponential and Poisson
+//! sampling.
+//!
+//! Every simulation object derives its own `SmallRng` from a master seed via
+//! SplitMix64, so replications are reproducible and independent streams do
+//! not interleave.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step: hashes `state` into a well-mixed 64-bit value.
+#[must_use]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a child RNG from a master seed and a stream index.
+#[must_use]
+pub fn derive_rng(master: u64, stream: u64) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(master ^ splitmix64(stream)))
+}
+
+/// Samples an exponential with the given `rate` (mean `1/rate`).
+///
+/// # Panics
+///
+/// Panics in debug builds if `rate <= 0`.
+#[inline]
+pub fn exp_sample(rng: &mut SmallRng, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    // 1 − U ∈ (0, 1] avoids ln(0).
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples a Poisson random variable with the given `mean`.
+///
+/// Knuth's multiplication method for small means, switching to a normal
+/// approximation (rounded, clamped at 0) beyond 30 where Knuth's method
+/// would need too many uniforms. Slotted-time batch sizes in this workspace
+/// have small means, so the approximation branch is effectively unused but
+/// keeps the function total.
+#[must_use]
+pub fn poisson_sample(rng: &mut SmallRng, mean: f64) -> u64 {
+    assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let z = normal_sample(rng);
+        let x = mean + mean.sqrt() * z + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            x as u64
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+#[must_use]
+pub fn normal_sample(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Consecutive seeds produce very different outputs.
+        let a = splitmix64(100);
+        let b = splitmix64(101);
+        assert!((a ^ b).count_ones() > 10);
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let mut a = derive_rng(42, 0);
+        let mut b = derive_rng(42, 1);
+        let xa: u64 = a.gen();
+        let xb: u64 = b.gen();
+        assert_ne!(xa, xb);
+        // Same stream is reproducible.
+        let mut a2 = derive_rng(42, 0);
+        let x2: u64 = a2.gen();
+        assert_eq!(xa, x2);
+    }
+
+    #[test]
+    fn exp_sample_mean() {
+        let mut rng = derive_rng(7, 0);
+        let n = 200_000;
+        let rate = 2.5;
+        let mean: f64 = (0..n).map(|_| exp_sample(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = derive_rng(8, 0);
+        let n = 200_000;
+        let mean = 3.2;
+        let total: u64 = (0..n).map(|_| poisson_sample(&mut rng, mean)).sum();
+        let avg = total as f64 / n as f64;
+        assert!((avg - mean).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn poisson_large_mean_approximation() {
+        let mut rng = derive_rng(9, 0);
+        let n = 50_000;
+        let mean = 100.0;
+        let total: u64 = (0..n).map(|_| poisson_sample(&mut rng, mean)).sum();
+        let avg = total as f64 / n as f64;
+        assert!((avg - mean).abs() < 1.0, "avg {avg}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = derive_rng(10, 0);
+        assert_eq!(poisson_sample(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn normal_sample_moments() {
+        let mut rng = derive_rng(11, 0);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal_sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02);
+        assert!((var - 1.0).abs() < 0.03);
+    }
+}

@@ -1,0 +1,72 @@
+//! Transmission-time (service) distributions.
+
+use crate::rng::exp_sample;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// The service discipline's time distribution.
+///
+/// The paper's standard model uses deterministic unit transmission
+/// ([`ServiceKind::Deterministic`]); the Jackson comparison model (§3.3)
+/// uses exponential transmission with the same mean
+/// ([`ServiceKind::Exponential`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Constant service time `1/φ` for a server of rate `φ`.
+    Deterministic,
+    /// Exponential service time with mean `1/φ`.
+    Exponential,
+}
+
+impl ServiceKind {
+    /// Samples one service time for a server of rate `rate`.
+    #[inline]
+    #[must_use]
+    pub fn sample(self, rate: f64, rng: &mut SmallRng) -> f64 {
+        match self {
+            ServiceKind::Deterministic => 1.0 / rate,
+            ServiceKind::Exponential => exp_sample(rng, rate),
+        }
+    }
+
+    /// Second moment `E[S²]` of the service time at rate `rate` (used by
+    /// Pollaczek–Khinchine cross-checks).
+    #[must_use]
+    pub fn second_moment(self, rate: f64) -> f64 {
+        match self {
+            ServiceKind::Deterministic => 1.0 / (rate * rate),
+            ServiceKind::Exponential => 2.0 / (rate * rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    #[test]
+    fn deterministic_is_exact() {
+        let mut rng = derive_rng(1, 0);
+        assert_eq!(ServiceKind::Deterministic.sample(1.0, &mut rng), 1.0);
+        assert_eq!(ServiceKind::Deterministic.sample(4.0, &mut rng), 0.25);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = derive_rng(2, 0);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| ServiceKind::Exponential.sample(2.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn second_moments() {
+        assert_eq!(ServiceKind::Deterministic.second_moment(1.0), 1.0);
+        assert_eq!(ServiceKind::Exponential.second_moment(1.0), 2.0);
+        assert_eq!(ServiceKind::Exponential.second_moment(2.0), 0.5);
+    }
+}

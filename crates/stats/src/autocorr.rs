@@ -1,0 +1,202 @@
+//! Autocorrelation analysis and effective sample size.
+//!
+//! Delay observations from one simulation run are serially correlated
+//! (consecutive packets share queue backlogs), so `n` observations carry
+//! fewer than `n` observations' worth of information. [`Autocorrelation`]
+//! estimates the lag-k autocorrelation function from a buffered window and
+//! derives the *effective sample size* `n_eff = n / (1 + 2Σ_k ρ_k)` — the
+//! standard correction (initial-positive-sequence truncation, Geyer 1992)
+//! used when judging whether a run is long enough.
+
+use serde::{Deserialize, Serialize};
+
+/// Estimates autocorrelations of a scalar series up to a maximum lag.
+///
+/// Observations are buffered (this analyzer is for offline diagnostics, not
+/// the per-event hot path).
+///
+/// # Examples
+///
+/// ```
+/// use meshbound_stats::autocorr::Autocorrelation;
+/// let mut ac = Autocorrelation::new(8);
+/// for i in 0..1000 {
+///     ac.push(f64::from(i % 2)); // perfectly alternating
+/// }
+/// let rho = ac.rho(1).unwrap();
+/// assert!(rho < -0.9, "lag-1 autocorrelation of an alternating series");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Autocorrelation {
+    max_lag: usize,
+    data: Vec<f64>,
+}
+
+impl Autocorrelation {
+    /// Creates an analyzer that can report lags `1..=max_lag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lag == 0`.
+    #[must_use]
+    pub fn new(max_lag: usize) -> Self {
+        assert!(max_lag >= 1);
+        Self {
+            max_lag,
+            data: Vec::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.data.push(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no observations were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Lag-`k` autocorrelation estimate, or `None` when there are not at
+    /// least `k + 2` observations or the series is constant.
+    #[must_use]
+    pub fn rho(&self, k: usize) -> Option<f64> {
+        assert!(k >= 1 && k <= self.max_lag, "lag out of range");
+        let n = self.data.len();
+        if n < k + 2 {
+            return None;
+        }
+        let mean = self.mean();
+        let c0: f64 = self.data.iter().map(|x| (x - mean) * (x - mean)).sum();
+        if c0 == 0.0 {
+            return None;
+        }
+        let ck: f64 = (0..n - k)
+            .map(|i| (self.data[i] - mean) * (self.data[i + k] - mean))
+            .sum();
+        Some(ck / c0)
+    }
+
+    /// Integrated autocorrelation time `τ = 1 + 2Σρ_k`, truncating the sum
+    /// at the first non-positive estimate (initial-positive-sequence rule)
+    /// or at `max_lag`.
+    #[must_use]
+    pub fn integrated_time(&self) -> f64 {
+        let mut tau = 1.0;
+        for k in 1..=self.max_lag {
+            match self.rho(k) {
+                Some(r) if r > 0.0 => tau += 2.0 * r,
+                _ => break,
+            }
+        }
+        tau
+    }
+
+    /// Effective sample size `n / τ`.
+    #[must_use]
+    pub fn effective_sample_size(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.len() as f64 / self.integrated_time()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_stream(n: usize) -> Vec<f64> {
+        let mut state: u64 = 0x1234_5678;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iid_series_has_near_zero_autocorrelation() {
+        let mut ac = Autocorrelation::new(5);
+        for x in lcg_stream(50_000) {
+            ac.push(x);
+        }
+        for k in 1..=5 {
+            let r = ac.rho(k).unwrap();
+            assert!(r.abs() < 0.02, "lag {k}: {r}");
+        }
+        let ess = ac.effective_sample_size();
+        assert!(ess > 45_000.0, "ESS {ess}");
+    }
+
+    #[test]
+    fn ar1_series_has_geometric_autocorrelation() {
+        // x_{t+1} = φ x_t + ε with φ = 0.8 → ρ_k ≈ 0.8^k.
+        let phi = 0.8;
+        let noise = lcg_stream(100_000);
+        let mut ac = Autocorrelation::new(50);
+        let mut x = 0.0;
+        for e in noise {
+            x = phi * x + (e - 0.5);
+            ac.push(x);
+        }
+        for k in 1..=4 {
+            let expect = phi_powi(phi, k);
+            let got = ac.rho(k).unwrap();
+            assert!((got - expect).abs() < 0.05, "lag {k}: {got} vs {expect}");
+        }
+        // τ for AR(1): (1+φ)/(1−φ) = 9 → ESS ≈ n/9 (max_lag 50 leaves a
+        // truncation error below 0.8^50 ≈ 1e-5).
+        let ess = ac.effective_sample_size();
+        assert!((ess - 100_000.0 / 9.0).abs() < 2_500.0, "ESS {ess}");
+    }
+
+    fn phi_powi(phi: f64, k: usize) -> f64 {
+        phi.powi(i32::try_from(k).unwrap())
+    }
+
+    #[test]
+    fn constant_series_yields_none() {
+        let mut ac = Autocorrelation::new(3);
+        for _ in 0..100 {
+            ac.push(7.0);
+        }
+        assert!(ac.rho(1).is_none());
+        assert_eq!(ac.integrated_time(), 1.0);
+    }
+
+    #[test]
+    fn too_short_series_yields_none() {
+        let mut ac = Autocorrelation::new(3);
+        ac.push(1.0);
+        ac.push(2.0);
+        assert!(ac.rho(2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lag out of range")]
+    fn lag_beyond_max_panics() {
+        let ac = Autocorrelation::new(2);
+        let _ = ac.rho(3);
+    }
+}

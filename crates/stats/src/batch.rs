@@ -1,0 +1,147 @@
+//! Batch-means variance estimation for autocorrelated series.
+//!
+//! Observations produced by a single simulation run are correlated, so the
+//! naive standard error underestimates uncertainty. The batch-means method
+//! groups consecutive observations into `k` batches, treats batch averages as
+//! approximately independent, and derives the confidence interval from their
+//! spread.
+
+use crate::ci::ConfidenceInterval;
+use crate::welford::Welford;
+use serde::{Deserialize, Serialize};
+
+/// Fixed-batch-count means accumulator.
+///
+/// Observations are pushed one at a time; the accumulator fills `batch_size`
+/// observations into each batch and keeps a [`Welford`] over completed batch
+/// means.
+///
+/// # Examples
+///
+/// ```
+/// use meshbound_stats::BatchMeans;
+/// let mut bm = BatchMeans::new(10);
+/// for i in 0..100 {
+///     bm.push(i as f64);
+/// }
+/// assert_eq!(bm.completed_batches(), 10);
+/// let ci = bm.confidence_interval(0.95);
+/// assert!((ci.mean - 49.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batches: Welford,
+    overall: Welford,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size (must be ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    #[must_use]
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        Self {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batches: Welford::new(),
+            overall: Welford::new(),
+        }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.overall.push(x);
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    #[must_use]
+    pub fn completed_batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Total number of observations, including those in the open batch.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Mean over all observations (not just completed batches).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// Standard error of the mean estimated from completed batch means.
+    #[must_use]
+    pub fn standard_error(&self) -> f64 {
+        self.batches.standard_error()
+    }
+
+    /// Student-t confidence interval at `level`, using completed batches as
+    /// the independent replicates.
+    #[must_use]
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        let dof = self.completed_batches().saturating_sub(1).max(1);
+        ConfidenceInterval::from_standard_error(
+            self.batches.mean(),
+            self.batches.standard_error(),
+            dof,
+            level,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_fill_correctly() {
+        let mut bm = BatchMeans::new(4);
+        for i in 0..10 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.completed_batches(), 2);
+        assert_eq!(bm.count(), 10);
+        // batch means: 1.5 and 5.5
+        assert!((bm.batches.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_interval_covers_truth_roughly() {
+        // Deterministic pseudo-random sequence with mean 0.5.
+        let mut state: u64 = 12345;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let mut bm = BatchMeans::new(100);
+        for _ in 0..10_000 {
+            bm.push(next());
+        }
+        let ci = bm.confidence_interval(0.99);
+        assert!(ci.contains(0.5), "interval {ci:?} should contain 0.5");
+        assert!(ci.half_width < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let _ = BatchMeans::new(0);
+    }
+}

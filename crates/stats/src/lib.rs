@@ -1,0 +1,32 @@
+//! Streaming statistics for discrete-event simulation.
+//!
+//! This crate provides the statistical machinery used by the `meshbound`
+//! simulator: numerically stable running moments ([`Welford`]), time-weighted
+//! averages of piecewise-constant signals ([`TimeWeighted`]), batch-means
+//! variance estimation for correlated series ([`BatchMeans`]), Student-t
+//! confidence intervals ([`ci`]), and simple fixed-width histograms
+//! ([`Histogram`]).
+//!
+//! All accumulators are `O(1)` per observation and allocation-free on the hot
+//! path, following the performance guidance for simulation inner loops.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod autocorr;
+pub mod batch;
+pub mod ci;
+pub mod hist;
+pub mod reservoir;
+pub mod summary;
+pub mod timeavg;
+pub mod welford;
+
+pub use autocorr::Autocorrelation;
+pub use batch::BatchMeans;
+pub use ci::{normal_quantile, t_quantile, ConfidenceInterval};
+pub use hist::Histogram;
+pub use reservoir::Reservoir;
+pub use summary::Summary;
+pub use timeavg::TimeWeighted;
+pub use welford::Welford;

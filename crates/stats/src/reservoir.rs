@@ -1,0 +1,178 @@
+//! Bounded-memory reservoir sampling for quantile estimation.
+//!
+//! Delay distributions of long simulation runs cannot be buffered in full;
+//! [`Reservoir`] keeps a uniform random subsample of fixed capacity
+//! (Vitter's Algorithm R), from which any quantile is estimated by sorting
+//! the sample.
+
+use serde::{Deserialize, Serialize};
+
+/// Uniform reservoir sample of a stream.
+///
+/// # Examples
+///
+/// ```
+/// use meshbound_stats::Reservoir;
+/// let mut r = Reservoir::new(1000, 42);
+/// for i in 0..100_000 {
+///     r.push(f64::from(i % 100));
+/// }
+/// let median = r.quantile(0.5).unwrap();
+/// assert!((median - 49.5).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    sample: Vec<f64>,
+    rng_state: u64,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0);
+        Self {
+            capacity,
+            seen: 0,
+            sample: Vec::with_capacity(capacity.min(4096)),
+            rng_state: seed | 1,
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — adequate for reservoir index selection.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Offers one value to the reservoir.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(x);
+        } else {
+            let j = self.next_u64() % self.seen;
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = x;
+            }
+        }
+    }
+
+    /// Values offered so far.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current sample size (`min(seen, capacity)`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Whether the reservoir is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// Estimated `q`-quantile (nearest-rank on the sorted sample), or
+    /// `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.sample.is_empty() {
+            return None;
+        }
+        let mut sorted = self.sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN delays"));
+        let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        Some(sorted[idx])
+    }
+
+    /// Several quantiles at once (single sort).
+    #[must_use]
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Option<f64>> {
+        if self.sample.is_empty() {
+            return qs.iter().map(|_| None).collect();
+        }
+        let mut sorted = self.sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN delays"));
+        qs.iter()
+            .map(|&q| {
+                assert!((0.0..=1.0).contains(&q));
+                let idx =
+                    ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+                Some(sorted[idx])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_everything_under_capacity() {
+        let mut r = Reservoir::new(100, 1);
+        for i in 0..50 {
+            r.push(f64::from(i));
+        }
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.quantile(0.0), Some(0.0));
+        assert_eq!(r.quantile(1.0), Some(49.0));
+    }
+
+    #[test]
+    fn uniform_stream_quantiles() {
+        let mut r = Reservoir::new(4096, 7);
+        let mut state = 99u64;
+        for _ in 0..500_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            r.push((state >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        assert_eq!(r.seen(), 500_000);
+        for (q, expect) in [(0.25, 0.25), (0.5, 0.5), (0.95, 0.95)] {
+            let got = r.quantile(q).unwrap();
+            assert!((got - expect).abs() < 0.03, "q={q}: {got}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut r = Reservoir::new(10, seed);
+            for i in 0..1000 {
+                r.push(f64::from(i));
+            }
+            r.quantile(0.5)
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let r = Reservoir::new(4, 1);
+        assert_eq!(r.quantile(0.5), None);
+        assert_eq!(r.quantiles(&[0.1, 0.9]), vec![None, None]);
+    }
+}

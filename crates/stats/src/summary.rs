@@ -1,0 +1,108 @@
+//! Aggregation of independent replication results into summary statistics.
+
+use crate::ci::ConfidenceInterval;
+use crate::welford::Welford;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one scalar metric across independent replications.
+///
+/// Replications are fully independent simulation runs (different seeds), so
+/// their per-run averages are i.i.d. and a Student-t interval applies
+/// directly.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    acc: Welford,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a summary from a slice of per-replication values.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one replication's value.
+    pub fn push(&mut self, value: f64) {
+        self.acc.push(value);
+    }
+
+    /// Number of replications.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// Mean across replications.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.acc.mean()
+    }
+
+    /// Sample standard deviation across replications.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.acc.sample_std_dev()
+    }
+
+    /// Minimum replication value.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.acc.min()
+    }
+
+    /// Maximum replication value.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.acc.max()
+    }
+
+    /// Student-t confidence interval at `level`.
+    #[must_use]
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        let dof = self.acc.count().saturating_sub(1).max(1);
+        ConfidenceInterval::from_standard_error(
+            self.acc.mean(),
+            self.acc.standard_error(),
+            dof,
+            level,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_matches_push() {
+        let values = [1.0, 2.0, 3.0];
+        let s = Summary::from_values(&values);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn interval_shrinks_with_replications() {
+        let narrow = Summary::from_values(&[5.0; 2]);
+        let mut many = Vec::new();
+        for i in 0..40 {
+            many.push(5.0 + if i % 2 == 0 { 0.1 } else { -0.1 });
+        }
+        let wide = Summary::from_values(&[4.9, 5.1]);
+        let tight = Summary::from_values(&many);
+        assert!(tight.confidence_interval(0.95).half_width < wide.confidence_interval(0.95).half_width);
+        assert_eq!(narrow.confidence_interval(0.95).half_width, 0.0);
+    }
+}

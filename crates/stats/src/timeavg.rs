@@ -1,0 +1,184 @@
+//! Time-weighted averages of piecewise-constant signals.
+//!
+//! Discrete-event simulators observe quantities like "number of packets in the
+//! system" that change only at event instants. The time average of such a
+//! signal is the integral of the piecewise-constant path divided by elapsed
+//! time; [`TimeWeighted`] maintains that integral incrementally.
+
+use serde::{Deserialize, Serialize};
+
+/// Integrator for a piecewise-constant, real-valued signal.
+///
+/// Call [`TimeWeighted::set`] (or [`TimeWeighted::add`]) whenever the signal
+/// changes; the integral of the previous value over the elapsed interval is
+/// accumulated automatically.
+///
+/// # Examples
+///
+/// ```
+/// use meshbound_stats::TimeWeighted;
+/// let mut tw = TimeWeighted::new(0.0, 0.0);
+/// tw.set(1.0, 2.0);  // value 2 from t=1
+/// tw.set(3.0, 0.0);  // back to 0 at t=3
+/// assert_eq!(tw.time_average(3.0), (0.0 * 1.0 + 2.0 * 2.0) / 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    value: f64,
+    last_time: f64,
+    integral: f64,
+    start_time: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Creates an integrator whose signal has `value` from time `start`.
+    #[must_use]
+    pub fn new(start: f64, value: f64) -> Self {
+        Self {
+            value,
+            last_time: start,
+            integral: 0.0,
+            start_time: start,
+            peak: value,
+        }
+    }
+
+    /// Advances the clock to `now`, accumulating the current value, without
+    /// changing the signal.
+    #[inline]
+    pub fn advance(&mut self, now: f64) {
+        debug_assert!(now >= self.last_time, "time must be monotone");
+        self.integral += self.value * (now - self.last_time);
+        self.last_time = now;
+    }
+
+    /// Sets the signal to `value` at time `now`.
+    #[inline]
+    pub fn set(&mut self, now: f64, value: f64) {
+        self.advance(now);
+        self.value = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// Adds `delta` to the signal at time `now`.
+    #[inline]
+    pub fn add(&mut self, now: f64, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current signal value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value the signal has taken.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Integral of the signal from the start time through `now`.
+    #[must_use]
+    pub fn integral(&self, now: f64) -> f64 {
+        self.integral + self.value * (now - self.last_time)
+    }
+
+    /// Time average of the signal over `[start, now]`; 0 over an empty window.
+    #[must_use]
+    pub fn time_average(&self, now: f64) -> f64 {
+        let span = now - self.start_time;
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.integral(now) / span
+        }
+    }
+
+    /// Restarts integration at `now`, keeping the current signal value.
+    ///
+    /// Used to discard a simulation warmup period: statistics gathered before
+    /// `now` are dropped while the in-flight state is preserved.
+    pub fn reset(&mut self, now: f64) {
+        self.integral = 0.0;
+        self.last_time = now;
+        self.start_time = now;
+        self.peak = self.value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_signal_average_is_value() {
+        let mut tw = TimeWeighted::new(0.0, 5.0);
+        tw.advance(10.0);
+        assert!((tw.time_average(10.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_signal() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.set(2.0, 3.0);
+        tw.set(5.0, 1.0);
+        // 0*2 + 3*3 + 1*5 over [0,10]
+        assert!((tw.time_average(10.0) - (9.0 + 5.0) / 10.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 3.0);
+    }
+
+    #[test]
+    fn add_tracks_deltas() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.add(1.0, 1.0);
+        tw.add(2.0, 1.0);
+        tw.add(3.0, -2.0);
+        assert_eq!(tw.value(), 0.0);
+        // integral: 0*1 + 1*1 + 2*1 = 3
+        assert!((tw.integral(3.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_discards_history() {
+        let mut tw = TimeWeighted::new(0.0, 10.0);
+        tw.advance(5.0);
+        tw.reset(5.0);
+        assert_eq!(tw.integral(5.0), 0.0);
+        tw.advance(7.0);
+        assert!((tw.time_average(7.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let tw = TimeWeighted::new(3.0, 7.0);
+        assert_eq!(tw.time_average(3.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_average_bounded_by_extremes(
+            steps in proptest::collection::vec((0.001f64..10.0, -100.0f64..100.0), 1..50),
+        ) {
+            let mut tw = TimeWeighted::new(0.0, 0.0);
+            let mut t = 0.0;
+            let mut lo: f64 = 0.0;
+            let mut hi: f64 = 0.0;
+            for &(dt, v) in &steps {
+                t += dt;
+                tw.set(t, v);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let end = t + 1.0;
+            let avg = tw.time_average(end);
+            prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+            prop_assert!(tw.peak() >= hi);
+        }
+    }
+}

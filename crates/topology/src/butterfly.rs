@@ -1,0 +1,210 @@
+//! The `d`-level butterfly network (§4.5).
+//!
+//! Packets enter at level-0 nodes and traverse exactly `d` edges to a
+//! level-`d` output; the route between an input row and an output row is
+//! unique, which is why the paper's Theorem 10 bound (with `d` services per
+//! packet) applies directly.
+
+use crate::ids::{EdgeId, NodeId};
+use crate::traits::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A butterfly with `d` levels of edges and `d+1` levels of `2^d` nodes.
+///
+/// Node `(level l, row w)` has id `l·2^d + w`. Each node at level `l < d`
+/// has two outgoing edges: *straight* to `(l+1, w)` and *cross* to
+/// `(l+1, w ⊕ 2^l)`; level-`l` edges therefore decide bit `l` of the output
+/// row. Edge ids: `l·2^{d+1} + 2w + s` with `s = 0` straight, `s = 1` cross.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Butterfly {
+    levels: u32,
+}
+
+impl Butterfly {
+    /// Creates a butterfly with `d` levels of edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ d ≤ 20`.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!((1..=20).contains(&d), "butterfly level count out of range");
+        Self { levels: d as u32 }
+    }
+
+    /// Number of edge levels `d`.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.levels as usize
+    }
+
+    /// Rows per level, `2^d`.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        1usize << self.levels
+    }
+
+    /// Node id of `(level, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when out of range.
+    #[inline]
+    #[must_use]
+    pub fn node(&self, level: usize, row: usize) -> NodeId {
+        debug_assert!(level <= self.levels());
+        debug_assert!(row < self.rows());
+        NodeId((level * self.rows() + row) as u32)
+    }
+
+    /// `(level, row)` of a node id.
+    #[inline]
+    #[must_use]
+    pub fn coords(&self, v: NodeId) -> (usize, usize) {
+        (v.index() / self.rows(), v.index() % self.rows())
+    }
+
+    /// The edge out of `(level, row)`; `cross` selects the bit-flipping edge.
+    #[inline]
+    #[must_use]
+    pub fn edge_from(&self, level: usize, row: usize, cross: bool) -> EdgeId {
+        debug_assert!(level < self.levels());
+        EdgeId((level * 2 * self.rows() + 2 * row + usize::from(cross)) as u32)
+    }
+
+    /// Level of an edge (the bit of the output row it decides).
+    #[inline]
+    #[must_use]
+    pub fn edge_level(&self, e: EdgeId) -> usize {
+        e.index() / (2 * self.rows())
+    }
+
+    /// Next edge on the unique route from node `v` to output row
+    /// `out_row`, or `None` if `v` is already at the output level.
+    #[inline]
+    #[must_use]
+    pub fn step_toward(&self, v: NodeId, out_row: usize) -> Option<EdgeId> {
+        let (l, w) = self.coords(v);
+        if l >= self.levels() {
+            return None;
+        }
+        let want = (out_row >> l) & 1;
+        let have = (w >> l) & 1;
+        Some(self.edge_from(l, w, want != have))
+    }
+}
+
+impl Topology for Butterfly {
+    fn num_nodes(&self) -> usize {
+        (self.levels() + 1) * self.rows()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.levels() * 2 * self.rows()
+    }
+
+    fn edge_source(&self, e: EdgeId) -> NodeId {
+        let per_level = 2 * self.rows();
+        let l = e.index() / per_level;
+        let w = (e.index() % per_level) / 2;
+        self.node(l, w)
+    }
+
+    fn edge_target(&self, e: EdgeId) -> NodeId {
+        let per_level = 2 * self.rows();
+        let l = e.index() / per_level;
+        let w = (e.index() % per_level) / 2;
+        let cross = e.index() % 2 == 1;
+        let w2 = if cross { w ^ (1 << l) } else { w };
+        self.node(l + 1, w2)
+    }
+
+    fn out_edges_into(&self, v: NodeId, out: &mut Vec<EdgeId>) {
+        out.clear();
+        let (l, w) = self.coords(v);
+        if l < self.levels() {
+            out.push(self.edge_from(l, w, false));
+            out.push(self.edge_from(l, w, true));
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("butterfly d={}", self.levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts() {
+        let b = Butterfly::new(3);
+        assert_eq!(b.num_nodes(), 4 * 8);
+        assert_eq!(b.num_edges(), 3 * 16);
+    }
+
+    #[test]
+    fn output_nodes_have_no_out_edges() {
+        let b = Butterfly::new(2);
+        for w in 0..b.rows() {
+            assert!(b.out_edges(b.node(2, w)).is_empty());
+        }
+        for w in 0..b.rows() {
+            assert_eq!(b.out_edges(b.node(0, w)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn route_reaches_requested_output() {
+        let b = Butterfly::new(4);
+        for start in 0..b.rows() {
+            for out in 0..b.rows() {
+                let mut v = b.node(0, start);
+                let mut hops = 0;
+                while let Some(e) = b.step_toward(v, out) {
+                    v = b.edge_target(e);
+                    hops += 1;
+                    assert!(hops <= 4);
+                }
+                assert_eq!(b.coords(v), (4, out));
+                assert_eq!(hops, 4, "all packets cross exactly d edges");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_endpoints_adjacent_levels() {
+        let b = Butterfly::new(3);
+        for e in b.edges() {
+            let (ls, _) = b.coords(b.edge_source(e));
+            let (lt, _) = b.coords(b.edge_target(e));
+            assert_eq!(lt, ls + 1);
+            assert_eq!(b.edge_level(e), ls);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_unique_route_is_deterministic(d in 1usize..6, s in 0usize..32, o in 0usize..32) {
+            let b = Butterfly::new(d);
+            let s = s % b.rows();
+            let o = o % b.rows();
+            let mut v = b.node(0, s);
+            let mut path = Vec::new();
+            while let Some(e) = b.step_toward(v, o) {
+                path.push(e);
+                v = b.edge_target(e);
+            }
+            prop_assert_eq!(path.len(), d);
+            // Rerunning gives the identical path (routing is deterministic).
+            let mut v2 = b.node(0, s);
+            for &e in &path {
+                let e2 = b.step_toward(v2, o).unwrap();
+                prop_assert_eq!(e2, e);
+                v2 = b.edge_target(e2);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The `d`-dimensional hypercube (§4.5).
+
+use crate::ids::{EdgeId, NodeId};
+use crate::traits::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A directed hypercube of dimension `d`: nodes are the bit-strings
+/// `0..2^d`, and each node has one outgoing edge per dimension to the
+/// neighbour differing in that bit.
+///
+/// Edge layout: the edge from node `u` across dimension `i` has id
+/// `u·d + i`, so per-node out-edges are contiguous.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Creates a hypercube of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ d ≤ 26` (keeping ids within `u32`).
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!((1..=26).contains(&d), "hypercube dimension out of range");
+        Self { dim: d as u32 }
+    }
+
+    /// Dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The edge from `u` across dimension `i` (flipping bit `i`).
+    #[inline]
+    #[must_use]
+    pub fn edge_across(&self, u: NodeId, i: usize) -> EdgeId {
+        debug_assert!(i < self.dim());
+        EdgeId(u.0 * self.dim + i as u32)
+    }
+
+    /// The dimension an edge crosses.
+    #[inline]
+    #[must_use]
+    pub fn edge_dimension(&self, e: EdgeId) -> usize {
+        (e.0 % self.dim) as usize
+    }
+
+    /// Hamming distance between two nodes.
+    #[inline]
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        (a.0 ^ b.0).count_ones() as usize
+    }
+
+    /// Lowest differing dimension between `from` and `to`, i.e. the next
+    /// dimension canonical-order greedy routing corrects; `None` if equal.
+    #[inline]
+    #[must_use]
+    pub fn next_differing_dim(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        let x = from.0 ^ to.0;
+        if x == 0 {
+            None
+        } else {
+            Some(x.trailing_zeros() as usize)
+        }
+    }
+}
+
+impl Topology for Hypercube {
+    fn num_nodes(&self) -> usize {
+        1usize << self.dim
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_nodes() * self.dim()
+    }
+
+    fn edge_source(&self, e: EdgeId) -> NodeId {
+        NodeId(e.0 / self.dim)
+    }
+
+    fn edge_target(&self, e: EdgeId) -> NodeId {
+        let u = e.0 / self.dim;
+        let i = e.0 % self.dim;
+        NodeId(u ^ (1 << i))
+    }
+
+    fn out_edges_into(&self, v: NodeId, out: &mut Vec<EdgeId>) {
+        out.clear();
+        for i in 0..self.dim() {
+            out.push(self.edge_across(v, i));
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("hypercube d={}", self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts() {
+        let h = Hypercube::new(4);
+        assert_eq!(h.num_nodes(), 16);
+        assert_eq!(h.num_edges(), 64);
+    }
+
+    #[test]
+    fn edges_flip_exactly_one_bit() {
+        let h = Hypercube::new(5);
+        for e in h.edges() {
+            let s = h.edge_source(e);
+            let t = h.edge_target(e);
+            assert_eq!((s.0 ^ t.0).count_ones(), 1);
+            assert_eq!(h.distance(s, t), 1);
+        }
+    }
+
+    #[test]
+    fn reverse_edge_exists() {
+        let h = Hypercube::new(3);
+        for e in h.edges() {
+            let s = h.edge_source(e);
+            let t = h.edge_target(e);
+            let back = h.find_edge(t, s);
+            assert!(back.is_some());
+            assert_ne!(back, Some(e));
+        }
+    }
+
+    #[test]
+    fn canonical_routing_corrects_lowest_bit_first() {
+        let h = Hypercube::new(4);
+        let from = NodeId(0b0000);
+        let to = NodeId(0b1010);
+        assert_eq!(h.next_differing_dim(from, to), Some(1));
+        let e = h.edge_across(from, 1);
+        let mid = h.edge_target(e);
+        assert_eq!(h.next_differing_dim(mid, to), Some(3));
+        assert_eq!(h.next_differing_dim(to, to), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_route_length_is_hamming(d in 2usize..8, a in 0u32..256, b in 0u32..256) {
+            let h = Hypercube::new(d);
+            let mask = (1u32 << d) - 1;
+            let mut cur = NodeId(a & mask);
+            let to = NodeId(b & mask);
+            let mut hops = 0;
+            while let Some(i) = h.next_differing_dim(cur, to) {
+                cur = h.edge_target(h.edge_across(cur, i));
+                hops += 1;
+                prop_assert!(hops <= d);
+            }
+            prop_assert_eq!(hops, h.distance(NodeId(a & mask), to));
+            prop_assert_eq!(cur, to);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Dense integer identifiers for nodes and edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node, dense in `0..num_nodes`.
+///
+/// A thin `u32` newtype: topologies in this workspace stay well under 2³²
+/// nodes, and the narrow index keeps per-packet state small (see the type-size
+/// guidance in the workspace performance notes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed edge, dense in `0..num_edges`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The identifier as a `usize` array index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The identifier as a `usize` array index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index exceeds u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let n = NodeId::from(17usize);
+        assert_eq!(n.index(), 17);
+        let e = EdgeId::from(3usize);
+        assert_eq!(e.index(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(2).to_string(), "v2");
+        assert_eq!(EdgeId(5).to_string(), "e5");
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+    }
+}

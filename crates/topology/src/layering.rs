@@ -1,0 +1,299 @@
+//! The Lemma 2 layering of the array (the paper's Figure 1).
+//!
+//! A network is *layered* (Theorem 1, first condition) if the edges can be
+//! labelled so that every packet crosses edges with strictly increasing
+//! labels. Lemma 2 exhibits such a labelling for greedy routing on the
+//! `n × n` array:
+//!
+//! | edge (1-based coordinates)   | label    |
+//! |------------------------------|----------|
+//! | `((i, j), (i, j+1))` (right) | `j`      |
+//! | `((i, j+1), (i, j))` (left)  | `n − j`  |
+//! | `((i, j), (i+1, j))` (down)  | `n+i−1`  |
+//! | `((i+1, j), (i, j))` (up)    | `2n−i−1` |
+//!
+//! Row-edge labels lie in `1..n−1` and column-edge labels in `n..2n−2`, so a
+//! greedy packet — which first moves monotonically along its row, then
+//! monotonically along its column — sees strictly increasing labels.
+
+use crate::ids::EdgeId;
+use crate::mesh::{Direction, Mesh2D};
+
+/// The Lemma 2 label of a mesh edge (see module docs for the table).
+///
+/// # Panics
+///
+/// Panics if the mesh is not square (the paper states the lemma for `n × n`
+/// arrays; rectangular variants are a straightforward generalization we do
+/// not need here).
+#[must_use]
+pub fn lemma2_label(mesh: &Mesh2D, e: EdgeId) -> usize {
+    let n = mesh.side();
+    let ((r1, c1), (_, c2)) = mesh.edge_coords(e);
+    match mesh.direction(e) {
+        // 1-based j of the source column: j = c1 + 1.
+        Direction::Right => c1 + 1,
+        // Source is (i, j+1) with j = c2 + 1 (1-based target column), label n − j.
+        Direction::Left => n - (c2 + 1),
+        // Source is (i, j), label n + i − 1 with i = r1 + 1.
+        Direction::Down => n + (r1 + 1) - 1,
+        // Source is (i+1, j), label 2n − i − 1 with i = r1 (source row is i+1 = r1+1).
+        Direction::Up => 2 * n - r1 - 1,
+    }
+}
+
+/// Checks that `label` strictly increases along every path in `paths`.
+///
+/// Returns the first violating `(path_index, position)` if any; `Ok(())`
+/// means the labelling layers the given set of paths.
+///
+/// # Errors
+///
+/// Returns `Err((p, k))` when edge `k+1` of path `p` does not carry a larger
+/// label than edge `k`.
+pub fn check_layered<F>(paths: &[Vec<EdgeId>], mut label: F) -> Result<(), (usize, usize)>
+where
+    F: FnMut(EdgeId) -> usize,
+{
+    for (p, path) in paths.iter().enumerate() {
+        for k in 1..path.len() {
+            if label(path[k]) <= label(path[k - 1]) {
+                return Err((p, k - 1));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Enumerates the greedy (column-first, then row) path between two nodes of
+/// a square mesh, as a sequence of edge ids.
+///
+/// This is the reference path enumeration used by the layering check and by
+/// exact arrival-rate computation; the routing crate provides the
+/// incremental, allocation-free equivalent for simulation.
+#[must_use]
+pub fn greedy_path(mesh: &Mesh2D, from: (usize, usize), to: (usize, usize)) -> Vec<EdgeId> {
+    let mut path = Vec::with_capacity(
+        from.0.abs_diff(to.0) + from.1.abs_diff(to.1),
+    );
+    let (r0, mut c) = from;
+    // Phase 1: correct the column along row edges.
+    while c != to.1 {
+        if c < to.1 {
+            path.push(mesh.right_edge(r0, c));
+            c += 1;
+        } else {
+            path.push(mesh.left_edge(r0, c - 1));
+            c -= 1;
+        }
+    }
+    // Phase 2: correct the row along column edges.
+    let mut r = r0;
+    while r != to.0 {
+        if r < to.0 {
+            path.push(mesh.down_edge(r, c));
+            r += 1;
+        } else {
+            path.push(mesh.up_edge(r - 1, c));
+            r -= 1;
+        }
+    }
+    path
+}
+
+/// All greedy paths between every ordered pair of nodes (excluding
+/// self-pairs, which have empty paths).
+#[must_use]
+pub fn all_greedy_paths(mesh: &Mesh2D) -> Vec<Vec<EdgeId>> {
+    let n = mesh.side();
+    let mut paths = Vec::with_capacity(n * n * (n * n - 1));
+    for r1 in 0..n {
+        for c1 in 0..n {
+            for r2 in 0..n {
+                for c2 in 0..n {
+                    if (r1, c1) != (r2, c2) {
+                        paths.push(greedy_path(mesh, (r1, c1), (r2, c2)));
+                    }
+                }
+            }
+        }
+    }
+    paths
+}
+
+/// Attempts to *discover* a layering for an arbitrary set of paths over
+/// `num_edges` edges, by topologically sorting the edge-precedence relation
+/// (edge `u` precedes edge `v` when `v` directly follows `u` on some path).
+///
+/// Returns `Some(labels)` — one label per edge, strictly increasing along
+/// every given path — iff the precedence graph is acyclic; `None` means no
+/// labelling can layer these paths (Theorem 1 cannot apply), which is
+/// exactly the §6 situation for greedy routing on the torus.
+///
+/// Runs in `O(num_edges + Σ path lengths)` using Kahn's algorithm.
+#[must_use]
+pub fn find_layering(num_edges: usize, paths: &[Vec<EdgeId>]) -> Option<Vec<usize>> {
+    // Build the precedence multigraph (deduplicated adjacency).
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); num_edges];
+    let mut indeg: Vec<u32> = vec![0; num_edges];
+    {
+        let mut seen = std::collections::HashSet::new();
+        for path in paths {
+            for w in path.windows(2) {
+                let (a, b) = (w[0].0, w[1].0);
+                if seen.insert((a, b)) {
+                    succ[a as usize].push(b);
+                    indeg[b as usize] += 1;
+                }
+            }
+        }
+    }
+    // Kahn's algorithm, assigning each edge the longest-path depth so that
+    // labels strictly increase along every precedence arc.
+    let mut label = vec![0usize; num_edges];
+    let mut queue: std::collections::VecDeque<u32> = indeg
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(i, _)| i as u32)
+        .collect();
+    let mut visited = 0usize;
+    while let Some(u) = queue.pop_front() {
+        visited += 1;
+        let lu = label[u as usize];
+        for &v in &succ[u as usize] {
+            label[v as usize] = label[v as usize].max(lu + 1);
+            indeg[v as usize] -= 1;
+            if indeg[v as usize] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    (visited == num_edges).then_some(label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Topology;
+
+    #[test]
+    fn labels_match_paper_table() {
+        // n = 5, 1-based example: right edge from (2,3): label 3.
+        let m = Mesh2D::square(5);
+        assert_eq!(lemma2_label(&m, m.right_edge(1, 2)), 3);
+        // Left edge ((2,4),(2,3)): j = 3, label n−j = 2.
+        assert_eq!(lemma2_label(&m, m.left_edge(1, 2)), 2);
+        // Down edge ((2,3),(3,3)): label n+i−1 = 5+2−1 = 6.
+        assert_eq!(lemma2_label(&m, m.down_edge(1, 2)), 6);
+        // Up edge ((3,3),(2,3)): label 2n−i−1 = 10−2−1 = 7.
+        assert_eq!(lemma2_label(&m, m.up_edge(1, 2)), 7);
+    }
+
+    #[test]
+    fn row_labels_below_column_labels() {
+        let m = Mesh2D::square(6);
+        for e in crate::traits::Topology::edges(&m) {
+            let lbl = lemma2_label(&m, e);
+            if m.direction(e).is_row() {
+                assert!((1..=5).contains(&lbl), "row label {lbl}");
+            } else {
+                assert!((6..=10).contains(&lbl), "column label {lbl}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_layers_every_greedy_path() {
+        for n in [2usize, 3, 4, 5, 7] {
+            let m = Mesh2D::square(n);
+            let paths = all_greedy_paths(&m);
+            assert_eq!(
+                check_layered(&paths, |e| lemma2_label(&m, e)),
+                Ok(()),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_path_is_shortest_and_column_first() {
+        let m = Mesh2D::square(5);
+        let p = greedy_path(&m, (4, 0), (1, 3));
+        assert_eq!(p.len(), 3 + 3);
+        // First three edges are row edges, last three are column edges.
+        for e in &p[..3] {
+            assert!(m.direction(*e).is_row());
+        }
+        for e in &p[3..] {
+            assert!(!m.direction(*e).is_row());
+        }
+        // Consecutive edges share a node.
+        use crate::traits::Topology;
+        for w in p.windows(2) {
+            assert_eq!(m.edge_target(w[0]), m.edge_source(w[1]));
+        }
+        assert_eq!(m.edge_source(p[0]), m.node(4, 0));
+        assert_eq!(m.edge_target(p[5]), m.node(1, 3));
+    }
+
+    #[test]
+    fn check_layered_detects_violations() {
+        let m = Mesh2D::square(3);
+        // A fabricated "path" that repeats an edge must violate strictness.
+        let e = m.right_edge(0, 0);
+        let bad = vec![vec![e, e]];
+        assert_eq!(check_layered(&bad, |x| lemma2_label(&m, x)), Err((0, 0)));
+    }
+
+    #[test]
+    fn path_count_matches() {
+        let m = Mesh2D::square(3);
+        assert_eq!(all_greedy_paths(&m).len(), 9 * 8);
+    }
+
+    #[test]
+    fn find_layering_succeeds_on_array_greedy_paths() {
+        for n in [3usize, 4, 5] {
+            let m = Mesh2D::square(n);
+            let paths = all_greedy_paths(&m);
+            let labels = find_layering(m.num_edges(), &paths)
+                .unwrap_or_else(|| panic!("array n={n} must be layerable"));
+            assert_eq!(check_layered(&paths, |e| labels[e.index()]), Ok(()));
+        }
+    }
+
+    #[test]
+    fn find_layering_fails_on_a_directed_ring() {
+        // Three edges forming a ring: e0 → e1 → e2 → e0 as consecutive
+        // pairs across paths. No layering exists (§6's torus obstruction).
+        let paths = vec![
+            vec![EdgeId(0), EdgeId(1)],
+            vec![EdgeId(1), EdgeId(2)],
+            vec![EdgeId(2), EdgeId(0)],
+        ];
+        assert_eq!(find_layering(3, &paths), None);
+    }
+
+    #[test]
+    fn find_layering_handles_disconnected_edges() {
+        // Edges never appearing in any path get label 0 and do not block.
+        let paths = vec![vec![EdgeId(0), EdgeId(2)]];
+        let labels = find_layering(4, &paths).unwrap();
+        assert!(labels[2] > labels[0]);
+        assert_eq!(labels[1], 0);
+        assert_eq!(labels[3], 0);
+    }
+
+    #[test]
+    fn discovered_labels_at_most_lemma2_depth() {
+        // The longest-path labelling is the minimal layering; Lemma 2's
+        // hand-crafted labels use 2n−2 layers, the discovered one no more.
+        let n = 5;
+        let m = Mesh2D::square(n);
+        let paths = all_greedy_paths(&m);
+        let labels = find_layering(m.num_edges(), &paths).unwrap();
+        let depth = labels.iter().max().unwrap() + 1;
+        assert!(depth <= 2 * n - 2, "depth {depth}");
+    }
+}

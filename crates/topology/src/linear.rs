@@ -1,0 +1,168 @@
+//! The one-dimensional (linear) array used in Lemma 3 and the tightness
+//! examples of §4.4.
+
+use crate::ids::{EdgeId, NodeId};
+use crate::traits::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A linear array of `n` nodes with directed edges between neighbours.
+///
+/// Edge layout: ids `0..n−1` are the rightward edges (`k → k+1`), ids
+/// `n−1..2(n−1)` are the leftward edges (`k+1 → k`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinearArray {
+    n: u32,
+}
+
+impl LinearArray {
+    /// Creates a linear array of `n ≥ 2` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "linear array needs at least 2 nodes");
+        Self { n: n as u32 }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Always false (constructor requires ≥ 2 nodes); provided for clippy's
+    /// `len_without_is_empty` convention.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The edge `k → k+1`.
+    #[inline]
+    #[must_use]
+    pub fn right_edge(&self, k: usize) -> EdgeId {
+        debug_assert!(k + 1 < self.len());
+        EdgeId(k as u32)
+    }
+
+    /// The edge `k+1 → k`.
+    #[inline]
+    #[must_use]
+    pub fn left_edge(&self, k: usize) -> EdgeId {
+        debug_assert!(k + 1 < self.len());
+        EdgeId(self.n - 1 + k as u32)
+    }
+
+    /// Next edge on the unique path from `from` toward `to`, or `None` if
+    /// already there.
+    #[inline]
+    #[must_use]
+    pub fn step_toward(&self, from: NodeId, to: NodeId) -> Option<EdgeId> {
+        use std::cmp::Ordering;
+        match from.0.cmp(&to.0) {
+            Ordering::Less => Some(self.right_edge(from.index())),
+            Ordering::Greater => Some(self.left_edge(from.index() - 1)),
+            Ordering::Equal => None,
+        }
+    }
+}
+
+impl Topology for LinearArray {
+    fn num_nodes(&self) -> usize {
+        self.n as usize
+    }
+
+    fn num_edges(&self) -> usize {
+        2 * (self.n as usize - 1)
+    }
+
+    fn edge_source(&self, e: EdgeId) -> NodeId {
+        let m = self.n - 1;
+        if e.0 < m {
+            NodeId(e.0)
+        } else {
+            NodeId(e.0 - m + 1)
+        }
+    }
+
+    fn edge_target(&self, e: EdgeId) -> NodeId {
+        let m = self.n - 1;
+        if e.0 < m {
+            NodeId(e.0 + 1)
+        } else {
+            NodeId(e.0 - m)
+        }
+    }
+
+    fn out_edges_into(&self, v: NodeId, out: &mut Vec<EdgeId>) {
+        out.clear();
+        let k = v.index();
+        if k + 1 < self.len() {
+            out.push(self.right_edge(k));
+        }
+        if k > 0 {
+            out.push(self.left_edge(k - 1));
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("linear array n={}", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_consistent() {
+        let l = LinearArray::new(5);
+        for e in l.edges() {
+            let s = l.edge_source(e);
+            let t = l.edge_target(e);
+            assert_eq!(s.0.abs_diff(t.0), 1);
+        }
+        assert_eq!(l.num_edges(), 8);
+    }
+
+    #[test]
+    fn step_toward_walks_shortest_path() {
+        let l = LinearArray::new(6);
+        // 1 -> 4 takes three right steps.
+        let mut cur = NodeId(1);
+        let mut hops = 0;
+        while let Some(e) = l.step_toward(cur, NodeId(4)) {
+            cur = l.edge_target(e);
+            hops += 1;
+            assert!(hops <= 5, "routing loop");
+        }
+        assert_eq!(cur, NodeId(4));
+        assert_eq!(hops, 3);
+
+        // 4 -> 1 takes three left steps.
+        let mut cur = NodeId(4);
+        let mut hops = 0;
+        while let Some(e) = l.step_toward(cur, NodeId(1)) {
+            cur = l.edge_target(e);
+            hops += 1;
+        }
+        assert_eq!(cur, NodeId(1));
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn step_toward_self_is_none() {
+        let l = LinearArray::new(3);
+        assert_eq!(l.step_toward(NodeId(1), NodeId(1)), None);
+    }
+
+    #[test]
+    fn out_edges_at_ends() {
+        let l = LinearArray::new(4);
+        assert_eq!(l.out_edges(NodeId(0)).len(), 1);
+        assert_eq!(l.out_edges(NodeId(3)).len(), 1);
+        assert_eq!(l.out_edges(NodeId(1)).len(), 2);
+    }
+}

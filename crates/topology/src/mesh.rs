@@ -1,0 +1,496 @@
+//! The two-dimensional array network (the paper's main topology).
+
+use crate::ids::{EdgeId, NodeId};
+use crate::traits::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a mesh edge.
+///
+/// In the paper's coordinates, node `(1, 1)` is the upper-left corner, rows
+/// grow downward and columns grow rightward; `Right`/`Left` edges are *row*
+/// edges (used in the first, column-correcting phase of greedy routing) and
+/// `Down`/`Up` edges are *column* edges (used in the second phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward larger column index.
+    Right,
+    /// Toward smaller column index.
+    Left,
+    /// Toward larger row index.
+    Down,
+    /// Toward smaller row index.
+    Up,
+}
+
+impl Direction {
+    /// All four directions, in the crate's canonical edge-layout order.
+    pub const ALL: [Direction; 4] = [
+        Direction::Right,
+        Direction::Left,
+        Direction::Down,
+        Direction::Up,
+    ];
+
+    /// Whether this is a row (horizontal) edge direction.
+    #[must_use]
+    pub fn is_row(self) -> bool {
+        matches!(self, Direction::Right | Direction::Left)
+    }
+}
+
+/// An `m × n` array of nodes connected by directed edges to the four
+/// neighbours in the same row and column.
+///
+/// Rows and columns are **0-based** internally; the paper's 1-based `(i, j)`
+/// coordinates map to `(i−1, j−1)`. Edge ids are laid out contiguously by
+/// direction (`Right`, `Left`, `Down`, `Up`), so per-direction slices of any
+/// per-edge array are contiguous.
+///
+/// # Examples
+///
+/// ```
+/// use meshbound_topology::{Mesh2D, Topology};
+/// let mesh = Mesh2D::square(4);
+/// assert_eq!(mesh.num_nodes(), 16);
+/// assert_eq!(mesh.num_edges(), 4 * 4 * 3); // 4n(n−1)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh2D {
+    rows: u32,
+    cols: u32,
+}
+
+impl Mesh2D {
+    /// Creates a square `n × n` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn square(n: usize) -> Self {
+        Self::rect(n, n)
+    }
+
+    /// Creates a rectangular `rows × cols` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 2.
+    #[must_use]
+    pub fn rect(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 2 && cols >= 2, "mesh needs at least 2x2 nodes");
+        Self {
+            rows: rows as u32,
+            cols: cols as u32,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols as usize
+    }
+
+    /// The side length of a square mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is not square.
+    #[inline]
+    #[must_use]
+    pub fn side(&self) -> usize {
+        assert_eq!(self.rows, self.cols, "mesh is not square");
+        self.cols as usize
+    }
+
+    /// Whether the mesh is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Node id for 0-based coordinates `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if out of range.
+    #[inline]
+    #[must_use]
+    pub fn node(&self, row: usize, col: usize) -> NodeId {
+        debug_assert!(row < self.rows(), "row {row} out of range");
+        debug_assert!(col < self.cols(), "col {col} out of range");
+        NodeId((row as u32) * self.cols + col as u32)
+    }
+
+    /// 0-based `(row, col)` coordinates of a node.
+    #[inline]
+    #[must_use]
+    pub fn coords(&self, v: NodeId) -> (usize, usize) {
+        let c = self.cols as usize;
+        (v.index() / c, v.index() % c)
+    }
+
+    fn right_count(&self) -> u32 {
+        self.rows * (self.cols - 1)
+    }
+
+    fn down_count(&self) -> u32 {
+        (self.rows - 1) * self.cols
+    }
+
+    /// The edge `(row, col) → (row, col+1)`.
+    #[inline]
+    #[must_use]
+    pub fn right_edge(&self, row: usize, col: usize) -> EdgeId {
+        debug_assert!(col + 1 < self.cols());
+        EdgeId((row as u32) * (self.cols - 1) + col as u32)
+    }
+
+    /// The edge `(row, col+1) → (row, col)`.
+    #[inline]
+    #[must_use]
+    pub fn left_edge(&self, row: usize, col: usize) -> EdgeId {
+        debug_assert!(col + 1 < self.cols());
+        EdgeId(self.right_count() + (row as u32) * (self.cols - 1) + col as u32)
+    }
+
+    /// The edge `(row, col) → (row+1, col)`.
+    #[inline]
+    #[must_use]
+    pub fn down_edge(&self, row: usize, col: usize) -> EdgeId {
+        debug_assert!(row + 1 < self.rows());
+        EdgeId(2 * self.right_count() + (row as u32) * self.cols + col as u32)
+    }
+
+    /// The edge `(row+1, col) → (row, col)`.
+    #[inline]
+    #[must_use]
+    pub fn up_edge(&self, row: usize, col: usize) -> EdgeId {
+        debug_assert!(row + 1 < self.rows());
+        EdgeId(2 * self.right_count() + self.down_count() + (row as u32) * self.cols + col as u32)
+    }
+
+    /// The edge leaving `(row, col)` in direction `dir`, if it exists.
+    #[inline]
+    #[must_use]
+    pub fn edge_in_direction(&self, row: usize, col: usize, dir: Direction) -> Option<EdgeId> {
+        match dir {
+            Direction::Right => (col + 1 < self.cols()).then(|| self.right_edge(row, col)),
+            Direction::Left => (col > 0).then(|| self.left_edge(row, col - 1)),
+            Direction::Down => (row + 1 < self.rows()).then(|| self.down_edge(row, col)),
+            Direction::Up => (row > 0).then(|| self.up_edge(row - 1, col)),
+        }
+    }
+
+    /// Direction of an edge.
+    #[inline]
+    #[must_use]
+    pub fn direction(&self, e: EdgeId) -> Direction {
+        let rc = self.right_count();
+        let dc = self.down_count();
+        let i = e.0;
+        if i < rc {
+            Direction::Right
+        } else if i < 2 * rc {
+            Direction::Left
+        } else if i < 2 * rc + dc {
+            Direction::Down
+        } else {
+            debug_assert!(i < 2 * rc + 2 * dc, "edge id out of range");
+            Direction::Up
+        }
+    }
+
+    /// Source and target coordinates `((r1, c1), (r2, c2))` of an edge.
+    #[must_use]
+    pub fn edge_coords(&self, e: EdgeId) -> ((usize, usize), (usize, usize)) {
+        let rc = self.right_count();
+        let dc = self.down_count();
+        let i = e.0;
+        let w = (self.cols - 1) as usize;
+        if i < rc {
+            let (r, c) = ((i as usize) / w, (i as usize) % w);
+            ((r, c), (r, c + 1))
+        } else if i < 2 * rc {
+            let k = (i - rc) as usize;
+            let (r, c) = (k / w, k % w);
+            ((r, c + 1), (r, c))
+        } else if i < 2 * rc + dc {
+            let k = (i - 2 * rc) as usize;
+            let (r, c) = (k / self.cols(), k % self.cols());
+            ((r, c), (r + 1, c))
+        } else {
+            debug_assert!(i < 2 * rc + 2 * dc, "edge id out of range");
+            let k = (i - 2 * rc - dc) as usize;
+            let (r, c) = (k / self.cols(), k % self.cols());
+            ((r + 1, c), (r, c))
+        }
+    }
+
+    /// The 1-based *crossing index* of an edge.
+    ///
+    /// For a row edge this is the number of columns strictly on the source
+    /// side of the cut the edge crosses; for a column edge, the analogous row
+    /// count. Under greedy routing with uniform destinations, an edge with
+    /// crossing index `i` on an `n × n` array carries arrival rate
+    /// `(λ/n)·i(n−i)` (Theorem 6), so the index is the natural "rate class"
+    /// of the edge.
+    #[must_use]
+    pub fn crossing_index(&self, e: EdgeId) -> usize {
+        let ((r1, c1), (r2, c2)) = self.edge_coords(e);
+        match self.direction(e) {
+            // (r, c) → (r, c+1): index = c+1 columns behind the cut.
+            Direction::Right => c1 + 1,
+            // (r, c+1) → (r, c): cut has cols−(c+1) columns behind it.
+            Direction::Left => self.cols() - (c2 + 1),
+            Direction::Down => r1 + 1,
+            Direction::Up => {
+                let _ = (r2, c2);
+                self.rows() - (r1 - 1) - 1
+            }
+        }
+    }
+
+    /// Manhattan distance between two nodes (the number of edges greedy
+    /// routing crosses between them).
+    #[inline]
+    #[must_use]
+    pub fn manhattan(&self, a: NodeId, b: NodeId) -> usize {
+        let (ra, ca) = self.coords(a);
+        let (rb, cb) = self.coords(b);
+        ra.abs_diff(rb) + ca.abs_diff(cb)
+    }
+
+    /// Mean greedy-route length `n̄ = (2/3)(n − 1/n)` over uniform
+    /// source/destination pairs (self-pairs included), for square meshes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is not square.
+    #[must_use]
+    pub fn mean_distance(&self) -> f64 {
+        let n = self.side() as f64;
+        (2.0 / 3.0) * (n - 1.0 / n)
+    }
+
+    /// Mean greedy-route length excluding self-pairs, `n̄₂ = 2n/3` for square
+    /// meshes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is not square.
+    #[must_use]
+    pub fn mean_distance_excl_self(&self) -> f64 {
+        let n = self.side() as f64;
+        self.mean_distance() * n * n / (n * n - 1.0)
+    }
+}
+
+impl Topology for Mesh2D {
+    fn num_nodes(&self) -> usize {
+        (self.rows * self.cols) as usize
+    }
+
+    fn num_edges(&self) -> usize {
+        (2 * self.right_count() + 2 * self.down_count()) as usize
+    }
+
+    fn edge_source(&self, e: EdgeId) -> NodeId {
+        let ((r, c), _) = self.edge_coords(e);
+        self.node(r, c)
+    }
+
+    fn edge_target(&self, e: EdgeId) -> NodeId {
+        let (_, (r, c)) = self.edge_coords(e);
+        self.node(r, c)
+    }
+
+    fn out_edges_into(&self, v: NodeId, out: &mut Vec<EdgeId>) {
+        out.clear();
+        let (r, c) = self.coords(v);
+        for dir in Direction::ALL {
+            if let Some(e) = self.edge_in_direction(r, c, dir) {
+                out.push(e);
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("array {}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn edge_count_is_4n_n_minus_1() {
+        for n in 2..=8 {
+            let m = Mesh2D::square(n);
+            assert_eq!(m.num_edges(), 4 * n * (n - 1));
+            assert_eq!(m.num_nodes(), n * n);
+        }
+    }
+
+    #[test]
+    fn rectangular_edge_count() {
+        let m = Mesh2D::rect(3, 5);
+        assert_eq!(m.num_edges(), 2 * 3 * 4 + 2 * 2 * 5);
+    }
+
+    #[test]
+    fn node_coords_roundtrip() {
+        let m = Mesh2D::rect(4, 7);
+        for r in 0..4 {
+            for c in 0..7 {
+                assert_eq!(m.coords(m.node(r, c)), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_dense_and_consistent() {
+        let m = Mesh2D::square(5);
+        let mut seen = vec![false; m.num_edges()];
+        for e in m.edges() {
+            assert!(!seen[e.index()], "duplicate edge id");
+            seen[e.index()] = true;
+            let ((r1, c1), (r2, c2)) = m.edge_coords(e);
+            assert_eq!(m.edge_source(e), m.node(r1, c1));
+            assert_eq!(m.edge_target(e), m.node(r2, c2));
+            assert_eq!(m.manhattan(m.edge_source(e), m.edge_target(e)), 1);
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn directions_match_coords() {
+        let m = Mesh2D::square(4);
+        for e in m.edges() {
+            let ((r1, c1), (r2, c2)) = m.edge_coords(e);
+            let dir = m.direction(e);
+            match dir {
+                Direction::Right => assert!(r1 == r2 && c2 == c1 + 1),
+                Direction::Left => assert!(r1 == r2 && c1 == c2 + 1),
+                Direction::Down => assert!(c1 == c2 && r2 == r1 + 1),
+                Direction::Up => assert!(c1 == c2 && r1 == r2 + 1),
+            }
+        }
+    }
+
+    #[test]
+    fn edge_in_direction_inverts_edge_coords() {
+        let m = Mesh2D::rect(3, 4);
+        for e in m.edges() {
+            let ((r, c), _) = m.edge_coords(e);
+            let dir = m.direction(e);
+            assert_eq!(m.edge_in_direction(r, c, dir), Some(e));
+        }
+    }
+
+    #[test]
+    fn border_has_no_outward_edges() {
+        let m = Mesh2D::square(3);
+        assert_eq!(m.edge_in_direction(0, 0, Direction::Up), None);
+        assert_eq!(m.edge_in_direction(0, 0, Direction::Left), None);
+        assert_eq!(m.edge_in_direction(2, 2, Direction::Down), None);
+        assert_eq!(m.edge_in_direction(2, 2, Direction::Right), None);
+    }
+
+    #[test]
+    fn corner_has_two_out_edges() {
+        let m = Mesh2D::square(3);
+        assert_eq!(m.out_edges(m.node(0, 0)).len(), 2);
+        assert_eq!(m.out_edges(m.node(1, 1)).len(), 4);
+        assert_eq!(m.out_edges(m.node(0, 1)).len(), 3);
+    }
+
+    #[test]
+    fn crossing_index_symmetric_pairs() {
+        // On a 5-wide mesh, right edge c=0 has index 1 and left edge into
+        // c=0 (i.e. from col 1 to col 0) has index n−1 = 4.
+        let m = Mesh2D::square(5);
+        assert_eq!(m.crossing_index(m.right_edge(0, 0)), 1);
+        assert_eq!(m.crossing_index(m.left_edge(0, 0)), 4);
+        assert_eq!(m.crossing_index(m.right_edge(2, 3)), 4);
+        assert_eq!(m.crossing_index(m.left_edge(2, 3)), 1);
+        assert_eq!(m.crossing_index(m.down_edge(1, 0)), 2);
+        assert_eq!(m.crossing_index(m.up_edge(1, 0)), 3);
+    }
+
+    #[test]
+    fn crossing_index_range_and_counts() {
+        // Every index class i in 1..n should contain exactly 4n edges
+        // (Theorem 6's 4n edges of rate (λ/n)i(n−i)).
+        let n = 6;
+        let m = Mesh2D::square(n);
+        let mut counts = vec![0usize; n];
+        for e in m.edges() {
+            let i = m.crossing_index(e);
+            assert!((1..n).contains(&i));
+            counts[i] += 1;
+        }
+        #[allow(clippy::needless_range_loop)]
+        for i in 1..n {
+            assert_eq!(counts[i], 4 * n, "class {i}");
+        }
+    }
+
+    #[test]
+    fn mean_distance_formulas() {
+        let m = Mesh2D::square(5);
+        assert!((m.mean_distance() - 3.2).abs() < 1e-12);
+        assert!((m.mean_distance_excl_self() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_distance_matches_enumeration() {
+        for n in [2usize, 3, 4, 7] {
+            let m = Mesh2D::square(n);
+            let mut total = 0usize;
+            for a in m.nodes() {
+                for b in m.nodes() {
+                    total += m.manhattan(a, b);
+                }
+            }
+            let avg = total as f64 / ((n * n) as f64).powi(2);
+            assert!(
+                (avg - m.mean_distance()).abs() < 1e-12,
+                "n={n}: {avg} vs {}",
+                m.mean_distance()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_mesh_rejected() {
+        let _ = Mesh2D::square(1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_find_edge_agrees_with_direction(n in 2usize..7, r in 0usize..6, c in 0usize..6) {
+            let m = Mesh2D::square(n);
+            let r = r % n;
+            let c = c % n;
+            let v = m.node(r, c);
+            for dir in Direction::ALL {
+                if let Some(e) = m.edge_in_direction(r, c, dir) {
+                    let tgt = m.edge_target(e);
+                    prop_assert_eq!(m.find_edge(v, tgt), Some(e));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! `k`-dimensional array meshes (§5.2: "the methods presented here easily
+//! extend to array networks in higher dimensions").
+
+use crate::ids::{EdgeId, NodeId};
+use crate::traits::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A `k`-dimensional mesh with per-axis extents `dims[0] × … × dims[k−1]`.
+///
+/// Nodes are mixed-radix numbers with axis 0 as the fastest-varying digit.
+/// Each axis contributes `(dims[a] − 1) · N / dims[a]` edges in each of the
+/// two directions; edge blocks are laid out axis-major, plus-direction first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshKD {
+    dims: Vec<u32>,
+    /// Per-axis (plus_offset, minus_offset) into the edge id space.
+    offsets: Vec<(u32, u32)>,
+    num_edges: u32,
+}
+
+impl MeshKD {
+    /// Creates a `k`-dimensional mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any extent is below 2.
+    #[must_use]
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "mesh needs at least one dimension");
+        assert!(dims.iter().all(|&d| d >= 2), "each extent must be >= 2");
+        let n: usize = dims.iter().product();
+        assert!(n < u32::MAX as usize / 2, "mesh too large");
+        let mut offsets = Vec::with_capacity(dims.len());
+        let mut off = 0u32;
+        for &d in dims {
+            let per_dir = ((d - 1) * n / d) as u32;
+            offsets.push((off, off + per_dir));
+            off += 2 * per_dir;
+        }
+        Self {
+            dims: dims.iter().map(|&d| d as u32).collect(),
+            offsets,
+            num_edges: off,
+        }
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-axis extents.
+    #[must_use]
+    pub fn dims(&self) -> Vec<usize> {
+        self.dims.iter().map(|&d| d as usize).collect()
+    }
+
+    /// Node id of mixed-radix coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when out of range.
+    #[must_use]
+    pub fn node(&self, coords: &[usize]) -> NodeId {
+        debug_assert_eq!(coords.len(), self.k());
+        let mut id = 0u32;
+        for (a, &c) in coords.iter().enumerate().rev() {
+            debug_assert!(c < self.dims[a] as usize);
+            id = id * self.dims[a] + c as u32;
+        }
+        NodeId(id)
+    }
+
+    /// Mixed-radix coordinates of a node, written into `out`.
+    pub fn coords_into(&self, v: NodeId, out: &mut Vec<usize>) {
+        out.clear();
+        let mut rest = v.0;
+        for &d in &self.dims {
+            out.push((rest % d) as usize);
+            rest /= d;
+        }
+    }
+
+    /// Mixed-radix coordinates of a node.
+    #[must_use]
+    pub fn coords(&self, v: NodeId) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.k());
+        self.coords_into(v, &mut out);
+        out
+    }
+
+    /// Coordinate of `v` along axis `a` without materializing the full tuple.
+    #[must_use]
+    pub fn coord_along(&self, v: NodeId, a: usize) -> usize {
+        let mut rest = v.0;
+        for &d in &self.dims[..a] {
+            rest /= d;
+        }
+        (rest % self.dims[a]) as usize
+    }
+
+    /// Edge from `v` along axis `a`; `positive` selects the +1 direction.
+    /// Returns `None` at the mesh boundary.
+    #[must_use]
+    pub fn edge_along(&self, v: NodeId, a: usize, positive: bool) -> Option<EdgeId> {
+        let c = self.coord_along(v, a);
+        let d = self.dims[a] as usize;
+        // Rank the (node, axis-slot) pair densely: nodes with coordinate c on
+        // axis a, c in 0..d−1 for positive edges (base node), 1..d for
+        // negative edges (source node has c ≥ 1 → slot c−1).
+        let (off, c_slot) = if positive {
+            if c + 1 >= d {
+                return None;
+            }
+            (self.offsets[a].0, c)
+        } else {
+            if c == 0 {
+                return None;
+            }
+            (self.offsets[a].1, c - 1)
+        };
+        // Dense rank of v among nodes, skipping the axis-a digit's last value:
+        // rank = (high digits) * (d−1) * (low radix) + c_slot * (low radix) + low digits.
+        let mut low_radix = 1u32;
+        for &dd in &self.dims[..a] {
+            low_radix *= dd;
+        }
+        let low = v.0 % low_radix;
+        let high = v.0 / (low_radix * self.dims[a]);
+        let rank = high * (self.dims[a] - 1) * low_radix + (c_slot as u32) * low_radix + low;
+        Some(EdgeId(off + rank))
+    }
+
+    /// Decodes an edge id into `(source, axis, positive)`.
+    #[must_use]
+    pub fn decode_edge(&self, e: EdgeId) -> (NodeId, usize, bool) {
+        for a in 0..self.k() {
+            let (plus, minus) = self.offsets[a];
+            let next = if a + 1 < self.k() {
+                self.offsets[a + 1].0
+            } else {
+                self.num_edges
+            };
+            if e.0 >= plus && e.0 < next {
+                let positive = e.0 < minus;
+                let rank = if positive { e.0 - plus } else { e.0 - minus };
+                let mut low_radix = 1u32;
+                for &dd in &self.dims[..a] {
+                    low_radix *= dd;
+                }
+                let d = self.dims[a];
+                let low = rank % low_radix;
+                let c_slot = (rank / low_radix) % (d - 1);
+                let high = rank / (low_radix * (d - 1));
+                let c = if positive { c_slot } else { c_slot + 1 };
+                let v = high * (low_radix * d) + c * low_radix + low;
+                return (NodeId(v), a, positive);
+            }
+        }
+        panic!("edge id {e} out of range");
+    }
+
+    /// Manhattan distance between two nodes.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        (0..self.k())
+            .map(|ax| self.coord_along(a, ax).abs_diff(self.coord_along(b, ax)))
+            .sum()
+    }
+
+    /// Next greedy edge from `from` toward `to`, correcting axes in
+    /// increasing order; `None` when `from == to`.
+    #[must_use]
+    pub fn step_toward(&self, from: NodeId, to: NodeId) -> Option<EdgeId> {
+        for a in 0..self.k() {
+            let cf = self.coord_along(from, a);
+            let ct = self.coord_along(to, a);
+            if cf != ct {
+                return self.edge_along(from, a, ct > cf);
+            }
+        }
+        None
+    }
+}
+
+impl Topology for MeshKD {
+    fn num_nodes(&self) -> usize {
+        self.dims.iter().map(|&d| d as usize).product()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges as usize
+    }
+
+    fn edge_source(&self, e: EdgeId) -> NodeId {
+        self.decode_edge(e).0
+    }
+
+    fn edge_target(&self, e: EdgeId) -> NodeId {
+        let (v, a, positive) = self.decode_edge(e);
+        let mut low_radix = 1u32;
+        for &dd in &self.dims[..a] {
+            low_radix *= dd;
+        }
+        if positive {
+            NodeId(v.0 + low_radix)
+        } else {
+            NodeId(v.0 - low_radix)
+        }
+    }
+
+    fn out_edges_into(&self, v: NodeId, out: &mut Vec<EdgeId>) {
+        out.clear();
+        for a in 0..self.k() {
+            if let Some(e) = self.edge_along(v, a, true) {
+                out.push(e);
+            }
+            if let Some(e) = self.edge_along(v, a, false) {
+                out.push(e);
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        format!("mesh {}", dims.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_2d_mesh_counts() {
+        let kd = MeshKD::new(&[5, 5]);
+        assert_eq!(kd.num_nodes(), 25);
+        assert_eq!(kd.num_edges(), 4 * 5 * 4);
+    }
+
+    #[test]
+    fn three_d_counts() {
+        let kd = MeshKD::new(&[3, 4, 5]);
+        assert_eq!(kd.num_nodes(), 60);
+        // Per axis a: 2 * (d_a − 1) * N / d_a.
+        let expected = 2 * (2 * 60 / 3 + 3 * 60 / 4 + 4 * 60 / 5);
+        assert_eq!(kd.num_edges(), expected);
+    }
+
+    #[test]
+    fn node_coords_roundtrip() {
+        let kd = MeshKD::new(&[3, 4, 2]);
+        for v in kd.nodes() {
+            let c = kd.coords(v);
+            assert_eq!(kd.node(&c), v);
+            for (a, &ca) in c.iter().enumerate() {
+                assert_eq!(kd.coord_along(v, a), ca);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_dense_and_decode_roundtrips() {
+        let kd = MeshKD::new(&[3, 4, 2]);
+        let mut seen = vec![false; kd.num_edges()];
+        for v in kd.nodes() {
+            for a in 0..kd.k() {
+                for positive in [true, false] {
+                    if let Some(e) = kd.edge_along(v, a, positive) {
+                        assert!(!seen[e.index()], "duplicate edge id {e}");
+                        seen[e.index()] = true;
+                        assert_eq!(kd.decode_edge(e), (v, a, positive));
+                        assert_eq!(kd.edge_source(e), v);
+                        assert_eq!(kd.distance(v, kd.edge_target(e)), 1);
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "edge ids not dense");
+    }
+
+    #[test]
+    fn greedy_step_reaches_destination() {
+        let kd = MeshKD::new(&[4, 3, 3]);
+        let from = kd.node(&[0, 2, 1]);
+        let to = kd.node(&[3, 0, 2]);
+        let mut cur = from;
+        let mut hops = 0;
+        while let Some(e) = kd.step_toward(cur, to) {
+            cur = kd.edge_target(e);
+            hops += 1;
+            assert!(hops <= 20);
+        }
+        assert_eq!(cur, to);
+        assert_eq!(hops, kd.distance(from, to));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_greedy_route_length_is_distance(
+            a in 0usize..60,
+            b in 0usize..60,
+        ) {
+            let kd = MeshKD::new(&[3, 4, 5]);
+            let from = NodeId(a as u32);
+            let to = NodeId(b as u32);
+            let mut cur = from;
+            let mut hops = 0;
+            while let Some(e) = kd.step_toward(cur, to) {
+                cur = kd.edge_target(e);
+                hops += 1;
+                prop_assert!(hops <= 12);
+            }
+            prop_assert_eq!(cur, to);
+            prop_assert_eq!(hops, kd.distance(from, to));
+        }
+    }
+}

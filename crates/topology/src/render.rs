@@ -1,0 +1,139 @@
+//! Text rendering of meshes with per-edge annotations.
+//!
+//! Used to regenerate the paper's figures: Figure 1 (the Lemma 2 layering
+//! labels) and Figure 2 (saturated edges in even/odd arrays) are drawn as
+//! ASCII grids with one annotation per directed edge.
+
+use crate::ids::EdgeId;
+use crate::mesh::Mesh2D;
+
+/// Renders an `n × n` (or rectangular) mesh with a short annotation per
+/// directed edge.
+///
+/// Layout per node row: a line of nodes (`o`) with rightward annotations
+/// (`>a`), a line of leftward annotations (`<b`), then — between node rows —
+/// a line of downward (`va`) and upward (`^b`) annotations.
+/// `annotate` may return `None` to leave an edge unlabelled (rendered as
+/// `·`).
+#[must_use]
+pub fn render_mesh<F>(mesh: &Mesh2D, mut annotate: F) -> String
+where
+    F: FnMut(EdgeId) -> Option<String>,
+{
+    let rows = mesh.rows();
+    let cols = mesh.cols();
+
+    // Collect annotations first to size the cells.
+    let mut right = vec![vec![String::new(); cols - 1]; rows];
+    let mut left = vec![vec![String::new(); cols - 1]; rows];
+    let mut down = vec![vec![String::new(); cols]; rows - 1];
+    let mut up = vec![vec![String::new(); cols]; rows - 1];
+    let mut w = 1usize;
+    for r in 0..rows {
+        for c in 0..cols - 1 {
+            let a = annotate(mesh.right_edge(r, c)).unwrap_or_else(|| "·".into());
+            let b = annotate(mesh.left_edge(r, c)).unwrap_or_else(|| "·".into());
+            w = w.max(a.chars().count()).max(b.chars().count());
+            right[r][c] = a;
+            left[r][c] = b;
+        }
+    }
+    for r in 0..rows - 1 {
+        for c in 0..cols {
+            let a = annotate(mesh.down_edge(r, c)).unwrap_or_else(|| "·".into());
+            let b = annotate(mesh.up_edge(r, c)).unwrap_or_else(|| "·".into());
+            w = w.max(a.chars().count()).max(b.chars().count());
+            down[r][c] = a;
+            up[r][c] = b;
+        }
+    }
+
+    let pad = |s: &str| format!("{s:<w$}");
+    let cell = 2 * w + 6; // width of one "o >xxx " horizontal segment
+    let mut out = String::new();
+    for r in 0..rows {
+        // Node line with rightward labels.
+        let mut l1 = String::new();
+        let mut l2 = String::new();
+        for c in 0..cols {
+            l1.push('o');
+            l2.push(' ');
+            if c < cols - 1 {
+                l1.push_str(&format!(" >{} ", pad(&right[r][c])));
+                l2.push_str(&format!(" <{} ", pad(&left[r][c])));
+                // Keep the two lines in step.
+                while l1.chars().count() > l2.chars().count() {
+                    l2.push(' ');
+                }
+            }
+        }
+        out.push_str(l1.trim_end());
+        out.push('\n');
+        out.push_str(l2.trim_end());
+        out.push('\n');
+        if r < rows - 1 {
+            let mut l3 = String::new();
+            for c in 0..cols {
+                let seg = format!("v{} ^{}", pad(&down[r][c]), pad(&up[r][c]));
+                l3.push_str(&seg);
+                let used = seg.chars().count();
+                if c < cols - 1 {
+                    for _ in used..cell {
+                        l3.push(' ');
+                    }
+                }
+            }
+            out.push_str(l3.trim_end());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a mesh marking a subset of edges (e.g. the saturated edges of
+/// Figure 2) with `*`; unmarked edges render as `·`.
+#[must_use]
+pub fn render_marked(mesh: &Mesh2D, marked: &[EdgeId]) -> String {
+    let set: std::collections::HashSet<EdgeId> = marked.iter().copied().collect();
+    render_mesh(mesh, |e| {
+        if set.contains(&e) {
+            Some("*".to_string())
+        } else {
+            Some("·".to_string())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layering::lemma2_label;
+
+    #[test]
+    fn render_contains_all_labels() {
+        let m = Mesh2D::square(3);
+        let s = render_mesh(&m, |e| Some(lemma2_label(&m, e).to_string()));
+        // Row labels 1..2 and column labels 3..4 must all appear.
+        for lbl in ["<1", ">1", ">2", "<2", "v3", "v4", "^3", "^4"] {
+            assert!(s.contains(lbl), "missing {lbl} in\n{s}");
+        }
+        // 3 node rows → 3*2 + 2 vertical lines.
+        assert_eq!(s.trim_end().lines().count(), 8);
+    }
+
+    #[test]
+    fn render_marked_counts_stars() {
+        let m = Mesh2D::square(4);
+        let marked: Vec<_> = [m.right_edge(0, 1), m.down_edge(1, 2)].to_vec();
+        let s = render_marked(&m, &marked);
+        assert_eq!(s.matches('*').count(), 2, "{s}");
+    }
+
+    #[test]
+    fn render_rectangular_mesh() {
+        let m = Mesh2D::rect(2, 3);
+        let s = render_mesh(&m, |_| None);
+        assert!(s.contains('·'));
+        assert_eq!(s.trim_end().lines().count(), 2 * 2 + 1);
+    }
+}

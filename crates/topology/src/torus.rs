@@ -1,0 +1,216 @@
+//! The two-dimensional torus (§6: the open-problem topology).
+//!
+//! The torus wraps both rows and columns, so every node has exactly four
+//! outgoing edges. The paper notes that any network containing a directed
+//! ring cannot be layered, so the Theorem 1 upper bound does not apply; the
+//! Theorem 10 lower bound still does, and we also study the torus by
+//! simulation.
+
+use crate::ids::{EdgeId, NodeId};
+use crate::mesh::Direction;
+use crate::traits::Topology;
+use serde::{Deserialize, Serialize};
+
+/// An `n × n` torus with directed wraparound edges in all four directions.
+///
+/// Edge layout: for node `(r, c)` with id `v`, its four outgoing edges are
+/// `4v + k` where `k` indexes [`Direction::ALL`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus2D {
+    n: u32,
+}
+
+impl Torus2D {
+    /// Creates an `n × n` torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (a 2-torus would have parallel edges).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "torus needs side at least 3");
+        Self { n: n as u32 }
+    }
+
+    /// Side length.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Node id for 0-based `(row, col)`.
+    #[inline]
+    #[must_use]
+    pub fn node(&self, row: usize, col: usize) -> NodeId {
+        debug_assert!(row < self.side() && col < self.side());
+        NodeId((row as u32) * self.n + col as u32)
+    }
+
+    /// 0-based `(row, col)` of a node.
+    #[inline]
+    #[must_use]
+    pub fn coords(&self, v: NodeId) -> (usize, usize) {
+        let n = self.side();
+        (v.index() / n, v.index() % n)
+    }
+
+    /// The outgoing edge of `v` in direction `dir` (always exists on a torus).
+    #[inline]
+    #[must_use]
+    pub fn edge_in_direction(&self, v: NodeId, dir: Direction) -> EdgeId {
+        let k = match dir {
+            Direction::Right => 0,
+            Direction::Left => 1,
+            Direction::Down => 2,
+            Direction::Up => 3,
+        };
+        EdgeId(v.0 * 4 + k)
+    }
+
+    /// Direction of an edge.
+    #[inline]
+    #[must_use]
+    pub fn direction(&self, e: EdgeId) -> Direction {
+        Direction::ALL[(e.0 % 4) as usize]
+    }
+
+    /// Signed wrap-around displacement from `a` to `b` along one axis of
+    /// length `n`: the shortest of going "up" (positive) or "down"
+    /// (negative); ties resolve to the positive direction.
+    #[must_use]
+    pub fn wrap_delta(n: usize, a: usize, b: usize) -> isize {
+        let n = n as isize;
+        let d = (b as isize - a as isize).rem_euclid(n);
+        if d <= n / 2 {
+            d
+        } else {
+            d - n
+        }
+    }
+
+    /// Torus (wraparound Manhattan) distance between two nodes.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ra, ca) = self.coords(a);
+        let (rb, cb) = self.coords(b);
+        let n = self.side();
+        Self::wrap_delta(n, ra, rb).unsigned_abs() + Self::wrap_delta(n, ca, cb).unsigned_abs()
+    }
+
+    /// Mean greedy-route length over uniform pairs (self-pairs included).
+    #[must_use]
+    pub fn mean_distance(&self) -> f64 {
+        // Per axis: mean |wrap delta| over uniform pairs = n/4 (even) or
+        // (n² − 1)/(4n) (odd); two independent axes.
+        let n = self.side() as f64;
+        let per_axis = if self.side().is_multiple_of(2) {
+            n / 4.0
+        } else {
+            (n * n - 1.0) / (4.0 * n)
+        };
+        2.0 * per_axis
+    }
+}
+
+impl Topology for Torus2D {
+    fn num_nodes(&self) -> usize {
+        self.side() * self.side()
+    }
+
+    fn num_edges(&self) -> usize {
+        4 * self.num_nodes()
+    }
+
+    fn edge_source(&self, e: EdgeId) -> NodeId {
+        NodeId(e.0 / 4)
+    }
+
+    fn edge_target(&self, e: EdgeId) -> NodeId {
+        let v = NodeId(e.0 / 4);
+        let (r, c) = self.coords(v);
+        let n = self.side();
+        let (r2, c2) = match self.direction(e) {
+            Direction::Right => (r, (c + 1) % n),
+            Direction::Left => (r, (c + n - 1) % n),
+            Direction::Down => ((r + 1) % n, c),
+            Direction::Up => ((r + n - 1) % n, c),
+        };
+        self.node(r2, c2)
+    }
+
+    fn out_edges_into(&self, v: NodeId, out: &mut Vec<EdgeId>) {
+        out.clear();
+        for k in 0..4 {
+            out.push(EdgeId(v.0 * 4 + k));
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("torus {0}x{0}", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_node_has_four_out_edges() {
+        let t = Torus2D::new(4);
+        for v in t.nodes() {
+            let es = t.out_edges(v);
+            assert_eq!(es.len(), 4);
+            for e in es {
+                assert_eq!(t.edge_source(e), v);
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_delta_shortest() {
+        assert_eq!(Torus2D::wrap_delta(5, 0, 4), -1);
+        assert_eq!(Torus2D::wrap_delta(5, 4, 0), 1);
+        assert_eq!(Torus2D::wrap_delta(5, 1, 3), 2);
+        assert_eq!(Torus2D::wrap_delta(6, 0, 3), 3); // tie goes positive
+        assert_eq!(Torus2D::wrap_delta(6, 3, 0), 3);
+    }
+
+    #[test]
+    fn distance_wraps() {
+        let t = Torus2D::new(5);
+        assert_eq!(t.distance(t.node(0, 0), t.node(0, 4)), 1);
+        assert_eq!(t.distance(t.node(0, 0), t.node(4, 4)), 2);
+        assert_eq!(t.distance(t.node(2, 2), t.node(2, 2)), 0);
+    }
+
+    #[test]
+    fn mean_distance_matches_enumeration() {
+        for n in [3usize, 4, 5, 6] {
+            let t = Torus2D::new(n);
+            let mut total = 0usize;
+            for a in t.nodes() {
+                for b in t.nodes() {
+                    total += t.distance(a, b);
+                }
+            }
+            let avg = total as f64 / ((n * n) as f64).powi(2);
+            assert!(
+                (avg - t.mean_distance()).abs() < 1e-12,
+                "n={n}: enumerated {avg} vs formula {}",
+                t.mean_distance()
+            );
+        }
+    }
+
+    #[test]
+    fn contains_directed_ring_so_not_layerable() {
+        // Walking right n times returns to the start: a directed ring, which
+        // is why the paper's layering argument cannot apply (§6).
+        let t = Torus2D::new(4);
+        let mut v = t.node(2, 0);
+        for _ in 0..4 {
+            v = t.edge_target(t.edge_in_direction(v, Direction::Right));
+        }
+        assert_eq!(v, t.node(2, 0));
+    }
+}

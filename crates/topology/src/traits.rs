@@ -1,0 +1,117 @@
+//! The generic [`Topology`] interface.
+
+use crate::ids::{EdgeId, NodeId};
+
+/// A finite directed graph with densely indexed nodes and edges.
+///
+/// The trait is intentionally minimal: hot simulation loops use the concrete
+/// topology types' inherent methods (which are `O(1)` and allocation-free),
+/// while generic algorithms — path enumeration, traffic-rate solvers,
+/// renderers — operate through this interface.
+pub trait Topology {
+    /// Number of nodes; node ids are `0..num_nodes`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of directed edges; edge ids are `0..num_edges`.
+    fn num_edges(&self) -> usize;
+
+    /// Source node of an edge.
+    fn edge_source(&self, e: EdgeId) -> NodeId;
+
+    /// Target node of an edge.
+    fn edge_target(&self, e: EdgeId) -> NodeId;
+
+    /// All edges leaving `v`, pushed into `out` (cleared first).
+    ///
+    /// Uses an out-parameter so enumeration loops can reuse one buffer.
+    fn out_edges_into(&self, v: NodeId, out: &mut Vec<EdgeId>);
+
+    /// Convenience wrapper around [`Topology::out_edges_into`] that allocates.
+    fn out_edges(&self, v: NodeId) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        self.out_edges_into(v, &mut out);
+        out
+    }
+
+    /// The edge from `from` to `to`, if one exists.
+    fn find_edge(&self, from: NodeId, to: NodeId) -> Option<EdgeId> {
+        let mut out = Vec::new();
+        self.out_edges_into(from, &mut out);
+        out.into_iter().find(|&e| self.edge_target(e) == to)
+    }
+
+    /// Human-readable description, e.g. `"array 8x8"`.
+    fn label(&self) -> String;
+
+    /// Iterator over all node ids.
+    fn nodes(&self) -> NodeIter {
+        NodeIter {
+            next: 0,
+            end: self.num_nodes() as u32,
+        }
+    }
+
+    /// Iterator over all edge ids.
+    fn edges(&self) -> EdgeIter {
+        EdgeIter {
+            next: 0,
+            end: self.num_edges() as u32,
+        }
+    }
+}
+
+/// Iterator over node ids (see [`Topology::nodes`]).
+#[derive(Debug, Clone)]
+pub struct NodeIter {
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for NodeIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.end {
+            let id = NodeId(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeIter {}
+
+/// Iterator over edge ids (see [`Topology::edges`]).
+#[derive(Debug, Clone)]
+pub struct EdgeIter {
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for EdgeIter {
+    type Item = EdgeId;
+
+    fn next(&mut self) -> Option<EdgeId> {
+        if self.next < self.end {
+            let id = EdgeId(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EdgeIter {}

@@ -1,0 +1,116 @@
+//! Comparing interconnect topologies at matched edge utilization.
+//!
+//! ```text
+//! cargo run --release --example topology_comparison
+//! ```
+//!
+//! The paper's machinery covers the array (its subject), the torus (§6),
+//! the hypercube and the butterfly (§4.5). This example simulates all four
+//! with every edge at 70% utilization and reports delay next to the mean
+//! route length — the kind of apples-to-apples comparison an interconnect
+//! designer would run.
+
+use meshbound::queueing::bounds::{butterfly as bf_bounds, hypercube as hc_bounds};
+use meshbound::routing::dest::{BernoulliDest, ButterflyOutput, UniformDest};
+use meshbound::routing::rates::torus_row_rates;
+use meshbound::routing::{ButterflyRouter, DimOrder, GreedyXY, TorusGreedy};
+use meshbound::sim::network::{NetConfig, NetworkSim};
+use meshbound::topology::{Butterfly, Hypercube, Mesh2D, Topology, Torus2D};
+use meshbound::{BoundsReport, Load};
+use meshbound_repro::banner;
+
+fn main() {
+    let util = 0.7;
+    let horizon = 20_000.0;
+    let warmup = 2_000.0;
+    let cfg = |lambda: f64, seed: u64| NetConfig {
+        lambda,
+        horizon,
+        warmup,
+        seed,
+        ..NetConfig::default()
+    };
+
+    banner(&format!("All topologies at peak edge utilization {util}"));
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>10}",
+        "topology", "nodes", "mean dist", "T (sim)", "T upper"
+    );
+
+    // 8×8 array.
+    {
+        let n = 8;
+        let mesh = Mesh2D::square(n);
+        let report = BoundsReport::compute(n, Load::Utilization(util));
+        let res = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg(report.lambda, 1)).run();
+        println!(
+            "{:<22} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+            mesh.label(),
+            mesh.num_nodes(),
+            mesh.mean_distance(),
+            res.avg_delay,
+            report.upper
+        );
+    }
+
+    // 8×8 torus: peak edge rate is the Right/Down class.
+    {
+        let n = 8;
+        let torus = Torus2D::new(n);
+        // Solve (right rate) = util for λ.
+        let unit = torus_row_rates(n, 1.0).0;
+        let lambda = util / unit;
+        let res = NetworkSim::new(torus.clone(), TorusGreedy, UniformDest, cfg(lambda, 2)).run();
+        println!(
+            "{:<22} {:>8} {:>10.3} {:>10.3} {:>10}",
+            torus.label(),
+            torus.num_nodes(),
+            torus.mean_distance(),
+            res.avg_delay,
+            "open (§6)"
+        );
+    }
+
+    // Hypercube d = 6 with uniform destinations (p = 1/2).
+    {
+        let d = 6;
+        let p = 0.5;
+        let h = Hypercube::new(d);
+        let lambda = util / p;
+        let res =
+            NetworkSim::new(h.clone(), DimOrder, BernoulliDest::new(p), cfg(lambda, 3)).run();
+        println!(
+            "{:<22} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+            h.label(),
+            h.num_nodes(),
+            hc_bounds::mean_distance(d, p),
+            res.avg_delay,
+            hc_bounds::upper_bound_delay(d, lambda, p)
+        );
+    }
+
+    // Butterfly d = 6.
+    {
+        let d = 6;
+        let b = Butterfly::new(d);
+        let lambda = 2.0 * util;
+        let sources: Vec<_> = (0..b.rows()).map(|w| b.node(0, w)).collect();
+        let res = NetworkSim::new(b.clone(), ButterflyRouter, ButterflyOutput, cfg(lambda, 4))
+            .with_sources(sources)
+            .run();
+        println!(
+            "{:<22} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+            b.label(),
+            b.num_nodes(),
+            d as f64,
+            res.avg_delay,
+            bf_bounds::upper_bound_delay(d, lambda)
+        );
+    }
+
+    banner("Reading");
+    println!("The array pays for its asymmetry: central cuts saturate first (Figure 2),");
+    println!("so at matched peak utilization its delay exceeds the torus's, whose wraparound");
+    println!("halves distances and spreads load evenly. The hypercube and butterfly are");
+    println!("perfectly symmetric — every edge is saturated simultaneously (§4.6 note).");
+}

@@ -1,0 +1,11 @@
+//! Support crate for the `meshbound` workspace's examples and integration
+//! tests.
+//!
+//! The real library lives in [`meshbound`]; this root package only hosts
+//! the runnable examples (`cargo run --example quickstart`) and the
+//! cross-crate integration tests under `tests/`.
+
+/// Prints a section banner used by the examples.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,84 @@
+//! End-to-end check: on a grid of array sizes and loads, the simulated
+//! delay is bracketed by the paper's lower and upper bounds, and tracks the
+//! M/D/1 estimate.
+
+use meshbound::sim::{simulate_mesh, MeshSimConfig};
+use meshbound::{BoundsReport, Load};
+
+fn simulate(n: usize, rho: f64, seed: u64) -> f64 {
+    let cfg = MeshSimConfig {
+        n,
+        lambda: 4.0 * rho / n as f64,
+        horizon: (2_000.0 / (1.0 - rho)).min(20_000.0),
+        warmup: (400.0 / (1.0 - rho)).min(4_000.0),
+        seed,
+        track_saturated: false,
+        ..MeshSimConfig::default()
+    };
+    simulate_mesh(&cfg).avg_delay
+}
+
+#[test]
+fn bounds_bracket_simulation_across_grid() {
+    for &n in &[4usize, 5, 8, 9] {
+        for &rho in &[0.3, 0.6, 0.85] {
+            let report = BoundsReport::compute(n, Load::TableRho(rho));
+            let t = simulate(n, rho, 1000 + n as u64);
+            assert!(
+                report.lower_best <= t * 1.05,
+                "n={n}, ρ={rho}: lower {} vs sim {t}",
+                report.lower_best
+            );
+            assert!(
+                t <= report.upper * 1.05,
+                "n={n}, ρ={rho}: sim {t} vs upper {}",
+                report.upper
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_between_the_two_estimate_forms_at_moderate_load() {
+    // §4.2: the paper's printed estimate (no residual term) undershoots,
+    // the textbook independence estimate overshoots, at loads where the
+    // independence assumption is decent.
+    for &(n, rho) in &[(5usize, 0.5), (10, 0.5)] {
+        let report = BoundsReport::compute(n, Load::TableRho(rho));
+        let t = simulate(n, rho, 77);
+        assert!(
+            report.est_paper <= t * 1.08,
+            "n={n}: paper est {} vs sim {t}",
+            report.est_paper
+        );
+        assert!(
+            t <= report.est_md1 * 1.08,
+            "n={n}: sim {t} vs textbook est {}",
+            report.est_md1
+        );
+    }
+}
+
+#[test]
+fn dependence_helps_at_heavy_load() {
+    // §4.2's observation: "in heavily loaded networks assuming independence
+    // overestimates T" — the simulation falls clearly below both estimate
+    // forms at ρ = 0.9 for n ≥ 10.
+    let report = BoundsReport::compute(10, Load::TableRho(0.9));
+    let t = simulate(10, 0.9, 4242);
+    assert!(
+        t < report.est_paper,
+        "sim {t} should undershoot estimate {}",
+        report.est_paper
+    );
+}
+
+#[test]
+fn delay_grows_monotonically_with_load() {
+    let mut prev = 0.0;
+    for &rho in &[0.2, 0.5, 0.8, 0.9] {
+        let t = simulate(8, rho, 5);
+        assert!(t > prev, "ρ={rho}: {t} ≤ {prev}");
+        prev = t;
+    }
+}

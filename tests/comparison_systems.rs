@@ -1,0 +1,103 @@
+//! Integration tests for the comparison-network machinery: the PS/Jackson
+//! dominance of Theorem 5 and the copy-system inequalities of Theorems 10
+//! and 12, checked across sizes and loads.
+
+use meshbound::queueing::remaining::dbar_closed;
+use meshbound::queueing::single::md1_mean_number;
+use meshbound::routing::dest::UniformDest;
+use meshbound::routing::rates::mesh_thm6_rates;
+use meshbound::routing::GreedyXY;
+use meshbound::sim::copysys::CopySystemSim;
+use meshbound::sim::network::{NetConfig, NetworkSim};
+use meshbound::sim::ps::PsNetworkSim;
+use meshbound::sim::ServiceKind;
+use meshbound::topology::Mesh2D;
+
+fn cfg(lambda: f64, seed: u64) -> NetConfig {
+    NetConfig {
+        lambda,
+        horizon: 15_000.0,
+        warmup: 1_500.0,
+        seed,
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn theorem5_ps_dominates_fifo_across_loads() {
+    for &(n, rho) in &[(4usize, 0.5), (5, 0.7), (6, 0.85)] {
+        let lambda = 4.0 * rho / n as f64;
+        let mesh = Mesh2D::square(n);
+        let fifo = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg(lambda, 11)).run();
+        let ps = PsNetworkSim::new(mesh, GreedyXY, UniformDest, cfg(lambda, 11)).run();
+        assert!(
+            fifo.time_avg_n <= ps.time_avg_n * 1.02,
+            "n={n}, ρ={rho}: FIFO {} vs PS {}",
+            fifo.time_avg_n,
+            ps.time_avg_n
+        );
+    }
+}
+
+#[test]
+fn jackson_simulation_matches_product_form() {
+    let n = 5;
+    let lambda = 0.4;
+    let mesh = Mesh2D::square(n);
+    let mut c = cfg(lambda, 13);
+    c.service = ServiceKind::Exponential;
+    c.horizon = 30_000.0;
+    let sim = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, c).run();
+    let expect: f64 = mesh_thm6_rates(&mesh, lambda)
+        .iter()
+        .map(|&l| l / (1.0 - l))
+        .sum();
+    let rel = (sim.time_avg_n - expect).abs() / expect;
+    assert!(rel < 0.08, "Jackson sim {} vs product form {expect}", sim.time_avg_n);
+}
+
+#[test]
+fn copy_system_obeys_thm10_and_thm12() {
+    for &(n, rho) in &[(4usize, 0.6), (5, 0.8)] {
+        let lambda = 4.0 * rho / n as f64;
+        let mesh = Mesh2D::square(n);
+        let fifo = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg(lambda, 17)).run();
+        let copies = CopySystemSim::new(mesh.clone(), GreedyXY, UniformDest, cfg(lambda, 17)).run();
+        let d = 2.0 * (n as f64 - 1.0);
+        let dbar = dbar_closed(n);
+        assert!(
+            copies.time_avg_copies <= d * fifo.time_avg_n,
+            "Thm 10 violated at n={n}, ρ={rho}"
+        );
+        assert!(
+            copies.time_avg_copies <= dbar * fifo.time_avg_n,
+            "Thm 12 violated at n={n}, ρ={rho}"
+        );
+        // And the copy population matches the analytic Σ M/D/1.
+        let expect: f64 = mesh_thm6_rates(&mesh, lambda)
+            .iter()
+            .map(|&l| md1_mean_number(l))
+            .sum();
+        let rel = (copies.time_avg_copies - expect).abs() / expect;
+        assert!(rel < 0.08, "n={n}: copies {} vs Σ M/D/1 {expect}", copies.time_avg_copies);
+    }
+}
+
+#[test]
+fn service_variance_ordering() {
+    // Deterministic service beats exponential service at equal rates
+    // (the factor behind Lemma 9), visible directly in simulation.
+    let n = 5;
+    let lambda = 0.5;
+    let mesh = Mesh2D::square(n);
+    let det = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg(lambda, 19)).run();
+    let mut c = cfg(lambda, 19);
+    c.service = ServiceKind::Exponential;
+    let exp = NetworkSim::new(mesh, GreedyXY, UniformDest, c).run();
+    assert!(
+        det.avg_delay < exp.avg_delay,
+        "det {} vs exp {}",
+        det.avg_delay,
+        exp.avg_delay
+    );
+}

@@ -1,0 +1,69 @@
+//! Workspace-level property tests tying the crates together.
+
+use meshbound::queueing::remaining::remaining_saturated_count;
+use meshbound::routing::{GreedyXY, RandomizedGreedy, Router};
+use meshbound::topology::layering::{greedy_path, lemma2_label};
+use meshbound::topology::{Mesh2D, NodeId};
+use meshbound::{BoundsReport, Load};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bounds_ordering_holds_everywhere(n in 3usize..20, rho_milli in 10u32..990) {
+        let rho = f64::from(rho_milli) / 1000.0;
+        let r = BoundsReport::compute(n, Load::TableRho(rho));
+        prop_assert!(r.lower_best <= r.upper);
+        prop_assert!(r.est_paper <= r.est_md1 + 1e-12);
+        prop_assert!(r.est_md1 <= r.upper + 1e-12);
+        prop_assert!(r.lower_trivial <= r.lower_best);
+        prop_assert!(r.lower_thm10 <= r.lower_thm12 + 1e-12);
+    }
+
+    #[test]
+    fn greedy_routes_are_layered(n in 2usize..10, a in 0u32..100, b in 0u32..100) {
+        let mesh = Mesh2D::square(n);
+        let nn = (n * n) as u32;
+        let src = NodeId(a % nn);
+        let dst = NodeId(b % nn);
+        let path = greedy_path(&mesh, mesh.coords(src), mesh.coords(dst));
+        for w in path.windows(2) {
+            prop_assert!(lemma2_label(&mesh, w[1]) > lemma2_label(&mesh, w[0]));
+        }
+    }
+
+    #[test]
+    fn saturated_count_never_exceeds_parity_cap(n in 2usize..12, a in 0u32..200, b in 0u32..200) {
+        let mesh = Mesh2D::square(n);
+        let nn = (n * n) as u32;
+        let cap = if n % 2 == 0 { 2 } else { 4 };
+        let count = remaining_saturated_count(&mesh, NodeId(a % nn), NodeId(b % nn));
+        prop_assert!(count <= cap, "count {count} exceeds parity cap {cap}");
+    }
+
+    #[test]
+    fn randomized_routes_same_length_as_greedy(n in 2usize..9, a in 0u32..80, b in 0u32..80) {
+        use meshbound::routing::Order;
+        let mesh = Mesh2D::square(n);
+        let nn = (n * n) as u32;
+        let src = NodeId(a % nn);
+        let dst = NodeId(b % nn);
+        let g = GreedyXY.route(&mesh, src, dst, ());
+        for order in [Order::ColumnFirst, Order::RowFirst] {
+            let r = RandomizedGreedy.route(&mesh, src, dst, order);
+            prop_assert_eq!(r.len(), g.len());
+        }
+    }
+
+    #[test]
+    fn gap_at_capacity_obeys_parity_constants(n in 4usize..24) {
+        // Theorem 14 is a fixed-n, ρ → 1 limit: drive utilization close
+        // enough that the finite-size correction (which grows with n) is
+        // negligible, then check the limiting constants 2s̄ = 3 (even) or
+        // 2s̄ < 6 (odd).
+        let r = BoundsReport::compute(n, Load::Utilization(0.999_999));
+        let cap = if n % 2 == 0 { 3.01 } else { 6.0 };
+        prop_assert!(r.gap() <= cap, "n={n}: gap {} vs cap {cap}", r.gap());
+        prop_assert!((r.gap() - 2.0 * r.sbar).abs() < 0.05,
+            "n={n}: gap {} should approach 2s̄ = {}", r.gap(), 2.0 * r.sbar);
+    }
+}

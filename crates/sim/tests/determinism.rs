@@ -1,0 +1,118 @@
+//! Seed-determinism regression tests: the simulator advertises
+//! "deterministic given a seed", so the same configuration must produce
+//! **bit-identical** observer summaries on every run — including through
+//! the parallel replication runner, whose ordered collect must make thread
+//! scheduling invisible.
+
+use meshbound_sim::rng::{derive_rng, exp_sample, poisson_sample};
+use meshbound_sim::{simulate_mesh, simulate_mesh_replicated, MeshSimConfig, SimResult};
+use rand::Rng;
+
+fn config(seed: u64) -> MeshSimConfig {
+    MeshSimConfig {
+        n: 5,
+        lambda: 0.16,
+        horizon: 800.0,
+        warmup: 100.0,
+        seed,
+        ..MeshSimConfig::default()
+    }
+}
+
+/// Compares every field of two results for exact (bitwise) equality.
+fn assert_bit_identical(a: &SimResult, b: &SimResult) {
+    let f = f64::to_bits;
+    assert_eq!(f(a.avg_delay), f(b.avg_delay), "avg_delay differs");
+    assert_eq!(f(a.delay_std_err), f(b.delay_std_err), "delay_std_err differs");
+    assert_eq!(a.generated, b.generated, "generated differs");
+    assert_eq!(a.completed, b.completed, "completed differs");
+    assert_eq!(f(a.time_avg_n), f(b.time_avg_n), "time_avg_n differs");
+    assert_eq!(f(a.time_avg_r), f(b.time_avg_r), "time_avg_r differs");
+    assert_eq!(f(a.time_avg_rs), f(b.time_avg_rs), "time_avg_rs differs");
+    assert_eq!(f(a.r_ratio), f(b.r_ratio), "r_ratio differs");
+    assert_eq!(f(a.rs_ratio), f(b.rs_ratio), "rs_ratio differs");
+    assert_eq!(f(a.little_delay), f(b.little_delay), "little_delay differs");
+    assert_eq!(
+        f(a.max_edge_utilization),
+        f(b.max_edge_utilization),
+        "max_edge_utilization differs",
+    );
+    assert_eq!(f(a.final_n), f(b.final_n), "final_n differs");
+    assert_eq!(f(a.peak_n), f(b.peak_n), "peak_n differs");
+    assert_eq!(f(a.measure_time), f(b.measure_time), "measure_time differs");
+    assert_eq!(a.edge_throughput.len(), b.edge_throughput.len());
+    for (i, (x, y)) in a.edge_throughput.iter().zip(&b.edge_throughput).enumerate() {
+        assert_eq!(f(*x), f(*y), "edge_throughput[{i}] differs");
+    }
+}
+
+#[test]
+fn rng_streams_are_reproducible() {
+    let xs: Vec<u64> = {
+        let mut rng = derive_rng(99, 7);
+        (0..1000).map(|_| rng.gen()).collect()
+    };
+    let ys: Vec<u64> = {
+        let mut rng = derive_rng(99, 7);
+        (0..1000).map(|_| rng.gen()).collect()
+    };
+    assert_eq!(xs, ys);
+
+    // Derived samplers inherit the determinism bit-for-bit.
+    let mut a = derive_rng(5, 0);
+    let mut b = derive_rng(5, 0);
+    for _ in 0..100 {
+        assert_eq!(
+            exp_sample(&mut a, 2.0).to_bits(),
+            exp_sample(&mut b, 2.0).to_bits(),
+        );
+    }
+    let mut a = derive_rng(6, 1);
+    let mut b = derive_rng(6, 1);
+    for _ in 0..100 {
+        assert_eq!(poisson_sample(&mut a, 2.5), poisson_sample(&mut b, 2.5));
+    }
+}
+
+#[test]
+fn same_seed_gives_bit_identical_summaries() {
+    let r1 = simulate_mesh(&config(42));
+    let r2 = simulate_mesh(&config(42));
+    assert_bit_identical(&r1, &r2);
+    assert!(r1.completed > 0, "simulation delivered no packets");
+}
+
+#[test]
+fn different_seeds_give_different_summaries() {
+    let r1 = simulate_mesh(&config(42));
+    let r2 = simulate_mesh(&config(43));
+    assert_ne!(
+        r1.avg_delay.to_bits(),
+        r2.avg_delay.to_bits(),
+        "different seeds produced identical delays — seed is being ignored",
+    );
+}
+
+#[test]
+fn replicated_runner_is_deterministic_across_runs() {
+    let reps = 4;
+    let a = simulate_mesh_replicated(&config(7), reps);
+    let b = simulate_mesh_replicated(&config(7), reps);
+    assert_eq!(a.runs.len(), reps);
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_bit_identical(x, y);
+    }
+    // The cross-replication summaries (fed in collection order) must agree
+    // bit-for-bit too, regardless of worker scheduling.
+    assert_eq!(a.delay.mean().to_bits(), b.delay.mean().to_bits());
+    assert_eq!(a.delay.std_dev().to_bits(), b.delay.std_dev().to_bits());
+    assert_eq!(a.n.mean().to_bits(), b.n.mean().to_bits());
+    assert_eq!(a.r_ratio.mean().to_bits(), b.r_ratio.mean().to_bits());
+    assert_eq!(a.rs_ratio.mean().to_bits(), b.rs_ratio.mean().to_bits());
+    // Replications use distinct derived seeds.
+    assert_ne!(
+        a.runs[0].avg_delay.to_bits(),
+        a.runs[1].avg_delay.to_bits(),
+        "replications 0 and 1 are identical — stream derivation is broken",
+    );
+}

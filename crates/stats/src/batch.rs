@@ -144,4 +144,43 @@ mod tests {
     fn zero_batch_size_panics() {
         let _ = BatchMeans::new(0);
     }
+
+    /// Empirical coverage on a correlated stream: AR(1) with φ = 0.8 around
+    /// a known mean. The integrated autocorrelation time is
+    /// (1+φ)/(1−φ) = 9, so IID-style standard errors would be ~3× too small
+    /// and cover far below half the time; batch means with batches ≫ 9
+    /// must restore close-to-nominal coverage.
+    #[test]
+    fn ar1_interval_coverage_near_nominal() {
+        const TRUE_MEAN: f64 = 5.0;
+        const PHI: f64 = 0.8;
+        const REPS: usize = 200;
+        const LEN: usize = 20_000;
+
+        let mut covered = 0;
+        let mut state: u64 = 0xDEAD_BEEF;
+        let mut uniform = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..REPS {
+            let mut bm = BatchMeans::new(500);
+            let mut x = TRUE_MEAN; // start at the stationary mean
+            for _ in 0..LEN {
+                let innovation = uniform() - 0.5;
+                x = TRUE_MEAN + PHI * (x - TRUE_MEAN) + innovation;
+                bm.push(x);
+            }
+            if bm.confidence_interval(0.95).contains(TRUE_MEAN) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / REPS as f64;
+        assert!(
+            coverage >= 0.85,
+            "95% batch-means CI covered the AR(1) mean only {coverage:.2} of the time",
+        );
+    }
 }

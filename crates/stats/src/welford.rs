@@ -194,6 +194,28 @@ mod tests {
     }
 
     #[test]
+    fn matches_closed_form_for_arithmetic_sequence() {
+        // For 1..=n: mean = (n+1)/2, sample variance = n(n+1)/12.
+        for n in [2u64, 10, 101, 1000] {
+            let mut w = Welford::new();
+            for i in 1..=n {
+                w.push(i as f64);
+            }
+            let nf = n as f64;
+            let mean = (nf + 1.0) / 2.0;
+            let var = nf * (nf + 1.0) / 12.0;
+            assert!((w.mean() - mean).abs() < 1e-9 * mean, "n={n} mean {}", w.mean());
+            assert!(
+                (w.sample_variance() - var).abs() < 1e-9 * var,
+                "n={n} variance {} want {var}",
+                w.sample_variance(),
+            );
+            assert_eq!(w.min(), 1.0);
+            assert_eq!(w.max(), nf);
+        }
+    }
+
+    #[test]
     fn merge_equals_sequential() {
         let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
         let mut all = Welford::new();

@@ -1,0 +1,38 @@
+//! Smoke test: every example must run to completion, so examples cannot
+//! silently rot. Runs them in release mode: the first invocation pays a
+//! release compile of the example (plus its dependency graph if no release
+//! build exists yet), but the simulation-heavy examples then finish in
+//! seconds instead of the minutes they take unoptimized.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "capacity_planning",
+    "heavy_traffic",
+    "jackson_vs_fifo",
+    "topology_comparison",
+];
+
+#[test]
+fn every_example_runs() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--release", "--example", example])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} produced no output",
+        );
+    }
+}

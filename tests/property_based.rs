@@ -1,6 +1,7 @@
 //! Workspace-level property tests tying the crates together.
 
 use meshbound::queueing::remaining::remaining_saturated_count;
+use meshbound::queueing::thm14_lower;
 use meshbound::routing::{GreedyXY, RandomizedGreedy, Router};
 use meshbound::topology::layering::{greedy_path, lemma2_label};
 use meshbound::topology::{Mesh2D, NodeId};
@@ -38,6 +39,39 @@ proptest! {
         let cap = if n % 2 == 0 { 2 } else { 4 };
         let count = remaining_saturated_count(&mesh, NodeId(a % nn), NodeId(b % nn));
         prop_assert!(count <= cap, "count {count} exceeds parity cap {cap}");
+    }
+
+    #[test]
+    fn saturated_count_capped_and_thm14_monotone_in_rho(
+        n in 2usize..12,
+        a in 0u32..200,
+        b in 0u32..200,
+        rho_a_milli in 10u32..970,
+        rho_b_milli in 10u32..970,
+    ) {
+        let mesh = Mesh2D::square(n);
+        let nn = (n * n) as u32;
+
+        // The per-route saturated count is trivially bounded by the node
+        // count n² (the tight parity cap 2/4 is checked separately above).
+        let count = remaining_saturated_count(&mesh, NodeId(a % nn), NodeId(b % nn));
+        prop_assert!(count <= n * n, "count {count} exceeds n² = {}", n * n);
+
+        // `remaining_saturated_count` itself is load-free; the ρ-dependent
+        // quantity built on it is Theorem 14's saturated-edge lower bound,
+        // which must be monotone non-decreasing in ρ (each saturated queue
+        // only grows with load while the copy factor s̄ is fixed).
+        let (lo, hi) = if rho_a_milli <= rho_b_milli {
+            (rho_a_milli, rho_b_milli)
+        } else {
+            (rho_b_milli, rho_a_milli)
+        };
+        let t_lo = thm14_lower(n, Load::TableRho(f64::from(lo) / 1000.0).lambda(n));
+        let t_hi = thm14_lower(n, Load::TableRho(f64::from(hi) / 1000.0).lambda(n));
+        prop_assert!(
+            t_lo <= t_hi + 1e-9,
+            "thm14 not monotone: ρ={} gives {t_lo}, ρ={} gives {t_hi}", lo, hi,
+        );
     }
 
     #[test]

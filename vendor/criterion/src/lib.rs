@@ -1,0 +1,173 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the Criterion API the workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `Throughput`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a deliberately small harness: each
+//! benchmark runs a short calibrated loop and prints a single
+//! `name ... time/iter` line. There are no statistics, plots, or baselines;
+//! the point is that `cargo bench` compiles and produces honest smoke
+//! timings without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; ignored by this harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-batch `setup` excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: one untimed pass, then enough iterations to fill ~50 ms,
+    // capped so slow benches still finish promptly.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(50);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 / (ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => format!("  ({:.0} B/s)", n as f64 / (ns / 1e9)),
+        None => String::new(),
+    };
+    println!("bench: {label:<50} {:>12.0} ns/iter{rate}", ns);
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: std::fmt::Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; this harness self-calibrates instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility with the real crate.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput echoed on subsequent report lines.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits the `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

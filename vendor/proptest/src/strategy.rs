@@ -1,0 +1,168 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Blanket impl so `&strategy` also works as a strategy.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    // Whole domain: truncate 64 uniform bits.
+                    rng.rng().gen::<u64>() as $t
+                } else if hi == <$t>::MAX {
+                    // `hi + 1` would overflow; shift the window down one
+                    // instead so the endpoint stays reachable.
+                    rng.rng().gen_range(lo - 1..hi) + 1
+                } else {
+                    rng.rng().gen_range(lo..hi + 1)
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "whole domain" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng().gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.rng().gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)` — unlike real proptest this never yields NaN or
+    /// infinities, which is what every in-tree property wants anyway.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.rng().gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn inclusive_range_reaches_max_endpoint() {
+        let mut rng = TestRng::for_test("inclusive_range_reaches_max_endpoint");
+        let mut saw_max = false;
+        let mut saw_min = false;
+        for _ in 0..2000 {
+            let v = (u8::MAX - 3..=u8::MAX).generate(&mut rng);
+            assert!(v >= u8::MAX - 3);
+            saw_max |= v == u8::MAX;
+            let w = (i8::MIN..=i8::MAX).generate(&mut rng);
+            saw_min |= w == i8::MIN;
+        }
+        assert!(saw_max, "u8::MAX endpoint never generated");
+        assert!(saw_min, "i8::MIN never generated from the full domain");
+    }
+}

@@ -1,0 +1,58 @@
+//! Deterministic case runner for the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Number of random cases each property runs. Override with the
+/// `PROPTEST_CASES` environment variable.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The RNG handed to strategies. Seeded from the test name, so each test
+/// sees the same case sequence on every run and on every platform.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { inner: SmallRng::seed_from_u64(h) }
+    }
+
+    /// Access to the underlying generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+/// A failed property case (produced by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}

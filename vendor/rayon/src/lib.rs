@@ -1,0 +1,184 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace uses exactly one rayon idiom — replication fan-out:
+//! `(0..reps).into_par_iter().map(f).collect::<Vec<_>>()`. This crate
+//! implements that shape (plus `Vec` sources) with real parallelism:
+//! items are chunked across `std::thread::scope` workers, one per
+//! available core, and results come back in input order. There is no work
+//! stealing; for the coarse-grained simulation replications this serves,
+//! even splitting is within noise of the real crate.
+
+/// Import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// `.par_iter()` over borrowed elements, mirroring rayon's trait of the
+/// same name.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+
+    /// Buffers references to every element.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Types convertible into a (stub) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Converts `self`, buffering the items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A buffered "parallel" iterator over owned items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f`; the work runs when `collect` is called.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting a `collect`.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map across scoped threads, preserving input order.
+    ///
+    /// Unlike real rayon there is no shared worker pool, so nested
+    /// `par_iter` calls (experiment cells fanning out over simulation
+    /// replications) would multiply OS threads quadratically. A global
+    /// region counter makes inner regions run sequentially instead: only
+    /// the outermost active region spawns threads.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static ACTIVE_REGIONS: AtomicUsize = AtomicUsize::new(0);
+
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(n.max(1));
+        let f = &self.f;
+        if threads <= 1 {
+            return self.items.into_iter().map(f).collect();
+        }
+        if ACTIVE_REGIONS.fetch_add(1, Ordering::Acquire) > 0 {
+            ACTIVE_REGIONS.fetch_sub(1, Ordering::Release);
+            return self.items.into_iter().map(f).collect();
+        }
+        struct RegionGuard;
+        impl Drop for RegionGuard {
+            fn drop(&mut self) {
+                ACTIVE_REGIONS.fetch_sub(1, Ordering::Release);
+            }
+        }
+        let _guard = RegionGuard;
+        let mut slots: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n).collect();
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (slot, o) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                        *o = Some(f(slot.take().expect("item taken twice")));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|o| o.expect("worker panicked")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_parallel_map() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn vec_source() {
+        let doubled: Vec<i32> = vec![3, 1, 4].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8]);
+    }
+
+    #[test]
+    fn nested_regions_stay_correct_and_ordered() {
+        // Inner regions run sequentially (region guard), so this must
+        // neither deadlock nor explode thread counts — and order holds.
+        let grid: Vec<Vec<usize>> = (0..16usize)
+            .into_par_iter()
+            .map(|i| {
+                let row: Vec<usize> =
+                    (0..16usize).into_par_iter().map(move |j| i * 16 + j).collect();
+                row
+            })
+            .collect();
+        for (i, row) in grid.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, i * 16 + j);
+            }
+        }
+    }
+}

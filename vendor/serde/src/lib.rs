@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` — no
+//! trait bounds, no attributes, no `serde_json` — so this crate just
+//! re-exports no-op derives under the expected paths. The `derive` feature
+//! is declared (and ignored) so manifests stay compatible with the real
+//! crate.
+
+pub use serde_derive::{Deserialize, Serialize};

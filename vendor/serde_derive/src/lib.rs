@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and report
+//! types but never serializes through a trait bound (there is no
+//! `serde_json` consumer in-tree), so the derives can expand to nothing.
+//! When the real `serde` becomes available, delete `vendor/` and point the
+//! workspace dependency back at crates.io — no source change needed.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use meshbound::sim::events::{CalendarQueue, EventQueue, HeapQueue};
-use meshbound::sim::{simulate_mesh, MeshSimConfig};
+use meshbound::{Load, Scenario};
 
 /// Classic hold-model: pop one event, push one event at t + U(0,2).
 fn hold_model<Q: EventQueue<u32>>(queue: &mut Q, ops: usize) {
@@ -51,16 +51,12 @@ fn bench(c: &mut Criterion) {
     for n in [5usize, 10, 20] {
         group.bench_function(format!("mesh_n{n}_rho0.8"), |b| {
             b.iter(|| {
-                let cfg = MeshSimConfig {
-                    n,
-                    lambda: 4.0 * 0.8 / n as f64,
-                    horizon: 500.0,
-                    warmup: 100.0,
-                    seed: 13,
-                    track_saturated: false,
-                    ..MeshSimConfig::default()
-                };
-                simulate_mesh(&cfg)
+                Scenario::mesh(n)
+                    .load(Load::TableRho(0.8))
+                    .horizon(500.0)
+                    .warmup(100.0)
+                    .seed(13)
+                    .run()
             });
         });
     }

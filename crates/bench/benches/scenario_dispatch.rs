@@ -1,0 +1,71 @@
+//! Dispatch-overhead check for the unified `Scenario` API.
+//!
+//! `Scenario::run` resolves the load convention, matches on the
+//! topology/router/destination combination, and only then instantiates the
+//! same monomorphized `NetworkSim` the old `simulate_mesh` path built
+//! directly. This bench runs both entry points on an identical 6×6 mesh
+//! workload to show the dispatch layer costs nothing measurable next to
+//! the simulation itself.
+
+#![allow(deprecated)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshbound::sim::{simulate_mesh, MeshSimConfig};
+use meshbound::{Load, Scenario};
+
+const N: usize = 6;
+const RHO: f64 = 0.8;
+const HORIZON: f64 = 400.0;
+const WARMUP: f64 = 80.0;
+const SEED: u64 = 17;
+
+fn bench(c: &mut Criterion) {
+    // Sanity: the two paths must simulate the identical system.
+    let old = simulate_mesh(&legacy_config());
+    let new = scenario().run();
+    assert_eq!(
+        old.avg_delay.to_bits(),
+        new.avg_delay.to_bits(),
+        "dispatch changed the simulation"
+    );
+
+    let mut group = c.benchmark_group("scenario_dispatch");
+    group.bench_function("legacy_simulate_mesh_6x6", |b| {
+        b.iter(|| simulate_mesh(&legacy_config()));
+    });
+    group.bench_function("scenario_run_6x6", |b| {
+        b.iter(|| scenario().run());
+    });
+    // Construction + load resolution alone (no simulation): the pure
+    // dispatch-layer cost.
+    group.bench_function("scenario_build_and_resolve", |b| {
+        b.iter(|| {
+            let sc = scenario();
+            (sc.lambda(), sc.validate().is_ok())
+        });
+    });
+    group.finish();
+}
+
+fn legacy_config() -> MeshSimConfig {
+    MeshSimConfig {
+        n: N,
+        lambda: 4.0 * RHO / N as f64,
+        horizon: HORIZON,
+        warmup: WARMUP,
+        seed: SEED,
+        track_saturated: false,
+        ..MeshSimConfig::default()
+    }
+}
+
+fn scenario() -> Scenario {
+    Scenario::mesh(N)
+        .load(Load::TableRho(RHO))
+        .horizon(HORIZON)
+        .warmup(WARMUP)
+        .seed(SEED)
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use meshbound::experiments::{table1, Scale};
-use meshbound::sim::{simulate_mesh, MeshSimConfig};
+use meshbound::{Load, Scenario};
 
 fn bench(c: &mut Criterion) {
     let scale = meshbound_bench::bench_scale();
@@ -18,16 +18,12 @@ fn bench(c: &mut Criterion) {
     for (n, rho) in [(5usize, 0.2f64), (10, 0.9)] {
         group.bench_function(format!("cell_n{n}_rho{rho}"), |b| {
             b.iter(|| {
-                let cfg = MeshSimConfig {
-                    n,
-                    lambda: 4.0 * rho / n as f64,
-                    horizon: Scale::quick().horizon(rho) / 4.0,
-                    warmup: Scale::quick().warmup(rho) / 4.0,
-                    seed: 42,
-                    track_saturated: false,
-                    ..MeshSimConfig::default()
-                };
-                simulate_mesh(&cfg)
+                Scenario::mesh(n)
+                    .load(Load::TableRho(rho))
+                    .horizon(Scale::quick().horizon(rho) / 4.0)
+                    .warmup(Scale::quick().warmup(rho) / 4.0)
+                    .seed(42)
+                    .run()
             });
         });
     }

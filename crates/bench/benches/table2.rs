@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use meshbound::experiments::table2;
-use meshbound::sim::{simulate_mesh, MeshSimConfig};
+use meshbound::{Load, Scenario};
 
 fn bench(c: &mut Criterion) {
     let scale = meshbound_bench::bench_scale();
@@ -13,16 +13,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cell_n10_rho0.5_with_R_tracking", |b| {
         b.iter(|| {
-            let cfg = MeshSimConfig {
-                n: 10,
-                lambda: 4.0 * 0.5 / 10.0,
-                horizon: 2_000.0,
-                warmup: 400.0,
-                seed: 7,
-                track_saturated: false,
-                ..MeshSimConfig::default()
-            };
-            simulate_mesh(&cfg)
+            Scenario::mesh(10)
+                .load(Load::TableRho(0.5))
+                .horizon(2_000.0)
+                .warmup(400.0)
+                .seed(7)
+                .run()
         });
     });
     group.finish();

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use meshbound::experiments::table3;
-use meshbound::sim::{simulate_mesh, MeshSimConfig};
+use meshbound::{Load, Scenario};
 
 fn bench(c: &mut Criterion) {
     let scale = meshbound_bench::bench_scale();
@@ -15,16 +15,13 @@ fn bench(c: &mut Criterion) {
     for track in [false, true] {
         group.bench_function(format!("cell_n5_rho0.9_track_{track}"), |b| {
             b.iter(|| {
-                let cfg = MeshSimConfig {
-                    n: 5,
-                    lambda: 4.0 * 0.9 / 5.0,
-                    horizon: 3_000.0,
-                    warmup: 600.0,
-                    seed: 7,
-                    track_saturated: track,
-                    ..MeshSimConfig::default()
-                };
-                simulate_mesh(&cfg)
+                Scenario::mesh(5)
+                    .load(Load::TableRho(0.9))
+                    .horizon(3_000.0)
+                    .warmup(600.0)
+                    .seed(7)
+                    .track_saturated(track)
+                    .run()
             });
         });
     }

@@ -1,30 +1,115 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, or run any
+//! scenario named on the command line.
 //!
 //! ```text
 //! repro [--quick] [table1|table2|table3|fig1|fig2|bounds|stability|
 //!        capacity|hypercube|butterfly|randomized|torus|kd|slotted|
 //!        nonuniform|dominance|report|all]
+//! repro scenario <spec> [<spec>…]
 //! ```
 //!
 //! Without `--quick` the publication-scale sweeps run (several minutes for
 //! the heavy ρ = 0.99 cells); with it, a reduced but structurally identical
 //! pass finishes in seconds per artifact.
+//!
+//! `repro scenario torus:8,util=0.9,horizon=5000` simulates any
+//! [`Scenario`] spec (see `Scenario::parse`) and prints the analytic
+//! [`BoundsReport`] next to the simulated result. Unknown artifact names
+//! and unknown flags exit nonzero with a usage message.
 
 use meshbound::experiments::{extensions, fig1, fig2, table1, table2, table3, Scale};
 use meshbound::queueing::load::{mesh_stability_threshold, optimal_stability_threshold};
-use meshbound::{BoundsReport, Load};
+use meshbound::{BoundsReport, Load, Scenario};
+use std::process::ExitCode;
 
-fn main() {
+const ARTIFACTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "bounds",
+    "stability",
+    "capacity",
+    "hypercube",
+    "butterfly",
+    "randomized",
+    "torus",
+    "kd",
+    "slotted",
+    "nonuniform",
+    "dominance",
+    "report",
+    "all",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--quick] [{}]\n\
+         \x20      repro [--quick] scenario <spec> [<spec>…]\n\
+         \n\
+         scenario specs look like `torus:8,util=0.9,horizon=5000` or\n\
+         `hypercube:6,dest=bernoulli:0.25,lambda=0.8` — topology head\n\
+         (mesh:N, mesh:RxC, torus:N, hypercube:D, butterfly:K, kd:AxBxC)\n\
+         followed by key=value options (router, dest, lambda/rho/util,\n\
+         horizon, warmup, seed, service, slot, sample, self, saturated,\n\
+         quantiles, queues).",
+        ARTIFACTS.join("|")
+    )
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::quick() } else { Scale::full() };
-    let what: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let what = if what.is_empty() { vec!["all"] } else { what };
+    let mut quick = false;
+    let mut what: Vec<&str> = Vec::new();
+    let mut specs: Vec<&str> = Vec::new();
+    let mut expecting_specs = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("repro: unknown flag `{flag}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+            "scenario" if !expecting_specs => expecting_specs = true,
+            name if expecting_specs => specs.push(name),
+            name if ARTIFACTS.contains(&name) => what.push(name),
+            name => {
+                eprintln!("repro: unknown artifact `{name}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if expecting_specs && specs.is_empty() {
+        eprintln!("repro: `scenario` needs at least one spec\n{}", usage());
+        return ExitCode::from(2);
+    }
 
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+
+    // Parse every spec before running any, so a typo in the last spec
+    // cannot waste the minutes the first ones take.
+    let mut scenarios = Vec::new();
+    for spec in specs {
+        match Scenario::parse(spec) {
+            Ok(sc) => scenarios.push(sc),
+            Err(e) => {
+                eprintln!("repro: {e}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for sc in &scenarios {
+        run_scenario(sc);
+    }
+
+    if what.is_empty() && !expecting_specs {
+        what.push("all");
+    }
     let wants = |name: &str| what.contains(&name) || what.contains(&"all");
 
     if wants("fig1") {
@@ -91,7 +176,11 @@ fn main() {
         println!("{}", extensions::render_torus(n, &rows));
     }
     if wants("kd") {
-        let rows = extensions::kd_study(&[vec![4, 4], vec![3, 3, 3], vec![4, 4, 4], vec![3, 3, 3, 3]], 0.1, &scale);
+        let rows = extensions::kd_study(
+            &[vec![4, 4], vec![3, 3, 3], vec![4, 4, 4], vec![3, 3, 3, 3]],
+            0.1,
+            &scale,
+        );
         println!("{}", extensions::render_kd(&rows));
     }
     if wants("slotted") {
@@ -111,4 +200,18 @@ fn main() {
             println!("{}", BoundsReport::compute(n, Load::TableRho(0.9)).to_text());
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Simulates one parsed scenario and prints the analytic report next to
+/// the measured delay.
+fn run_scenario(sc: &Scenario) {
+    println!("scenario: {}", sc.spec_string());
+    print!("{}", BoundsReport::compute_for(sc).to_text());
+    let res = sc.run();
+    println!(
+        "  simulated: T = {:.3} (completed {} packets, E[N] = {:.2}, \
+         Little cross-check {:.3}, peak edge utilization {:.3})\n",
+        res.avg_delay, res.completed, res.time_avg_n, res.little_delay, res.max_edge_utilization
+    );
 }

@@ -10,12 +10,9 @@ use meshbound_queueing::capacity::{mesh_unit_budget, optimal_allocation, optimal
 use meshbound_queueing::jackson;
 use meshbound_queueing::little::mesh_total_arrival;
 use meshbound_queueing::load::{mesh_stability_threshold, optimal_stability_threshold, Load};
-use meshbound_sim::network::{NetConfig, NetworkSim};
-use meshbound_sim::{simulate_mesh, MeshRouterKind, MeshSimConfig, ServiceKind};
-use meshbound_routing::dest::{BernoulliDest, ButterflyOutput, DestDist, UniformDest};
 use meshbound_routing::rates::mesh_thm6_rates;
-use meshbound_routing::{ButterflyRouter, DimOrder, GreedyXY, TorusGreedy};
-use meshbound_topology::{Butterfly, Hypercube, Mesh2D, Topology, Torus2D};
+use meshbound_sim::{DestSpec, RouterSpec, Scenario, ServiceKind};
+use meshbound_topology::Mesh2D;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -39,20 +36,15 @@ pub struct BoundsCurveRow {
 pub fn bounds_curve(n: usize, rhos: &[f64], scale: &Scale) -> Vec<BoundsCurveRow> {
     rhos.par_iter()
         .map(|&rho| {
-            let report = BoundsReport::compute(n, Load::TableRho(rho));
-            let cfg = MeshSimConfig {
-                n,
-                lambda: report.lambda,
-                horizon: scale.horizon(rho),
-                warmup: scale.warmup(rho),
-                seed: scale.seed ^ 0xC0DE ^ ((rho * 1e4) as u64),
-                track_saturated: false,
-                ..MeshSimConfig::default()
-            };
+            let sc = Scenario::mesh(n)
+                .load(Load::TableRho(rho))
+                .horizon(scale.horizon(rho))
+                .warmup(scale.warmup(rho))
+                .seed(scale.seed ^ 0xC0DE ^ ((rho * 1e4) as u64));
             BoundsCurveRow {
                 rho,
-                t_sim: simulate_mesh(&cfg).avg_delay,
-                report,
+                t_sim: sc.run().avg_delay,
+                report: BoundsReport::compute_for(&sc),
             }
         })
         .collect()
@@ -115,18 +107,15 @@ pub fn stability_sweep(
             } else {
                 None
             };
-            let horizon = scale.horizon(0.9);
-            let cfg = MeshSimConfig {
-                n,
-                lambda,
-                horizon,
-                warmup: 0.0,
-                seed: scale.seed ^ 0x57AB ^ ((lambda * 1e6) as u64),
-                service_rates: rates,
-                track_saturated: false,
-                ..MeshSimConfig::default()
-            };
-            let res = simulate_mesh(&cfg);
+            let mut sc = Scenario::mesh(n)
+                .load(Load::Lambda(lambda))
+                .horizon(scale.horizon(0.9))
+                .warmup(0.0)
+                .seed(scale.seed ^ 0x57AB ^ ((lambda * 1e6) as u64));
+            if let Some(r) = rates {
+                sc = sc.service_rates(r);
+            }
+            let res = sc.run();
             StabilityRow {
                 lambda,
                 lambda_over_threshold: lambda / threshold,
@@ -203,18 +192,15 @@ pub fn capacity_comparison(n: usize, lambdas: &[f64], scale: &Scale) -> Vec<Capa
             let phi = optimal_allocation(&rates, &costs, budget)
                 .expect("lambda above 6/(n+1) not allowed here");
             let sim = |service: ServiceKind, seed: u64| {
-                let cfg = MeshSimConfig {
-                    n,
-                    lambda,
-                    horizon: scale.horizon(0.9),
-                    warmup: scale.warmup(0.9),
-                    seed,
-                    service,
-                    service_rates: Some(phi.clone()),
-                    track_saturated: false,
-                    ..MeshSimConfig::default()
-                };
-                simulate_mesh(&cfg).avg_delay
+                Scenario::mesh(n)
+                    .load(Load::Lambda(lambda))
+                    .horizon(scale.horizon(0.9))
+                    .warmup(scale.warmup(0.9))
+                    .seed(seed)
+                    .service(service)
+                    .service_rates(phi.clone())
+                    .run()
+                    .avg_delay
             };
             CapacityRow {
                 lambda,
@@ -281,20 +267,17 @@ pub struct HypercubeRow {
 pub fn hypercube_study(d: usize, ps: &[f64], utilization: f64, scale: &Scale) -> Vec<HypercubeRow> {
     ps.par_iter()
         .map(|&p| {
-            let lambda = utilization / p;
-            let cfg = NetConfig {
-                lambda,
-                horizon: scale.horizon(utilization),
-                warmup: scale.warmup(utilization),
-                seed: scale.seed ^ 0xC0BE ^ ((p * 1e4) as u64),
-                ..NetConfig::default()
-            };
-            let sim = NetworkSim::new(Hypercube::new(d), DimOrder, BernoulliDest::new(p), cfg)
-                .run();
+            let sc = Scenario::hypercube(d)
+                .dest(DestSpec::Bernoulli { p })
+                .load(Load::Utilization(utilization))
+                .horizon(scale.horizon(utilization))
+                .warmup(scale.warmup(utilization))
+                .seed(scale.seed ^ 0xC0BE ^ ((p * 1e4) as u64));
+            let lambda = sc.lambda();
             HypercubeRow {
                 p,
                 utilization,
-                t_sim: sim.avg_delay,
+                t_sim: sc.run().avg_delay,
                 t_upper: hcb::upper_bound_delay(d, lambda, p),
                 t_lower12: hcb::thm12_lower(d, lambda, p),
                 new_gap: hcb::new_gap(d, p),
@@ -347,22 +330,15 @@ pub fn butterfly_study(ds: &[usize], utilization: f64, scale: &Scale) -> Vec<But
     let lambda = 2.0 * utilization;
     ds.par_iter()
         .map(|&d| {
-            let b = Butterfly::new(d);
-            let sources: Vec<_> = (0..b.rows()).map(|w| b.node(0, w)).collect();
-            let cfg = NetConfig {
-                lambda,
-                horizon: scale.horizon(utilization),
-                warmup: scale.warmup(utilization),
-                seed: scale.seed ^ 0xBF ^ (d as u64),
-                ..NetConfig::default()
-            };
-            let sim = NetworkSim::new(b, ButterflyRouter, ButterflyOutput, cfg)
-                .with_sources(sources)
-                .run();
+            let sc = Scenario::butterfly(d)
+                .load(Load::Utilization(utilization))
+                .horizon(scale.horizon(utilization))
+                .warmup(scale.warmup(utilization))
+                .seed(scale.seed ^ 0xBF ^ (d as u64));
             ButterflyRow {
                 d,
                 lambda,
-                t_sim: sim.avg_delay,
+                t_sim: sc.run().avg_delay,
                 t_upper: bfb::upper_bound_delay(d, lambda),
                 t_lower10: bfb::thm10_lower(d, lambda),
             }
@@ -406,25 +382,21 @@ pub struct RandomizedRow {
 pub fn randomized_study(n: usize, rhos: &[f64], scale: &Scale) -> Vec<RandomizedRow> {
     rhos.par_iter()
         .map(|&rho| {
-            let lambda = 4.0 * rho / n as f64;
-            let run = |router: MeshRouterKind, seed: u64| {
-                let cfg = MeshSimConfig {
-                    n,
-                    lambda,
-                    horizon: scale.horizon(rho),
-                    warmup: scale.warmup(rho),
-                    seed,
-                    router,
-                    track_saturated: false,
-                    ..MeshSimConfig::default()
-                };
-                simulate_mesh(&cfg).avg_delay
+            let run = |router: RouterSpec, seed: u64| {
+                Scenario::mesh(n)
+                    .load(Load::TableRho(rho))
+                    .horizon(scale.horizon(rho))
+                    .warmup(scale.warmup(rho))
+                    .seed(seed)
+                    .router(router)
+                    .run()
+                    .avg_delay
             };
             RandomizedRow {
                 rho,
-                t_greedy: run(MeshRouterKind::Greedy, scale.seed ^ 0x61 ^ ((rho * 1e3) as u64)),
+                t_greedy: run(RouterSpec::Greedy, scale.seed ^ 0x61 ^ ((rho * 1e3) as u64)),
                 t_randomized: run(
-                    MeshRouterKind::Randomized,
+                    RouterSpec::Randomized,
                     scale.seed ^ 0x62 ^ ((rho * 1e3) as u64),
                 ),
             }
@@ -473,24 +445,20 @@ pub fn torus_study(n: usize, lambdas: &[f64], scale: &Scale) -> Vec<TorusRow> {
     lambdas
         .par_iter()
         .map(|&lambda| {
-            let cfg = NetConfig {
-                lambda,
-                horizon: scale.horizon(0.8),
-                warmup: scale.warmup(0.8),
-                seed: scale.seed ^ 0x70 ^ ((lambda * 1e5) as u64),
-                ..NetConfig::default()
-            };
-            let torus = Torus2D::new(n);
-            let t_torus = NetworkSim::new(torus.clone(), TorusGreedy, UniformDest, cfg.clone())
-                .run()
-                .avg_delay;
-            let t_array = NetworkSim::new(Mesh2D::square(n), GreedyXY, UniformDest, cfg)
-                .run()
-                .avg_delay;
+            let torus = Scenario::torus(n)
+                .load(Load::Lambda(lambda))
+                .horizon(scale.horizon(0.8))
+                .warmup(scale.warmup(0.8))
+                .seed(scale.seed ^ 0x70 ^ ((lambda * 1e5) as u64));
+            let array = Scenario::mesh(n)
+                .load(Load::Lambda(lambda))
+                .horizon(scale.horizon(0.8))
+                .warmup(scale.warmup(0.8))
+                .seed(scale.seed ^ 0x70 ^ ((lambda * 1e5) as u64));
             TorusRow {
                 lambda,
-                t_array,
-                t_torus,
+                t_array: array.run().avg_delay,
+                t_torus: torus.run().avg_delay,
                 torus_nbar: torus.mean_distance(),
                 torus_lower10: meshbound_queueing::bounds::torus::best_lower_bound(n, lambda),
             }
@@ -546,30 +514,23 @@ pub struct KdRow {
 pub fn kd_study(shapes: &[Vec<usize>], lambda: f64, scale: &Scale) -> Vec<KdRow> {
     use meshbound_queueing::bounds::lower::lower_bound_from_rates;
     use meshbound_queueing::bounds::upper::upper_bound_from_rates;
-    use meshbound_routing::rates::{all_nodes, edge_rates_enumerated};
-    use meshbound_routing::KdGreedy;
-    use meshbound_topology::MeshKD;
 
     shapes
         .par_iter()
         .map(|dims| {
-            let kd = MeshKD::new(dims);
-            let rates = edge_rates_enumerated(&kd, &KdGreedy, &UniformDest, lambda, &all_nodes(&kd));
-            let gamma = lambda * kd.num_nodes() as f64;
-            let d_max: usize = dims.iter().map(|&d| d - 1).sum();
-            let cfg = NetConfig {
-                lambda,
-                horizon: scale.horizon(0.8),
-                warmup: scale.warmup(0.8),
-                seed: scale.seed ^ 0x6B64,
-                ..NetConfig::default()
-            };
-            let sim = NetworkSim::new(kd, KdGreedy, UniformDest, cfg).run();
+            let sc = Scenario::mesh_kd(dims)
+                .load(Load::Lambda(lambda))
+                .horizon(scale.horizon(0.8))
+                .warmup(scale.warmup(0.8))
+                .seed(scale.seed ^ 0x6B64);
+            let rates = sc.edge_rates();
+            let gamma = sc.total_arrival();
+            let d_max = sc.topology.max_distance();
             KdRow {
                 dims: dims.clone(),
                 lambda,
-                peak_util: rates.iter().cloned().fold(0.0, f64::max),
-                t_sim: sim.avg_delay,
+                peak_util: rates.iter().fold(0.0, |a: f64, &b| a.max(b)),
+                t_sim: sc.run().avg_delay,
                 t_upper: upper_bound_from_rates(&rates, gamma),
                 t_lower10: lower_bound_from_rates(&rates, d_max as f64, gamma),
             }
@@ -616,19 +577,17 @@ pub fn slotted_study(n: usize, rho: f64, taus: &[f64], scale: &Scale) -> Vec<Slo
     jobs.extend(taus.iter().map(|&t| Some(t)));
     jobs.par_iter()
         .map(|&tau| {
-            let cfg = MeshSimConfig {
-                n,
-                lambda,
-                horizon: scale.horizon(rho),
-                warmup: scale.warmup(rho),
-                seed: scale.seed ^ 0x5107,
-                slot: tau,
-                track_saturated: false,
-                ..MeshSimConfig::default()
-            };
+            let mut sc = Scenario::mesh(n)
+                .load(Load::Lambda(lambda))
+                .horizon(scale.horizon(rho))
+                .warmup(scale.warmup(rho))
+                .seed(scale.seed ^ 0x5107);
+            if let Some(t) = tau {
+                sc = sc.slot(t);
+            }
             SlottedRow {
                 tau: tau.unwrap_or(0.0),
-                t_sim: simulate_mesh(&cfg).avg_delay,
+                t_sim: sc.run().avg_delay,
             }
         })
         .collect()
@@ -673,32 +632,16 @@ pub fn nearby_study(n: usize, stops: &[f64], lambda: f64, scale: &Scale) -> Vec<
     stops
         .par_iter()
         .map(|&stop| {
-            let mesh = Mesh2D::square(n);
-            let rates = meshbound_routing::rates::edge_rates_enumerated(
-                &mesh,
-                &GreedyXY,
-                &meshbound_routing::dest::NearbyWalk::new(stop),
-                lambda,
-                &mesh.nodes().collect::<Vec<_>>(),
-            );
-            let t_upper = meshbound_queueing::bounds::upper::upper_bound_from_rates(
-                &rates,
-                mesh_total_arrival(n, lambda),
-            );
-            let cfg = MeshSimConfig {
-                n,
-                lambda,
-                horizon: scale.horizon(0.8),
-                warmup: scale.warmup(0.8),
-                seed: scale.seed ^ 0x4EA ^ ((stop * 100.0) as u64),
-                dest: DestDist::Nearby { stop },
-                track_saturated: false,
-                ..MeshSimConfig::default()
-            };
+            let sc = Scenario::mesh(n)
+                .dest(DestSpec::Nearby { stop })
+                .load(Load::Lambda(lambda))
+                .horizon(scale.horizon(0.8))
+                .warmup(scale.warmup(0.8))
+                .seed(scale.seed ^ 0x4EA ^ ((stop * 100.0) as u64));
             NearbyRow {
                 stop,
-                t_sim: simulate_mesh(&cfg).avg_delay,
-                t_upper,
+                t_sim: sc.run().avg_delay,
+                t_upper: BoundsReport::compute_for(&sc).upper,
             }
         })
         .collect()
@@ -745,17 +688,14 @@ pub fn dominance_study(n: usize, rhos: &[f64], scale: &Scale) -> Vec<DominanceRo
         .map(|&rho| {
             let lambda = 4.0 * rho / n as f64;
             let run = |service: ServiceKind, seed: u64| {
-                let cfg = MeshSimConfig {
-                    n,
-                    lambda,
-                    horizon: scale.horizon(rho),
-                    warmup: scale.warmup(rho),
-                    seed,
-                    service,
-                    track_saturated: false,
-                    ..MeshSimConfig::default()
-                };
-                simulate_mesh(&cfg).avg_delay
+                Scenario::mesh(n)
+                    .load(Load::TableRho(rho))
+                    .horizon(scale.horizon(rho))
+                    .warmup(scale.warmup(rho))
+                    .seed(seed)
+                    .service(service)
+                    .run()
+                    .avg_delay
             };
             DominanceRow {
                 rho,

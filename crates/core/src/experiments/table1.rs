@@ -11,7 +11,8 @@ use super::{Scale, TextTable};
 use meshbound_queueing::bounds::estimate::{estimate_md1, estimate_paper};
 use meshbound_queueing::bounds::lower::best_lower_bound;
 use meshbound_queueing::bounds::upper::upper_bound_delay;
-use meshbound_sim::{simulate_mesh_replicated, MeshSimConfig};
+use meshbound_queueing::load::Load;
+use meshbound_sim::Scenario;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -79,16 +80,12 @@ pub fn run(scale: &Scale) -> Vec<Table1Row> {
 
 fn run_cell(scale: &Scale, n: usize, rho: f64, printed_sim: f64, printed_est: f64) -> Table1Row {
     let lambda = 4.0 * rho / n as f64;
-    let cfg = MeshSimConfig {
-        n,
-        lambda,
-        horizon: scale.horizon(rho),
-        warmup: scale.warmup(rho),
-        seed: scale.seed ^ ((n as u64) << 32) ^ ((rho * 1000.0) as u64),
-        track_saturated: false,
-        ..MeshSimConfig::default()
-    };
-    let rep = simulate_mesh_replicated(&cfg, scale.reps);
+    let rep = Scenario::mesh(n)
+        .load(Load::TableRho(rho))
+        .horizon(scale.horizon(rho))
+        .warmup(scale.warmup(rho))
+        .seed(scale.seed ^ ((n as u64) << 32) ^ ((rho * 1000.0) as u64))
+        .run_replicated(scale.reps);
     let hw = if scale.reps >= 2 {
         rep.delay.confidence_interval(0.95).half_width
     } else {

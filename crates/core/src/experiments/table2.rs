@@ -7,8 +7,9 @@
 //! Theorem 12 constant `d̄` is pessimistic.
 
 use super::{Scale, TextTable};
+use meshbound_queueing::load::Load;
 use meshbound_queueing::remaining::light_load_r;
-use meshbound_sim::{simulate_mesh_replicated, MeshSimConfig};
+use meshbound_sim::Scenario;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -60,17 +61,12 @@ pub fn run(scale: &Scale) -> Vec<Table2Row> {
     PRINTED
         .par_iter()
         .map(|&(n, rho, printed)| {
-            let lambda = 4.0 * rho / n as f64;
-            let cfg = MeshSimConfig {
-                n,
-                lambda,
-                horizon: scale.horizon(rho),
-                warmup: scale.warmup(rho),
-                seed: scale.seed ^ 0xBEE5 ^ ((n as u64) << 24) ^ ((rho * 1000.0) as u64),
-                track_saturated: false,
-                ..MeshSimConfig::default()
-            };
-            let rep = simulate_mesh_replicated(&cfg, scale.reps);
+            let rep = Scenario::mesh(n)
+                .load(Load::TableRho(rho))
+                .horizon(scale.horizon(rho))
+                .warmup(scale.warmup(rho))
+                .seed(scale.seed ^ 0xBEE5 ^ ((n as u64) << 24) ^ ((rho * 1000.0) as u64))
+                .run_replicated(scale.reps);
             Table2Row {
                 n,
                 rho,
@@ -137,17 +133,12 @@ mod tests {
     #[test]
     fn quick_sim_reproduces_r_for_small_n() {
         let scale = Scale::quick();
-        let lambda = 4.0 * 0.5 / 5.0;
-        let cfg = MeshSimConfig {
-            n: 5,
-            lambda,
-            horizon: 6_000.0,
-            warmup: 600.0,
-            seed: 77,
-            track_saturated: false,
-            ..MeshSimConfig::default()
-        };
-        let rep = simulate_mesh_replicated(&cfg, scale.reps);
+        let rep = Scenario::mesh(5)
+            .load(Load::TableRho(0.5))
+            .horizon(6_000.0)
+            .warmup(600.0)
+            .seed(77)
+            .run_replicated(scale.reps);
         // Printed value 2.574; allow simulation noise.
         assert!(
             (rep.r_ratio.mean() - 2.574).abs() < 0.1,

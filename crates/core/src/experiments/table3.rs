@@ -8,8 +8,9 @@
 //! dependence on ρ is minimal.
 
 use super::{Scale, TextTable};
+use meshbound_queueing::load::Load;
 use meshbound_queueing::remaining::{light_load_rs, sbar_closed};
-use meshbound_sim::{simulate_mesh_replicated, MeshSimConfig};
+use meshbound_sim::Scenario;
 use meshbound_topology::Mesh2D;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -45,17 +46,13 @@ pub fn run(scale: &Scale) -> Vec<Table3Row> {
     PRINTED
         .par_iter()
         .map(|&(n, printed)| {
-            let lambda = 4.0 * rho / n as f64;
-            let cfg = MeshSimConfig {
-                n,
-                lambda,
-                horizon: scale.horizon(rho),
-                warmup: scale.warmup(rho),
-                seed: scale.seed ^ 0x5A7A ^ ((n as u64) << 16),
-                track_saturated: true,
-                ..MeshSimConfig::default()
-            };
-            let rep = simulate_mesh_replicated(&cfg, scale.reps);
+            let rep = Scenario::mesh(n)
+                .load(Load::TableRho(rho))
+                .horizon(scale.horizon(rho))
+                .warmup(scale.warmup(rho))
+                .seed(scale.seed ^ 0x5A7A ^ ((n as u64) << 16))
+                .track_saturated(true)
+                .run_replicated(scale.reps);
             Table3Row {
                 n,
                 rs_sim: rep.rs_ratio.mean(),
@@ -112,16 +109,15 @@ mod tests {
         // notes r_s depends minimally on ρ).
         let rho = 0.8;
         let run_one = |n: usize| {
-            let cfg = MeshSimConfig {
-                n,
-                lambda: 4.0 * rho / n as f64,
-                horizon: 6_000.0,
-                warmup: 600.0,
-                seed: 99,
-                track_saturated: true,
-                ..MeshSimConfig::default()
-            };
-            simulate_mesh_replicated(&cfg, 1).rs_ratio.mean()
+            Scenario::mesh(n)
+                .load(Load::TableRho(rho))
+                .horizon(6_000.0)
+                .warmup(600.0)
+                .seed(99)
+                .track_saturated(true)
+                .run_replicated(1)
+                .rs_ratio
+                .mean()
         };
         let rs5 = run_one(5);
         let rs6 = run_one(6);

@@ -21,21 +21,38 @@
 //!   `6/(n+1)` (Theorem 15, §5.1), non-uniform destinations, slotted time,
 //!   higher-dimensional meshes (§5.2).
 //!
+//! The public front door is the topology-generic [`Scenario`]: one builder
+//! that names any topology the workspace knows (mesh, torus, hypercube,
+//! butterfly, `k`-d mesh), its router and destination distribution, and a
+//! load in any [`Load`] convention — then simulates it, replicates it, or
+//! reports every closed-form bound at its operating point.
+//!
 //! ## Crate map
 //!
 //! | need | start at |
 //! |------|----------|
-//! | All bounds for one `(n, load)` | [`BoundsReport`] |
-//! | Run a simulation | [`sim::simulate_mesh`], [`sim::NetworkSim`] |
+//! | Simulate any topology | [`Scenario::run`], [`Scenario::run_replicated`] |
+//! | All bounds for a scenario | [`BoundsReport::compute_for`] |
+//! | Mesh shorthand for one `(n, load)` | [`BoundsReport::compute`] |
+//! | Name a scenario on a command line | [`Scenario::parse`] |
 //! | Regenerate a paper table/figure | [`experiments`] |
 //! | Topologies / routers / formulas | [`topology`], [`routing`], [`queueing`] |
+//! | Generic simulator internals | [`sim::NetworkSim`] |
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use meshbound::{BoundsReport, Load};
+//! use meshbound::{BoundsReport, Load, Scenario};
 //!
-//! // All analytic quantities for a 10×10 array at 80% load.
+//! // Any topology through one entry point: simulate an 8×8 torus with
+//! // every edge at 40% utilization, next to its analytic report.
+//! let scenario = Scenario::torus(8).load(Load::Utilization(0.4)).seed(7);
+//! let result = scenario.run();
+//! let report = BoundsReport::compute_for(&scenario);
+//! assert!(report.lower_best <= result.avg_delay * 1.2);
+//!
+//! // The square-mesh shorthand: all analytic quantities for a 10×10 array
+//! // at 80% load.
 //! let report = BoundsReport::compute(10, Load::TableRho(0.8));
 //! assert!(report.lower_best <= report.upper);
 //! assert!(report.upper > 20.0 && report.upper < 25.0);
@@ -49,6 +66,7 @@ pub mod experiments;
 pub mod report;
 
 pub use meshbound_queueing::load::Load;
+pub use meshbound_sim::{DestSpec, RouterSpec, Scenario, ScenarioError, TopologySpec};
 pub use report::BoundsReport;
 
 /// Re-export of the topology crate (array, torus, hypercube, butterfly…).
@@ -76,5 +94,5 @@ pub mod stats {
 /// Re-export of the simulator crate.
 pub mod sim {
     pub use meshbound_sim::*;
-    pub use meshbound_sim::{copysys, network, ps, queue_sim, runner};
+    pub use meshbound_sim::{copysys, network, ps, queue_sim, runner, scenario};
 }

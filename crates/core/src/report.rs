@@ -1,69 +1,100 @@
-//! One-stop analytic report for a given array size and load.
+//! One-stop analytic report for a scenario (topology + load).
+//!
+//! [`BoundsReport::compute_for`] fills the report for any
+//! [`Scenario`] — mesh, torus, hypercube, butterfly or `k`-d mesh — using
+//! the closed forms in `meshbound_queueing::bounds` where the paper derives
+//! them and exact rate enumeration otherwise.
+//! [`BoundsReport::compute`] remains as the square-mesh shorthand.
 
-use meshbound_queueing::bounds::{estimate, lower, upper};
+use meshbound_queueing::bounds::estimate::{estimate_from_rates, paper_queue_number};
+use meshbound_queueing::bounds::{
+    butterfly as bf_bounds, estimate, hypercube as hc_bounds, lower, torus as torus_bounds, upper,
+};
 use meshbound_queueing::load::{mesh_stability_threshold, optimal_stability_threshold, Load};
 use meshbound_queueing::remaining::{dbar_closed, light_load_r, sbar_closed};
+use meshbound_queueing::single::md1_mean_number;
+use meshbound_sim::{DestSpec, Scenario, TopologySpec};
 use meshbound_topology::Mesh2D;
 use serde::{Deserialize, Serialize};
 
-/// Every closed-form quantity the paper derives for an `n × n` array at a
-/// given load, gathered in one structure.
+/// Every closed-form quantity the paper derives for a scenario at a given
+/// load, gathered in one structure.
 ///
-/// Use [`BoundsReport::compute`] to fill it and [`BoundsReport::to_text`]
-/// for a human-readable summary. Simulated values are *not* included here —
-/// see [`crate::experiments`] for the measurement harnesses.
+/// Use [`BoundsReport::compute_for`] to fill it for any [`Scenario`],
+/// [`BoundsReport::compute`] as the square-mesh shorthand, and
+/// [`BoundsReport::to_text`] for a human-readable summary. Theorem-specific
+/// fields that the paper does not derive for a topology are set to `0.0`
+/// (they are vacuous lower bounds, so `lower_best` stays correct); the
+/// torus has no proven upper bound (§6's open problem), so its `upper` is
+/// `∞`. Simulated values are *not* included here — see
+/// [`crate::experiments`] and [`Scenario::run`] for the measurement
+/// harnesses.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BoundsReport {
-    /// Array side.
+    /// Topology label, e.g. `"array 10x10"` or `"torus 8x8"`.
+    pub label: String,
+    /// Characteristic size: array side `n`, torus side, hypercube dimension,
+    /// butterfly levels, or the largest extent of a `k`-d mesh.
     pub n: usize,
-    /// Per-node Poisson arrival rate.
+    /// Total node count.
+    pub nodes: usize,
+    /// Per-source Poisson arrival rate.
     pub lambda: f64,
-    /// Load in Table I's convention (`λn/4`).
+    /// Load in Table I's convention (`λn/4`) on the square mesh; equal to
+    /// [`BoundsReport::utilization`] on every other topology.
     pub table_rho: f64,
     /// Peak edge utilization (`max_e λ_e`).
     pub utilization: f64,
-    /// Mean greedy distance `n̄ = (2/3)(n − 1/n)`.
+    /// Mean greedy route length over the destination distribution.
     pub mean_distance: f64,
-    /// Theorem 7 upper bound on the mean delay.
+    /// Theorem 5/7 upper bound on the mean delay (`∞` for the torus, where
+    /// the upper bound is §6's open problem).
     pub upper: f64,
     /// §4.2 estimate, paper's printed form (Table I "Est.").
     pub est_paper: f64,
     /// §4.2 estimate, textbook M/D/1 form.
     pub est_md1: f64,
-    /// Theorem 8 lower bound (any routing).
+    /// Theorem 8 lower bound (any routing; square mesh only, else 0).
     pub lower_thm8_any: f64,
-    /// Theorem 8 lower bound (oblivious routing).
+    /// Theorem 8 lower bound (oblivious routing; square mesh only, else 0).
     pub lower_thm8_oblivious: f64,
-    /// Theorem 10 lower bound (copy network, `d = 2(n−1)`).
+    /// Theorem 10 lower bound (copy network, max route length `d`).
     pub lower_thm10: f64,
-    /// Theorem 12 lower bound (Markovian, `d̄ = n − 1/2`).
+    /// Theorem 12 lower bound (Markovian, max expected remaining distance
+    /// `d̄`; 0 where `d̄` is not derived).
     pub lower_thm12: f64,
-    /// Theorem 14 heavy-traffic lower bound (saturated edges, `s̄`).
+    /// Theorem 14 heavy-traffic lower bound (saturated edges; square mesh
+    /// only, else 0).
     pub lower_thm14: f64,
     /// Trivial bound `n̄`.
     pub lower_trivial: f64,
     /// Best lower bound (max of the above).
     pub lower_best: f64,
-    /// Maximum expected remaining distance `d̄ = n − 1/2`.
+    /// Maximum expected remaining distance `d̄` (0 where not derived).
     pub dbar: f64,
-    /// Maximum expected remaining saturated distance `s̄`.
+    /// Maximum expected remaining saturated distance `s̄` (square mesh only,
+    /// else 0).
     pub sbar: f64,
-    /// Light-load value of Table II's ratio `r`.
+    /// Light-load value of Table II's ratio `r` (square mesh only, else 0).
     pub light_load_r: f64,
-    /// Stability threshold of the standard array (`4/n` or `4n/(n²−1)`).
+    /// Stability threshold `λ*` of the topology's routing pattern.
     pub stability_lambda: f64,
-    /// Stability threshold with optimal capacity allocation, `6/(n+1)`.
+    /// Stability threshold with optimal capacity allocation, `6/(n+1)`
+    /// (square mesh only, else 0).
     pub optimal_stability_lambda: f64,
 }
 
 impl BoundsReport {
-    /// Computes the full report for an `n × n` array at the given load.
+    /// Computes the full report for an `n × n` array at the given load —
+    /// the mesh shorthand for [`BoundsReport::compute_for`].
     #[must_use]
     pub fn compute(n: usize, load: Load) -> Self {
         let lambda = load.lambda(n);
         let rho_util = load.utilization(n);
         Self {
+            label: format!("array {n}x{n}"),
             n,
+            nodes: n * n,
             lambda,
             table_rho: lambda * n as f64 / 4.0,
             utilization: rho_util,
@@ -86,7 +117,193 @@ impl BoundsReport {
         }
     }
 
-    /// Ratio of upper to best lower bound (the "gap" the paper tracks).
+    /// Computes the report for any [`Scenario`], dispatching to the
+    /// topology's closed forms where the paper derives them (§4.5 hypercube
+    /// and butterfly, §6 torus) and to exact rate enumeration otherwise
+    /// (rectangular meshes, nearby destinations, randomized greedy, `k`-d
+    /// meshes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::validate`] rejects the scenario.
+    #[must_use]
+    pub fn compute_for(sc: &Scenario) -> Self {
+        if let Err(e) = sc.validate() {
+            panic!("{e}");
+        }
+        match (&sc.topology, sc.dest) {
+            (TopologySpec::Mesh { rows, cols }, DestSpec::Uniform)
+                if rows == cols && sc.router == meshbound_sim::RouterSpec::Greedy =>
+            {
+                Self::compute(*rows, Load::Lambda(sc.lambda()))
+            }
+            (TopologySpec::Torus { n }, _) => Self::torus_report(sc, *n),
+            (TopologySpec::Hypercube { dim }, dest) => {
+                let p = match dest {
+                    DestSpec::Bernoulli { p } => p,
+                    _ => 0.5,
+                };
+                Self::hypercube_report(sc, *dim, p)
+            }
+            (TopologySpec::Butterfly { k }, _) => Self::butterfly_report(sc, *k),
+            _ => Self::generic_report(sc),
+        }
+    }
+
+    /// §6 torus: Theorem 10's copy bound applies (it needs neither layering
+    /// nor the Markov property), the upper bound is the paper's open
+    /// problem, and the independence estimate is computed from the exact
+    /// wraparound rates.
+    fn torus_report(sc: &Scenario, n: usize) -> Self {
+        let lambda = sc.lambda();
+        let rates = sc.edge_rates();
+        let gamma = sc.total_arrival();
+        Self {
+            label: sc.label(),
+            n,
+            nodes: sc.topology.num_nodes(),
+            lambda,
+            table_rho: sc.peak_utilization(),
+            utilization: sc.peak_utilization(),
+            mean_distance: sc.mean_distance(),
+            upper: f64::INFINITY,
+            est_paper: estimate_from_rates(&rates, gamma, paper_queue_number),
+            est_md1: estimate_from_rates(&rates, gamma, md1_mean_number),
+            lower_thm8_any: 0.0,
+            lower_thm8_oblivious: 0.0,
+            lower_thm10: torus_bounds::thm10_lower(n, lambda),
+            lower_thm12: 0.0,
+            lower_thm14: 0.0,
+            lower_trivial: torus_bounds::trivial_lower(n),
+            lower_best: torus_bounds::best_lower_bound(n, lambda),
+            dbar: 0.0,
+            sbar: 0.0,
+            light_load_r: 0.0,
+            stability_lambda: torus_bounds::stability_threshold(n),
+            optimal_stability_lambda: 0.0,
+        }
+    }
+
+    /// §4.5 hypercube with per-bit flip probability `p`: every edge carries
+    /// `λp`, so every quantity has a closed form.
+    fn hypercube_report(sc: &Scenario, d: usize, p: f64) -> Self {
+        let lambda = sc.lambda();
+        let le = lambda * p;
+        let df = d as f64;
+        let lower_thm10 = hc_bounds::thm10_lower(d, lambda, p);
+        let lower_thm12 = hc_bounds::thm12_lower(d, lambda, p);
+        let trivial = hc_bounds::mean_distance(d, p);
+        Self {
+            label: sc.label(),
+            n: d,
+            nodes: sc.topology.num_nodes(),
+            lambda,
+            table_rho: le,
+            utilization: le,
+            mean_distance: trivial,
+            upper: hc_bounds::upper_bound_delay(d, lambda, p),
+            // All d·2^d edges carry λp and γ = λ·2^d, so the per-edge sums
+            // collapse to d·N(λp)/λ.
+            est_paper: df * paper_queue_number(le) / lambda,
+            est_md1: df * md1_mean_number(le) / lambda,
+            lower_thm8_any: 0.0,
+            lower_thm8_oblivious: 0.0,
+            lower_thm10,
+            lower_thm12,
+            lower_thm14: 0.0,
+            lower_trivial: trivial,
+            lower_best: lower_thm10.max(lower_thm12).max(trivial),
+            dbar: hc_bounds::dbar(d, p),
+            sbar: 0.0,
+            light_load_r: 0.0,
+            stability_lambda: 1.0 / p,
+            optimal_stability_lambda: 0.0,
+        }
+    }
+
+    /// §4.5 butterfly: every packet crosses exactly `k` edges, every edge
+    /// carries `λ/2`, and every route has the same length (so `d̄ = d = k`
+    /// and Theorems 10 and 12 coincide).
+    fn butterfly_report(sc: &Scenario, k: usize) -> Self {
+        let lambda = sc.lambda();
+        let le = lambda / 2.0;
+        let kf = k as f64;
+        let lower_thm10 = bf_bounds::thm10_lower(k, lambda);
+        Self {
+            label: sc.label(),
+            n: k,
+            nodes: sc.topology.num_nodes(),
+            lambda,
+            table_rho: le,
+            utilization: le,
+            mean_distance: kf,
+            upper: bf_bounds::upper_bound_delay(k, lambda),
+            // k·2^{k+1} edges at λ/2 against γ = λ·2^k sources.
+            est_paper: 2.0 * kf * paper_queue_number(le) / lambda,
+            est_md1: 2.0 * kf * md1_mean_number(le) / lambda,
+            lower_thm8_any: 0.0,
+            lower_thm8_oblivious: 0.0,
+            lower_thm10,
+            lower_thm12: lower_thm10,
+            lower_thm14: 0.0,
+            lower_trivial: kf,
+            lower_best: lower_thm10.max(kf),
+            dbar: kf,
+            sbar: 0.0,
+            light_load_r: 0.0,
+            stability_lambda: 2.0,
+            optimal_stability_lambda: 0.0,
+        }
+    }
+
+    /// Rate-enumeration fallback for every remaining Markovian scenario:
+    /// rectangular meshes, nearby destinations, randomized greedy and `k`-d
+    /// meshes. Uses the generic Theorem 5 product form and Theorem 10 copy
+    /// bound from the exact per-edge rates.
+    fn generic_report(sc: &Scenario) -> Self {
+        let lambda = sc.lambda();
+        let rates = sc.edge_rates();
+        let gamma = sc.total_arrival();
+        let d_max = sc.topology.max_distance() as f64;
+        let trivial = sc.mean_distance();
+        let lower_thm10 = lower::lower_bound_from_rates(&rates, d_max, gamma);
+        // The materialized rate vector already holds everything the
+        // peak-rate helpers would re-enumerate: the peak itself, and the
+        // stability threshold λ* = λ/peak.
+        let peak = rates.iter().fold(0.0, |a: f64, &b| a.max(b));
+        let n = match &sc.topology {
+            TopologySpec::Mesh { rows, cols } => *rows.max(cols),
+            TopologySpec::MeshKd { dims } => dims.iter().copied().max().unwrap_or(0),
+            other => other.num_nodes(),
+        };
+        Self {
+            label: sc.label(),
+            n,
+            nodes: sc.topology.num_nodes(),
+            lambda,
+            table_rho: peak,
+            utilization: peak,
+            mean_distance: trivial,
+            upper: upper::upper_bound_from_rates(&rates, gamma),
+            est_paper: estimate_from_rates(&rates, gamma, paper_queue_number),
+            est_md1: estimate_from_rates(&rates, gamma, md1_mean_number),
+            lower_thm8_any: 0.0,
+            lower_thm8_oblivious: 0.0,
+            lower_thm10,
+            lower_thm12: 0.0,
+            lower_thm14: 0.0,
+            lower_trivial: trivial,
+            lower_best: lower_thm10.max(trivial),
+            dbar: 0.0,
+            sbar: 0.0,
+            light_load_r: 0.0,
+            stability_lambda: lambda / peak,
+            optimal_stability_lambda: 0.0,
+        }
+    }
+
+    /// Ratio of upper to best lower bound (the "gap" the paper tracks);
+    /// `∞` where the upper bound is open or the load saturates an edge.
     #[must_use]
     pub fn gap(&self) -> f64 {
         self.upper / self.lower_best
@@ -97,17 +314,21 @@ impl BoundsReport {
     pub fn to_text(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "array {0}x{0}: λ = {1:.5} (Table-ρ {2:.3}, peak utilization {3:.3})\n",
-            self.n, self.lambda, self.table_rho, self.utilization
+            "{0} ({1} nodes): λ = {2:.5} (Table-ρ {3:.3}, peak utilization {4:.3})\n",
+            self.label, self.nodes, self.lambda, self.table_rho, self.utilization
         ));
         s.push_str(&format!(
             "  mean distance n̄ = {:.4}   d̄ = {:.1}   s̄ = {:.4}\n",
             self.mean_distance, self.dbar, self.sbar
         ));
-        s.push_str(&format!(
-            "  upper bound (Thm 7)        T ≤ {:.4}\n",
-            self.upper
-        ));
+        if self.upper.is_finite() {
+            s.push_str(&format!(
+                "  upper bound (Thm 5/7)      T ≤ {:.4}\n",
+                self.upper
+            ));
+        } else {
+            s.push_str("  upper bound                open (§6) or saturated\n");
+        }
         s.push_str(&format!(
             "  estimate (paper / M/D/1)   T ≈ {:.4} / {:.4}\n",
             self.est_paper, self.est_md1
@@ -121,15 +342,23 @@ impl BoundsReport {
             self.lower_thm14,
             self.lower_trivial
         ));
-        s.push_str(&format!(
-            "  best lower {:.4}   gap upper/lower = {:.3}\n",
-            self.lower_best,
-            self.gap()
-        ));
-        s.push_str(&format!(
-            "  stability: standard λ < {:.4}, optimal allocation λ < {:.4}\n",
-            self.stability_lambda, self.optimal_stability_lambda
-        ));
+        if self.gap().is_finite() {
+            s.push_str(&format!(
+                "  best lower {:.4}   gap upper/lower = {:.3}\n",
+                self.lower_best,
+                self.gap()
+            ));
+        } else {
+            s.push_str(&format!("  best lower {:.4}\n", self.lower_best));
+        }
+        if self.optimal_stability_lambda > 0.0 {
+            s.push_str(&format!(
+                "  stability: standard λ < {:.4}, optimal allocation λ < {:.4}\n",
+                self.stability_lambda, self.optimal_stability_lambda
+            ));
+        } else {
+            s.push_str(&format!("  stability: λ < {:.4}\n", self.stability_lambda));
+        }
         s
     }
 }
@@ -137,6 +366,7 @@ impl BoundsReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use meshbound_sim::RouterSpec;
 
     #[test]
     fn report_is_internally_consistent() {
@@ -151,6 +381,75 @@ mod tests {
                 assert!(r.gap() >= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn compute_for_square_mesh_matches_compute() {
+        let sc = Scenario::mesh(10).load(Load::TableRho(0.8));
+        let via_scenario = BoundsReport::compute_for(&sc);
+        let direct = BoundsReport::compute(10, Load::TableRho(0.8));
+        assert_eq!(via_scenario.upper.to_bits(), direct.upper.to_bits());
+        assert_eq!(via_scenario.lower_best.to_bits(), direct.lower_best.to_bits());
+        assert_eq!(via_scenario.est_paper.to_bits(), direct.est_paper.to_bits());
+        assert_eq!(via_scenario.label, direct.label);
+    }
+
+    #[test]
+    fn compute_for_covers_every_topology() {
+        let scenarios = [
+            Scenario::mesh(6).load(Load::TableRho(0.5)),
+            Scenario::mesh_rect(3, 6).load(Load::Utilization(0.5)),
+            Scenario::mesh(5)
+                .router(RouterSpec::Randomized)
+                .load(Load::Lambda(0.2)),
+            Scenario::mesh(5)
+                .dest(DestSpec::Nearby { stop: 0.5 })
+                .load(Load::Lambda(0.3)),
+            Scenario::torus(6).load(Load::Utilization(0.5)),
+            Scenario::hypercube(5).load(Load::Utilization(0.5)),
+            Scenario::hypercube(5)
+                .dest(DestSpec::Bernoulli { p: 0.25 })
+                .load(Load::Utilization(0.5)),
+            Scenario::butterfly(4).load(Load::Utilization(0.5)),
+            Scenario::mesh_kd(&[3, 3, 3]).load(Load::Utilization(0.5)),
+        ];
+        for sc in &scenarios {
+            let r = BoundsReport::compute_for(sc);
+            assert!(r.lower_best > 0.0, "{}", r.label);
+            assert!(r.lower_best.is_finite(), "{}", r.label);
+            assert!(r.lower_best <= r.upper, "{}: {} > {}", r.label, r.lower_best, r.upper);
+            assert!(r.lower_best >= r.lower_trivial, "{}", r.label);
+            assert!(r.mean_distance > 0.0, "{}", r.label);
+            assert!(r.stability_lambda > 0.0, "{}", r.label);
+            assert!((r.utilization - 0.5).abs() < 1e-9 || !matches!(sc.load, Load::Utilization(_)),
+                "{}: utilization {}", r.label, r.utilization);
+            // Every topology except the torus has a finite proven upper
+            // bound below saturation.
+            if !matches!(sc.topology, TopologySpec::Torus { .. }) {
+                assert!(r.upper.is_finite(), "{}", r.label);
+                assert!(r.est_md1 <= r.upper + 1e-9, "{}", r.label);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_upper_bound_is_open() {
+        let r = BoundsReport::compute_for(&Scenario::torus(8).load(Load::Utilization(0.5)));
+        assert!(r.upper.is_infinite());
+        assert!(r.est_md1.is_finite());
+        assert!(r.to_text().contains("open"));
+    }
+
+    #[test]
+    fn hypercube_report_matches_closed_forms() {
+        let sc = Scenario::hypercube(6)
+            .dest(DestSpec::Bernoulli { p: 0.25 })
+            .load(Load::Lambda(1.0));
+        let r = BoundsReport::compute_for(&sc);
+        assert!((r.upper - hc_bounds::upper_bound_delay(6, 1.0, 0.25)).abs() < 1e-12);
+        assert!((r.lower_thm12 - hc_bounds::thm12_lower(6, 1.0, 0.25)).abs() < 1e-12);
+        assert!((r.dbar - hc_bounds::dbar(6, 0.25)).abs() < 1e-12);
+        assert!((r.mean_distance - 1.5).abs() < 1e-12);
     }
 
     #[test]
@@ -173,5 +472,6 @@ mod tests {
         assert!(text.contains("upper bound"));
         assert!(text.contains("Thm12"));
         assert!(text.contains("stability"));
+        assert!(text.contains("array 8x8"));
     }
 }

@@ -1,4 +1,4 @@
-//! Little's law `N = λT` (reference [10] of the paper).
+//! Little's law `N = λT` (reference \[10\] of the paper).
 
 /// Mean delay from mean number in system and throughput: `T = N/λ`.
 #[must_use]

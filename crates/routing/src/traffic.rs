@@ -1,9 +1,9 @@
 //! Traffic equations: the §2.2 "system of equations" route to edge rates.
 //!
 //! The paper notes the per-queue arrival rates can be found "either by
-//! solving a system of equations [6], or by using the techniques of [1]".
+//! solving a system of equations \[6\], or by using the techniques of \[1\]".
 //! [`crate::rates::edge_rates_enumerated`] is the combinatorial technique
-//! of [1]; this module implements the other route: describe routing as a
+//! of \[1\]; this module implements the other route: describe routing as a
 //! Markov chain **on edges** (Corollary 4 guarantees this is possible for
 //! greedy routing with uniform destinations) and solve the traffic
 //! equations

@@ -10,27 +10,30 @@
 //! * the **copy/"rushed" reference system** of Theorem 10 ([`copysys`]);
 //! * **variable per-edge service rates** for the §5.1 capacity experiments;
 //! * **slotted time** with batch Poisson arrivals (§5.2);
-//! * alternative topologies (torus, hypercube, butterfly) and routers
-//!   (randomized greedy), via generic parameters.
+//! * alternative topologies (torus, hypercube, butterfly, `k`-d meshes) and
+//!   routers (randomized greedy).
 //!
-//! Simulations are deterministic given a seed; independent replications and
-//! parameter sweeps run in parallel with Rayon in [`runner`].
+//! The front door is the topology-generic [`Scenario`] in [`scenario`]: it
+//! names the topology, router, destination distribution and load in any
+//! [`Load`] convention, runs single simulations ([`Scenario::run`]) or
+//! Rayon-parallel replications ([`Scenario::run_replicated`]), and parses
+//! compact command-line specs ([`Scenario::parse`]). Simulations are
+//! deterministic given a seed. The old mesh-only entry points
+//! (`MeshSimConfig`, `simulate_mesh`) remain as deprecated wrappers.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use meshbound_sim::{MeshSimConfig, simulate_mesh};
+//! use meshbound_sim::{Load, Scenario};
 //!
-//! let cfg = MeshSimConfig {
-//!     n: 5,
-//!     lambda: 0.16,          // Table-ρ 0.2 on n = 5
-//!     horizon: 2_000.0,
-//!     warmup: 200.0,
-//!     seed: 1,
-//!     ..MeshSimConfig::default()
-//! };
-//! let result = simulate_mesh(&cfg);
+//! let result = Scenario::mesh(5)
+//!     .load(Load::TableRho(0.2)) // λ = 4ρ/n = 0.16
+//!     .run();
 //! assert!(result.avg_delay > 3.0 && result.avg_delay < 4.5);
+//!
+//! // Any other topology through the same entry point:
+//! let torus = Scenario::parse("torus:6,util=0.5,horizon=1000").unwrap().run();
+//! assert!(torus.completed > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -44,8 +47,13 @@ pub mod ps;
 pub mod queue_sim;
 pub mod rng;
 pub mod runner;
+pub mod scenario;
 pub mod service;
 
+pub use meshbound_queueing::load::Load;
 pub use network::{NetworkSim, SimResult};
+pub use runner::ReplicatedResult;
+#[allow(deprecated)]
 pub use runner::{simulate_mesh, simulate_mesh_replicated, MeshRouterKind, MeshSimConfig};
+pub use scenario::{DestSpec, RouterSpec, Scenario, ScenarioError, TopologySpec};
 pub use service::ServiceKind;

@@ -1,23 +1,21 @@
-//! High-level drivers: mesh convenience configuration and parallel
-//! replications.
+//! Replication aggregation and the legacy square-mesh drivers.
 //!
-//! The replication driver fans independent seeds out over Rayon (each
-//! replication is a self-contained deterministic simulation) and aggregates
-//! per-metric [`Summary`] statistics with Student-t confidence intervals.
+//! The topology-generic front door is [`crate::scenario::Scenario`]; this
+//! module keeps the [`ReplicatedResult`] aggregate it returns, plus the
+//! original mesh-only configuration type and entry points as deprecated
+//! wrappers that delegate to `Scenario`.
 
-use crate::network::{NetConfig, NetworkSim, SimResult};
-use crate::rng::splitmix64;
+use crate::network::SimResult;
+use crate::scenario::{DestSpec, RouterSpec, Scenario, TopologySpec};
 use crate::service::ServiceKind;
-use meshbound_queueing::remaining::saturated_edges;
-use meshbound_routing::dest::{DestDist, NearbyWalk, UniformDest};
-use meshbound_routing::{GreedyXY, RandomizedGreedy};
+use meshbound_queueing::load::Load;
+use meshbound_routing::dest::DestDist;
 use meshbound_stats::Summary;
-use meshbound_topology::Mesh2D;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which mesh router to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[deprecated(since = "0.2.0", note = "use `scenario::RouterSpec` instead")]
 pub enum MeshRouterKind {
     /// Standard greedy (column first, then row).
     Greedy,
@@ -27,6 +25,10 @@ pub enum MeshRouterKind {
 
 /// Configuration of a square-mesh simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use the topology-generic `scenario::Scenario` builder instead"
+)]
 pub struct MeshSimConfig {
     /// Mesh side `n`.
     pub n: usize,
@@ -43,6 +45,7 @@ pub struct MeshSimConfig {
     /// exponential = Jackson model).
     pub service: ServiceKind,
     /// Router choice.
+    #[allow(deprecated)]
     pub router: MeshRouterKind,
     /// Destination distribution.
     pub dest: DestDist,
@@ -62,6 +65,7 @@ pub struct MeshSimConfig {
     pub track_edge_queues: bool,
 }
 
+#[allow(deprecated)]
 impl Default for MeshSimConfig {
     fn default() -> Self {
         Self {
@@ -84,55 +88,47 @@ impl Default for MeshSimConfig {
     }
 }
 
-impl MeshSimConfig {
-    fn net_config(&self) -> NetConfig {
-        NetConfig {
-            lambda: self.lambda,
-            horizon: self.horizon,
-            warmup: self.warmup,
-            seed: self.seed,
-            service: self.service,
-            include_self_packets: self.include_self_packets,
-            slot: self.slot,
-            sample_every: self.sample_every,
-            delay_quantiles: self.delay_quantiles,
-            track_edge_queues: self.track_edge_queues,
+#[allow(deprecated)]
+impl From<&MeshSimConfig> for Scenario {
+    fn from(cfg: &MeshSimConfig) -> Self {
+        Scenario {
+            topology: TopologySpec::Mesh {
+                rows: cfg.n,
+                cols: cfg.n,
+            },
+            router: match cfg.router {
+                MeshRouterKind::Greedy => RouterSpec::Greedy,
+                MeshRouterKind::Randomized => RouterSpec::Randomized,
+            },
+            dest: match cfg.dest {
+                DestDist::Uniform => DestSpec::Uniform,
+                DestDist::Nearby { stop } => DestSpec::Nearby { stop },
+            },
+            load: Load::Lambda(cfg.lambda),
+            horizon: cfg.horizon,
+            warmup: cfg.warmup,
+            seed: cfg.seed,
+            service: cfg.service,
+            include_self_packets: cfg.include_self_packets,
+            track_saturated: cfg.track_saturated,
+            service_rates: cfg.service_rates.clone(),
+            slot: cfg.slot,
+            sample_every: cfg.sample_every,
+            delay_quantiles: cfg.delay_quantiles,
+            track_edge_queues: cfg.track_edge_queues,
         }
     }
 }
 
 /// Runs one mesh simulation described by `cfg`.
+#[deprecated(since = "0.2.0", note = "use `Scenario::run` instead")]
+#[allow(deprecated)]
 #[must_use]
 pub fn simulate_mesh(cfg: &MeshSimConfig) -> SimResult {
-    let mesh = Mesh2D::square(cfg.n);
-    let sat = if cfg.track_saturated {
-        saturated_edges(&mesh)
-    } else {
-        Vec::new()
-    };
-    macro_rules! run {
-        ($router:expr, $dest:expr) => {{
-            let mut sim = NetworkSim::new(mesh.clone(), $router, $dest, cfg.net_config())
-                .with_saturated_edges(&sat);
-            if let Some(rates) = &cfg.service_rates {
-                sim = sim.with_service_rates(rates.clone());
-            }
-            sim.run()
-        }};
-    }
-    match (cfg.router, cfg.dest) {
-        (MeshRouterKind::Greedy, DestDist::Uniform) => run!(GreedyXY, UniformDest),
-        (MeshRouterKind::Greedy, DestDist::Nearby { stop }) => {
-            run!(GreedyXY, NearbyWalk::new(stop))
-        }
-        (MeshRouterKind::Randomized, DestDist::Uniform) => run!(RandomizedGreedy, UniformDest),
-        (MeshRouterKind::Randomized, DestDist::Nearby { stop }) => {
-            run!(RandomizedGreedy, NearbyWalk::new(stop))
-        }
-    }
+    Scenario::from(cfg).run()
 }
 
-/// Aggregated replication statistics for a mesh experiment.
+/// Aggregated replication statistics for an experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReplicatedResult {
     /// Per-replication raw results.
@@ -147,52 +143,55 @@ pub struct ReplicatedResult {
     pub rs_ratio: Summary,
 }
 
+impl ReplicatedResult {
+    /// Aggregates per-replication results (in replication order, so the
+    /// summaries are independent of worker scheduling).
+    #[must_use]
+    pub fn from_runs(runs: Vec<SimResult>) -> Self {
+        let mut delay = Summary::new();
+        let mut n = Summary::new();
+        let mut r_ratio = Summary::new();
+        let mut rs_ratio = Summary::new();
+        for r in &runs {
+            delay.push(r.avg_delay);
+            n.push(r.time_avg_n);
+            r_ratio.push(r.r_ratio);
+            rs_ratio.push(r.rs_ratio);
+        }
+        Self {
+            runs,
+            delay,
+            n,
+            r_ratio,
+            rs_ratio,
+        }
+    }
+}
+
 /// Runs `reps` independent replications of `cfg` in parallel (one derived
 /// seed per replication) and aggregates the headline metrics.
+#[deprecated(since = "0.2.0", note = "use `Scenario::run_replicated` instead")]
+#[allow(deprecated)]
 #[must_use]
 pub fn simulate_mesh_replicated(cfg: &MeshSimConfig, reps: usize) -> ReplicatedResult {
-    assert!(reps >= 1);
-    let runs: Vec<SimResult> = (0..reps)
-        .into_par_iter()
-        .map(|i| {
-            let mut c = cfg.clone();
-            c.seed = splitmix64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-            simulate_mesh(&c)
-        })
-        .collect();
-    let mut delay = Summary::new();
-    let mut n = Summary::new();
-    let mut r_ratio = Summary::new();
-    let mut rs_ratio = Summary::new();
-    for r in &runs {
-        delay.push(r.avg_delay);
-        n.push(r.time_avg_n);
-        r_ratio.push(r.r_ratio);
-        rs_ratio.push(r.rs_ratio);
-    }
-    ReplicatedResult {
-        runs,
-        delay,
-        n,
-        r_ratio,
-        rs_ratio,
-    }
+    Scenario::from(cfg).run_replicated(reps)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn base() -> Scenario {
+        Scenario::mesh(4)
+            .load(Load::Lambda(0.1))
+            .horizon(3_000.0)
+            .warmup(300.0)
+            .track_saturated(true)
+    }
+
     #[test]
     fn replications_have_distinct_seeds_and_tight_summary() {
-        let cfg = MeshSimConfig {
-            n: 4,
-            lambda: 0.1,
-            horizon: 3_000.0,
-            warmup: 300.0,
-            ..MeshSimConfig::default()
-        };
-        let rep = simulate_mesh_replicated(&cfg, 4);
+        let rep = base().run_replicated(4);
         assert_eq!(rep.runs.len(), 4);
         // Distinct seeds → distinct results.
         assert!(rep.runs.windows(2).any(|w| w[0].avg_delay != w[1].avg_delay));
@@ -208,38 +207,55 @@ mod tests {
 
     #[test]
     fn randomized_router_runs() {
-        let cfg = MeshSimConfig {
-            n: 4,
-            lambda: 0.15,
-            horizon: 2_000.0,
-            warmup: 200.0,
-            router: MeshRouterKind::Randomized,
-            ..MeshSimConfig::default()
-        };
-        let res = simulate_mesh(&cfg);
+        let res = base()
+            .load(Load::Lambda(0.15))
+            .horizon(2_000.0)
+            .warmup(200.0)
+            .router(RouterSpec::Randomized)
+            .run();
         assert!(res.avg_delay > 0.0);
         assert!(res.completed > 0);
     }
 
     #[test]
     fn nearby_dest_shortens_delay() {
-        let base = MeshSimConfig {
-            n: 6,
-            lambda: 0.1,
-            horizon: 6_000.0,
-            warmup: 500.0,
-            ..MeshSimConfig::default()
-        };
-        let uniform = simulate_mesh(&base);
-        let nearby = simulate_mesh(&MeshSimConfig {
-            dest: DestDist::Nearby { stop: 0.5 },
-            ..base
-        });
+        let base = Scenario::mesh(6)
+            .load(Load::Lambda(0.1))
+            .horizon(6_000.0)
+            .warmup(500.0)
+            .track_saturated(true);
+        let uniform = base.clone().run();
+        let nearby = base.dest(DestSpec::Nearby { stop: 0.5 }).run();
         assert!(
             nearby.avg_delay < uniform.avg_delay,
             "nearby {} vs uniform {}",
             nearby.avg_delay,
             uniform.avg_delay
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_scenario() {
+        // The old mesh-only entry points must stay bit-compatible with the
+        // Scenario they construct.
+        let cfg = MeshSimConfig {
+            n: 4,
+            lambda: 0.12,
+            horizon: 1_500.0,
+            warmup: 150.0,
+            seed: 21,
+            ..MeshSimConfig::default()
+        };
+        let old = simulate_mesh(&cfg);
+        let new = Scenario::from(&cfg).run();
+        assert_eq!(old.avg_delay.to_bits(), new.avg_delay.to_bits());
+        assert_eq!(old.generated, new.generated);
+        let old_rep = simulate_mesh_replicated(&cfg, 3);
+        let new_rep = Scenario::from(&cfg).run_replicated(3);
+        assert_eq!(
+            old_rep.delay.mean().to_bits(),
+            new_rep.delay.mean().to_bits()
         );
     }
 }

@@ -1,0 +1,1284 @@
+//! The topology-generic [`Scenario`] API: one front door for every
+//! simulation the workspace can run.
+//!
+//! A [`Scenario`] names a complete experiment — topology, router,
+//! destination distribution, load, and every [`NetConfig`] knob — for any of
+//! the paper's network families: the 2-D array (the paper's subject), the
+//! torus (§6), the hypercube and butterfly (§4.5), and `k`-dimensional
+//! meshes (§5.2). One internal dispatch point maps the specification onto
+//! the right concrete [`NetworkSim`] instantiation, so callers never touch
+//! the generic machinery:
+//!
+//! ```
+//! use meshbound_sim::{Load, Scenario};
+//!
+//! let result = Scenario::torus(8).load(Load::Utilization(0.5)).run();
+//! assert!(result.avg_delay > 0.0);
+//! ```
+//!
+//! Loads are accepted in any of the [`Load`] conventions and resolved
+//! per topology ([`Scenario::lambda`]); replications fan out over Rayon
+//! ([`Scenario::run_replicated`]); and [`Scenario::parse`] builds a
+//! scenario from a compact command-line spec such as
+//! `"torus:8,util=0.9,horizon=5000"` (see [`Scenario::spec_string`] for the
+//! inverse).
+
+use crate::network::{NetConfig, NetworkSim, SimResult};
+use crate::rng::splitmix64;
+use crate::runner::ReplicatedResult;
+use crate::service::ServiceKind;
+use meshbound_queueing::load::Load;
+use meshbound_queueing::remaining::saturated_edges;
+use meshbound_routing::dest::{
+    BernoulliDest, ButterflyOutput, DestSampler, NearbyWalk, UniformDest,
+};
+use meshbound_routing::rates::{
+    all_nodes, edge_rates_enumerated, mesh_max_rate, mesh_thm6_rates, torus_row_rates,
+};
+use meshbound_routing::{
+    ButterflyRouter, DimOrder, GreedyXY, KdGreedy, ObliviousRouter, RandomizedGreedy, Router,
+    TorusGreedy,
+};
+use meshbound_topology::{
+    Butterfly, Direction, EdgeId, Hypercube, Mesh2D, MeshKD, NodeId, Topology, Torus2D,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The network family and size a [`Scenario`] runs on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// A `rows × cols` array (the paper's main topology; square when
+    /// `rows == cols`).
+    Mesh {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// An `n × n` torus (§6).
+    Torus {
+        /// Side length.
+        n: usize,
+    },
+    /// A `dim`-dimensional hypercube (§4.5).
+    Hypercube {
+        /// Dimension.
+        dim: usize,
+    },
+    /// A butterfly with `k` edge levels (§4.5). Packets enter at level 0
+    /// and leave at level `k`.
+    Butterfly {
+        /// Number of edge levels.
+        k: usize,
+    },
+    /// A `k`-dimensional mesh with the given per-axis extents (§5.2).
+    MeshKd {
+        /// Per-axis extents, e.g. `[3, 3, 3]`.
+        dims: Vec<usize>,
+    },
+}
+
+impl TopologySpec {
+    /// Human-readable label, e.g. `"torus 8x8"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            TopologySpec::Mesh { rows, cols } => Mesh2D::rect(*rows, *cols).label(),
+            TopologySpec::Torus { n } => Torus2D::new(*n).label(),
+            TopologySpec::Hypercube { dim } => Hypercube::new(*dim).label(),
+            TopologySpec::Butterfly { k } => Butterfly::new(*k).label(),
+            TopologySpec::MeshKd { dims } => MeshKD::new(dims).label(),
+        }
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            TopologySpec::Mesh { rows, cols } => rows * cols,
+            TopologySpec::Torus { n } => n * n,
+            TopologySpec::Hypercube { dim } => 1 << dim,
+            TopologySpec::Butterfly { k } => (k + 1) << k,
+            TopologySpec::MeshKd { dims } => dims.iter().product(),
+        }
+    }
+
+    /// Total directed-edge count.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        match self {
+            TopologySpec::Mesh { rows, cols } => Mesh2D::rect(*rows, *cols).num_edges(),
+            TopologySpec::Torus { n } => 4 * n * n,
+            TopologySpec::Hypercube { dim } => dim << dim,
+            TopologySpec::Butterfly { k } => k << (k + 1),
+            TopologySpec::MeshKd { dims } => MeshKD::new(dims).num_edges(),
+        }
+    }
+
+    /// The maximum route length of the default greedy router.
+    #[must_use]
+    pub fn max_distance(&self) -> usize {
+        match self {
+            TopologySpec::Mesh { rows, cols } => (rows - 1) + (cols - 1),
+            TopologySpec::Torus { n } => 2 * (n / 2),
+            TopologySpec::Hypercube { dim } => *dim,
+            TopologySpec::Butterfly { k } => *k,
+            TopologySpec::MeshKd { dims } => dims.iter().map(|&d| d - 1).sum(),
+        }
+    }
+
+    /// The spec-string head this topology parses from, e.g. `"torus:8"`.
+    #[must_use]
+    pub fn spec_head(&self) -> String {
+        match self {
+            TopologySpec::Mesh { rows, cols } if rows == cols => format!("mesh:{rows}"),
+            TopologySpec::Mesh { rows, cols } => format!("mesh:{rows}x{cols}"),
+            TopologySpec::Torus { n } => format!("torus:{n}"),
+            TopologySpec::Hypercube { dim } => format!("hypercube:{dim}"),
+            TopologySpec::Butterfly { k } => format!("butterfly:{k}"),
+            TopologySpec::MeshKd { dims } => {
+                let dims: Vec<String> = dims.iter().map(ToString::to_string).collect();
+                format!("kd:{}", dims.join("x"))
+            }
+        }
+    }
+
+    fn parse_head(head: &str) -> Result<Self, ScenarioError> {
+        let (name, size) = head.split_once(':').ok_or_else(|| {
+            ScenarioError::parse(format!(
+                "topology `{head}` needs a size, e.g. `mesh:8` or `kd:3x3x3`"
+            ))
+        })?;
+        let dims = |s: &str| -> Result<Vec<usize>, ScenarioError> {
+            s.split('x')
+                .map(|d| {
+                    d.parse::<usize>()
+                        .map_err(|_| ScenarioError::parse(format!("bad extent `{d}` in `{head}`")))
+                })
+                .collect()
+        };
+        let single = |s: &str| -> Result<usize, ScenarioError> {
+            match dims(s)?.as_slice() {
+                [n] => Ok(*n),
+                _ => Err(ScenarioError::parse(format!(
+                    "`{name}` takes a single size, got `{s}`"
+                ))),
+            }
+        };
+        match name {
+            "mesh" => {
+                let d = dims(size)?;
+                match d.as_slice() {
+                    [n] => Ok(TopologySpec::Mesh { rows: *n, cols: *n }),
+                    [r, c] => Ok(TopologySpec::Mesh { rows: *r, cols: *c }),
+                    _ => Err(ScenarioError::parse(format!(
+                        "mesh size `{size}` must be `n` or `RxC`"
+                    ))),
+                }
+            }
+            "torus" => Ok(TopologySpec::Torus { n: single(size)? }),
+            "hypercube" => Ok(TopologySpec::Hypercube { dim: single(size)? }),
+            "butterfly" => Ok(TopologySpec::Butterfly { k: single(size)? }),
+            "kd" => Ok(TopologySpec::MeshKd { dims: dims(size)? }),
+            other => Err(ScenarioError::parse(format!(
+                "unknown topology `{other}` (expected mesh, torus, hypercube, butterfly or kd)"
+            ))),
+        }
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        let bad = |msg: String| Err(ScenarioError::unsupported(msg));
+        match self {
+            TopologySpec::Mesh { rows, cols } => {
+                if *rows < 2 || *cols < 2 {
+                    return bad(format!("mesh needs at least 2x2 nodes, got {rows}x{cols}"));
+                }
+            }
+            TopologySpec::Torus { n } => {
+                if *n < 3 {
+                    return bad(format!("torus needs side at least 3, got {n}"));
+                }
+            }
+            TopologySpec::Hypercube { dim } => {
+                if !(1..=26).contains(dim) {
+                    return bad(format!("hypercube dimension {dim} out of range 1..=26"));
+                }
+            }
+            TopologySpec::Butterfly { k } => {
+                if !(1..=20).contains(k) {
+                    return bad(format!("butterfly level count {k} out of range 1..=20"));
+                }
+            }
+            TopologySpec::MeshKd { dims } => {
+                if dims.is_empty() {
+                    return bad("k-d mesh needs at least one dimension".into());
+                }
+                if dims.iter().any(|&d| d < 2) {
+                    return bad(format!("every k-d mesh extent must be >= 2, got {dims:?}"));
+                }
+                if dims.iter().product::<usize>() >= u32::MAX as usize / 2 {
+                    return bad(format!("k-d mesh {dims:?} too large"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which router a [`Scenario`] uses. Each topology has a canonical greedy
+/// router; the randomized variant exists only on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterSpec {
+    /// The topology's canonical greedy router: [`GreedyXY`] on the mesh,
+    /// [`TorusGreedy`] on the torus, [`DimOrder`] on the hypercube,
+    /// [`ButterflyRouter`] on the butterfly and [`KdGreedy`] on `k`-d
+    /// meshes.
+    Greedy,
+    /// §6's randomized-order greedy variant (mesh only).
+    Randomized,
+}
+
+/// Which destination distribution a [`Scenario`] draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DestSpec {
+    /// The standard model: uniform over all nodes. On the butterfly this
+    /// means a uniform output row (packets enter at level 0).
+    Uniform,
+    /// §5.2's "nearby" stopping-walk distribution (mesh only).
+    Nearby {
+        /// Per-node stopping probability in `(0, 1]`.
+        stop: f64,
+    },
+    /// §4.5's per-bit Bernoulli distribution (hypercube only); `p = 1/2`
+    /// recovers the uniform distribution.
+    Bernoulli {
+        /// Per-dimension flip probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+/// Why a scenario specification was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The spec string could not be parsed.
+    Parse(String),
+    /// The parsed combination is not supported (e.g. a randomized router on
+    /// the torus).
+    Unsupported(String),
+}
+
+impl ScenarioError {
+    fn parse(msg: String) -> Self {
+        ScenarioError::Parse(msg)
+    }
+
+    fn unsupported(msg: String) -> Self {
+        ScenarioError::Unsupported(msg)
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Parse(m) => write!(f, "scenario parse error: {m}"),
+            ScenarioError::Unsupported(m) => write!(f, "unsupported scenario: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+const DEFAULT_HORIZON: f64 = 2_000.0;
+const DEFAULT_WARMUP: f64 = 200.0;
+const DEFAULT_SEED: u64 = 1;
+
+/// A complete, topology-generic simulation specification.
+///
+/// Build one with the convenience constructors ([`Scenario::mesh`],
+/// [`Scenario::torus`], …) plus the chainable setters, or parse one from a
+/// spec string ([`Scenario::parse`]). Then [`Scenario::run`] simulates it,
+/// [`Scenario::run_replicated`] runs independent replications in parallel,
+/// and `meshbound::BoundsReport::compute_for` reports every closed-form
+/// bound available at its operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Network family and size.
+    pub topology: TopologySpec,
+    /// Router choice.
+    pub router: RouterSpec,
+    /// Destination distribution.
+    pub dest: DestSpec,
+    /// Offered load, in any [`Load`] convention; resolved to a per-source
+    /// rate by [`Scenario::lambda`].
+    pub load: Load,
+    /// Simulated end time.
+    pub horizon: f64,
+    /// Warmup discarded from statistics.
+    pub warmup: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Transmission-time distribution (deterministic = standard model,
+    /// exponential = Jackson model).
+    pub service: ServiceKind,
+    /// Count source-=-destination packets (delay 0) in the average.
+    pub include_self_packets: bool,
+    /// Track the remaining-saturated-services integral (Table III).
+    /// Honored on square meshes, where Figure 2 defines the saturated
+    /// edge classes; ignored elsewhere.
+    pub track_saturated: bool,
+    /// Optional per-edge service rates (§5.1); length must equal the
+    /// topology's edge count.
+    pub service_rates: Option<Vec<f64>>,
+    /// Slotted-time width τ (§5.2); `None` = continuous time.
+    pub slot: Option<f64>,
+    /// Optional `N(t)` sampling interval.
+    pub sample_every: Option<f64>,
+    /// Track delay quantiles (median / p95 / p99) via reservoir sampling.
+    pub delay_quantiles: bool,
+    /// Track per-edge time-averaged queue lengths.
+    pub track_edge_queues: bool,
+}
+
+impl Scenario {
+    /// Creates a scenario on `topology` with the default knobs: greedy
+    /// routing, uniform destinations, `λ = 0.1`, horizon 2000, warmup 200,
+    /// seed 1, deterministic service.
+    #[must_use]
+    pub fn new(topology: TopologySpec) -> Self {
+        Self {
+            topology,
+            router: RouterSpec::Greedy,
+            dest: DestSpec::Uniform,
+            load: Load::Lambda(0.1),
+            horizon: DEFAULT_HORIZON,
+            warmup: DEFAULT_WARMUP,
+            seed: DEFAULT_SEED,
+            service: ServiceKind::Deterministic,
+            include_self_packets: true,
+            track_saturated: false,
+            service_rates: None,
+            slot: None,
+            sample_every: None,
+            delay_quantiles: false,
+            track_edge_queues: false,
+        }
+    }
+
+    /// An `n × n` array scenario.
+    #[must_use]
+    pub fn mesh(n: usize) -> Self {
+        Self::new(TopologySpec::Mesh { rows: n, cols: n })
+    }
+
+    /// A `rows × cols` rectangular array scenario.
+    #[must_use]
+    pub fn mesh_rect(rows: usize, cols: usize) -> Self {
+        Self::new(TopologySpec::Mesh { rows, cols })
+    }
+
+    /// An `n × n` torus scenario.
+    #[must_use]
+    pub fn torus(n: usize) -> Self {
+        Self::new(TopologySpec::Torus { n })
+    }
+
+    /// A `dim`-dimensional hypercube scenario.
+    #[must_use]
+    pub fn hypercube(dim: usize) -> Self {
+        Self::new(TopologySpec::Hypercube { dim })
+    }
+
+    /// A `k`-level butterfly scenario (sources at level 0, uniform output
+    /// rows).
+    #[must_use]
+    pub fn butterfly(k: usize) -> Self {
+        Self::new(TopologySpec::Butterfly { k })
+    }
+
+    /// A `k`-dimensional mesh scenario with the given per-axis extents.
+    #[must_use]
+    pub fn mesh_kd(dims: &[usize]) -> Self {
+        Self::new(TopologySpec::MeshKd {
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// Sets the router.
+    #[must_use]
+    pub fn router(mut self, router: RouterSpec) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Sets the destination distribution.
+    #[must_use]
+    pub fn dest(mut self, dest: DestSpec) -> Self {
+        self.dest = dest;
+        self
+    }
+
+    /// Sets the offered load (any [`Load`] convention).
+    #[must_use]
+    pub fn load(mut self, load: Load) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Sets the horizon.
+    #[must_use]
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the warmup.
+    #[must_use]
+    pub fn warmup(mut self, warmup: f64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the transmission-time distribution.
+    #[must_use]
+    pub fn service(mut self, service: ServiceKind) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Enables or disables counting zero-distance packets.
+    #[must_use]
+    pub fn include_self_packets(mut self, yes: bool) -> Self {
+        self.include_self_packets = yes;
+        self
+    }
+
+    /// Enables or disables saturated-services tracking (square mesh only).
+    #[must_use]
+    pub fn track_saturated(mut self, yes: bool) -> Self {
+        self.track_saturated = yes;
+        self
+    }
+
+    /// Installs per-edge service rates (§5.1).
+    #[must_use]
+    pub fn service_rates(mut self, rates: Vec<f64>) -> Self {
+        self.service_rates = Some(rates);
+        self
+    }
+
+    /// Switches to slotted time with width `tau` (§5.2).
+    #[must_use]
+    pub fn slot(mut self, tau: f64) -> Self {
+        self.slot = Some(tau);
+        self
+    }
+
+    /// Samples `N(t)` every `dt` time units.
+    #[must_use]
+    pub fn sample_every(mut self, dt: f64) -> Self {
+        self.sample_every = Some(dt);
+        self
+    }
+
+    /// Enables delay-quantile tracking.
+    #[must_use]
+    pub fn delay_quantiles(mut self, yes: bool) -> Self {
+        self.delay_quantiles = yes;
+        self
+    }
+
+    /// Enables per-edge mean-queue tracking.
+    #[must_use]
+    pub fn track_edge_queues(mut self, yes: bool) -> Self {
+        self.track_edge_queues = yes;
+        self
+    }
+
+    /// Human-readable label, e.g. `"hypercube d=6"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.topology.label()
+    }
+
+    // ----------------------------------------------------------------
+    // Load resolution and traffic characterization.
+    // ----------------------------------------------------------------
+
+    /// The per-source arrival rate λ this scenario's load denotes.
+    ///
+    /// `Load::Lambda` passes through. `Load::Utilization(ρ)` solves
+    /// `max_e λ_e = ρ` for the scenario's topology, router and destination
+    /// distribution. `Load::TableRho(ρ)` keeps Table I's mesh convention
+    /// `λ = 4ρ/n` on square meshes and coincides with the utilization
+    /// convention everywhere else.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda_given_peak(|| self.peak_unit_rate())
+    }
+
+    /// Load resolution with the peak unit rate supplied lazily, so callers
+    /// that already hold the rate vector (e.g. [`Scenario::edge_rates`])
+    /// don't trigger a second enumeration.
+    fn lambda_given_peak<F: FnOnce() -> f64>(&self, peak_unit: F) -> f64 {
+        match (self.load, &self.topology) {
+            (Load::Lambda(l), _) => l,
+            (Load::TableRho(rho), TopologySpec::Mesh { rows, cols }) if rows == cols => {
+                4.0 * rho / *rows as f64
+            }
+            (Load::TableRho(rho) | Load::Utilization(rho), _) => rho / peak_unit(),
+        }
+    }
+
+    /// Number of packet-generating nodes: all nodes except on the
+    /// butterfly, where only the `2^k` level-0 inputs generate.
+    #[must_use]
+    pub fn num_sources(&self) -> usize {
+        match &self.topology {
+            TopologySpec::Butterfly { k } => 1 << k,
+            other => other.num_nodes(),
+        }
+    }
+
+    /// Total external arrival rate `γ = λ × #sources`.
+    #[must_use]
+    pub fn total_arrival(&self) -> f64 {
+        self.lambda() * self.num_sources() as f64
+    }
+
+    /// Exact per-edge arrival rates at the resolved λ, for the scenario's
+    /// router and destination distribution.
+    ///
+    /// Uses closed forms where the paper provides them and exact path
+    /// enumeration (`O(sources × nodes × route)`) otherwise. Materializes a
+    /// vector of length `num_edges` — avoid on very large hypercubes.
+    #[must_use]
+    pub fn edge_rates(&self) -> Vec<f64> {
+        let unit = self.unit_rates();
+        // Resolve utilization-style loads against the vector we already
+        // hold: on every closed-form topology its maximum is the same
+        // expression peak_unit_rate() would compute, and on enumerated
+        // topologies this avoids a second full path enumeration.
+        let lambda = self.lambda_given_peak(|| unit.iter().fold(0.0, |a: f64, &b| a.max(b)));
+        unit.into_iter().map(|r| r * lambda).collect()
+    }
+
+    /// Peak edge utilization `max_e λ_e` at the resolved λ (unit service
+    /// rates).
+    #[must_use]
+    pub fn peak_utilization(&self) -> f64 {
+        self.lambda() * self.peak_unit_rate()
+    }
+
+    /// The stability threshold `λ*` of the scenario's routing pattern with
+    /// unit service rates: the λ at which the busiest edge saturates.
+    #[must_use]
+    pub fn stability_lambda(&self) -> f64 {
+        1.0 / self.peak_unit_rate()
+    }
+
+    /// Mean greedy route length over the scenario's destination
+    /// distribution (self-pairs included).
+    #[must_use]
+    pub fn mean_distance(&self) -> f64 {
+        // Mean |i−j| over uniform ordered pairs (self included) on a line
+        // of m nodes: (m² − 1)/(3m).
+        let line = |m: usize| {
+            let m = m as f64;
+            (m * m - 1.0) / (3.0 * m)
+        };
+        match (&self.topology, self.dest) {
+            (TopologySpec::Mesh { rows, cols }, DestSpec::Uniform | DestSpec::Bernoulli { .. }) => {
+                line(*rows) + line(*cols)
+            }
+            (TopologySpec::Mesh { rows, cols }, DestSpec::Nearby { stop }) => {
+                let mesh = Mesh2D::rect(*rows, *cols);
+                let w = NearbyWalk::new(stop);
+                let mut sum = 0.0;
+                for s in mesh.nodes() {
+                    let (r1, c1) = mesh.coords(s);
+                    for d in mesh.nodes() {
+                        let (r2, c2) = mesh.coords(d);
+                        let dist = r1.abs_diff(r2) + c1.abs_diff(c2);
+                        sum += w.weight(&mesh, s, d) * dist as f64;
+                    }
+                }
+                sum / mesh.num_nodes() as f64
+            }
+            (TopologySpec::Torus { n }, _) => Torus2D::new(*n).mean_distance(),
+            (TopologySpec::Hypercube { dim }, DestSpec::Bernoulli { p }) => *dim as f64 * p,
+            (TopologySpec::Hypercube { dim }, _) => *dim as f64 * 0.5,
+            (TopologySpec::Butterfly { k }, _) => *k as f64,
+            (TopologySpec::MeshKd { dims }, _) => dims.iter().map(|&d| line(d)).sum(),
+        }
+    }
+
+    /// Per-edge arrival rates at `λ = 1` (closed form where available,
+    /// exact enumeration otherwise).
+    fn unit_rates(&self) -> Vec<f64> {
+        fn enumerate<T, R, D>(topo: &T, router: &R, dest: &D, sources: &[NodeId]) -> Vec<f64>
+        where
+            T: Topology,
+            R: ObliviousRouter<T>,
+            D: DestSampler<T>,
+        {
+            edge_rates_enumerated(topo, router, dest, 1.0, sources)
+        }
+        match (&self.topology, self.router, self.dest) {
+            (TopologySpec::Mesh { rows, cols }, RouterSpec::Greedy, DestSpec::Uniform)
+                if rows == cols =>
+            {
+                mesh_thm6_rates(&Mesh2D::square(*rows), 1.0)
+            }
+            (TopologySpec::Mesh { rows, cols }, router, dest) => {
+                let mesh = Mesh2D::rect(*rows, *cols);
+                let sources = all_nodes(&mesh);
+                match (router, dest) {
+                    (RouterSpec::Greedy, DestSpec::Uniform) => {
+                        enumerate(&mesh, &GreedyXY, &UniformDest, &sources)
+                    }
+                    (RouterSpec::Greedy, DestSpec::Nearby { stop }) => {
+                        enumerate(&mesh, &GreedyXY, &NearbyWalk::new(stop), &sources)
+                    }
+                    (RouterSpec::Randomized, DestSpec::Uniform) => {
+                        enumerate(&mesh, &RandomizedGreedy, &UniformDest, &sources)
+                    }
+                    (RouterSpec::Randomized, DestSpec::Nearby { stop }) => {
+                        enumerate(&mesh, &RandomizedGreedy, &NearbyWalk::new(stop), &sources)
+                    }
+                    _ => panic!("mesh scenarios do not support the Bernoulli destination"),
+                }
+            }
+            (TopologySpec::Torus { n }, _, _) => {
+                let torus = Torus2D::new(*n);
+                let (pos, neg) = torus_row_rates(*n, 1.0);
+                torus
+                    .edges()
+                    .map(|e| match Direction::ALL[e.index() % 4] {
+                        Direction::Right | Direction::Down => pos,
+                        Direction::Left | Direction::Up => neg,
+                    })
+                    .collect()
+            }
+            (TopologySpec::Hypercube { dim }, _, dest) => {
+                let p = match dest {
+                    DestSpec::Bernoulli { p } => p,
+                    _ => 0.5,
+                };
+                vec![p; dim << dim]
+            }
+            (TopologySpec::Butterfly { k }, _, _) => vec![0.5; k << (k + 1)],
+            (TopologySpec::MeshKd { dims }, _, _) => {
+                let kd = MeshKD::new(dims);
+                let sources = all_nodes(&kd);
+                enumerate(&kd, &KdGreedy, &UniformDest, &sources)
+            }
+        }
+    }
+
+    /// Peak per-edge rate at `λ = 1`, without materializing the rate vector
+    /// when a closed form exists.
+    fn peak_unit_rate(&self) -> f64 {
+        match (&self.topology, self.router, self.dest) {
+            (TopologySpec::Mesh { rows, cols }, RouterSpec::Greedy, DestSpec::Uniform)
+                if rows == cols =>
+            {
+                mesh_max_rate(*rows, 1.0)
+            }
+            (TopologySpec::Torus { n }, _, _) => torus_row_rates(*n, 1.0).0,
+            (TopologySpec::Hypercube { .. }, _, DestSpec::Bernoulli { p }) => p,
+            (TopologySpec::Hypercube { .. }, _, _) => 0.5,
+            (TopologySpec::Butterfly { .. }, _, _) => 0.5,
+            _ => self.unit_rates().into_iter().fold(0.0, f64::max),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Validation.
+    // ----------------------------------------------------------------
+
+    /// Checks that the combination of topology, router, destination, load
+    /// and knobs is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError::Unsupported`] describing the first
+    /// offending setting.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let bad = |msg: String| Err(ScenarioError::unsupported(msg));
+        self.topology.validate()?;
+        let is_mesh = matches!(self.topology, TopologySpec::Mesh { .. });
+        if self.router == RouterSpec::Randomized && !is_mesh {
+            return bad("the randomized greedy router exists only on the mesh".into());
+        }
+        match (self.dest, &self.topology) {
+            (DestSpec::Nearby { .. }, t) if !matches!(t, TopologySpec::Mesh { .. }) => {
+                return bad("the nearby destination walk exists only on the mesh".into());
+            }
+            (DestSpec::Nearby { stop }, _) if !(stop > 0.0 && stop <= 1.0) => {
+                return bad(format!("nearby stop probability {stop} outside (0, 1]"));
+            }
+            (DestSpec::Bernoulli { .. }, t) if !matches!(t, TopologySpec::Hypercube { .. }) => {
+                return bad("the Bernoulli destination exists only on the hypercube".into());
+            }
+            // p = 0 generates only self-packets: no traffic, and a
+            // utilization load would resolve to λ = ∞.
+            (DestSpec::Bernoulli { p }, _) if !(p > 0.0 && p <= 1.0) => {
+                return bad(format!("Bernoulli flip probability {p} outside (0, 1]"));
+            }
+            _ => {}
+        }
+        let value = match self.load {
+            Load::Lambda(v) | Load::TableRho(v) | Load::Utilization(v) => v,
+        };
+        if !(value > 0.0 && value.is_finite()) {
+            return bad(format!("load value {value} must be positive and finite"));
+        }
+        if !(self.horizon > 0.0 && self.horizon.is_finite()) {
+            return bad(format!("horizon {} must be positive and finite", self.horizon));
+        }
+        if !(self.warmup >= 0.0 && self.warmup <= self.horizon) {
+            return bad(format!(
+                "warmup {} must lie in [0, horizon = {}]",
+                self.warmup, self.horizon
+            ));
+        }
+        if let Some(tau) = self.slot {
+            if !(tau > 0.0 && tau.is_finite()) {
+                return bad(format!("slot width {tau} must be positive and finite"));
+            }
+        }
+        if let Some(dt) = self.sample_every {
+            if !(dt > 0.0 && dt.is_finite()) {
+                return bad(format!("sample interval {dt} must be positive and finite"));
+            }
+        }
+        if let Some(rates) = &self.service_rates {
+            if rates.len() != self.topology.num_edges() {
+                return bad(format!(
+                    "service_rates has {} entries but {} has {} edges",
+                    rates.len(),
+                    self.topology.label(),
+                    self.topology.num_edges()
+                ));
+            }
+            if !rates.iter().all(|&r| r > 0.0 && r.is_finite()) {
+                return bad("every service rate must be positive and finite".into());
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Running.
+    // ----------------------------------------------------------------
+
+    /// Runs the scenario once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::validate`] rejects the specification.
+    #[must_use]
+    pub fn run(&self) -> SimResult {
+        self.run_seeded(self.seed)
+    }
+
+    /// Runs `reps` independent replications in parallel (one derived seed
+    /// per replication) and aggregates the headline metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps == 0` or the specification is invalid.
+    #[must_use]
+    pub fn run_replicated(&self, reps: usize) -> ReplicatedResult {
+        assert!(reps >= 1);
+        let runs: Vec<SimResult> = (0..reps)
+            .into_par_iter()
+            .map(|i| self.run_seeded(self.replication_seed(i)))
+            .collect();
+        ReplicatedResult::from_runs(runs)
+    }
+
+    /// The derived master seed of replication `i` (replication 0 uses the
+    /// scenario's own seed stream: `splitmix64(seed)`).
+    #[must_use]
+    pub fn replication_seed(&self, i: usize) -> u64 {
+        // 64-bit golden-ratio constant for full high-bit spread across
+        // replication indices.
+        splitmix64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The single dispatch point: maps the specification onto the concrete
+    /// `NetworkSim` instantiation and runs it with `seed` as the master
+    /// seed.
+    pub(crate) fn run_seeded(&self, seed: u64) -> SimResult {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+        let net = self.net_config(seed);
+        match (&self.topology, self.router, self.dest) {
+            (TopologySpec::Mesh { rows, cols }, router, dest) => {
+                let mesh = Mesh2D::rect(*rows, *cols);
+                let sat = if self.track_saturated && mesh.is_square() {
+                    saturated_edges(&mesh)
+                } else {
+                    Vec::new()
+                };
+                match (router, dest) {
+                    (RouterSpec::Greedy, DestSpec::Uniform) => {
+                        self.finish(mesh, GreedyXY, UniformDest, net, &sat, None)
+                    }
+                    (RouterSpec::Greedy, DestSpec::Nearby { stop }) => {
+                        self.finish(mesh, GreedyXY, NearbyWalk::new(stop), net, &sat, None)
+                    }
+                    (RouterSpec::Randomized, DestSpec::Uniform) => {
+                        self.finish(mesh, RandomizedGreedy, UniformDest, net, &sat, None)
+                    }
+                    (RouterSpec::Randomized, DestSpec::Nearby { stop }) => {
+                        self.finish(mesh, RandomizedGreedy, NearbyWalk::new(stop), net, &sat, None)
+                    }
+                    _ => unreachable!("validate() admits no other mesh combination"),
+                }
+            }
+            (TopologySpec::Torus { n }, _, _) => {
+                self.finish(Torus2D::new(*n), TorusGreedy, UniformDest, net, &[], None)
+            }
+            (TopologySpec::Hypercube { dim }, _, DestSpec::Bernoulli { p }) => self.finish(
+                Hypercube::new(*dim),
+                DimOrder,
+                BernoulliDest::new(p),
+                net,
+                &[],
+                None,
+            ),
+            (TopologySpec::Hypercube { dim }, _, _) => {
+                self.finish(Hypercube::new(*dim), DimOrder, UniformDest, net, &[], None)
+            }
+            (TopologySpec::Butterfly { k }, _, _) => {
+                let b = Butterfly::new(*k);
+                let sources: Vec<NodeId> = (0..b.rows()).map(|w| b.node(0, w)).collect();
+                self.finish(b, ButterflyRouter, ButterflyOutput, net, &[], Some(sources))
+            }
+            (TopologySpec::MeshKd { dims }, _, _) => {
+                self.finish(MeshKD::new(dims), KdGreedy, UniformDest, net, &[], None)
+            }
+        }
+    }
+
+    fn net_config(&self, seed: u64) -> NetConfig {
+        NetConfig {
+            lambda: self.lambda(),
+            horizon: self.horizon,
+            warmup: self.warmup,
+            seed,
+            service: self.service,
+            include_self_packets: self.include_self_packets,
+            slot: self.slot,
+            sample_every: self.sample_every,
+            delay_quantiles: self.delay_quantiles,
+            track_edge_queues: self.track_edge_queues,
+        }
+    }
+
+    fn finish<T, R, D>(
+        &self,
+        topo: T,
+        router: R,
+        dest: D,
+        net: NetConfig,
+        sat: &[EdgeId],
+        sources: Option<Vec<NodeId>>,
+    ) -> SimResult
+    where
+        T: Topology,
+        R: Router<T>,
+        D: DestSampler<T>,
+    {
+        let mut sim = NetworkSim::new(topo, router, dest, net);
+        if let Some(s) = sources {
+            sim = sim.with_sources(s);
+        }
+        if !sat.is_empty() {
+            sim = sim.with_saturated_edges(sat);
+        }
+        if let Some(rates) = &self.service_rates {
+            sim = sim.with_service_rates(rates.clone());
+        }
+        sim.run()
+    }
+
+    // ----------------------------------------------------------------
+    // Spec strings.
+    // ----------------------------------------------------------------
+
+    /// Parses a compact scenario spec of the form
+    /// `"<topology>:<size>[,key=value]…"`, e.g.
+    /// `"torus:8,util=0.9,horizon=5000,seed=7"` or
+    /// `"hypercube:6,dest=bernoulli:0.25,lambda=0.8"`.
+    ///
+    /// Recognized keys: `router=greedy|randomized`,
+    /// `dest=uniform|nearby:<stop>|bernoulli:<p>`, exactly one of
+    /// `lambda=`/`rho=`/`util=`, and `horizon=`, `warmup=`, `seed=`,
+    /// `service=det|exp`, `slot=`, `sample=`, `self=`, `saturated=`,
+    /// `quantiles=`, `queues=` (booleans take `true`/`false`). Per-edge
+    /// `service_rates` have no spec syntax — set them on the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Parse`] for malformed input and
+    /// [`ScenarioError::Unsupported`] when the parsed combination fails
+    /// [`Scenario::validate`].
+    pub fn parse(spec: &str) -> Result<Self, ScenarioError> {
+        let mut parts = spec.split(',');
+        let head = parts.next().unwrap_or_default().trim();
+        let mut sc = Scenario::new(TopologySpec::parse_head(head)?);
+        let mut load_seen = false;
+        let f64_of = |key: &str, v: &str| -> Result<f64, ScenarioError> {
+            v.parse::<f64>()
+                .map_err(|_| ScenarioError::parse(format!("bad number `{v}` for `{key}`")))
+        };
+        let bool_of = |key: &str, v: &str| -> Result<bool, ScenarioError> {
+            match v {
+                "true" => Ok(true),
+                "false" => Ok(false),
+                _ => Err(ScenarioError::parse(format!(
+                    "bad boolean `{v}` for `{key}` (expected true or false)"
+                ))),
+            }
+        };
+        for part in parts {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                ScenarioError::parse(format!("expected `key=value`, got `{part}`"))
+            })?;
+            match key {
+                "router" => {
+                    sc.router = match value {
+                        "greedy" => RouterSpec::Greedy,
+                        "randomized" => RouterSpec::Randomized,
+                        _ => {
+                            return Err(ScenarioError::parse(format!(
+                                "unknown router `{value}` (expected greedy or randomized)"
+                            )))
+                        }
+                    };
+                }
+                "dest" => {
+                    sc.dest = match value.split_once(':') {
+                        None if value == "uniform" => DestSpec::Uniform,
+                        Some(("nearby", stop)) => DestSpec::Nearby {
+                            stop: f64_of("dest=nearby", stop)?,
+                        },
+                        Some(("bernoulli", p)) => DestSpec::Bernoulli {
+                            p: f64_of("dest=bernoulli", p)?,
+                        },
+                        _ => {
+                            return Err(ScenarioError::parse(format!(
+                                "unknown destination `{value}` (expected uniform, \
+                                 nearby:<stop> or bernoulli:<p>)"
+                            )))
+                        }
+                    };
+                }
+                "lambda" | "rho" | "util" => {
+                    if load_seen {
+                        return Err(ScenarioError::parse(format!(
+                            "`{key}` conflicts with an earlier load key — give exactly \
+                             one of lambda=, rho= or util="
+                        )));
+                    }
+                    load_seen = true;
+                    let v = f64_of(key, value)?;
+                    sc.load = match key {
+                        "lambda" => Load::Lambda(v),
+                        "rho" => Load::TableRho(v),
+                        _ => Load::Utilization(v),
+                    };
+                }
+                "horizon" => sc.horizon = f64_of(key, value)?,
+                "warmup" => sc.warmup = f64_of(key, value)?,
+                "seed" => {
+                    sc.seed = value.parse::<u64>().map_err(|_| {
+                        ScenarioError::parse(format!("bad seed `{value}`"))
+                    })?;
+                }
+                "service" => {
+                    sc.service = match value {
+                        "det" | "deterministic" => ServiceKind::Deterministic,
+                        "exp" | "exponential" => ServiceKind::Exponential,
+                        _ => {
+                            return Err(ScenarioError::parse(format!(
+                                "unknown service `{value}` (expected det or exp)"
+                            )))
+                        }
+                    };
+                }
+                "slot" => sc.slot = Some(f64_of(key, value)?),
+                "sample" => sc.sample_every = Some(f64_of(key, value)?),
+                "self" => sc.include_self_packets = bool_of(key, value)?,
+                "saturated" => sc.track_saturated = bool_of(key, value)?,
+                "quantiles" => sc.delay_quantiles = bool_of(key, value)?,
+                "queues" => sc.track_edge_queues = bool_of(key, value)?,
+                other => {
+                    return Err(ScenarioError::parse(format!("unknown key `{other}`")));
+                }
+            }
+        }
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Renders the scenario as a spec string that [`Scenario::parse`]
+    /// accepts; non-default knobs only. The one lossy field is
+    /// `service_rates`, which has no spec syntax (a per-edge vector does
+    /// not fit a one-line spec).
+    #[must_use]
+    pub fn spec_string(&self) -> String {
+        let mut s = self.topology.spec_head();
+        if self.router == RouterSpec::Randomized {
+            s.push_str(",router=randomized");
+        }
+        match self.dest {
+            DestSpec::Uniform => {}
+            DestSpec::Nearby { stop } => s.push_str(&format!(",dest=nearby:{stop}")),
+            DestSpec::Bernoulli { p } => s.push_str(&format!(",dest=bernoulli:{p}")),
+        }
+        match self.load {
+            Load::Lambda(l) => s.push_str(&format!(",lambda={l}")),
+            Load::TableRho(r) => s.push_str(&format!(",rho={r}")),
+            Load::Utilization(u) => s.push_str(&format!(",util={u}")),
+        }
+        if self.horizon != DEFAULT_HORIZON {
+            s.push_str(&format!(",horizon={}", self.horizon));
+        }
+        if self.warmup != DEFAULT_WARMUP {
+            s.push_str(&format!(",warmup={}", self.warmup));
+        }
+        if self.seed != DEFAULT_SEED {
+            s.push_str(&format!(",seed={}", self.seed));
+        }
+        if self.service == ServiceKind::Exponential {
+            s.push_str(",service=exp");
+        }
+        if let Some(tau) = self.slot {
+            s.push_str(&format!(",slot={tau}"));
+        }
+        if let Some(dt) = self.sample_every {
+            s.push_str(&format!(",sample={dt}"));
+        }
+        if !self.include_self_packets {
+            s.push_str(",self=false");
+        }
+        if self.track_saturated {
+            s.push_str(",saturated=true");
+        }
+        if self.delay_quantiles {
+            s.push_str(",quantiles=true");
+        }
+        if self.track_edge_queues {
+            s.push_str(",queues=true");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_topology_runs_end_to_end() {
+        let scenarios = [
+            Scenario::mesh(4),
+            Scenario::mesh_rect(3, 5),
+            Scenario::torus(4),
+            Scenario::hypercube(4),
+            Scenario::butterfly(3),
+            Scenario::mesh_kd(&[3, 3, 3]),
+        ];
+        for sc in scenarios {
+            let res = sc.clone().load(Load::Lambda(0.05)).horizon(600.0).warmup(60.0).run();
+            assert!(res.completed > 0, "{} delivered nothing", sc.label());
+            assert!(res.avg_delay > 0.0, "{}", sc.label());
+        }
+    }
+
+    #[test]
+    fn mesh_scenario_matches_direct_network_sim() {
+        let sc = Scenario::mesh(5).load(Load::Lambda(0.12)).horizon(900.0).warmup(90.0).seed(11);
+        let via_scenario = sc.run();
+        let direct = NetworkSim::new(
+            Mesh2D::square(5),
+            GreedyXY,
+            UniformDest,
+            NetConfig {
+                lambda: 0.12,
+                horizon: 900.0,
+                warmup: 90.0,
+                seed: 11,
+                ..NetConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(via_scenario.avg_delay.to_bits(), direct.avg_delay.to_bits());
+        assert_eq!(via_scenario.generated, direct.generated);
+    }
+
+    #[test]
+    fn load_conventions_resolve_per_topology() {
+        // Square mesh keeps Table I's λ = 4ρ/n.
+        let mesh = Scenario::mesh(10).load(Load::TableRho(0.8));
+        assert!((mesh.lambda() - 0.32).abs() < 1e-12);
+        // Hypercube utilization: λp = ρ.
+        let hc = Scenario::hypercube(6)
+            .dest(DestSpec::Bernoulli { p: 0.25 })
+            .load(Load::Utilization(0.5));
+        assert!((hc.lambda() - 2.0).abs() < 1e-12);
+        assert!((hc.peak_utilization() - 0.5).abs() < 1e-12);
+        // Butterfly: λ/2 = ρ.
+        let bf = Scenario::butterfly(4).load(Load::Utilization(0.7));
+        assert!((bf.lambda() - 1.4).abs() < 1e-12);
+        // Torus: TableRho coincides with utilization.
+        let t1 = Scenario::torus(8).load(Load::TableRho(0.6));
+        let t2 = Scenario::torus(8).load(Load::Utilization(0.6));
+        assert_eq!(t1.lambda().to_bits(), t2.lambda().to_bits());
+    }
+
+    #[test]
+    fn mean_distance_closed_forms() {
+        assert!((Scenario::mesh(5).mean_distance() - 3.2).abs() < 1e-12);
+        assert!((Scenario::torus(4).mean_distance() - 2.0).abs() < 1e-12);
+        assert!((Scenario::hypercube(6).mean_distance() - 3.0).abs() < 1e-12);
+        assert!((Scenario::butterfly(5).mean_distance() - 5.0).abs() < 1e-12);
+        // k-d mesh: Σ (m²−1)/3m, and a [n, n] mesh equals the 2-D formula.
+        let kd = Scenario::mesh_kd(&[5, 5]);
+        assert!((kd.mean_distance() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearby_mean_distance_below_uniform() {
+        let uniform = Scenario::mesh(6).mean_distance();
+        let nearby = Scenario::mesh(6)
+            .dest(DestSpec::Nearby { stop: 0.5 })
+            .mean_distance();
+        assert!(nearby < uniform, "nearby {nearby} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn edge_rates_match_closed_forms() {
+        // Torus direction split matches the closed form used by the bounds.
+        let sc = Scenario::torus(5).load(Load::Lambda(0.2));
+        let rates = sc.edge_rates();
+        let (pos, neg) = torus_row_rates(5, 0.2);
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((max - pos).abs() < 1e-12 && (min - neg).abs() < 1e-12);
+        // Square-mesh closed form agrees with enumeration via the rect path.
+        let closed = Scenario::mesh(4).load(Load::Lambda(0.1)).edge_rates();
+        let enumerated = Scenario::mesh_rect(4, 4).load(Load::Lambda(0.1)).edge_rates();
+        for (a, b) in closed.iter().zip(&enumerated) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_combinations() {
+        assert!(Scenario::torus(8).router(RouterSpec::Randomized).validate().is_err());
+        assert!(Scenario::hypercube(4)
+            .dest(DestSpec::Nearby { stop: 0.5 })
+            .validate()
+            .is_err());
+        assert!(Scenario::mesh(4)
+            .dest(DestSpec::Bernoulli { p: 0.5 })
+            .validate()
+            .is_err());
+        assert!(Scenario::mesh(4).load(Load::Lambda(-1.0)).validate().is_err());
+        assert!(Scenario::mesh(1).validate().is_err());
+        assert!(Scenario::mesh(4).service_rates(vec![1.0; 3]).validate().is_err());
+        assert!(Scenario::mesh(4).validate().is_ok());
+    }
+
+    #[test]
+    fn replication_seeds_have_high_bit_spread() {
+        // The 64-bit golden-ratio multiplier must separate consecutive
+        // replication indices in the high bits before splitmix finishes
+        // the job.
+        let sc = Scenario::mesh(4);
+        let seeds: Vec<u64> = (0..64).map(|i| sc.replication_seed(i)).collect();
+        for (i, &a) in seeds.iter().enumerate() {
+            for &b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+                // High 32 bits must differ too — the 32-bit constant left
+                // them correlated before mixing.
+                assert_ne!(a >> 32, b >> 32, "high bits collide: {a:x} vs {b:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let scenarios = [
+            Scenario::mesh(8).load(Load::TableRho(0.9)),
+            Scenario::mesh_rect(3, 7).load(Load::Lambda(0.05)).seed(9),
+            Scenario::torus(8).load(Load::Utilization(0.9)).horizon(5_000.0),
+            Scenario::hypercube(6)
+                .dest(DestSpec::Bernoulli { p: 0.25 })
+                .load(Load::Lambda(0.8))
+                .service(ServiceKind::Exponential),
+            Scenario::butterfly(4).load(Load::Utilization(0.6)).warmup(50.0),
+            Scenario::mesh_kd(&[3, 4, 5]).load(Load::Lambda(0.02)).slot(1.0),
+            Scenario::mesh(5)
+                .router(RouterSpec::Randomized)
+                .dest(DestSpec::Nearby { stop: 0.5 })
+                .load(Load::Lambda(0.1))
+                .track_saturated(true)
+                .include_self_packets(false)
+                .delay_quantiles(true),
+        ];
+        for sc in scenarios {
+            let spec = sc.spec_string();
+            let parsed = Scenario::parse(&spec).unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+            assert_eq!(parsed, sc, "round trip failed for `{spec}`");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for spec in [
+            "",
+            "mesh",
+            "ring:8",
+            "mesh:0",
+            "mesh:4x",
+            "kd:3x1x3",
+            "mesh:4,router=quantum",
+            "mesh:4,dest=nearby",
+            "mesh:4,speed=9",
+            "mesh:4,lambda=fast",
+            "torus:8,router=randomized",
+            "mesh:4,seed=-1",
+        ] {
+            assert!(Scenario::parse(spec).is_err(), "`{spec}` should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_readme_examples() {
+        let sc = Scenario::parse("torus:8,util=0.9,horizon=5000,seed=7").unwrap();
+        assert_eq!(sc.topology, TopologySpec::Torus { n: 8 });
+        assert_eq!(sc.seed, 7);
+        assert!(sc.lambda() > 0.0);
+        let sc = Scenario::parse("hypercube:6,dest=bernoulli:0.25,lambda=0.8").unwrap();
+        assert_eq!(sc.dest, DestSpec::Bernoulli { p: 0.25 });
+    }
+}

@@ -19,8 +19,8 @@ use meshbound::queueing::jackson;
 use meshbound::queueing::little::mesh_total_arrival;
 use meshbound::queueing::load::{mesh_stability_threshold, optimal_stability_threshold};
 use meshbound::routing::rates::mesh_thm6_rates;
-use meshbound::sim::{simulate_mesh, MeshSimConfig};
 use meshbound::topology::{Mesh2D, Topology};
+use meshbound::{Load, Scenario};
 use meshbound_repro::banner;
 
 fn main() {
@@ -67,20 +67,13 @@ fn main() {
     let lambda = 0.5 * (mesh_stability_threshold(n) + optimal_stability_threshold(n));
     let rates = mesh_thm6_rates(&mesh, lambda);
     let phi = optimal_allocation(&rates, &costs, budget).expect("still within budget");
-    let base = MeshSimConfig {
-        n,
-        lambda,
-        horizon: 8_000.0,
-        warmup: 0.0,
-        seed: 7,
-        track_saturated: false,
-        ..MeshSimConfig::default()
-    };
-    let std_run = simulate_mesh(&base);
-    let opt_run = simulate_mesh(&MeshSimConfig {
-        service_rates: Some(phi),
-        ..base
-    });
+    let base = Scenario::mesh(n)
+        .load(Load::Lambda(lambda))
+        .horizon(8_000.0)
+        .warmup(0.0)
+        .seed(7);
+    let std_run = base.clone().run();
+    let opt_run = base.service_rates(phi).run();
     println!(
         "λ = {lambda:.4}: standard config backlog grows (final N = {:.0}, avg N = {:.0} — unstable)",
         std_run.final_n, std_run.time_avg_n

@@ -20,10 +20,11 @@ use meshbound::routing::dest::UniformDest;
 use meshbound::routing::rates::mesh_thm6_rates;
 use meshbound::routing::GreedyXY;
 use meshbound::sim::copysys::CopySystemSim;
-use meshbound::sim::network::{NetConfig, NetworkSim};
+use meshbound::sim::network::NetConfig;
 use meshbound::sim::ps::PsNetworkSim;
 use meshbound::sim::ServiceKind;
 use meshbound::topology::Mesh2D;
+use meshbound::{Load, Scenario};
 use meshbound_repro::banner;
 
 fn main() {
@@ -31,6 +32,15 @@ fn main() {
     let rho: f64 = 0.7;
     let lambda = 4.0 * rho / n as f64;
     let mesh = Mesh2D::square(n);
+    // The FIFO and Jackson systems go through the unified Scenario front
+    // door; the PS and copy comparison systems are simulator internals the
+    // paper's proofs reason about, so they use their dedicated engines
+    // with the same NetConfig.
+    let scenario = Scenario::mesh(n)
+        .load(Load::TableRho(rho))
+        .horizon(40_000.0)
+        .warmup(4_000.0)
+        .seed(99);
     let cfg = NetConfig {
         lambda,
         horizon: 40_000.0,
@@ -41,17 +51,13 @@ fn main() {
 
     banner(&format!("n = {n}, Table-ρ = {rho} (λ = {lambda:.3})"));
 
-    let fifo = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg.clone()).run();
+    let fifo = scenario.clone().run();
     println!("1. FIFO, deterministic service: E[N] = {:>8.2}   T = {:.3}", fifo.time_avg_n, fifo.avg_delay);
 
     let ps = PsNetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg.clone()).run();
     println!("2. processor sharing:           E[N] = {:>8.2}   T = {:.3}", ps.time_avg_n, ps.avg_delay);
 
-    let jackson_cfg = NetConfig {
-        service: ServiceKind::Exponential,
-        ..cfg.clone()
-    };
-    let jackson = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, jackson_cfg).run();
+    let jackson = scenario.service(ServiceKind::Exponential).run();
     println!("3. Jackson (exp. service):      E[N] = {:>8.2}   T = {:.3}", jackson.time_avg_n, jackson.avg_delay);
 
     let rates = mesh_thm6_rates(&mesh, lambda);

@@ -9,8 +9,7 @@
 //! the comparison — the simulated delay must land between the best lower
 //! bound and the Theorem 7 upper bound, near the M/D/1 estimate.
 
-use meshbound::sim::{simulate_mesh, MeshSimConfig};
-use meshbound::{BoundsReport, Load};
+use meshbound::{BoundsReport, Load, Scenario};
 use meshbound_repro::banner;
 
 fn main() {
@@ -22,15 +21,13 @@ fn main() {
     print!("{}", report.to_text());
 
     banner("Packet-level simulation (standard model)");
-    let cfg = MeshSimConfig {
-        n,
-        lambda: report.lambda,
-        horizon: 30_000.0,
-        warmup: 3_000.0,
-        seed: 2024,
-        ..MeshSimConfig::default()
-    };
-    let res = simulate_mesh(&cfg);
+    let res = Scenario::mesh(n)
+        .load(load)
+        .horizon(30_000.0)
+        .warmup(3_000.0)
+        .seed(2024)
+        .track_saturated(true)
+        .run();
     println!(
         "simulated delay T = {:.3}  (completed {} packets; Little cross-check {:.3})",
         res.avg_delay, res.completed, res.little_delay

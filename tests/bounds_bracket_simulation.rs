@@ -2,20 +2,16 @@
 //! delay is bracketed by the paper's lower and upper bounds, and tracks the
 //! M/D/1 estimate.
 
-use meshbound::sim::{simulate_mesh, MeshSimConfig};
-use meshbound::{BoundsReport, Load};
+use meshbound::{BoundsReport, Load, Scenario};
 
 fn simulate(n: usize, rho: f64, seed: u64) -> f64 {
-    let cfg = MeshSimConfig {
-        n,
-        lambda: 4.0 * rho / n as f64,
-        horizon: (2_000.0 / (1.0 - rho)).min(20_000.0),
-        warmup: (400.0 / (1.0 - rho)).min(4_000.0),
-        seed,
-        track_saturated: false,
-        ..MeshSimConfig::default()
-    };
-    simulate_mesh(&cfg).avg_delay
+    Scenario::mesh(n)
+        .load(Load::TableRho(rho))
+        .horizon((2_000.0 / (1.0 - rho)).min(20_000.0))
+        .warmup((400.0 / (1.0 - rho)).min(4_000.0))
+        .seed(seed)
+        .run()
+        .avg_delay
 }
 
 #[test]

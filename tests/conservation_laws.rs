@@ -3,23 +3,21 @@
 //! by Tables II and III.
 
 use meshbound::queueing::remaining::{light_load_r, light_load_rs};
-use meshbound::sim::{simulate_mesh, MeshSimConfig};
 use meshbound::topology::Mesh2D;
+use meshbound::{Load, Scenario};
 
-fn base(n: usize, rho: f64, seed: u64) -> MeshSimConfig {
-    MeshSimConfig {
-        n,
-        lambda: 4.0 * rho / n as f64,
-        horizon: 20_000.0,
-        warmup: 2_000.0,
-        seed,
-        ..MeshSimConfig::default()
-    }
+fn base(n: usize, rho: f64, seed: u64) -> Scenario {
+    Scenario::mesh(n)
+        .load(Load::TableRho(rho))
+        .horizon(20_000.0)
+        .warmup(2_000.0)
+        .seed(seed)
+        .track_saturated(true)
 }
 
 #[test]
 fn littles_law_delay_consistency() {
-    let res = simulate_mesh(&base(6, 0.6, 21));
+    let res = base(6, 0.6, 21).run();
     let rel = (res.avg_delay - res.little_delay).abs() / res.avg_delay;
     assert!(rel < 0.03, "delay {} vs Little {}", res.avg_delay, res.little_delay);
 }
@@ -29,9 +27,9 @@ fn empirical_edge_rates_match_theorem6() {
     let n = 5;
     let rho = 0.5;
     let cfg = base(n, rho, 23);
-    let res = simulate_mesh(&cfg);
+    let res = cfg.run();
     let mesh = Mesh2D::square(n);
-    let expect = meshbound::routing::rates::mesh_thm6_rates(&mesh, cfg.lambda);
+    let expect = meshbound::routing::rates::mesh_thm6_rates(&mesh, cfg.lambda());
     use meshbound::topology::Topology;
     for e in mesh.edges() {
         let got = res.edge_throughput[e.index()];
@@ -47,7 +45,7 @@ fn empirical_edge_rates_match_theorem6() {
 fn r_ratio_tracks_light_load_closed_form() {
     // At ρ = 0.2 Table II is within ~1% of the light-load closed form.
     for &n in &[5usize, 8] {
-        let res = simulate_mesh(&base(n, 0.2, 29));
+        let res = base(n, 0.2, 29).run();
         let expect = light_load_r(n);
         assert!(
             (res.r_ratio - expect).abs() / expect < 0.03,
@@ -60,7 +58,7 @@ fn r_ratio_tracks_light_load_closed_form() {
 #[test]
 fn rs_ratio_tracks_light_load_closed_form() {
     for &n in &[5usize, 6] {
-        let res = simulate_mesh(&base(n, 0.2, 31));
+        let res = base(n, 0.2, 31).run();
         let expect = light_load_rs(&Mesh2D::square(n));
         assert!(
             (res.rs_ratio - expect).abs() / expect.max(0.1) < 0.08,
@@ -72,7 +70,7 @@ fn rs_ratio_tracks_light_load_closed_form() {
 
 #[test]
 fn r_exceeds_rs_and_both_positive() {
-    let res = simulate_mesh(&base(7, 0.7, 37));
+    let res = base(7, 0.7, 37).run();
     assert!(res.r_ratio > res.rs_ratio);
     assert!(res.rs_ratio > 0.0);
     // r is at least 1: every in-flight packet needs ≥ 1 more service.
@@ -84,8 +82,8 @@ fn throughput_matches_arrival_rate() {
     // Long-run completions per unit time ≈ λn² (all generated packets are
     // delivered in a stable system).
     let cfg = base(5, 0.5, 41);
-    let res = simulate_mesh(&cfg);
-    let expect = cfg.lambda * 25.0;
+    let res = cfg.run();
+    let expect = cfg.lambda() * 25.0;
     let got = res.completed as f64 / res.measure_time;
     assert!(
         (got - expect).abs() / expect < 0.05,
@@ -95,8 +93,7 @@ fn throughput_matches_arrival_rate() {
 
 #[test]
 fn peak_utilization_matches_load() {
-    let cfg = base(6, 0.8, 43);
-    let res = simulate_mesh(&cfg);
+    let res = base(6, 0.8, 43).run();
     assert!(
         (res.max_edge_utilization - 0.8).abs() < 0.06,
         "peak utilization {} vs ρ = 0.8",
@@ -110,17 +107,13 @@ fn middle_queues_are_larger() {
     // should have higher expected queue sizes, since the number of packets
     // passing through them is larger" — measured directly.
     let n = 8;
-    let cfg = MeshSimConfig {
-        n,
-        lambda: 4.0 * 0.8 / n as f64,
-        horizon: 20_000.0,
-        warmup: 2_000.0,
-        seed: 53,
-        track_saturated: false,
-        track_edge_queues: true,
-        ..MeshSimConfig::default()
-    };
-    let res = simulate_mesh(&cfg);
+    let res = Scenario::mesh(n)
+        .load(Load::TableRho(0.8))
+        .horizon(20_000.0)
+        .warmup(2_000.0)
+        .seed(53)
+        .track_edge_queues(true)
+        .run();
     let q = res.edge_mean_queue.expect("tracking enabled");
     let mesh = Mesh2D::square(n);
     // Central right edge (crossing index n/2) vs peripheral right edge
@@ -142,17 +135,13 @@ fn middle_queues_are_larger() {
 fn edge_queue_sum_consistent_with_total_r() {
     // Every in-system packet sits in exactly one edge queue (waiting or in
     // service), so the per-edge mean queue lengths must sum to E[N].
-    let cfg = MeshSimConfig {
-        n: 5,
-        lambda: 0.3,
-        horizon: 15_000.0,
-        warmup: 1_500.0,
-        seed: 59,
-        track_saturated: false,
-        track_edge_queues: true,
-        ..MeshSimConfig::default()
-    };
-    let res = simulate_mesh(&cfg);
+    let res = Scenario::mesh(5)
+        .load(Load::Lambda(0.3))
+        .horizon(15_000.0)
+        .warmup(1_500.0)
+        .seed(59)
+        .track_edge_queues(true)
+        .run();
     let q = res.edge_mean_queue.expect("tracking enabled");
     let total: f64 = q.iter().sum();
     let rel = (total - res.time_avg_n).abs() / res.time_avg_n;

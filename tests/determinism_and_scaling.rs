@@ -1,20 +1,17 @@
 //! Reproducibility and structural-scaling properties of the full stack.
 
-use meshbound::sim::{simulate_mesh, simulate_mesh_replicated, MeshSimConfig};
-use meshbound::{BoundsReport, Load};
+use meshbound::{BoundsReport, Load, Scenario};
 
 #[test]
 fn identical_seeds_identical_results() {
-    let cfg = MeshSimConfig {
-        n: 6,
-        lambda: 0.3,
-        horizon: 3_000.0,
-        warmup: 300.0,
-        seed: 0xDEAD_BEEF,
-        ..MeshSimConfig::default()
-    };
-    let a = simulate_mesh(&cfg);
-    let b = simulate_mesh(&cfg);
+    let sc = Scenario::mesh(6)
+        .load(Load::Lambda(0.3))
+        .horizon(3_000.0)
+        .warmup(300.0)
+        .seed(0xDEAD_BEEF)
+        .track_saturated(true);
+    let a = sc.run();
+    let b = sc.run();
     assert_eq!(a.avg_delay.to_bits(), b.avg_delay.to_bits());
     assert_eq!(a.generated, b.generated);
     assert_eq!(a.time_avg_r.to_bits(), b.time_avg_r.to_bits());
@@ -22,15 +19,13 @@ fn identical_seeds_identical_results() {
 
 #[test]
 fn replication_interval_covers_single_runs() {
-    let cfg = MeshSimConfig {
-        n: 5,
-        lambda: 0.3,
-        horizon: 4_000.0,
-        warmup: 400.0,
-        seed: 7,
-        ..MeshSimConfig::default()
-    };
-    let rep = simulate_mesh_replicated(&cfg, 6);
+    let rep = Scenario::mesh(5)
+        .load(Load::Lambda(0.3))
+        .horizon(4_000.0)
+        .warmup(400.0)
+        .seed(7)
+        .track_saturated(true)
+        .run_replicated(6);
     let ci = rep.delay.confidence_interval(0.99);
     // Every individual run should be near the interval (loose sanity).
     for run in &rep.runs {
@@ -46,16 +41,13 @@ fn replication_interval_covers_single_runs() {
 fn delay_scales_linearly_in_n_at_fixed_rho() {
     // n̄ = (2/3)(n − 1/n): doubling n roughly doubles light-load delay.
     let run = |n: usize| {
-        simulate_mesh(&MeshSimConfig {
-            n,
-            lambda: 4.0 * 0.2 / n as f64,
-            horizon: 6_000.0,
-            warmup: 600.0,
-            seed: 3,
-            track_saturated: false,
-            ..MeshSimConfig::default()
-        })
-        .avg_delay
+        Scenario::mesh(n)
+            .load(Load::TableRho(0.2))
+            .horizon(6_000.0)
+            .warmup(600.0)
+            .seed(3)
+            .run()
+            .avg_delay
     };
     let t6 = run(6);
     let t12 = run(12);
@@ -74,16 +66,13 @@ fn kahale_leighton_shape_at_fixed_rho() {
     let excess = |n: usize| {
         let rho = 0.8;
         let report = BoundsReport::compute(n, Load::TableRho(rho));
-        let t = simulate_mesh(&MeshSimConfig {
-            n,
-            lambda: report.lambda,
-            horizon: 20_000.0,
-            warmup: 2_000.0,
-            seed: 5,
-            track_saturated: false,
-            ..MeshSimConfig::default()
-        })
-        .avg_delay;
+        let t = Scenario::mesh(n)
+            .load(Load::TableRho(rho))
+            .horizon(20_000.0)
+            .warmup(2_000.0)
+            .seed(5)
+            .run()
+            .avg_delay;
         (t - report.mean_distance, report.est_md1 - report.mean_distance)
     };
     let (sim_small, est_small) = excess(8);

@@ -12,10 +12,32 @@ use meshbound::topology::Mesh2D;
 
 fn bench(c: &mut Criterion) {
     let scale = meshbound_bench::bench_scale();
-    println!("\n{}", extensions::render_hypercube(6, &extensions::hypercube_study(6, &[0.25, 0.5, 0.75], 0.8, &scale)));
-    println!("{}", extensions::render_butterfly(&extensions::butterfly_study(&[2, 4, 6], 0.8, &scale)));
-    println!("{}", extensions::render_randomized(8, &extensions::randomized_study(8, &[0.5, 0.8, 0.9], &scale)));
-    println!("{}", extensions::render_slotted(5, 0.5, &extensions::slotted_study(5, 0.5, &[0.5, 1.0], &scale)));
+    println!(
+        "\n{}",
+        extensions::render_hypercube(
+            6,
+            &extensions::hypercube_study(6, &[0.25, 0.5, 0.75], 0.8, &scale)
+        )
+    );
+    println!(
+        "{}",
+        extensions::render_butterfly(&extensions::butterfly_study(&[2, 4, 6], 0.8, &scale))
+    );
+    println!(
+        "{}",
+        extensions::render_randomized(
+            8,
+            &extensions::randomized_study(8, &[0.5, 0.8, 0.9], &scale)
+        )
+    );
+    println!(
+        "{}",
+        extensions::render_slotted(
+            5,
+            0.5,
+            &extensions::slotted_study(5, 0.5, &[0.5, 1.0], &scale)
+        )
+    );
 
     let cfg = NetConfig {
         lambda: 0.2,

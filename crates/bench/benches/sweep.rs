@@ -1,0 +1,43 @@
+//! Sweep-engine benchmark: the same grid executed sequentially and in
+//! parallel, to keep the engine's speedup measurable (and its results
+//! bit-identical) as the workspace grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshbound::sweep::{run_sweep, Jobs};
+use meshbound::SweepSpec;
+
+const SPEC: &str = "topo=mesh:5|mesh:6|torus:5|torus:6 load=rho:0.2|rho:0.6 \
+                    horizon=300 warmup=30";
+
+fn bench(c: &mut Criterion) {
+    let spec = SweepSpec::parse(SPEC).expect("bench sweep spec must parse");
+    // Sanity: parallel execution must not change a single bit of the
+    // results, only the wall clock.
+    let seq = run_sweep(&spec, Jobs::Sequential).unwrap();
+    let par = run_sweep(&spec, Jobs::Parallel).unwrap();
+    assert_eq!(
+        seq.without_timings().to_json(),
+        par.without_timings().to_json(),
+        "parallel sweep diverged from sequential"
+    );
+    println!(
+        "sweep bench grid: {} cells, parallel speedup {:.2}x on {} workers",
+        par.num_cells, par.speedup, par.workers
+    );
+
+    let mut group = c.benchmark_group("sweep");
+    group.bench_function("grid_8cells_sequential", |b| {
+        b.iter(|| run_sweep(&spec, Jobs::Sequential).unwrap());
+    });
+    group.bench_function("grid_8cells_parallel", |b| {
+        b.iter(|| run_sweep(&spec, Jobs::Parallel).unwrap());
+    });
+    // Specification handling alone: parse + expand, no simulation.
+    group.bench_function("parse_and_expand", |b| {
+        b.iter(|| SweepSpec::parse(SPEC).unwrap().expand().unwrap().len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //!        capacity|hypercube|butterfly|randomized|torus|kd|slotted|
 //!        nonuniform|dominance|report|all]
 //! repro scenario <spec> [<spec>…]
+//! repro [--quick] sweep <spec> [--out FILE] [--jobs N] [--check]
 //! ```
 //!
 //! Without `--quick` the publication-scale sweeps run (several minutes for
@@ -16,10 +17,21 @@
 //! [`Scenario`] spec (see `Scenario::parse`) and prints the analytic
 //! [`BoundsReport`] next to the simulated result. Unknown artifact names
 //! and unknown flags exit nonzero with a usage message.
+//!
+//! `repro sweep` runs a whole scenario grid in parallel and emits the
+//! machine-readable JSON report (`meshbound::sweep`). The spec is either a
+//! sweep-grammar string such as
+//! `"topo=mesh:5|torus:8 load=rho:0.2|rho:0.8 reps=2"` or one of the
+//! predefined paper grids `table1`/`table2`/`table3` (honoring `--quick`).
+//! `--out` writes the JSON report, `--jobs 1` forces sequential cell
+//! execution (`--jobs N` caps the Rayon pool), and `--check` exits
+//! nonzero unless every cell's simulated delay lies within its analytic
+//! bounds.
 
 use meshbound::experiments::{extensions, fig1, fig2, table1, table2, table3, Scale};
 use meshbound::queueing::load::{mesh_stability_threshold, optimal_stability_threshold};
-use meshbound::{BoundsReport, Load, Scenario};
+use meshbound::sweep::{run_cells, run_sweep, Jobs};
+use meshbound::{BoundsReport, Load, Scenario, SweepSpec};
 use std::process::ExitCode;
 
 const ARTIFACTS: &[&str] = &[
@@ -47,19 +59,109 @@ fn usage() -> String {
     format!(
         "usage: repro [--quick] [{}]\n\
          \x20      repro [--quick] scenario <spec> [<spec>…]\n\
+         \x20      repro [--quick] sweep <spec> [--out FILE] [--jobs N] [--check]\n\
          \n\
          scenario specs look like `torus:8,util=0.9,horizon=5000` or\n\
          `hypercube:6,dest=bernoulli:0.25,lambda=0.8` — topology head\n\
          (mesh:N, mesh:RxC, torus:N, hypercube:D, butterfly:K, kd:AxBxC)\n\
          followed by key=value options (router, dest, lambda/rho/util,\n\
          horizon, warmup, seed, service, slot, sample, self, saturated,\n\
-         quantiles, queues).",
+         quantiles, queues).\n\
+         \n\
+         sweep specs are either table1|table2|table3 (the paper grids at\n\
+         the current scale) or an axis grammar like\n\
+         `topo=mesh:5|torus:8 load=rho:0.2|rho:0.8 reps=2 seed=7\n\
+         horizon=auto:1500:12000` (axes: topo, load, router, dest;\n\
+         shared knobs: service, reps, seed, horizon, warmup, saturated).",
         ARTIFACTS.join("|")
     )
 }
 
+/// Prints a sweep-usage error and returns the CLI error exit code.
+fn sweep_fail(msg: &str) -> ExitCode {
+    eprintln!("repro: {msg}\n{}", usage());
+    ExitCode::from(2)
+}
+
+/// The `repro sweep` subcommand.
+fn sweep_command(args: &[String], mut quick: bool) -> ExitCode {
+    let mut spec: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut jobs: usize = 0; // 0 = the full Rayon pool
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(path) => out = Some(path),
+                None => return sweep_fail("`--out` needs a file path"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return sweep_fail("`--jobs` needs a positive integer"),
+            },
+            flag if flag.starts_with("--") => {
+                return sweep_fail(&format!("unknown sweep flag `{flag}`"))
+            }
+            s if spec.is_none() => spec = Some(s),
+            s => return sweep_fail(&format!("unexpected extra sweep spec `{s}`")),
+        }
+    }
+    let Some(spec) = spec else {
+        return sweep_fail("`sweep` needs a spec (table1|table2|table3 or an axis grammar)");
+    };
+    if jobs >= 1 {
+        // Cap the whole Rayon pool — with `--jobs 1` this also keeps each
+        // cell's replication fan-out on one thread. One-shot global
+        // install; a second `repro sweep` in the same process cannot
+        // happen, so a prior-init error is moot.
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build_global();
+    }
+    let jobs_mode = if jobs == 1 {
+        Jobs::Sequential
+    } else {
+        Jobs::Parallel
+    };
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let report = match spec {
+        "table1" => run_cells("table1", table1::cells(&scale), scale.reps, jobs_mode),
+        "table2" => run_cells("table2", table2::cells(&scale), scale.reps, jobs_mode),
+        "table3" => run_cells("table3", table3::cells(&scale), scale.reps, jobs_mode),
+        grammar => match SweepSpec::parse(grammar).and_then(|sw| run_sweep(&sw, jobs_mode)) {
+            Ok(report) => report,
+            Err(e) => return sweep_fail(&e.to_string()),
+        },
+    };
+    print!("{}", report.to_text());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
+            eprintln!("repro: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if check && !report.all_within_bounds {
+        eprintln!("repro: sweep has cells outside their analytic bounds");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The sweep subcommand has its own flags (`--out`, `--jobs`, `--check`)
+    // and is handled separately; only `--quick` may precede it.
+    if let Some(pos) = args.iter().position(|a| a == "sweep") {
+        if args[..pos].iter().all(|a| a == "--quick") {
+            // The guard admits only `--quick` prefixes, so any prefix at
+            // all means quick mode.
+            return sweep_command(&args[pos + 1..], pos > 0);
+        }
+    }
     let mut quick = false;
     let mut what: Vec<&str> = Vec::new();
     let mut specs: Vec<&str> = Vec::new();
@@ -197,7 +299,10 @@ fn main() -> ExitCode {
     }
     if wants("report") {
         for n in [5usize, 10, 20] {
-            println!("{}", BoundsReport::compute(n, Load::TableRho(0.9)).to_text());
+            println!(
+                "{}",
+                BoundsReport::compute(n, Load::TableRho(0.9)).to_text()
+            );
         }
     }
     ExitCode::SUCCESS

@@ -141,7 +141,11 @@ pub fn render_stability(n: usize, rows: &[StabilityRow]) -> String {
             format!("{:.3}", r.lambda_over_threshold),
             format!("{:.1}", r.avg_n),
             format!("{:.2}", r.growth),
-            if r.growth > 1.8 { "UNSTABLE".into() } else { "stable".into() },
+            if r.growth > 1.8 {
+                "UNSTABLE".into()
+            } else {
+                "stable".into()
+            },
         ]);
     }
     format!(
@@ -416,7 +420,10 @@ pub fn render_randomized(n: usize, rows: &[RandomizedRow]) -> String {
             format!("{:.3}", r.t_randomized / r.t_greedy),
         ]);
     }
-    format!("Randomized greedy vs standard greedy, n = {n} (§6)\n{}", t.render())
+    format!(
+        "Randomized greedy vs standard greedy, n = {n} (§6)\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -607,7 +614,10 @@ pub fn render_slotted(n: usize, rho: f64, rows: &[SlottedRow]) -> String {
             format!("{:.3}", r.t_sim),
         ]);
     }
-    format!("Slotted time, n = {n}, ρ = {rho} (§5.2: slotted within τ of continuous)\n{}", t.render())
+    format!(
+        "Slotted time, n = {n}, ρ = {rho} (§5.2: slotted within τ of continuous)\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -757,7 +767,11 @@ mod tests {
         let thr = mesh_stability_threshold(n);
         let rows = stability_sweep(n, &[0.7 * thr, 1.3 * thr], false, &quick());
         assert!(rows[0].growth < 1.8, "below threshold grew: {:?}", rows[0]);
-        assert!(rows[1].growth > 1.8, "above threshold stable: {:?}", rows[1]);
+        assert!(
+            rows[1].growth > 1.8,
+            "above threshold stable: {:?}",
+            rows[1]
+        );
     }
 
     #[test]
@@ -772,8 +786,16 @@ mod tests {
         assert!(lambda < 0.9 * optimal_stability_threshold(n));
         let std_rows = stability_sweep(n, &[lambda], false, &quick());
         let opt_rows = stability_sweep(n, &[lambda], true, &quick());
-        assert!(std_rows[0].growth > 1.8, "standard should destabilize: {:?}", std_rows[0]);
-        assert!(opt_rows[0].growth < 1.8, "optimal should stabilize: {:?}", opt_rows[0]);
+        assert!(
+            std_rows[0].growth > 1.8,
+            "standard should destabilize: {:?}",
+            std_rows[0]
+        );
+        assert!(
+            opt_rows[0].growth < 1.8,
+            "optimal should stabilize: {:?}",
+            opt_rows[0]
+        );
     }
 
     #[test]
@@ -860,7 +882,10 @@ mod tests {
         let rows = slotted_study(5, 0.5, &[1.0], &quick());
         let cont = rows[0].t_sim;
         let slotted = rows[1].t_sim;
-        assert!((slotted - cont).abs() <= 1.0 + 0.5, "cont {cont}, slotted {slotted}");
+        assert!(
+            (slotted - cont).abs() <= 1.0 + 0.5,
+            "cont {cont}, slotted {slotted}"
+        );
     }
 
     #[test]

@@ -8,12 +8,9 @@
 //! estimate values for side-by-side comparison.
 
 use super::{Scale, TextTable};
-use meshbound_queueing::bounds::estimate::{estimate_md1, estimate_paper};
-use meshbound_queueing::bounds::lower::best_lower_bound;
-use meshbound_queueing::bounds::upper::upper_bound_delay;
+use crate::sweep::{run_cells, Jobs, SweepCellReport};
 use meshbound_queueing::load::Load;
 use meshbound_sim::Scenario;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The paper's printed Table I: `(n, ρ, T(Sim.), T(Est.))`.
@@ -69,40 +66,69 @@ pub struct Table1Row {
     pub printed_est: f64,
 }
 
-/// Runs the full Table I grid at the given scale (cells in parallel).
+/// The Table I scenario grid at `scale`: one cell per printed row, with
+/// the table's historical per-cell seeds and load-adaptive horizons.
 #[must_use]
-pub fn run(scale: &Scale) -> Vec<Table1Row> {
+pub fn cells(scale: &Scale) -> Vec<Scenario> {
     PRINTED
-        .par_iter()
-        .map(|&(n, rho, printed_sim, printed_est)| run_cell(scale, n, rho, printed_sim, printed_est))
+        .iter()
+        .map(|&(n, rho, _, _)| cell_scenario(scale, n, rho))
         .collect()
 }
 
-fn run_cell(scale: &Scale, n: usize, rho: f64, printed_sim: f64, printed_est: f64) -> Table1Row {
-    let lambda = 4.0 * rho / n as f64;
-    let rep = Scenario::mesh(n)
+fn cell_scenario(scale: &Scale, n: usize, rho: f64) -> Scenario {
+    Scenario::mesh(n)
         .load(Load::TableRho(rho))
         .horizon(scale.horizon(rho))
         .warmup(scale.warmup(rho))
         .seed(scale.seed ^ ((n as u64) << 32) ^ ((rho * 1000.0) as u64))
-        .run_replicated(scale.reps);
-    let hw = if scale.reps >= 2 {
-        rep.delay.confidence_interval(0.95).half_width
-    } else {
-        0.0
-    };
+}
+
+/// Runs the full Table I grid at the given scale through the sweep engine
+/// (cells in parallel).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<Table1Row> {
+    let report = run_cells("table1", cells(scale), scale.reps, Jobs::Parallel);
+    report
+        .cells
+        .iter()
+        .zip(PRINTED)
+        .map(|(cell, &(n, rho, printed_sim, printed_est))| {
+            row_from_cell(cell, n, rho, printed_sim, printed_est)
+        })
+        .collect()
+}
+
+fn row_from_cell(
+    cell: &SweepCellReport,
+    n: usize,
+    rho: f64,
+    printed_sim: f64,
+    printed_est: f64,
+) -> Table1Row {
     Table1Row {
         n,
         rho,
-        t_sim: rep.delay.mean(),
-        t_sim_hw: hw,
-        t_est_paper: estimate_paper(n, lambda),
-        t_est_md1: estimate_md1(n, lambda),
-        t_upper: upper_bound_delay(n, lambda),
-        t_lower: best_lower_bound(n, lambda),
+        t_sim: cell.delay_mean,
+        t_sim_hw: cell.delay_half_width,
+        t_est_paper: cell.bounds.est_paper,
+        t_est_md1: cell.bounds.est_md1,
+        t_upper: cell.bounds.upper,
+        t_lower: cell.bounds.lower_best,
         printed_sim,
         printed_est,
     }
+}
+
+#[cfg(test)]
+fn run_cell(scale: &Scale, n: usize, rho: f64, printed_sim: f64, printed_est: f64) -> Table1Row {
+    let report = run_cells(
+        "table1-cell",
+        vec![cell_scenario(scale, n, rho)],
+        scale.reps,
+        Jobs::Sequential,
+    );
+    row_from_cell(&report.cells[0], n, rho, printed_sim, printed_est)
 }
 
 /// Renders rows in the paper's layout plus our extra columns.
@@ -140,6 +166,7 @@ pub fn render(rows: &[Table1Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use meshbound_queueing::bounds::estimate::estimate_paper;
 
     #[test]
     fn estimate_columns_match_printed_table() {

@@ -7,10 +7,10 @@
 //! Theorem 12 constant `d̄` is pessimistic.
 
 use super::{Scale, TextTable};
+use crate::sweep::{run_cells, Jobs};
 use meshbound_queueing::load::Load;
 use meshbound_queueing::remaining::light_load_r;
 use meshbound_sim::Scenario;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The paper's printed Table II: `(n, ρ, r)`. The `n̄` column of the paper
@@ -55,26 +55,36 @@ pub struct Table2Row {
     pub printed_r: f64,
 }
 
-/// Runs the Table II grid (cells in parallel).
+/// The Table II scenario grid at `scale` (historical per-cell seeds).
 #[must_use]
-pub fn run(scale: &Scale) -> Vec<Table2Row> {
+pub fn cells(scale: &Scale) -> Vec<Scenario> {
     PRINTED
-        .par_iter()
-        .map(|&(n, rho, printed)| {
-            let rep = Scenario::mesh(n)
+        .iter()
+        .map(|&(n, rho, _)| {
+            Scenario::mesh(n)
                 .load(Load::TableRho(rho))
                 .horizon(scale.horizon(rho))
                 .warmup(scale.warmup(rho))
                 .seed(scale.seed ^ 0xBEE5 ^ ((n as u64) << 24) ^ ((rho * 1000.0) as u64))
-                .run_replicated(scale.reps);
-            Table2Row {
-                n,
-                rho,
-                nbar2: 2.0 * n as f64 / 3.0,
-                r_sim: rep.r_ratio.mean(),
-                r_light: light_load_r(n),
-                printed_r: printed,
-            }
+        })
+        .collect()
+}
+
+/// Runs the Table II grid through the sweep engine (cells in parallel).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<Table2Row> {
+    let report = run_cells("table2", cells(scale), scale.reps, Jobs::Parallel);
+    report
+        .cells
+        .iter()
+        .zip(PRINTED)
+        .map(|(cell, &(n, rho, printed))| Table2Row {
+            n,
+            rho,
+            nbar2: 2.0 * n as f64 / 3.0,
+            r_sim: cell.r_ratio,
+            r_light: light_load_r(n),
+            printed_r: printed,
         })
         .collect()
 }
@@ -82,7 +92,15 @@ pub fn run(scale: &Scale) -> Vec<Table2Row> {
 /// Renders the reproduced Table II.
 #[must_use]
 pub fn render(rows: &[Table2Row]) -> String {
-    let mut t = TextTable::new(&["n", "n̄₂", "rho", "r(Sim)", "r(light-load)", "paper r", "r/n̄₂"]);
+    let mut t = TextTable::new(&[
+        "n",
+        "n̄₂",
+        "rho",
+        "r(Sim)",
+        "r(light-load)",
+        "paper r",
+        "r/n̄₂",
+    ]);
     for r in rows {
         t.row(vec![
             r.n.to_string(),

@@ -8,11 +8,11 @@
 //! dependence on ρ is minimal.
 
 use super::{Scale, TextTable};
+use crate::sweep::{run_cells, Jobs};
 use meshbound_queueing::load::Load;
 use meshbound_queueing::remaining::{light_load_rs, sbar_closed};
 use meshbound_sim::Scenario;
 use meshbound_topology::Mesh2D;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The paper's printed Table III at ρ = 0.99: `(n, r_s)`.
@@ -39,27 +39,38 @@ pub struct Table3Row {
     pub printed_rs: f64,
 }
 
-/// Runs Table III (ρ = 0.99; rows in parallel).
+/// The Table III scenario grid at `scale` (ρ = 0.99, saturated-services
+/// tracking on, historical per-cell seeds).
 #[must_use]
-pub fn run(scale: &Scale) -> Vec<Table3Row> {
+pub fn cells(scale: &Scale) -> Vec<Scenario> {
     let rho = 0.99;
     PRINTED
-        .par_iter()
-        .map(|&(n, printed)| {
-            let rep = Scenario::mesh(n)
+        .iter()
+        .map(|&(n, _)| {
+            Scenario::mesh(n)
                 .load(Load::TableRho(rho))
                 .horizon(scale.horizon(rho))
                 .warmup(scale.warmup(rho))
                 .seed(scale.seed ^ 0x5A7A ^ ((n as u64) << 16))
                 .track_saturated(true)
-                .run_replicated(scale.reps);
-            Table3Row {
-                n,
-                rs_sim: rep.rs_ratio.mean(),
-                rs_light: light_load_rs(&Mesh2D::square(n)),
-                sbar: sbar_closed(n),
-                printed_rs: printed,
-            }
+        })
+        .collect()
+}
+
+/// Runs Table III through the sweep engine (rows in parallel).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<Table3Row> {
+    let report = run_cells("table3", cells(scale), scale.reps, Jobs::Parallel);
+    report
+        .cells
+        .iter()
+        .zip(PRINTED)
+        .map(|(cell, &(n, printed))| Table3Row {
+            n,
+            rs_sim: cell.rs_ratio,
+            rs_light: light_load_rs(&Mesh2D::square(n)),
+            sbar: sbar_closed(n),
+            printed_rs: printed,
         })
         .collect()
 }

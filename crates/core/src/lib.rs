@@ -32,6 +32,7 @@
 //! | need | start at |
 //! |------|----------|
 //! | Simulate any topology | [`Scenario::run`], [`Scenario::run_replicated`] |
+//! | Run a whole scenario grid in parallel | [`run_sweep`], [`SweepSpec`] |
 //! | All bounds for a scenario | [`BoundsReport::compute_for`] |
 //! | Mesh shorthand for one `(n, load)` | [`BoundsReport::compute`] |
 //! | Name a scenario on a command line | [`Scenario::parse`] |
@@ -64,10 +65,15 @@
 
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use meshbound_queueing::load::Load;
-pub use meshbound_sim::{DestSpec, RouterSpec, Scenario, ScenarioError, TopologySpec};
+pub use meshbound_sim::{
+    DestSpec, HorizonPolicy, RouterSpec, Scenario, ScenarioError, SweepError, SweepSpec,
+    TopologySpec,
+};
 pub use report::BoundsReport;
+pub use sweep::{run_cells, run_sweep, BoundsCheck, Jobs, SweepCellReport, SweepReport};
 
 /// Re-export of the topology crate (array, torus, hypercube, butterfly…).
 pub mod topology {

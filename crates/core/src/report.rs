@@ -389,7 +389,10 @@ mod tests {
         let via_scenario = BoundsReport::compute_for(&sc);
         let direct = BoundsReport::compute(10, Load::TableRho(0.8));
         assert_eq!(via_scenario.upper.to_bits(), direct.upper.to_bits());
-        assert_eq!(via_scenario.lower_best.to_bits(), direct.lower_best.to_bits());
+        assert_eq!(
+            via_scenario.lower_best.to_bits(),
+            direct.lower_best.to_bits()
+        );
         assert_eq!(via_scenario.est_paper.to_bits(), direct.est_paper.to_bits());
         assert_eq!(via_scenario.label, direct.label);
     }
@@ -417,12 +420,22 @@ mod tests {
             let r = BoundsReport::compute_for(sc);
             assert!(r.lower_best > 0.0, "{}", r.label);
             assert!(r.lower_best.is_finite(), "{}", r.label);
-            assert!(r.lower_best <= r.upper, "{}: {} > {}", r.label, r.lower_best, r.upper);
+            assert!(
+                r.lower_best <= r.upper,
+                "{}: {} > {}",
+                r.label,
+                r.lower_best,
+                r.upper
+            );
             assert!(r.lower_best >= r.lower_trivial, "{}", r.label);
             assert!(r.mean_distance > 0.0, "{}", r.label);
             assert!(r.stability_lambda > 0.0, "{}", r.label);
-            assert!((r.utilization - 0.5).abs() < 1e-9 || !matches!(sc.load, Load::Utilization(_)),
-                "{}: utilization {}", r.label, r.utilization);
+            assert!(
+                (r.utilization - 0.5).abs() < 1e-9 || !matches!(sc.load, Load::Utilization(_)),
+                "{}: utilization {}",
+                r.label,
+                r.utilization
+            );
             // Every topology except the torus has a finite proven upper
             // bound below saturation.
             if !matches!(sc.topology, TopologySpec::Torus { .. }) {

@@ -1,0 +1,403 @@
+//! The parallel sweep executor: expanded scenario grids in, a
+//! machine-readable report out.
+//!
+//! [`run_sweep`] executes a [`SweepSpec`] (or [`run_cells`] any explicit
+//! cell list, which is how the paper-table harnesses ride the engine):
+//! every cell is simulated with its replications, paired with its analytic
+//! [`BoundsReport`], and judged against the bounds. The result is a
+//! [`SweepReport`] that serializes to schema-versioned JSON
+//! ([`SweepReport::to_json`]) so CI can gate on it and archive it:
+//!
+//! ```
+//! use meshbound::sweep::{run_sweep, Jobs, SCHEMA};
+//! use meshbound::SweepSpec;
+//!
+//! let spec = SweepSpec::parse("topo=mesh:4 load=rho:0.2 horizon=400 warmup=40").unwrap();
+//! let report = run_sweep(&spec, Jobs::Sequential).unwrap();
+//! assert_eq!(report.schema, SCHEMA);
+//! assert!(report.cells[0].within_bounds);
+//! ```
+//!
+//! Cell *results* are bit-deterministic: a grid run sequentially
+//! ([`Jobs::Sequential`]) and the same grid run on every core
+//! ([`Jobs::Parallel`]) produce identical simulated numbers, because each
+//! cell carries its own derived seed and the executor preserves input
+//! order. Only the wall-clock fields differ; strip them with
+//! [`SweepReport::without_timings`] before comparing reports.
+
+use crate::report::BoundsReport;
+use meshbound_sim::{Scenario, SweepError, SweepSpec};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema identifier embedded in every report; bump when the JSON layout
+/// changes shape.
+pub const SCHEMA: &str = "meshbound.sweep/v1";
+
+/// Tolerance for judging a simulated mean delay against analytic bounds.
+///
+/// The bounds constrain *expectations*; a finite-horizon simulation
+/// estimates them with noise, so the verdict allows
+/// `rel · delay + abs` of slack on each side before declaring a
+/// violation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundsCheck {
+    /// Relative slack (fraction of the simulated delay).
+    pub rel: f64,
+    /// Absolute slack (delay units).
+    pub abs: f64,
+}
+
+impl Default for BoundsCheck {
+    fn default() -> Self {
+        Self {
+            rel: 0.05,
+            abs: 0.5,
+        }
+    }
+}
+
+impl BoundsCheck {
+    /// True iff `delay` respects `bounds` within the tolerance. The lower
+    /// bound always applies (it is finite for every topology); the upper
+    /// bound applies only where the paper proves one (`∞` marks the torus
+    /// open problem and saturated operating points).
+    #[must_use]
+    pub fn verdict(&self, delay: f64, bounds: &BoundsReport) -> bool {
+        let slack = self.rel * delay.abs() + self.abs;
+        let lower_ok = delay + slack >= bounds.lower_best;
+        let upper_ok = !bounds.upper.is_finite() || delay <= bounds.upper + slack;
+        lower_ok && upper_ok
+    }
+}
+
+/// How many workers execute sweep cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Jobs {
+    /// One cell at a time on the calling thread (replications inside a
+    /// cell still fan out).
+    Sequential,
+    /// Cells in parallel across the Rayon pool (all cores, or the global
+    /// cap installed via `rayon::ThreadPoolBuilder`).
+    Parallel,
+}
+
+impl Jobs {
+    /// Worker count this choice resolves to right now.
+    #[must_use]
+    pub fn workers(self) -> usize {
+        match self {
+            Jobs::Sequential => 1,
+            Jobs::Parallel => rayon::current_num_threads(),
+        }
+    }
+}
+
+/// One executed sweep cell: the scenario, its simulated statistics, the
+/// matching analytic bounds and the verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCellReport {
+    /// The cell's full scenario spec string (round-trips through
+    /// `Scenario::parse`).
+    pub spec: String,
+    /// Human-readable topology label.
+    pub label: String,
+    /// The structured scenario (topology, router, dest, load, seed, …).
+    pub scenario: Scenario,
+    /// Replications run for this cell.
+    pub reps: usize,
+    /// Mean delay across replications.
+    pub delay_mean: f64,
+    /// 95% Student-t half-width across replications (0 for one
+    /// replication).
+    pub delay_half_width: f64,
+    /// Mean time-averaged number-in-system across replications.
+    pub time_avg_n: f64,
+    /// Mean remaining-work ratio `r = E[R]/E[N]` across replications.
+    pub r_ratio: f64,
+    /// Mean saturated ratio `r_s = E[R_s]/E[N]` across replications.
+    pub rs_ratio: f64,
+    /// Mean delivered throughput (packets per unit time) across
+    /// replications.
+    pub throughput: f64,
+    /// Packets generated, summed over replications.
+    pub generated: u64,
+    /// Packets delivered, summed over replications.
+    pub completed: u64,
+    /// The analytic report at this cell's operating point.
+    pub bounds: BoundsReport,
+    /// Whether the simulated delay respects the bounds (see
+    /// [`BoundsCheck`]); vacuously true where no finite bound applies.
+    pub within_bounds: bool,
+    /// Whether a finite upper bound constrained this cell (the torus has
+    /// none, and saturated loads push the Theorem 7 bound to `∞`).
+    pub upper_bound_finite: bool,
+    /// Wall-clock seconds this cell took (simulation + bounds).
+    pub wall_s: f64,
+}
+
+/// A complete executed sweep: header, per-cell results, timing roll-up.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Report schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// The sweep spec string (grammar form for grammar-driven sweeps, a
+    /// descriptive name for programmatic cell lists).
+    pub spec: String,
+    /// Worker configuration the sweep ran under.
+    pub jobs: Jobs,
+    /// Worker count [`SweepReport::jobs`] resolved to.
+    pub workers: usize,
+    /// Replications per cell.
+    pub reps: usize,
+    /// Number of cells.
+    pub num_cells: usize,
+    /// True iff every cell's `within_bounds` verdict is true.
+    pub all_within_bounds: bool,
+    /// Relative + absolute tolerance the verdicts used.
+    pub tolerance: BoundsCheck,
+    /// Per-cell results, in grid order.
+    pub cells: Vec<SweepCellReport>,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_s: f64,
+    /// Sum of per-cell wall-clock seconds (the sequential-equivalent
+    /// cost).
+    pub cells_wall_s: f64,
+    /// Measured parallel speedup: `cells_wall_s / wall_s`.
+    pub speedup: f64,
+}
+
+impl SweepReport {
+    /// Compact single-line JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Two-space-indented JSON (what `repro sweep --out` writes).
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// A copy with every wall-clock field zeroed — the deterministic part
+    /// of the report, suitable for bit-exact comparison across runs and
+    /// worker counts.
+    #[must_use]
+    pub fn without_timings(&self) -> Self {
+        let mut copy = self.clone();
+        copy.jobs = Jobs::Sequential;
+        copy.workers = 1;
+        copy.wall_s = 0.0;
+        copy.cells_wall_s = 0.0;
+        copy.speedup = 0.0;
+        for cell in &mut copy.cells {
+            cell.wall_s = 0.0;
+        }
+        copy
+    }
+
+    /// Fixed-width text summary of the grid (one row per cell).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use crate::experiments::TextTable;
+        let mut t = TextTable::new(&["cell", "T(sim)", "±", "lower", "upper", "bounds", "wall s"]);
+        for cell in &self.cells {
+            t.row(vec![
+                cell.spec.clone(),
+                format!("{:.3}", cell.delay_mean),
+                format!("{:.3}", cell.delay_half_width),
+                format!("{:.3}", cell.bounds.lower_best),
+                if cell.bounds.upper.is_finite() {
+                    format!("{:.3}", cell.bounds.upper)
+                } else {
+                    "open".into()
+                },
+                if cell.within_bounds { "ok" } else { "VIOLATED" }.into(),
+                format!("{:.2}", cell.wall_s),
+            ]);
+        }
+        let mut out = format!(
+            "sweep: {} ({} cells, reps={}, {} workers)\n",
+            self.spec, self.num_cells, self.reps, self.workers
+        );
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "wall {:.2}s, cells {:.2}s, speedup {:.2}x, bounds {}\n",
+            self.wall_s,
+            self.cells_wall_s,
+            self.speedup,
+            if self.all_within_bounds {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+        ));
+        out
+    }
+}
+
+/// Expands `spec` and executes the grid.
+///
+/// # Errors
+///
+/// Propagates [`SweepSpec::expand`] rejections (empty axes, invalid or
+/// duplicate cells).
+pub fn run_sweep(spec: &SweepSpec, jobs: Jobs) -> Result<SweepReport, SweepError> {
+    let cells = spec.expand()?;
+    Ok(run_cells(&spec.spec_string(), cells, spec.reps, jobs))
+}
+
+/// Executes an explicit scenario list as a sweep. This is the entry point
+/// the paper-table harnesses use: they construct their exact legacy cells
+/// (seeds, horizons) and ride the same parallel engine and report format.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or any cell fails `Scenario::validate`
+/// ([`run_sweep`] rejects both up front via [`SweepSpec::expand`]).
+#[must_use]
+pub fn run_cells(spec: &str, cells: Vec<Scenario>, reps: usize, jobs: Jobs) -> SweepReport {
+    assert!(reps >= 1, "a sweep needs at least one replication per cell");
+    let check = BoundsCheck::default();
+    let t0 = Instant::now();
+    let run_one = |sc: &Scenario| run_cell(sc, reps, check);
+    let cell_reports: Vec<SweepCellReport> = match jobs {
+        Jobs::Sequential => cells.iter().map(run_one).collect(),
+        Jobs::Parallel => cells.par_iter().map(run_one).collect(),
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+    let cells_wall_s: f64 = cell_reports.iter().map(|c| c.wall_s).sum();
+    SweepReport {
+        schema: SCHEMA.to_string(),
+        spec: spec.to_string(),
+        jobs,
+        workers: jobs.workers(),
+        reps,
+        num_cells: cell_reports.len(),
+        all_within_bounds: cell_reports.iter().all(|c| c.within_bounds),
+        tolerance: check,
+        cells: cell_reports,
+        wall_s,
+        cells_wall_s,
+        speedup: if wall_s > 0.0 {
+            cells_wall_s / wall_s
+        } else {
+            1.0
+        },
+    }
+}
+
+/// Simulates one cell and assembles its report.
+fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
+    let t0 = Instant::now();
+    let rep = sc.run_replicated(reps);
+    let bounds = BoundsReport::compute_for(sc);
+    let delay_mean = rep.delay.mean();
+    let delay_half_width = if reps >= 2 {
+        rep.delay.confidence_interval(0.95).half_width
+    } else {
+        0.0
+    };
+    let mut throughput = 0.0;
+    let (mut generated, mut completed) = (0u64, 0u64);
+    for run in &rep.runs {
+        throughput += run.completed as f64 / run.measure_time;
+        generated += run.generated;
+        completed += run.completed;
+    }
+    throughput /= rep.runs.len() as f64;
+    SweepCellReport {
+        spec: sc.spec_string(),
+        label: sc.label(),
+        scenario: sc.clone(),
+        reps,
+        delay_mean,
+        delay_half_width,
+        time_avg_n: rep.n.mean(),
+        r_ratio: rep.r_ratio.mean(),
+        rs_ratio: rep.rs_ratio.mean(),
+        throughput,
+        generated,
+        completed,
+        within_bounds: check.verdict(delay_mean, &bounds),
+        upper_bound_finite: bounds.upper.is_finite(),
+        bounds,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_queueing::load::Load;
+    use meshbound_sim::{HorizonPolicy, SweepSpec, TopologySpec};
+
+    fn tiny() -> SweepSpec {
+        SweepSpec::new()
+            .topologies(vec![
+                TopologySpec::Mesh { rows: 4, cols: 4 },
+                TopologySpec::Torus { n: 4 },
+            ])
+            .loads(vec![Load::TableRho(0.2), Load::TableRho(0.6)])
+            .horizon(HorizonPolicy::Fixed {
+                horizon: 500.0,
+                warmup: 50.0,
+            })
+    }
+
+    #[test]
+    fn report_header_and_verdicts() {
+        let report = run_sweep(&tiny(), Jobs::Parallel).unwrap();
+        assert_eq!(report.schema, SCHEMA);
+        assert_eq!(report.num_cells, 4);
+        assert_eq!(report.cells.len(), 4);
+        assert!(report.all_within_bounds, "{}", report.to_text());
+        assert!(report.wall_s > 0.0);
+        assert!(report.cells_wall_s > 0.0);
+        // Torus cells have no finite upper bound; mesh cells do.
+        assert!(report.cells[0].upper_bound_finite);
+        assert!(!report.cells[2].upper_bound_finite);
+        // Every cell spec round-trips through Scenario::parse.
+        for cell in &report.cells {
+            let parsed = Scenario::parse(&cell.spec).unwrap();
+            assert_eq!(parsed, cell.scenario);
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_bit_for_bit() {
+        let seq = run_sweep(&tiny(), Jobs::Sequential).unwrap();
+        let par = run_sweep(&tiny(), Jobs::Parallel).unwrap();
+        assert_eq!(
+            seq.without_timings().to_json(),
+            par.without_timings().to_json()
+        );
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!(a.delay_mean.to_bits(), b.delay_mean.to_bits());
+            assert_eq!(a.generated, b.generated);
+        }
+    }
+
+    #[test]
+    fn json_is_schema_versioned_and_machine_readable() {
+        let report = run_sweep(&tiny().loads(vec![Load::TableRho(0.2)]), Jobs::Sequential).unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")));
+        assert!(json.contains("\"within_bounds\":true"));
+        assert!(json.contains("\"cells\":["));
+        // The torus's open upper bound serializes as null, not Infinity.
+        assert!(json.contains("\"upper\":null"));
+        assert!(!json.contains("inf"));
+    }
+
+    #[test]
+    fn text_rendering_flags_violations() {
+        let mut report =
+            run_sweep(&tiny().loads(vec![Load::TableRho(0.2)]), Jobs::Sequential).unwrap();
+        assert!(report.to_text().contains("ok"));
+        report.cells[0].within_bounds = false;
+        assert!(report.to_text().contains("VIOLATED"));
+    }
+}

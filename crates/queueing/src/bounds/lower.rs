@@ -11,9 +11,7 @@
 //! upper bound in heavy traffic.
 
 use crate::little::mesh_total_arrival;
-use crate::remaining::{
-    dbar_closed, max_distance, saturated_classes, sbar_closed,
-};
+use crate::remaining::{dbar_closed, max_distance, saturated_classes, sbar_closed};
 use crate::single::md1_mean_number;
 use meshbound_routing::rates::mesh_class_rate;
 
@@ -80,8 +78,7 @@ pub fn trivial_lower(n: usize) -> f64 {
 /// systems.
 #[must_use]
 pub fn thm10_lower(n: usize, lambda: f64) -> f64 {
-    reference_system_number(n, lambda)
-        / (max_distance(n) as f64 * mesh_total_arrival(n, lambda))
+    reference_system_number(n, lambda) / (max_distance(n) as f64 * mesh_total_arrival(n, lambda))
 }
 
 /// Theorem 12's lower bound for Markovian networks:
@@ -100,8 +97,7 @@ pub fn thm12_lower(n: usize, lambda: f64) -> f64 {
 /// combine it with the other bounds via [`best_lower_bound`].
 #[must_use]
 pub fn thm14_lower(n: usize, lambda: f64) -> f64 {
-    reference_system_number_saturated(n, lambda)
-        / (sbar_closed(n) * mesh_total_arrival(n, lambda))
+    reference_system_number_saturated(n, lambda) / (sbar_closed(n) * mesh_total_arrival(n, lambda))
 }
 
 /// The best available lower bound at `(n, λ)`: the maximum of Theorems 8
@@ -237,11 +233,7 @@ mod tests {
         let n = 6;
         let lambda = 0.4;
         let rates = mesh_thm6_rates(&Mesh2D::square(n), lambda);
-        let generic = lower_bound_from_rates(
-            &rates,
-            dbar_closed(n),
-            mesh_total_arrival(n, lambda),
-        );
+        let generic = lower_bound_from_rates(&rates, dbar_closed(n), mesh_total_arrival(n, lambda));
         assert!((generic - thm12_lower(n, lambda)).abs() < 1e-9);
     }
 }

@@ -77,7 +77,10 @@ mod tests {
     fn mean_distance_matches_topology_enumeration() {
         for n in [3usize, 4, 5, 8] {
             let t = Torus2D::new(n);
-            assert!((mean_distance(n) - t.mean_distance()).abs() < 1e-12, "n={n}");
+            assert!(
+                (mean_distance(n) - t.mean_distance()).abs() < 1e-12,
+                "n={n}"
+            );
         }
     }
 
@@ -119,7 +122,9 @@ mod tests {
             let torus = stability_threshold(n);
             assert!(torus > 1.3 * array, "n={n}: torus {torus} vs array {array}");
         }
-        assert!((stability_threshold(9) - 2.0 * crate::load::mesh_stability_threshold(9)).abs() < 1e-9);
+        assert!(
+            (stability_threshold(9) - 2.0 * crate::load::mesh_stability_threshold(9)).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -16,7 +16,6 @@
 //! the unit-cost array — the stability improvement over `4/n` the paper
 //! highlights.
 
-
 /// The slack budget `D* = D − Σ_j λ_j d_j` left after giving every queue
 /// exactly its arrival rate.
 #[must_use]
@@ -40,11 +39,7 @@ pub fn optimal_allocation(rates: &[f64], costs: &[f64], budget: f64) -> Option<V
     if slack <= 0.0 {
         return None;
     }
-    let denom: f64 = rates
-        .iter()
-        .zip(costs)
-        .map(|(&l, &d)| (l * d).sqrt())
-        .sum();
+    let denom: f64 = rates.iter().zip(costs).map(|(&l, &d)| (l * d).sqrt()).sum();
     Some(
         rates
             .iter()
@@ -76,11 +71,7 @@ pub fn optimal_delay(rates: &[f64], costs: &[f64], budget: f64, total_arrival: f
     if slack <= 0.0 {
         return f64::INFINITY;
     }
-    let s: f64 = rates
-        .iter()
-        .zip(costs)
-        .map(|(&l, &d)| (l * d).sqrt())
-        .sum();
+    let s: f64 = rates.iter().zip(costs).map(|(&l, &d)| (l * d).sqrt()).sum();
     s * s / (slack * total_arrival)
 }
 

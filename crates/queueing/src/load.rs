@@ -106,9 +106,7 @@ mod tests {
         // The optimally configured network absorbs more traffic (§5.1);
         // at n = 3 the odd-n standard threshold 4n/(n²−1) = 3/2 coincides
         // with 6/(n+1), so the comparison is non-strict there.
-        assert!(
-            (optimal_stability_threshold(3) - mesh_stability_threshold(3)).abs() < 1e-12
-        );
+        assert!((optimal_stability_threshold(3) - mesh_stability_threshold(3)).abs() < 1e-12);
         for n in 4..30 {
             assert!(
                 optimal_stability_threshold(n) > mesh_stability_threshold(n),

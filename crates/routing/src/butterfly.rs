@@ -20,7 +20,11 @@ impl Router<Butterfly> for ButterflyRouter {
     #[inline]
     fn next_edge(&self, topo: &Butterfly, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
         let (out_level, out_row) = topo.coords(dst);
-        debug_assert_eq!(out_level, topo.levels(), "destination must be an output node");
+        debug_assert_eq!(
+            out_level,
+            topo.levels(),
+            "destination must be an output node"
+        );
         topo.step_toward(cur, out_row)
     }
 

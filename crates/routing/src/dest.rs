@@ -309,7 +309,10 @@ mod tests {
             let d = ButterflyOutput.sample(&b, b.node(0, 0), &mut rng);
             assert_eq!(b.coords(d).0, 3);
         }
-        let total: f64 = b.nodes().map(|x| ButterflyOutput.weight(&b, b.node(0, 0), x)).sum();
+        let total: f64 = b
+            .nodes()
+            .map(|x| ButterflyOutput.weight(&b, b.node(0, 0), x))
+            .sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 
@@ -335,7 +338,10 @@ mod tests {
     #[test]
     fn lemma3_dest_weight_is_uniform() {
         let m = Mesh2D::square(5);
-        let total: f64 = m.nodes().map(|d| Lemma3Dest.weight(&m, m.node(0, 0), d)).sum();
+        let total: f64 = m
+            .nodes()
+            .map(|d| Lemma3Dest.weight(&m, m.node(0, 0), d))
+            .sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

@@ -89,8 +89,13 @@ mod tests {
     #[test]
     fn self_route_is_empty() {
         let m = Mesh2D::square(3);
-        assert!(GreedyXY.route(&m, m.node(1, 1), m.node(1, 1), ()).is_empty());
-        assert_eq!(GreedyXY.remaining_hops(&m, m.node(1, 1), m.node(1, 1), ()), 0);
+        assert!(GreedyXY
+            .route(&m, m.node(1, 1), m.node(1, 1), ())
+            .is_empty());
+        assert_eq!(
+            GreedyXY.remaining_hops(&m, m.node(1, 1), m.node(1, 1), ()),
+            0
+        );
     }
 
     #[test]

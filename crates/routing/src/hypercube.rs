@@ -38,7 +38,6 @@ impl ObliviousRouter<Hypercube> for DimOrder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn route_corrects_bits_in_order() {

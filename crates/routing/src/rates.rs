@@ -145,8 +145,7 @@ mod tests {
         for n in [3usize, 4, 5] {
             let m = Mesh2D::square(n);
             let lambda = 0.37;
-            let exact =
-                edge_rates_enumerated(&m, &GreedyXY, &UniformDest, lambda, &all_nodes(&m));
+            let exact = edge_rates_enumerated(&m, &GreedyXY, &UniformDest, lambda, &all_nodes(&m));
             let closed = mesh_thm6_rates(&m, lambda);
             for e in m.edges() {
                 assert!(

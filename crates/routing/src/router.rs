@@ -20,8 +20,7 @@ pub trait Router<T: Topology> {
 
     /// The next edge a packet at `cur` with destination `dst` crosses, or
     /// `None` if it has arrived.
-    fn next_edge(&self, topo: &T, cur: NodeId, dst: NodeId, state: Self::State)
-        -> Option<EdgeId>;
+    fn next_edge(&self, topo: &T, cur: NodeId, dst: NodeId, state: Self::State) -> Option<EdgeId>;
 
     /// Number of edges the packet still has to cross from `cur` (including
     /// the next one), i.e. the "remaining distance" of Definition 11.

@@ -49,6 +49,7 @@ pub mod rng;
 pub mod runner;
 pub mod scenario;
 pub mod service;
+pub mod sweep;
 
 pub use meshbound_queueing::load::Load;
 pub use network::{NetworkSim, SimResult};
@@ -57,3 +58,4 @@ pub use runner::ReplicatedResult;
 pub use runner::{simulate_mesh, simulate_mesh_replicated, MeshRouterKind, MeshSimConfig};
 pub use scenario::{DestSpec, RouterSpec, Scenario, ScenarioError, TopologySpec};
 pub use service::ServiceKind;
+pub use sweep::{HorizonPolicy, SweepError, SweepSpec};

@@ -291,7 +291,16 @@ where
                 }
                 Ev::Arrival(i) => {
                     let src = self.sources[i as usize];
-                    self.inject(now, src, &mut rng, &mut obs, &mut edges, &mut packets, &mut free, &mut queue);
+                    self.inject(
+                        now,
+                        src,
+                        &mut rng,
+                        &mut obs,
+                        &mut edges,
+                        &mut packets,
+                        &mut free,
+                        &mut queue,
+                    );
                     let dt = exp_sample(&mut rng, cfg.lambda);
                     queue.schedule(now + dt, Ev::Arrival(i));
                 }
@@ -302,7 +311,16 @@ where
                         let k = poisson_sample(&mut rng, mean);
                         let src = self.sources[i];
                         for _ in 0..k {
-                            self.inject(now, src, &mut rng, &mut obs, &mut edges, &mut packets, &mut free, &mut queue);
+                            self.inject(
+                                now,
+                                src,
+                                &mut rng,
+                                &mut obs,
+                                &mut edges,
+                                &mut packets,
+                                &mut free,
+                                &mut queue,
+                            );
                         }
                     }
                     queue.schedule(now + tau, Ev::Slot);
@@ -363,12 +381,7 @@ where
         let time_avg_r = obs.r_total.integral(cfg.horizon) / measure_time;
         let time_avg_rs = obs.rs_total.integral(cfg.horizon) / measure_time;
         let throughput = obs.completed as f64 / measure_time;
-        let max_util = obs
-            .edge_busy
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max)
-            / measure_time;
+        let max_util = obs.edge_busy.iter().cloned().fold(0.0f64, f64::max) / measure_time;
         SimResult {
             avg_delay: obs.delay.mean(),
             delay_std_err: obs.delay.standard_error(),
@@ -377,9 +390,21 @@ where
             time_avg_n,
             time_avg_r,
             time_avg_rs,
-            r_ratio: if time_avg_n > 0.0 { time_avg_r / time_avg_n } else { 0.0 },
-            rs_ratio: if time_avg_n > 0.0 { time_avg_rs / time_avg_n } else { 0.0 },
-            little_delay: if throughput > 0.0 { time_avg_n / throughput } else { 0.0 },
+            r_ratio: if time_avg_n > 0.0 {
+                time_avg_r / time_avg_n
+            } else {
+                0.0
+            },
+            rs_ratio: if time_avg_n > 0.0 {
+                time_avg_rs / time_avg_n
+            } else {
+                0.0
+            },
+            little_delay: if throughput > 0.0 {
+                time_avg_n / throughput
+            } else {
+                0.0
+            },
             max_edge_utilization: max_util,
             edge_throughput: obs
                 .edge_services
@@ -435,11 +460,19 @@ where
         obs.packet_enters(now, hops, sat);
         let pid = match free.pop() {
             Some(id) => {
-                packets[id as usize] = Packet { dst, state, gen_time: now };
+                packets[id as usize] = Packet {
+                    dst,
+                    state,
+                    gen_time: now,
+                };
                 id
             }
             None => {
-                packets.push(Packet { dst, state, gen_time: now });
+                packets.push(Packet {
+                    dst,
+                    state,
+                    gen_time: now,
+                });
                 (packets.len() - 1) as u32
             }
         };

@@ -136,19 +136,16 @@ where
             queue.schedule(cfg.warmup, Ev::Warmup);
         }
 
-        let enqueue = |edges: &mut Vec<PsEdge>,
-                       queue: &mut HeapQueue<Ev>,
-                       e: usize,
-                       pid: u32,
-                       now: f64| {
-            let edge = &mut edges[e];
-            edge.advance(now);
-            edge.jobs.push_back((pid, edge.vnow + 1.0));
-            // Arrival slows the head: reschedule.
-            edge.epoch = edge.epoch.wrapping_add(1);
-            let t = edge.head_completion(now);
-            queue.schedule(t, Ev::Completion(e as u32, edge.epoch));
-        };
+        let enqueue =
+            |edges: &mut Vec<PsEdge>, queue: &mut HeapQueue<Ev>, e: usize, pid: u32, now: f64| {
+                let edge = &mut edges[e];
+                edge.advance(now);
+                edge.jobs.push_back((pid, edge.vnow + 1.0));
+                // Arrival slows the head: reschedule.
+                edge.epoch = edge.epoch.wrapping_add(1);
+                let t = edge.head_completion(now);
+                queue.schedule(t, Ev::Completion(e as u32, edge.epoch));
+            };
 
         while let Some((now, ev)) = queue.next() {
             if now > cfg.horizon {
@@ -168,11 +165,19 @@ where
                         let state = self.router.init_state(&self.topo, src, dst, &mut rng);
                         let pid = match free.pop() {
                             Some(id) => {
-                                packets[id as usize] = Packet { dst, state, gen_time: now };
+                                packets[id as usize] = Packet {
+                                    dst,
+                                    state,
+                                    gen_time: now,
+                                };
                                 id
                             }
                             None => {
-                                packets.push(Packet { dst, state, gen_time: now });
+                                packets.push(Packet {
+                                    dst,
+                                    state,
+                                    gen_time: now,
+                                });
                                 (packets.len() - 1) as u32
                             }
                         };
@@ -191,7 +196,10 @@ where
                         continue; // stale event
                     }
                     edges[ei].advance(now);
-                    let (pid, _vc) = edges[ei].jobs.pop_front().expect("completion on empty edge");
+                    let (pid, _vc) = edges[ei]
+                        .jobs
+                        .pop_front()
+                        .expect("completion on empty edge");
                     // Reschedule the new head (it speeds up).
                     edges[ei].epoch = edges[ei].epoch.wrapping_add(1);
                     if !edges[ei].jobs.is_empty() {

@@ -194,9 +194,16 @@ mod tests {
         let rep = base().run_replicated(4);
         assert_eq!(rep.runs.len(), 4);
         // Distinct seeds → distinct results.
-        assert!(rep.runs.windows(2).any(|w| w[0].avg_delay != w[1].avg_delay));
+        assert!(rep
+            .runs
+            .windows(2)
+            .any(|w| w[0].avg_delay != w[1].avg_delay));
         // The summary mean lies within the per-run envelope.
-        let lo = rep.runs.iter().map(|r| r.avg_delay).fold(f64::INFINITY, f64::min);
+        let lo = rep
+            .runs
+            .iter()
+            .map(|r| r.avg_delay)
+            .fold(f64::INFINITY, f64::min);
         let hi = rep
             .runs
             .iter()

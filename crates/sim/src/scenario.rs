@@ -144,7 +144,7 @@ impl TopologySpec {
         }
     }
 
-    fn parse_head(head: &str) -> Result<Self, ScenarioError> {
+    pub(crate) fn parse_head(head: &str) -> Result<Self, ScenarioError> {
         let (name, size) = head.split_once(':').ok_or_else(|| {
             ScenarioError::parse(format!(
                 "topology `{head}` needs a size, e.g. `mesh:8` or `kd:3x3x3`"
@@ -289,9 +289,9 @@ impl std::fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
-const DEFAULT_HORIZON: f64 = 2_000.0;
-const DEFAULT_WARMUP: f64 = 200.0;
-const DEFAULT_SEED: u64 = 1;
+pub(crate) const DEFAULT_HORIZON: f64 = 2_000.0;
+pub(crate) const DEFAULT_WARMUP: f64 = 200.0;
+pub(crate) const DEFAULT_SEED: u64 = 1;
 
 /// A complete, topology-generic simulation specification.
 ///
@@ -742,7 +742,10 @@ impl Scenario {
             return bad(format!("load value {value} must be positive and finite"));
         }
         if !(self.horizon > 0.0 && self.horizon.is_finite()) {
-            return bad(format!("horizon {} must be positive and finite", self.horizon));
+            return bad(format!(
+                "horizon {} must be positive and finite",
+                self.horizon
+            ));
         }
         if !(self.warmup >= 0.0 && self.warmup <= self.horizon) {
             return bad(format!(
@@ -841,9 +844,14 @@ impl Scenario {
                     (RouterSpec::Randomized, DestSpec::Uniform) => {
                         self.finish(mesh, RandomizedGreedy, UniformDest, net, &sat, None)
                     }
-                    (RouterSpec::Randomized, DestSpec::Nearby { stop }) => {
-                        self.finish(mesh, RandomizedGreedy, NearbyWalk::new(stop), net, &sat, None)
-                    }
+                    (RouterSpec::Randomized, DestSpec::Nearby { stop }) => self.finish(
+                        mesh,
+                        RandomizedGreedy,
+                        NearbyWalk::new(stop),
+                        net,
+                        &sat,
+                        None,
+                    ),
                     _ => unreachable!("validate() admits no other mesh combination"),
                 }
             }
@@ -1008,9 +1016,9 @@ impl Scenario {
                 "horizon" => sc.horizon = f64_of(key, value)?,
                 "warmup" => sc.warmup = f64_of(key, value)?,
                 "seed" => {
-                    sc.seed = value.parse::<u64>().map_err(|_| {
-                        ScenarioError::parse(format!("bad seed `{value}`"))
-                    })?;
+                    sc.seed = value
+                        .parse::<u64>()
+                        .map_err(|_| ScenarioError::parse(format!("bad seed `{value}`")))?;
                 }
                 "service" => {
                     sc.service = match value {
@@ -1107,7 +1115,12 @@ mod tests {
             Scenario::mesh_kd(&[3, 3, 3]),
         ];
         for sc in scenarios {
-            let res = sc.clone().load(Load::Lambda(0.05)).horizon(600.0).warmup(60.0).run();
+            let res = sc
+                .clone()
+                .load(Load::Lambda(0.05))
+                .horizon(600.0)
+                .warmup(60.0)
+                .run();
             assert!(res.completed > 0, "{} delivered nothing", sc.label());
             assert!(res.avg_delay > 0.0, "{}", sc.label());
         }
@@ -1115,7 +1128,11 @@ mod tests {
 
     #[test]
     fn mesh_scenario_matches_direct_network_sim() {
-        let sc = Scenario::mesh(5).load(Load::Lambda(0.12)).horizon(900.0).warmup(90.0).seed(11);
+        let sc = Scenario::mesh(5)
+            .load(Load::Lambda(0.12))
+            .horizon(900.0)
+            .warmup(90.0)
+            .seed(11);
         let via_scenario = sc.run();
         let direct = NetworkSim::new(
             Mesh2D::square(5),
@@ -1185,7 +1202,9 @@ mod tests {
         assert!((max - pos).abs() < 1e-12 && (min - neg).abs() < 1e-12);
         // Square-mesh closed form agrees with enumeration via the rect path.
         let closed = Scenario::mesh(4).load(Load::Lambda(0.1)).edge_rates();
-        let enumerated = Scenario::mesh_rect(4, 4).load(Load::Lambda(0.1)).edge_rates();
+        let enumerated = Scenario::mesh_rect(4, 4)
+            .load(Load::Lambda(0.1))
+            .edge_rates();
         for (a, b) in closed.iter().zip(&enumerated) {
             assert!((a - b).abs() < 1e-12);
         }
@@ -1193,7 +1212,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_combinations() {
-        assert!(Scenario::torus(8).router(RouterSpec::Randomized).validate().is_err());
+        assert!(Scenario::torus(8)
+            .router(RouterSpec::Randomized)
+            .validate()
+            .is_err());
         assert!(Scenario::hypercube(4)
             .dest(DestSpec::Nearby { stop: 0.5 })
             .validate()
@@ -1202,9 +1224,15 @@ mod tests {
             .dest(DestSpec::Bernoulli { p: 0.5 })
             .validate()
             .is_err());
-        assert!(Scenario::mesh(4).load(Load::Lambda(-1.0)).validate().is_err());
+        assert!(Scenario::mesh(4)
+            .load(Load::Lambda(-1.0))
+            .validate()
+            .is_err());
         assert!(Scenario::mesh(1).validate().is_err());
-        assert!(Scenario::mesh(4).service_rates(vec![1.0; 3]).validate().is_err());
+        assert!(Scenario::mesh(4)
+            .service_rates(vec![1.0; 3])
+            .validate()
+            .is_err());
         assert!(Scenario::mesh(4).validate().is_ok());
     }
 
@@ -1230,13 +1258,19 @@ mod tests {
         let scenarios = [
             Scenario::mesh(8).load(Load::TableRho(0.9)),
             Scenario::mesh_rect(3, 7).load(Load::Lambda(0.05)).seed(9),
-            Scenario::torus(8).load(Load::Utilization(0.9)).horizon(5_000.0),
+            Scenario::torus(8)
+                .load(Load::Utilization(0.9))
+                .horizon(5_000.0),
             Scenario::hypercube(6)
                 .dest(DestSpec::Bernoulli { p: 0.25 })
                 .load(Load::Lambda(0.8))
                 .service(ServiceKind::Exponential),
-            Scenario::butterfly(4).load(Load::Utilization(0.6)).warmup(50.0),
-            Scenario::mesh_kd(&[3, 4, 5]).load(Load::Lambda(0.02)).slot(1.0),
+            Scenario::butterfly(4)
+                .load(Load::Utilization(0.6))
+                .warmup(50.0),
+            Scenario::mesh_kd(&[3, 4, 5])
+                .load(Load::Lambda(0.02))
+                .slot(1.0),
             Scenario::mesh(5)
                 .router(RouterSpec::Randomized)
                 .dest(DestSpec::Nearby { stop: 0.5 })

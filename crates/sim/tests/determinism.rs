@@ -21,7 +21,11 @@ fn scenario(seed: u64) -> Scenario {
 fn assert_bit_identical(a: &SimResult, b: &SimResult) {
     let f = f64::to_bits;
     assert_eq!(f(a.avg_delay), f(b.avg_delay), "avg_delay differs");
-    assert_eq!(f(a.delay_std_err), f(b.delay_std_err), "delay_std_err differs");
+    assert_eq!(
+        f(a.delay_std_err),
+        f(b.delay_std_err),
+        "delay_std_err differs"
+    );
     assert_eq!(a.generated, b.generated, "generated differs");
     assert_eq!(a.completed, b.completed, "completed differs");
     assert_eq!(f(a.time_avg_n), f(b.time_avg_n), "time_avg_n differs");
@@ -101,7 +105,11 @@ fn every_topology_is_deterministic_given_a_seed() {
         Scenario::mesh_kd(&[3, 3]),
     ];
     for sc in scenarios {
-        let sc = sc.load(Load::Lambda(0.05)).horizon(500.0).warmup(50.0).seed(77);
+        let sc = sc
+            .load(Load::Lambda(0.05))
+            .horizon(500.0)
+            .warmup(50.0)
+            .seed(77);
         let a = sc.run();
         let b = sc.run();
         assert_bit_identical(&a, &b);

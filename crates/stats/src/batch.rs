@@ -127,7 +127,9 @@ mod tests {
         // Deterministic pseudo-random sequence with mean 0.5.
         let mut state: u64 = 12345;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let mut bm = BatchMeans::new(100);

@@ -71,7 +71,10 @@ impl ConfidenceInterval {
 /// Panics if `p` is outside `(0, 1)`.
 #[must_use]
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
 
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
@@ -134,7 +137,10 @@ pub fn normal_quantile(p: f64) -> f64 {
 #[must_use]
 pub fn t_quantile(p: f64, dof: u64) -> f64 {
     assert!(dof >= 1, "t_quantile requires dof >= 1");
-    assert!(p > 0.0 && p < 1.0, "t_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "t_quantile requires p in (0,1), got {p}"
+    );
     if p == 0.5 {
         return 0.0;
     }

@@ -117,8 +117,7 @@ impl Reservoir {
         qs.iter()
             .map(|&q| {
                 assert!((0.0..=1.0).contains(&q));
-                let idx =
-                    ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+                let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
                 Some(sorted[idx])
             })
             .collect()

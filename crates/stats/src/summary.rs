@@ -102,7 +102,9 @@ mod tests {
         }
         let wide = Summary::from_values(&[4.9, 5.1]);
         let tight = Summary::from_values(&many);
-        assert!(tight.confidence_interval(0.95).half_width < wide.confidence_interval(0.95).half_width);
+        assert!(
+            tight.confidence_interval(0.95).half_width < wide.confidence_interval(0.95).half_width
+        );
         assert_eq!(narrow.confidence_interval(0.95).half_width, 0.0);
     }
 }

@@ -204,7 +204,11 @@ mod tests {
             let nf = n as f64;
             let mean = (nf + 1.0) / 2.0;
             let var = nf * (nf + 1.0) / 12.0;
-            assert!((w.mean() - mean).abs() < 1e-9 * mean, "n={n} mean {}", w.mean());
+            assert!(
+                (w.mean() - mean).abs() < 1e-9 * mean,
+                "n={n} mean {}",
+                w.mean()
+            );
             assert!(
                 (w.sample_variance() - var).abs() < 1e-9 * var,
                 "n={n} variance {} want {var}",

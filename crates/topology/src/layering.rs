@@ -73,9 +73,7 @@ where
 /// incremental, allocation-free equivalent for simulation.
 #[must_use]
 pub fn greedy_path(mesh: &Mesh2D, from: (usize, usize), to: (usize, usize)) -> Vec<EdgeId> {
-    let mut path = Vec::with_capacity(
-        from.0.abs_diff(to.0) + from.1.abs_diff(to.1),
-    );
+    let mut path = Vec::with_capacity(from.0.abs_diff(to.0) + from.1.abs_diff(to.1));
     let (r0, mut c) = from;
     // Phase 1: correct the column along row edges.
     while c != to.1 {

@@ -37,7 +37,10 @@ fn main() {
     );
 
     banner("Delay improvement inside the standard stability region");
-    println!("{:<8} {:>14} {:>14} {:>10}", "lambda", "T standard", "T optimal", "speedup");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "lambda", "T standard", "T optimal", "speedup"
+    );
     for &lambda in &[0.1, 0.2, 0.3, 0.4, 0.45] {
         let rates = mesh_thm6_rates(&mesh, lambda);
         let gamma = mesh_total_arrival(n, lambda);

@@ -52,13 +52,22 @@ fn main() {
     banner(&format!("n = {n}, Table-ρ = {rho} (λ = {lambda:.3})"));
 
     let fifo = scenario.clone().run();
-    println!("1. FIFO, deterministic service: E[N] = {:>8.2}   T = {:.3}", fifo.time_avg_n, fifo.avg_delay);
+    println!(
+        "1. FIFO, deterministic service: E[N] = {:>8.2}   T = {:.3}",
+        fifo.time_avg_n, fifo.avg_delay
+    );
 
     let ps = PsNetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg.clone()).run();
-    println!("2. processor sharing:           E[N] = {:>8.2}   T = {:.3}", ps.time_avg_n, ps.avg_delay);
+    println!(
+        "2. processor sharing:           E[N] = {:>8.2}   T = {:.3}",
+        ps.time_avg_n, ps.avg_delay
+    );
 
     let jackson = scenario.service(ServiceKind::Exponential).run();
-    println!("3. Jackson (exp. service):      E[N] = {:>8.2}   T = {:.3}", jackson.time_avg_n, jackson.avg_delay);
+    println!(
+        "3. Jackson (exp. service):      E[N] = {:>8.2}   T = {:.3}",
+        jackson.time_avg_n, jackson.avg_delay
+    );
 
     let rates = mesh_thm6_rates(&mesh, lambda);
     let product_form: f64 = rates.iter().map(|&l| l / (1.0 - l)).sum();
@@ -66,19 +75,34 @@ fn main() {
 
     let copies = CopySystemSim::new(mesh.clone(), GreedyXY, UniformDest, cfg).run();
     let md1_sum: f64 = rates.iter().map(|&l| md1_mean_number(l)).sum();
-    println!("4. copy system (Thm 10):        E[N̄] = {:>7.2}   (Σ M/D/1 = {md1_sum:.2})", copies.time_avg_copies);
+    println!(
+        "4. copy system (Thm 10):        E[N̄] = {:>7.2}   (Σ M/D/1 = {md1_sum:.2})",
+        copies.time_avg_copies
+    );
 
     banner("Orderings the theorems assert");
     let checks = [
-        ("Thm 5:  E[N_FIFO] ≤ E[N_PS]", fifo.time_avg_n <= ps.time_avg_n),
-        ("§3.3:   E[N_PS] ≈ E[N_Jackson] ≈ product form",
+        (
+            "Thm 5:  E[N_FIFO] ≤ E[N_PS]",
+            fifo.time_avg_n <= ps.time_avg_n,
+        ),
+        (
+            "§3.3:   E[N_PS] ≈ E[N_Jackson] ≈ product form",
             (ps.time_avg_n - product_form).abs() / product_form < 0.1
-                && (jackson.time_avg_n - product_form).abs() / product_form < 0.1),
-        ("Thm 10: E[N̄] = Σ M/D/1 (linearity under dependence)",
-            (copies.time_avg_copies - md1_sum).abs() / md1_sum < 0.1),
-        ("Thm 12: E[N̄] ≤ d̄·E[N_FIFO]",
-            copies.time_avg_copies <= dbar_closed(n) * fifo.time_avg_n),
-        ("Lemma 9: Σ M/M/1 ≤ 2·Σ M/D/1", product_form <= 2.0 * md1_sum),
+                && (jackson.time_avg_n - product_form).abs() / product_form < 0.1,
+        ),
+        (
+            "Thm 10: E[N̄] = Σ M/D/1 (linearity under dependence)",
+            (copies.time_avg_copies - md1_sum).abs() / md1_sum < 0.1,
+        ),
+        (
+            "Thm 12: E[N̄] ≤ d̄·E[N_FIFO]",
+            copies.time_avg_copies <= dbar_closed(n) * fifo.time_avg_n,
+        ),
+        (
+            "Lemma 9: Σ M/M/1 ≤ 2·Σ M/D/1",
+            product_form <= 2.0 * md1_sum,
+        ),
     ];
     for (label, ok) in checks {
         println!("{}  {label}", if ok { "✓" } else { "✗" });

@@ -58,12 +58,25 @@ fn hypercube_simulation_matches_upper_bound_shape() {
     let d = 5;
     let p = 0.5;
     let lambda = 1.0; // λp = 0.5
-    let sim = NetworkSim::new(Hypercube::new(d), DimOrder, BernoulliDest::new(p), cfg(lambda, 3))
-        .run();
+    let sim = NetworkSim::new(
+        Hypercube::new(d),
+        DimOrder,
+        BernoulliDest::new(p),
+        cfg(lambda, 3),
+    )
+    .run();
     let upper = meshbound::queueing::bounds::hypercube::upper_bound_delay(d, lambda, p);
     let lower = meshbound::queueing::bounds::hypercube::thm12_lower(d, lambda, p);
-    assert!(lower <= sim.avg_delay * 1.05, "lower {lower} vs sim {}", sim.avg_delay);
-    assert!(sim.avg_delay <= upper * 1.05, "sim {} vs upper {upper}", sim.avg_delay);
+    assert!(
+        lower <= sim.avg_delay * 1.05,
+        "lower {lower} vs sim {}",
+        sim.avg_delay
+    );
+    assert!(
+        sim.avg_delay <= upper * 1.05,
+        "sim {} vs upper {upper}",
+        sim.avg_delay
+    );
     // Mean route length = dp = 2.5 at vanishing queueing.
     assert!(sim.avg_delay >= d as f64 * p);
 }
@@ -97,7 +110,11 @@ fn butterfly_delay_at_least_d_and_within_bounds() {
         .run();
     assert!(sim.avg_delay >= d as f64, "every packet crosses d edges");
     let upper = meshbound::queueing::bounds::butterfly::upper_bound_delay(d, lambda);
-    assert!(sim.avg_delay <= upper * 1.05, "sim {} vs upper {upper}", sim.avg_delay);
+    assert!(
+        sim.avg_delay <= upper * 1.05,
+        "sim {} vs upper {upper}",
+        sim.avg_delay
+    );
 }
 
 #[test]
@@ -106,8 +123,7 @@ fn lemma3_destinations_reproduce_uniform_simulation() {
     // chain must match the uniform-destination run statistically: same
     // delay within noise (Corollary 4 made executable end-to-end).
     let mesh = Mesh2D::square(5);
-    let uniform =
-        NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg(0.3, 11)).run();
+    let uniform = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg(0.3, 11)).run();
     let lemma3 = NetworkSim::new(mesh, GreedyXY, Lemma3Dest, cfg(0.3, 11)).run();
     let rel = (uniform.avg_delay - lemma3.avg_delay).abs() / uniform.avg_delay;
     assert!(

@@ -53,7 +53,11 @@ fn jackson_simulation_matches_product_form() {
         .map(|&l| l / (1.0 - l))
         .sum();
     let rel = (sim.time_avg_n - expect).abs() / expect;
-    assert!(rel < 0.08, "Jackson sim {} vs product form {expect}", sim.time_avg_n);
+    assert!(
+        rel < 0.08,
+        "Jackson sim {} vs product form {expect}",
+        sim.time_avg_n
+    );
 }
 
 #[test]
@@ -79,7 +83,11 @@ fn copy_system_obeys_thm10_and_thm12() {
             .map(|&l| md1_mean_number(l))
             .sum();
         let rel = (copies.time_avg_copies - expect).abs() / expect;
-        assert!(rel < 0.08, "n={n}: copies {} vs Σ M/D/1 {expect}", copies.time_avg_copies);
+        assert!(
+            rel < 0.08,
+            "n={n}: copies {} vs Σ M/D/1 {expect}",
+            copies.time_avg_copies
+        );
     }
 }
 

@@ -19,7 +19,12 @@ fn base(n: usize, rho: f64, seed: u64) -> Scenario {
 fn littles_law_delay_consistency() {
     let res = base(6, 0.6, 21).run();
     let rel = (res.avg_delay - res.little_delay).abs() / res.avg_delay;
-    assert!(rel < 0.03, "delay {} vs Little {}", res.avg_delay, res.little_delay);
+    assert!(
+        rel < 0.03,
+        "delay {} vs Little {}",
+        res.avg_delay,
+        res.little_delay
+    );
 }
 
 #[test]
@@ -145,5 +150,9 @@ fn edge_queue_sum_consistent_with_total_r() {
     let q = res.edge_mean_queue.expect("tracking enabled");
     let total: f64 = q.iter().sum();
     let rel = (total - res.time_avg_n).abs() / res.time_avg_n;
-    assert!(rel < 0.02, "Σ edge queues {total} vs E[N] {}", res.time_avg_n);
+    assert!(
+        rel < 0.02,
+        "Σ edge queues {total} vs E[N] {}",
+        res.time_avg_n
+    );
 }

@@ -52,10 +52,7 @@ fn delay_scales_linearly_in_n_at_fixed_rho() {
     let t6 = run(6);
     let t12 = run(12);
     let ratio = t12 / t6;
-    assert!(
-        (ratio - 2.0).abs() < 0.25,
-        "t12/t6 = {ratio} should be ≈ 2"
-    );
+    assert!((ratio - 2.0).abs() < 0.25, "t12/t6 = {ratio} should be ≈ 2");
 }
 
 #[test]
@@ -73,7 +70,10 @@ fn kahale_leighton_shape_at_fixed_rho() {
             .seed(5)
             .run()
             .avg_delay;
-        (t - report.mean_distance, report.est_md1 - report.mean_distance)
+        (
+            t - report.mean_distance,
+            report.est_md1 - report.mean_distance,
+        )
     };
     let (sim_small, est_small) = excess(8);
     let (sim_big, est_big) = excess(16);

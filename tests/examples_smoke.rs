@@ -11,6 +11,7 @@ const EXAMPLES: &[&str] = &[
     "capacity_planning",
     "heavy_traffic",
     "jackson_vs_fifo",
+    "parameter_sweep",
     "topology_comparison",
 ];
 

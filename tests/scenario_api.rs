@@ -63,7 +63,11 @@ fn bounds_report_is_ordered_on_every_topology() {
             r.lower_best,
             r.upper
         );
-        assert!(r.lower_best.is_finite() && r.lower_best > 0.0, "{}", r.label);
+        assert!(
+            r.lower_best.is_finite() && r.lower_best > 0.0,
+            "{}",
+            r.label
+        );
         assert!(r.lower_best >= r.lower_trivial, "{}", r.label);
         assert!(r.est_paper <= r.est_md1 + 1e-12, "{}", r.label);
         // The torus upper bound is §6's open problem; everywhere else the
@@ -90,13 +94,21 @@ fn replication_works_on_every_topology() {
             sc.label()
         );
         // The aggregate mean lies inside the per-run envelope.
-        let lo = rep.runs.iter().map(|r| r.avg_delay).fold(f64::INFINITY, f64::min);
+        let lo = rep
+            .runs
+            .iter()
+            .map(|r| r.avg_delay)
+            .fold(f64::INFINITY, f64::min);
         let hi = rep
             .runs
             .iter()
             .map(|r| r.avg_delay)
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(rep.delay.mean() >= lo && rep.delay.mean() <= hi, "{}", sc.label());
+        assert!(
+            rep.delay.mean() >= lo && rep.delay.mean() <= hi,
+            "{}",
+            sc.label()
+        );
     }
 }
 
@@ -124,7 +136,12 @@ fn simulated_delay_within_bounds_at_moderate_load() {
             r.label,
             r.lower_best
         );
-        assert!(t <= r.upper * 1.1, "{}: sim {t} vs upper {}", r.label, r.upper);
+        assert!(
+            t <= r.upper * 1.1,
+            "{}: sim {t} vs upper {}",
+            r.label,
+            r.upper
+        );
     }
 }
 
@@ -148,21 +165,21 @@ fn parse_accepts_full_specs_and_rejects_garbage() {
 
     for bad in [
         "",
-        "mesh",                      // missing size
-        "hexagon:7",                 // unknown topology
-        "mesh:1",                    // too small
-        "torus:2",                   // too small
+        "mesh",                                        // missing size
+        "hexagon:7",                                   // unknown topology
+        "mesh:1",                                      // too small
+        "torus:2",                                     // too small
         "mesh:4,router=randomized,dest=bernoulli:0.5", // dest/topology mismatch
         "butterfly:3,dest=nearby:0.5",                 // dest/topology mismatch
-        "mesh:4,rho=-0.2",           // non-positive load
-        "mesh:4,horizon=0",          // degenerate horizon
-        "mesh:4,warmup=99999",       // warmup beyond horizon
-        "mesh:4,turbo=yes",          // unknown key
-        "mesh:4,slot=abc",           // malformed number
-        "torus:8x9",                 // torus takes a single size
-        "hypercube:4x4",             // hypercube takes a single size
-        "hypercube:4,dest=bernoulli:0,util=0.5", // p = 0 ⇒ λ = ∞
-        "mesh:8,rho=0.9,util=0.2",   // conflicting load keys
+        "mesh:4,rho=-0.2",                             // non-positive load
+        "mesh:4,horizon=0",                            // degenerate horizon
+        "mesh:4,warmup=99999",                         // warmup beyond horizon
+        "mesh:4,turbo=yes",                            // unknown key
+        "mesh:4,slot=abc",                             // malformed number
+        "torus:8x9",                                   // torus takes a single size
+        "hypercube:4x4",                               // hypercube takes a single size
+        "hypercube:4,dest=bernoulli:0,util=0.5",       // p = 0 ⇒ λ = ∞
+        "mesh:8,rho=0.9,util=0.2",                     // conflicting load keys
     ] {
         assert!(Scenario::parse(bad).is_err(), "`{bad}` should be rejected");
     }

@@ -72,12 +72,18 @@ impl Bencher {
 fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
     // Calibrate: one untimed pass, then enough iterations to fill ~50 ms,
     // capped so slow benches still finish promptly.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let target = Duration::from_millis(50);
     let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
-    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let ns = b.elapsed.as_nanos() as f64 / iters as f64;
     let rate = match throughput {
@@ -109,7 +115,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group<S: std::fmt::Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.to_string(), throughput: None }
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
     }
 }
 

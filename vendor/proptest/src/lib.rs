@@ -76,7 +76,10 @@ macro_rules! prop_assert_eq {
         $crate::prop_assert!(
             l == r,
             "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
-            stringify!($left), stringify!($right), l, r,
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
         );
     }};
 }
@@ -89,7 +92,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             l != r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l,
+            stringify!($left),
+            stringify!($right),
+            l,
         );
     }};
 }

@@ -108,7 +108,9 @@ pub struct Any<T> {
 /// The canonical whole-domain strategy for `T`.
 #[must_use]
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 impl<T: Arbitrary> Strategy for Any<T> {

@@ -28,7 +28,9 @@ impl TestRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRng { inner: SmallRng::seed_from_u64(h) }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
     }
 
     /// Access to the underlying generator.

@@ -8,9 +8,88 @@
 //! stealing; for the coarse-grained simulation replications this serves,
 //! even splitting is within noise of the real crate.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 /// Import surface mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Global worker cap installed by [`ThreadPoolBuilder::build_global`];
+/// 0 = unset (use all available cores).
+static GLOBAL_THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Mirrors `rayon::ThreadPoolBuilder` far enough for callers to cap the
+/// worker count (e.g. a `--jobs N` flag).
+///
+/// ```
+/// rayon::ThreadPoolBuilder::new().num_threads(2).build_global().unwrap();
+/// assert!(rayon::current_num_threads() <= 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error returned when the global pool was already initialized, matching
+/// real rayon's one-shot `build_global` contract.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (all cores) configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of worker threads; 0 restores the default.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Like real rayon this succeeds
+    /// at most once per process; later calls return an error and leave the
+    /// first configuration in place. `num_threads` 0 (the builder default)
+    /// installs the uncapped all-cores pool, matching real rayon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadPoolBuildError`] if a global pool configuration was
+    /// already installed.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        // 0 marks "not installed" in the atomic, so the default (uncapped)
+        // configuration is stored as an effectively-infinite cap.
+        let cap = if self.num_threads == 0 {
+            usize::MAX
+        } else {
+            self.num_threads
+        };
+        match GLOBAL_THREAD_CAP.compare_exchange(0, cap, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError(())),
+        }
+    }
+}
+
+/// The number of worker threads a parallel region may use right now.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    match GLOBAL_THREAD_CAP.load(Ordering::Acquire) {
+        0 => avail,
+        cap => cap.min(avail),
+    }
 }
 
 /// `.par_iter()` over borrowed elements, mirroring rayon's trait of the
@@ -27,7 +106,9 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
 
     fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -35,7 +116,9 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
 
     fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -52,7 +135,9 @@ impl IntoParallelIterator for std::ops::Range<usize> {
     type Item = usize;
 
     fn into_par_iter(self) -> ParIter<usize> {
-        ParIter { items: self.collect() }
+        ParIter {
+            items: self.collect(),
+        }
     }
 }
 
@@ -60,7 +145,9 @@ impl IntoParallelIterator for std::ops::Range<u64> {
     type Item = u64;
 
     fn into_par_iter(self) -> ParIter<u64> {
-        ParIter { items: self.collect() }
+        ParIter {
+            items: self.collect(),
+        }
     }
 }
 
@@ -84,7 +171,10 @@ impl<T: Send> ParIter<T> {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
-        ParMap { items: self.items, f }
+        ParMap {
+            items: self.items,
+            f,
+        }
     }
 }
 
@@ -112,9 +202,7 @@ impl<T: Send, F> ParMap<T, F> {
         static ACTIVE_REGIONS: AtomicUsize = AtomicUsize::new(0);
 
         let n = self.items.len();
-        let threads = std::thread::available_parallelism()
-            .map_or(1, std::num::NonZeroUsize::get)
-            .min(n.max(1));
+        let threads = crate::current_num_threads().min(n.max(1));
         let f = &self.f;
         if threads <= 1 {
             return self.items.into_iter().map(f).collect();
@@ -142,7 +230,9 @@ impl<T: Send, F> ParMap<T, F> {
                 });
             }
         });
-        out.into_iter().map(|o| o.expect("worker panicked")).collect()
+        out.into_iter()
+            .map(|o| o.expect("worker panicked"))
+            .collect()
     }
 }
 
@@ -170,8 +260,10 @@ mod tests {
         let grid: Vec<Vec<usize>> = (0..16usize)
             .into_par_iter()
             .map(|i| {
-                let row: Vec<usize> =
-                    (0..16usize).into_par_iter().map(move |j| i * 16 + j).collect();
+                let row: Vec<usize> = (0..16usize)
+                    .into_par_iter()
+                    .map(move |j| i * 16 + j)
+                    .collect();
                 row
             })
             .collect();

@@ -1,9 +1,448 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde`, grown from a no-op into a real (if
+//! deliberately small) serialization facility.
 //!
-//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` — no
-//! trait bounds, no attributes, no `serde_json` — so this crate just
-//! re-exports no-op derives under the expected paths. The `derive` feature
-//! is declared (and ignored) so manifests stay compatible with the real
-//! crate.
+//! The workspace derives `Serialize`/`Deserialize` on its configuration and
+//! report types and — since the sweep engine landed — serializes reports to
+//! JSON. The build container has no registry access, so this crate supplies
+//! the minimum honestly: a [`Serialize`] trait driven by a streaming JSON
+//! writer ([`json::Writer`]), implementations for the primitive and
+//! container types the workspace uses, and `#[derive(Serialize)]` support
+//! via the sibling `serde_derive` stand-in.
+//!
+//! Differences from real serde, by design:
+//!
+//! * There is no `Serializer` abstraction: JSON is the only output format,
+//!   so [`Serialize::serialize`] writes straight into [`json::Writer`].
+//!   Consumers call [`json::to_string`] / [`json::to_string_pretty`]
+//!   (the stand-ins for `serde_json`).
+//! * `Deserialize` remains a no-op marker derive — nothing in-tree parses
+//!   JSON back into these types.
+//! * Non-finite floats serialize as `null`, matching `serde_json`.
+//!
+//! To use the real crates, delete `vendor/`, point the workspace
+//! dependencies at crates.io, and replace `serde::json::*` call sites with
+//! `serde_json::*`.
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as JSON.
+///
+/// Implemented for the primitives and containers the workspace uses, and
+/// derivable for structs and enums via `#[derive(Serialize)]`:
+///
+/// ```
+/// use serde::Serialize;
+///
+/// #[derive(Serialize)]
+/// struct Point {
+///     x: f64,
+///     y: f64,
+/// }
+///
+/// let p = Point { x: 1.0, y: -2.5 };
+/// assert_eq!(serde::json::to_string(&p), r#"{"x":1.0,"y":-2.5}"#);
+/// ```
+pub trait Serialize {
+    /// Writes `self` into `w` as one JSON value.
+    fn serialize(&self, w: &mut json::Writer);
+}
+
+/// Streaming JSON output (the stand-in for `serde_json`).
+pub mod json {
+    use super::Serialize;
+
+    /// Renders `value` as compact JSON (no whitespace).
+    ///
+    /// The output is deterministic: struct fields appear in declaration
+    /// order and floats use Rust's shortest round-trip formatting.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut w = Writer::compact();
+        value.serialize(&mut w);
+        w.finish()
+    }
+
+    /// Renders `value` as human-readable JSON (two-space indent).
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut w = Writer::pretty();
+        value.serialize(&mut w);
+        w.finish()
+    }
+
+    /// A streaming JSON writer with the small structural API the
+    /// `Serialize` derive targets.
+    ///
+    /// The writer tracks nesting itself, so implementations only announce
+    /// structure (`begin_object` / `key` / `end_object`, `begin_array` /
+    /// `end_array`) and emit scalars; commas, colons and indentation are
+    /// inserted automatically.
+    #[derive(Debug)]
+    pub struct Writer {
+        out: String,
+        pretty: bool,
+        depth: usize,
+        /// Whether the current nesting level has already emitted a value
+        /// (i.e. the next one needs a comma). Index 0 is the top level.
+        has_item: Vec<bool>,
+        /// Set by [`Writer::key`]: the next value lands right after the
+        /// colon, with no comma or indentation of its own.
+        pending_value: bool,
+    }
+
+    impl Writer {
+        /// A writer producing compact JSON.
+        #[must_use]
+        pub fn compact() -> Self {
+            Self {
+                out: String::new(),
+                pretty: false,
+                depth: 0,
+                has_item: vec![false],
+                pending_value: false,
+            }
+        }
+
+        /// A writer producing two-space-indented JSON.
+        #[must_use]
+        pub fn pretty() -> Self {
+            Self {
+                out: String::new(),
+                pretty: true,
+                depth: 0,
+                has_item: vec![false],
+                pending_value: false,
+            }
+        }
+
+        /// Consumes the writer and returns the rendered JSON.
+        #[must_use]
+        pub fn finish(self) -> String {
+            self.out
+        }
+
+        /// Comma/newline bookkeeping before a value or key at the current
+        /// level. A value announced by [`Writer::key`] is already in
+        /// position and skips it.
+        fn prepare_slot(&mut self) {
+            if self.pending_value {
+                self.pending_value = false;
+                return;
+            }
+            if let Some(has) = self.has_item.last_mut() {
+                if *has {
+                    self.out.push(',');
+                }
+                *has = true;
+            }
+            if self.pretty && self.depth > 0 {
+                self.out.push('\n');
+                for _ in 0..self.depth {
+                    self.out.push_str("  ");
+                }
+            }
+        }
+
+        /// Newline/indent before a closing bracket.
+        fn prepare_close(&mut self, was_empty: bool) {
+            if self.pretty && !was_empty {
+                self.out.push('\n');
+                for _ in 0..self.depth {
+                    self.out.push_str("  ");
+                }
+            }
+        }
+
+        /// Opens a JSON object (`{`).
+        pub fn begin_object(&mut self) {
+            self.prepare_slot();
+            self.out.push('{');
+            self.depth += 1;
+            self.has_item.push(false);
+        }
+
+        /// Closes the innermost object (`}`).
+        pub fn end_object(&mut self) {
+            let was_empty = !self.has_item.pop().unwrap_or(false);
+            self.depth -= 1;
+            self.prepare_close(was_empty);
+            self.out.push('}');
+        }
+
+        /// Opens a JSON array (`[`).
+        pub fn begin_array(&mut self) {
+            self.prepare_slot();
+            self.out.push('[');
+            self.depth += 1;
+            self.has_item.push(false);
+        }
+
+        /// Closes the innermost array (`]`).
+        pub fn end_array(&mut self) {
+            let was_empty = !self.has_item.pop().unwrap_or(false);
+            self.depth -= 1;
+            self.prepare_close(was_empty);
+            self.out.push(']');
+        }
+
+        /// Writes an object key; the next write supplies its value.
+        pub fn key(&mut self, name: &str) {
+            self.prepare_slot();
+            write_escaped(&mut self.out, name);
+            self.out.push(':');
+            if self.pretty {
+                self.out.push(' ');
+            }
+            self.pending_value = true;
+        }
+
+        /// Writes one `key: value` pair of the current object.
+        pub fn field<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+            self.key(name);
+            value.serialize(self);
+        }
+
+        /// Writes a raw already-valid JSON scalar token.
+        fn scalar(&mut self, token: &str) {
+            self.prepare_slot();
+            self.out.push_str(token);
+        }
+
+        /// Writes a JSON string value.
+        pub fn string(&mut self, s: &str) {
+            self.prepare_slot();
+            write_escaped(&mut self.out, s);
+        }
+
+        /// Writes a boolean.
+        pub fn bool(&mut self, b: bool) {
+            self.scalar(if b { "true" } else { "false" });
+        }
+
+        /// Writes `null`.
+        pub fn null(&mut self) {
+            self.scalar("null");
+        }
+
+        /// Writes an unsigned integer.
+        pub fn u64(&mut self, v: u64) {
+            let s = v.to_string();
+            self.scalar(&s);
+        }
+
+        /// Writes a signed integer.
+        pub fn i64(&mut self, v: i64) {
+            let s = v.to_string();
+            self.scalar(&s);
+        }
+
+        /// Writes a float: shortest round-trip formatting, always with a
+        /// decimal point or exponent so the token reads back as a float;
+        /// non-finite values become `null` (as in `serde_json`).
+        pub fn f64(&mut self, v: f64) {
+            if !v.is_finite() {
+                self.null();
+                return;
+            }
+            let mut s = format!("{v}");
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                s.push_str(".0");
+            }
+            self.scalar(&s);
+        }
+    }
+
+    /// Appends `s` as a quoted, escaped JSON string.
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut json::Writer) {
+                w.u64(u64::from(*self));
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut json::Writer) {
+                w.i64(i64::from(*self));
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.u64(*self as u64);
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.i64(*self as i64);
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.f64(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.f64(f64::from(*self));
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.bool(*self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, w: &mut json::Writer) {
+        (*self).serialize(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut json::Writer) {
+        match self {
+            Some(v) => v.serialize(w),
+            None => w.null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.begin_array();
+        for v in self {
+            v.serialize(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut json::Writer) {
+        self.as_slice().serialize(w);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.begin_array();
+        self.0.serialize(w);
+        self.1.serialize(w);
+        w.end_array();
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, w: &mut json::Writer) {
+        w.begin_array();
+        self.0.serialize(w);
+        self.1.serialize(w);
+        self.2.serialize(w);
+        w.end_array();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_like_serde_json() {
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::to_string(&1.0f64), "1.0");
+        assert_eq!(json::to_string(&f64::INFINITY), "null");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string(&42u64), "42");
+        assert_eq!(json::to_string(&-7i32), "-7");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string("a \"b\"\n"), r#""a \"b\"\n""#);
+        assert_eq!(json::to_string(&Option::<u32>::None), "null");
+        assert_eq!(json::to_string(&Some(3u32)), "3");
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1.0f64, 2.0f64), (3.5, 4.25)];
+        assert_eq!(json::to_string(&v), "[[1.0,2.0],[3.5,4.25]]");
+        let empty: Vec<f64> = Vec::new();
+        assert_eq!(json::to_string(&empty), "[]");
+    }
+
+    #[test]
+    fn writer_objects_and_arrays() {
+        let mut w = json::Writer::compact();
+        w.begin_object();
+        w.field("a", &1u32);
+        w.key("b");
+        w.begin_array();
+        w.string("x");
+        w.null();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":["x",null]}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses_compactly() {
+        let mut w = json::Writer::pretty();
+        w.begin_object();
+        w.field("x", &1.5f64);
+        w.field("y", &vec![1u32, 2]);
+        w.end_object();
+        let pretty = w.finish();
+        assert!(pretty.contains("\n  \"x\": 1.5"));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for v in [0.1f64, 1.0 / 3.0, 1e-9, 123456789.123456] {
+            let s = json::to_string(&v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{s}");
+        }
+    }
+}

@@ -1,21 +1,329 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on its config and report
-//! types but never serializes through a trait bound (there is no
-//! `serde_json` consumer in-tree), so the derives can expand to nothing.
+//! `#[derive(Serialize)]` expands to a real implementation of the vendored
+//! `serde::Serialize` trait (JSON output). The expansion is produced by a
+//! small hand-rolled token parser — the container has no `syn`/`quote` — so
+//! it supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields → JSON objects in declaration order;
+//! * tuple structs: newtypes serialize transparently, wider tuples as
+//!   arrays; unit structs as `null`;
+//! * enums, externally tagged like real serde: unit variants as `"Name"`,
+//!   one-field tuple variants as `{"Name": value}`, wider tuple variants as
+//!   `{"Name": [..]}`, struct variants as `{"Name": {..}}`.
+//!
+//! Generic types, unions and attribute-driven customization
+//! (`#[serde(...)]`) are unsupported and panic at expansion time with a
+//! clear message. `#[derive(Deserialize)]` remains a no-op marker — nothing
+//! in-tree parses JSON back.
+//!
 //! When the real `serde` becomes available, delete `vendor/` and point the
-//! workspace dependency back at crates.io — no source change needed.
+//! workspace dependency back at crates.io — derive call sites need no
+//! source change.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op replacement for `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+/// How a struct or enum variant stores its fields.
+enum Fields {
+    /// No fields (`struct Marker;` or a unit variant).
+    Unit,
+    /// Parenthesized fields; the payload is the field count.
+    Tuple(usize),
+    /// Braced fields, by name, in declaration order.
+    Named(Vec<String>),
 }
 
-/// No-op replacement for `#[derive(Deserialize)]`.
+/// The parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Expands `#[derive(Serialize)]` into a `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => struct_impl(&name, &fields),
+        Item::Enum { name, variants } => enum_impl(&name, &variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Rust; this is a bug in the vendored derive")
+}
+
+/// No-op marker replacement for `#[derive(Deserialize)]`.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
+}
+
+// ----------------------------------------------------------------------
+// Parsing.
+// ----------------------------------------------------------------------
+
+/// Consumes leading `#[...]` attributes, panicking on `#[serde(...)]`:
+/// customization the stand-in cannot honor must fail loudly rather than
+/// silently diverge from real serde.
+fn skip_attributes<I: Iterator<Item = TokenTree>>(tokens: &mut std::iter::Peekable<I>) {
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.next() {
+            if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+                if id.to_string() == "serde" {
+                    panic!(
+                        "serde_derive: #[serde(...)] attributes are not supported by the \
+                         offline stand-in"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility prefix.
+fn skip_visibility<I: Iterator<Item = TokenTree>>(tokens: &mut std::iter::Peekable<I>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Outer attributes (doc comments included) and visibility precede the
+    // item keyword.
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline stand-in");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    }
+}
+
+/// Field names of a braced field list, skipping attributes, visibility and
+/// type tokens. Commas inside angle brackets or delimiter groups do not
+/// split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break;
+        };
+        names.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{field}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => return names,
+            }
+        }
+    }
+    names
+}
+
+/// Number of fields in a parenthesized field list (top-level commas only).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle = 0i32;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+/// Variant list of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let Some(TokenTree::Ident(variant)) = tokens.next() else {
+            break;
+        };
+        let name = variant.to_string();
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an explicit discriminant, then the trailing comma.
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => return variants,
+            }
+        }
+    }
+    variants
+}
+
+// ----------------------------------------------------------------------
+// Code generation.
+// ----------------------------------------------------------------------
+
+/// Shared impl header; `allow(deprecated)` keeps derives on deprecated
+/// types warning-free under `-D warnings`.
+fn impl_header(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(deprecated, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, w: &mut ::serde::json::Writer) {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn struct_impl(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "w.null();".to_string(),
+        Fields::Tuple(1) => "self.0.serialize(w);".to_string(),
+        Fields::Tuple(n) => {
+            let mut b = String::from("w.begin_array();\n");
+            for i in 0..*n {
+                b.push_str(&format!("self.{i}.serialize(w);\n"));
+            }
+            b.push_str("w.end_array();");
+            b
+        }
+        Fields::Named(names) => {
+            let mut b = String::from("w.begin_object();\n");
+            for f in names {
+                b.push_str(&format!("w.field(\"{f}\", &self.{f});\n"));
+            }
+            b.push_str("w.end_object();");
+            b
+        }
+    };
+    impl_header(name, &body)
+}
+
+fn enum_impl(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (variant, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                arms.push_str(&format!("{name}::{variant} => w.string(\"{variant}\"),\n"));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut body = format!("w.begin_object();\nw.key(\"{variant}\");\n");
+                if *n == 1 {
+                    body.push_str("__f0.serialize(w);\n");
+                } else {
+                    body.push_str("w.begin_array();\n");
+                    for b in &binds {
+                        body.push_str(&format!("{b}.serialize(w);\n"));
+                    }
+                    body.push_str("w.end_array();\n");
+                }
+                body.push_str("w.end_object();");
+                arms.push_str(&format!(
+                    "{name}::{variant}({}) => {{ {body} }}\n",
+                    binds.join(", ")
+                ));
+            }
+            Fields::Named(names) => {
+                // Bind fields under `__f_`-prefixed names so a field that
+                // happens to be called `w` cannot shadow the writer.
+                let mut body =
+                    format!("w.begin_object();\nw.key(\"{variant}\");\nw.begin_object();\n");
+                for f in names {
+                    body.push_str(&format!("w.field(\"{f}\", __f_{f});\n"));
+                }
+                body.push_str("w.end_object();\nw.end_object();");
+                let binds: Vec<String> = names.iter().map(|f| format!("{f}: __f_{f}")).collect();
+                arms.push_str(&format!(
+                    "{name}::{variant} {{ {} }} => {{ {body} }}\n",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    impl_header(name, &format!("match self {{\n{arms}}}"))
 }

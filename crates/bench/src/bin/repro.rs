@@ -5,8 +5,8 @@
 //! repro [--quick] [table1|table2|table3|fig1|fig2|bounds|stability|
 //!        capacity|hypercube|butterfly|randomized|torus|kd|slotted|
 //!        nonuniform|dominance|report|all]
-//! repro scenario <spec> [<spec>…]
-//! repro [--quick] sweep <spec> [--out FILE] [--jobs N] [--check]
+//! repro [--engine auto|heap|calendar] scenario <spec> [<spec>…]
+//! repro [--quick] [--engine E] sweep <spec> [--out FILE] [--jobs N] [--check]
 //! ```
 //!
 //! Without `--quick` the publication-scale sweeps run (several minutes for
@@ -17,6 +17,10 @@
 //! [`Scenario`] spec (see `Scenario::parse`) and prints the analytic
 //! [`BoundsReport`] next to the simulated result. Unknown artifact names
 //! and unknown flags exit nonzero with a usage message.
+//!
+//! `--engine` forces a hot-path engine (`EngineSpec`) on every scenario or
+//! sweep cell named on the command line — results are bit-identical across
+//! engines, so the flag is a wall-clock ablation knob.
 //!
 //! `repro sweep` runs a whole scenario grid in parallel and emits the
 //! machine-readable JSON report (`meshbound::sweep`). The spec is either a
@@ -31,7 +35,7 @@
 use meshbound::experiments::{extensions, fig1, fig2, table1, table2, table3, Scale};
 use meshbound::queueing::load::{mesh_stability_threshold, optimal_stability_threshold};
 use meshbound::sweep::{run_cells, run_sweep, Jobs};
-use meshbound::{BoundsReport, Load, Scenario, SweepSpec};
+use meshbound::{BoundsReport, EngineSpec, Load, Scenario, SweepSpec};
 use std::process::ExitCode;
 
 const ARTIFACTS: &[&str] = &[
@@ -58,15 +62,18 @@ const ARTIFACTS: &[&str] = &[
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [{}]\n\
-         \x20      repro [--quick] scenario <spec> [<spec>…]\n\
-         \x20      repro [--quick] sweep <spec> [--out FILE] [--jobs N] [--check]\n\
+         \x20      repro [--quick] [--engine auto|heap|calendar] scenario <spec> [<spec>…]\n\
+         \x20      repro [--quick] [--engine E] sweep <spec> [--out FILE] [--jobs N] [--check]\n\
          \n\
          scenario specs look like `torus:8,util=0.9,horizon=5000` or\n\
          `hypercube:6,dest=bernoulli:0.25,lambda=0.8` — topology head\n\
          (mesh:N, mesh:RxC, torus:N, hypercube:D, butterfly:K, kd:AxBxC)\n\
          followed by key=value options (router, dest, lambda/rho/util,\n\
          horizon, warmup, seed, service, slot, sample, self, saturated,\n\
-         quantiles, queues).\n\
+         quantiles, queues, engine).\n\
+         \n\
+         --engine overrides the hot-path engine of every scenario or sweep\n\
+         cell (bit-identical results, different wall clock).\n\
          \n\
          sweep specs are either table1|table2|table3 (the paper grids at\n\
          the current scale) or an axis grammar like\n\
@@ -83,8 +90,25 @@ fn sweep_fail(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Extracts a leading-or-anywhere `--engine <name>` flag from `args`,
+/// returning the engine (if any) or a usage error message.
+fn extract_engine(args: &mut Vec<String>) -> Result<Option<EngineSpec>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--engine") else {
+        return Ok(None);
+    };
+    let Some(name) = args.get(pos + 1) else {
+        return Err("`--engine` needs a value (auto, heap or calendar)".into());
+    };
+    let engine = EngineSpec::parse_str(name)?;
+    args.drain(pos..=pos + 1);
+    if args.iter().any(|a| a == "--engine") {
+        return Err("`--engine` given twice".into());
+    }
+    Ok(Some(engine))
+}
+
 /// The `repro sweep` subcommand.
-fn sweep_command(args: &[String], mut quick: bool) -> ExitCode {
+fn sweep_command(args: &[String], mut quick: bool, engine: Option<EngineSpec>) -> ExitCode {
     let mut spec: Option<&str> = None;
     let mut out: Option<&str> = None;
     let mut jobs: usize = 0; // 0 = the full Rayon pool
@@ -127,14 +151,43 @@ fn sweep_command(args: &[String], mut quick: bool) -> ExitCode {
         Jobs::Parallel
     };
     let scale = if quick { Scale::quick() } else { Scale::full() };
+    // An engine override re-engines every cell; seeds and results are
+    // unchanged (engines are bit-identical), only the wall clock moves.
+    let re_engine = |cells: Vec<Scenario>| -> Vec<Scenario> {
+        match engine {
+            Some(e) => cells.into_iter().map(|c| c.engine(e)).collect(),
+            None => cells,
+        }
+    };
     let report = match spec {
-        "table1" => run_cells("table1", table1::cells(&scale), scale.reps, jobs_mode),
-        "table2" => run_cells("table2", table2::cells(&scale), scale.reps, jobs_mode),
-        "table3" => run_cells("table3", table3::cells(&scale), scale.reps, jobs_mode),
-        grammar => match SweepSpec::parse(grammar).and_then(|sw| run_sweep(&sw, jobs_mode)) {
-            Ok(report) => report,
-            Err(e) => return sweep_fail(&e.to_string()),
-        },
+        "table1" => run_cells(
+            "table1",
+            re_engine(table1::cells(&scale)),
+            scale.reps,
+            jobs_mode,
+        ),
+        "table2" => run_cells(
+            "table2",
+            re_engine(table2::cells(&scale)),
+            scale.reps,
+            jobs_mode,
+        ),
+        "table3" => run_cells(
+            "table3",
+            re_engine(table3::cells(&scale)),
+            scale.reps,
+            jobs_mode,
+        ),
+        grammar => {
+            let parsed = SweepSpec::parse(grammar).map(|sw| match engine {
+                Some(e) => sw.engines(vec![e]),
+                None => sw,
+            });
+            match parsed.and_then(|sw| run_sweep(&sw, jobs_mode)) {
+                Ok(report) => report,
+                Err(e) => return sweep_fail(&e.to_string()),
+            }
+        }
     };
     print!("{}", report.to_text());
     if let Some(path) = out {
@@ -152,14 +205,21 @@ fn sweep_command(args: &[String], mut quick: bool) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = match extract_engine(&mut args) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("repro: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
     // The sweep subcommand has its own flags (`--out`, `--jobs`, `--check`)
     // and is handled separately; only `--quick` may precede it.
     if let Some(pos) = args.iter().position(|a| a == "sweep") {
         if args[..pos].iter().all(|a| a == "--quick") {
             // The guard admits only `--quick` prefixes, so any prefix at
             // all means quick mode.
-            return sweep_command(&args[pos + 1..], pos > 0);
+            return sweep_command(&args[pos + 1..], pos > 0, engine);
         }
     }
     let mut quick = false;
@@ -193,12 +253,23 @@ fn main() -> ExitCode {
 
     let scale = if quick { Scale::quick() } else { Scale::full() };
 
+    if engine.is_some() && !expecting_specs {
+        eprintln!(
+            "repro: `--engine` applies to the scenario and sweep commands\n{}",
+            usage()
+        );
+        return ExitCode::from(2);
+    }
+
     // Parse every spec before running any, so a typo in the last spec
     // cannot waste the minutes the first ones take.
     let mut scenarios = Vec::new();
     for spec in specs {
         match Scenario::parse(spec) {
-            Ok(sc) => scenarios.push(sc),
+            Ok(sc) => scenarios.push(match engine {
+                Some(e) => sc.engine(e),
+                None => sc,
+            }),
             Err(e) => {
                 eprintln!("repro: {e}\n{}", usage());
                 return ExitCode::from(2);
@@ -316,7 +387,13 @@ fn run_scenario(sc: &Scenario) {
     let res = sc.run();
     println!(
         "  simulated: T = {:.3} (completed {} packets, E[N] = {:.2}, \
-         Little cross-check {:.3}, peak edge utilization {:.3})\n",
+         Little cross-check {:.3}, peak edge utilization {:.3})",
         res.avg_delay, res.completed, res.time_avg_n, res.little_delay, res.max_edge_utilization
+    );
+    println!(
+        "  engine {}: {} events at {:.0}k events/s\n",
+        sc.engine,
+        res.events_processed,
+        res.events_per_sec / 1e3
     );
 }

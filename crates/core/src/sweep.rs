@@ -32,8 +32,9 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Schema identifier embedded in every report; bump when the JSON layout
-/// changes shape.
-pub const SCHEMA: &str = "meshbound.sweep/v1";
+/// changes shape. v2 added `events_processed`/`events_per_sec` to every
+/// cell.
+pub const SCHEMA: &str = "meshbound.sweep/v2";
 
 /// Tolerance for judging a simulated mean delay against analytic bounds.
 ///
@@ -125,6 +126,13 @@ pub struct SweepCellReport {
     pub generated: u64,
     /// Packets delivered, summed over replications.
     pub completed: u64,
+    /// Future-event-list events processed, summed over replications
+    /// (deterministic: a pure work measure).
+    pub events_processed: u64,
+    /// Mean simulator throughput in events per wall-clock second across
+    /// replications (a timing field, zeroed by
+    /// [`SweepReport::without_timings`]).
+    pub events_per_sec: f64,
     /// The analytic report at this cell's operating point.
     pub bounds: BoundsReport,
     /// Whether the simulated delay respects the bounds (see
@@ -194,6 +202,7 @@ impl SweepReport {
         copy.speedup = 0.0;
         for cell in &mut copy.cells {
             cell.wall_s = 0.0;
+            cell.events_per_sec = 0.0;
         }
         copy
     }
@@ -202,7 +211,9 @@ impl SweepReport {
     #[must_use]
     pub fn to_text(&self) -> String {
         use crate::experiments::TextTable;
-        let mut t = TextTable::new(&["cell", "T(sim)", "±", "lower", "upper", "bounds", "wall s"]);
+        let mut t = TextTable::new(&[
+            "cell", "T(sim)", "±", "lower", "upper", "bounds", "wall s", "ev/s",
+        ]);
         for cell in &self.cells {
             t.row(vec![
                 cell.spec.clone(),
@@ -216,6 +227,7 @@ impl SweepReport {
                 },
                 if cell.within_bounds { "ok" } else { "VIOLATED" }.into(),
                 format!("{:.2}", cell.wall_s),
+                format!("{:.0}k", cell.events_per_sec / 1e3),
             ]);
         }
         let mut out = format!(
@@ -301,13 +313,17 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
         0.0
     };
     let mut throughput = 0.0;
-    let (mut generated, mut completed) = (0u64, 0u64);
+    let mut events_per_sec = 0.0;
+    let (mut generated, mut completed, mut events_processed) = (0u64, 0u64, 0u64);
     for run in &rep.runs {
         throughput += run.completed as f64 / run.measure_time;
         generated += run.generated;
         completed += run.completed;
+        events_processed += run.events_processed;
+        events_per_sec += run.events_per_sec;
     }
     throughput /= rep.runs.len() as f64;
+    events_per_sec /= rep.runs.len() as f64;
     SweepCellReport {
         spec: sc.spec_string(),
         label: sc.label(),
@@ -321,6 +337,8 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
         throughput,
         generated,
         completed,
+        events_processed,
+        events_per_sec,
         within_bounds: check.verdict(delay_mean, &bounds),
         upper_bound_finite: bounds.upper.is_finite(),
         bounds,
@@ -363,6 +381,20 @@ mod tests {
         for cell in &report.cells {
             let parsed = Scenario::parse(&cell.spec).unwrap();
             assert_eq!(parsed, cell.scenario);
+        }
+    }
+
+    #[test]
+    fn perf_counters_are_populated_and_stripped_with_timings() {
+        let report = run_sweep(&tiny().loads(vec![Load::TableRho(0.2)]), Jobs::Sequential).unwrap();
+        for cell in &report.cells {
+            assert!(cell.events_processed > 0, "{}", cell.spec);
+            assert!(cell.events_per_sec > 0.0, "{}", cell.spec);
+        }
+        let stripped = report.without_timings();
+        for cell in &stripped.cells {
+            assert!(cell.events_processed > 0); // deterministic: kept
+            assert_eq!(cell.events_per_sec, 0.0); // wall-clock: zeroed
         }
     }
 

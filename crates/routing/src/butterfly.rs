@@ -18,6 +18,16 @@ impl Router<Butterfly> for ButterflyRouter {
     fn init_state(&self, _: &Butterfly, _: NodeId, _: NodeId, _: &mut SmallRng) {}
 
     #[inline]
+    fn is_route_deterministic(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn routes_to(&self, topo: &Butterfly, dst: NodeId) -> bool {
+        topo.coords(dst).0 == topo.levels()
+    }
+
+    #[inline]
     fn next_edge(&self, topo: &Butterfly, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
         let (out_level, out_row) = topo.coords(dst);
         debug_assert_eq!(

@@ -31,6 +31,11 @@ impl Router<Mesh2D> for GreedyXY {
     fn init_state(&self, _: &Mesh2D, _: NodeId, _: NodeId, _: &mut SmallRng) {}
 
     #[inline]
+    fn is_route_deterministic(&self) -> bool {
+        true
+    }
+
+    #[inline]
     fn next_edge(&self, topo: &Mesh2D, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
         let (r, c) = topo.coords(cur);
         let (rd, cd) = topo.coords(dst);

@@ -18,6 +18,11 @@ impl Router<Hypercube> for DimOrder {
     fn init_state(&self, _: &Hypercube, _: NodeId, _: NodeId, _: &mut SmallRng) {}
 
     #[inline]
+    fn is_route_deterministic(&self) -> bool {
+        true
+    }
+
+    #[inline]
     fn next_edge(&self, topo: &Hypercube, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
         topo.next_differing_dim(cur, dst)
             .map(|i| topo.edge_across(cur, i))

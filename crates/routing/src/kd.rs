@@ -19,6 +19,11 @@ impl Router<MeshKD> for KdGreedy {
     fn init_state(&self, _: &MeshKD, _: NodeId, _: NodeId, _: &mut SmallRng) {}
 
     #[inline]
+    fn is_route_deterministic(&self) -> bool {
+        true
+    }
+
+    #[inline]
     fn next_edge(&self, topo: &MeshKD, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
         topo.step_toward(cur, dst)
     }

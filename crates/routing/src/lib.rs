@@ -33,6 +33,7 @@ pub mod lemma3;
 pub mod randomized;
 pub mod rates;
 pub mod router;
+pub mod table;
 pub mod torus;
 pub mod traffic;
 
@@ -43,5 +44,6 @@ pub use hypercube::DimOrder;
 pub use kd::KdGreedy;
 pub use randomized::{Order, RandomizedGreedy};
 pub use router::{ObliviousRouter, Router};
+pub use table::RouteTable;
 pub use torus::TorusGreedy;
 pub use traffic::{traffic_fixed_point, MarkovRouting};

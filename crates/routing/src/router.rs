@@ -31,6 +31,27 @@ pub trait Router<T: Topology> {
         self.remaining_hops(topo, src, dst, state)
     }
 
+    /// Whether `dst` is a valid destination for this router. Most routers
+    /// are total (`true` for every node); the butterfly only routes toward
+    /// output-level nodes. Precomputation ([`crate::RouteTable`]) skips
+    /// invalid destinations.
+    fn routes_to(&self, _topo: &T, _dst: NodeId) -> bool {
+        true
+    }
+
+    /// Whether routes depend only on `(current node, destination)` —
+    /// i.e. the per-packet state and the RNG can never influence
+    /// [`Router::next_edge`] or [`Router::remaining_hops`], and
+    /// [`Router::init_state`] draws nothing from its RNG.
+    ///
+    /// Routers that uphold this contract can be compiled into a
+    /// precomputed [`crate::RouteTable`] (the simulator's fast path);
+    /// the conservative default is `false`, which keeps the on-the-fly
+    /// routing path.
+    fn is_route_deterministic(&self) -> bool {
+        false
+    }
+
     /// Materializes the full route (test/diagnostic use only; simulation
     /// never calls this).
     fn route(&self, topo: &T, src: NodeId, dst: NodeId, state: Self::State) -> Vec<EdgeId> {

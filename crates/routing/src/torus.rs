@@ -44,6 +44,11 @@ impl Router<Torus2D> for TorusGreedy {
     fn init_state(&self, _: &Torus2D, _: NodeId, _: NodeId, _: &mut SmallRng) {}
 
     #[inline]
+    fn is_route_deterministic(&self) -> bool {
+        true
+    }
+
+    #[inline]
     fn next_edge(&self, topo: &Torus2D, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
         Self::step(topo, cur, dst)
     }

@@ -1,0 +1,125 @@
+//! Hot-path engine selection for [`NetworkSim::run`](crate::NetworkSim::run).
+//!
+//! Every engine produces **bit-identical** [`SimResult`](crate::SimResult)s
+//! for the same scenario and seed — the engine choice moves wall-clock
+//! time, never a single reported number. The cross-engine equivalence
+//! suite (`tests/engine_equivalence.rs`) pins that guarantee across all
+//! topologies and both time modes.
+
+use serde::{Deserialize, Serialize};
+
+/// Node-count gate above which [`EngineSpec::Auto`] skips the precomputed
+/// route tables. A table stores one packed `u32` per `(node, destination)`
+/// pair, so the gate caps table memory at 512² × 4 B = 1 MiB — sized to
+/// stay L2-resident on current hardware; beyond that a cache-missing
+/// lookup costs more than the coordinate arithmetic it replaces, so the
+/// on-the-fly router walk is kept. (Measured on the Table-I mesh workload,
+/// where the 20×20 mesh's 640 KiB table is still a clear win.)
+pub const ROUTE_TABLE_MAX_NODES: usize = 512;
+
+/// Which engine drives the simulator's hot loop.
+///
+/// * [`EngineSpec::Auto`] (the default) — calendar-queue future-event list
+///   plus precomputed route tables when the topology fits under
+///   [`ROUTE_TABLE_MAX_NODES`] and the router is deterministic (randomized
+///   routers carry per-packet state, so they keep the on-the-fly path).
+/// * [`EngineSpec::Heap`] — the binary-heap future-event list with
+///   on-the-fly routing: the pre-overhaul baseline, kept as the reference
+///   implementation and the benchmark yardstick.
+/// * [`EngineSpec::Calendar`] — calendar queue with on-the-fly routing
+///   (isolates the event-queue contribution in ablations).
+///
+/// # Examples
+///
+/// Selecting an engine on a scenario spec and via the builder:
+///
+/// ```
+/// use meshbound_sim::{EngineSpec, Load, Scenario};
+///
+/// let fast = Scenario::mesh(5).load(Load::TableRho(0.5)).seed(3);
+/// let slow = fast.clone().engine(EngineSpec::Heap);
+/// let a = fast.run();
+/// let b = slow.run();
+/// // Different engines, bit-identical physics:
+/// assert_eq!(a.avg_delay.to_bits(), b.avg_delay.to_bits());
+/// assert_eq!(a.events_processed, b.events_processed);
+///
+/// // Spec strings round-trip the engine choice:
+/// let sc = Scenario::parse("mesh:5,rho=0.5,engine=calendar").unwrap();
+/// assert_eq!(sc.engine, EngineSpec::Calendar);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineSpec {
+    /// Calendar queue + route tables where eligible (the default).
+    Auto,
+    /// Binary-heap event list, on-the-fly routing (the baseline).
+    Heap,
+    /// Calendar queue, on-the-fly routing.
+    Calendar,
+}
+
+// Not `#[derive(Default)]`: the offline serde_derive stub parses the enum
+// body and does not understand variant-level `#[default]` attributes.
+#[allow(clippy::derivable_impls)]
+impl Default for EngineSpec {
+    fn default() -> Self {
+        EngineSpec::Auto
+    }
+}
+
+impl EngineSpec {
+    /// All engines, in the order benchmarks and sweeps enumerate them.
+    pub const ALL: [EngineSpec; 3] = [EngineSpec::Auto, EngineSpec::Heap, EngineSpec::Calendar];
+
+    /// The spec-string name (`"auto"`, `"heap"`, `"calendar"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineSpec::Auto => "auto",
+            EngineSpec::Heap => "heap",
+            EngineSpec::Calendar => "calendar",
+        }
+    }
+
+    /// Parses a spec-string name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name when it is not one of
+    /// `auto|heap|calendar`.
+    pub fn parse_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(EngineSpec::Auto),
+            "heap" => Ok(EngineSpec::Heap),
+            "calendar" => Ok(EngineSpec::Calendar),
+            other => Err(format!(
+                "unknown engine `{other}` (expected auto, heap or calendar)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for e in EngineSpec::ALL {
+            assert_eq!(EngineSpec::parse_str(e.as_str()), Ok(e));
+            assert_eq!(format!("{e}"), e.as_str());
+        }
+        assert!(EngineSpec::parse_str("quantum").is_err());
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(EngineSpec::default(), EngineSpec::Auto);
+    }
+}

@@ -1,10 +1,18 @@
 //! Future-event queues.
 //!
-//! The simulator's default queue is a binary heap keyed by `(time, seq)`
-//! with a monotone sequence number breaking ties deterministically —
-//! identical seeds therefore produce identical event orders. A calendar
-//! queue ([`CalendarQueue`]) is provided as the classic O(1)-amortized
-//! alternative and is compared against the heap in the `engine` benchmark.
+//! Two interchangeable future-event lists implement [`EventQueue`]:
+//!
+//! * [`HeapQueue`] — a binary heap keyed by `(time, seq)` with a monotone
+//!   sequence number breaking ties deterministically. O(log n) per
+//!   operation, no tuning knobs; the reference implementation.
+//! * [`CalendarQueue`] — the classic O(1)-amortized calendar queue with
+//!   sorted buckets and Brown-style dynamic resizing, used by the
+//!   simulator's default engine (see `EngineSpec`).
+//!
+//! Both pop events in exactly the same `(time, seq)` order, so a simulation
+//! produces bit-identical results whichever queue drives it — the
+//! cross-queue property tests below and the engine-equivalence suite pin
+//! that guarantee.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -53,7 +61,7 @@ pub trait EventQueue<E> {
     }
 }
 
-/// Binary-heap event queue (the simulator default).
+/// Binary-heap event queue (the reference implementation).
 #[derive(Debug)]
 pub struct HeapQueue<E: PartialEq> {
     heap: BinaryHeap<Scheduled<E>>,
@@ -108,112 +116,347 @@ impl<E: PartialEq> EventQueue<E> for HeapQueue<E> {
     }
 }
 
-/// A classic calendar queue: an array of time buckets of fixed width,
-/// scanned cyclically. Amortized O(1) for workloads whose event horizon is
-/// short relative to the bucket span (as in this simulator, where service
-/// completions land within one unit of now).
-#[derive(Debug)]
-pub struct CalendarQueue<E> {
-    buckets: Vec<Vec<Scheduled<E>>>,
-    width: f64,
-    /// Bucket index currently being drained.
-    cursor: usize,
-    /// Start time of the cursor bucket's current lap.
-    cursor_time: f64,
-    len: usize,
-    seq: u64,
-    /// Events too far in the future for the current lap.
-    overflow: Vec<Scheduled<E>>,
+/// Smallest and largest bucket-width exponents the calendar accepts.
+///
+/// Widths are powers of two inside this range, so `time / width` is an
+/// exact float operation and bucket assignment can never disagree with the
+/// cursor arithmetic (see [`CalendarQueue`]). With `|exp| ≤ 24` and event
+/// times below `2^28` time units, every virtual bucket index stays well
+/// under `2^53` and all conversions are exact.
+const MIN_WIDTH_EXP: i32 = -24;
+const MAX_WIDTH_EXP: i32 = 24;
+
+/// Upper bound on the bucket count (a memory guard, ~64 MiB of headers).
+const MAX_BUCKETS: usize = 1 << 22;
+
+/// Ceiling on virtual bucket indices (see `CalendarQueue::vbucket`): far
+/// enough below `u64::MAX` that the cursor can still advance whole laps
+/// past it without overflowing.
+const VB_CAP: u64 = u64::MAX - 2 * (MAX_BUCKETS as u64) - 2;
+
+/// Rounds `w` to the nearest power of two inside the supported range.
+fn round_width(w: f64) -> f64 {
+    assert!(w > 0.0 && w.is_finite(), "bucket width must be positive");
+    let exp = w
+        .log2()
+        .round()
+        .clamp(f64::from(MIN_WIDTH_EXP), f64::from(MAX_WIDTH_EXP));
+    f64::exp2(exp)
 }
 
+/// A production calendar queue: an array of time buckets of power-of-two
+/// width, scanned cyclically, each bucket kept sorted so the next event
+/// pops in O(1).
+///
+/// Design notes (all load-bearing for the bit-identical-order guarantee):
+///
+/// * **Sorted buckets.** Each bucket is a `Vec` sorted *descending* by
+///   `(time, seq)`, so the bucket minimum sits at the tail: `next()` is a
+///   bounds check plus `pop()`, and `schedule` is a binary search plus an
+///   insert into a short vector.
+/// * **Exact bucket math.** The width is always a power of two
+///   (`round_width`), so `time / width` only adjusts the float exponent
+///   and the virtual bucket index `⌊time / width⌋` is computed exactly —
+///   bucket assignment, cursor laps and the "does this event belong to the
+///   current lap" test can never disagree by a rounding error.
+/// * **Past events land under the cursor.** An event scheduled at or
+///   before the cursor's bucket window goes into the *cursor* bucket, so it
+///   pops next rather than waiting a full lap for the cursor to come back
+///   around (the pre-overhaul implementation had exactly that bug).
+/// * **Brown-style resizing.** When the event count outgrows (or far
+///   undershoots) the bucket count, the calendar rebuilds with ~2 buckets
+///   per event and a new width keyed to the observed event density
+///   (average inter-event gap of everything pending), so the hot window
+///   stays at O(1) events per bucket whatever the workload's time scale.
+/// * **Empty-lap jump.** If a whole lap passes without a pop (all pending
+///   events far in the future), the cursor jumps straight to the earliest
+///   pending bucket instead of spinning lap by lap.
+///
+/// Together these give amortized O(1) `schedule`/`next` while popping in
+/// exactly the same `(time, seq)` order as [`HeapQueue`].
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// Buckets, each sorted descending by `(time, seq)` (minimum at tail).
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Bucket width; always a power of two in `[2^-24, 2^24]`.
+    width: f64,
+    /// `1 / width` (exact for powers of two): bucket assignment is a
+    /// multiply, not a divide.
+    inv_width: f64,
+    /// Virtual index of the cursor bucket: `⌊cursor time / width⌋`.
+    cursor_vb: u64,
+    /// `cursor_vb % buckets.len()`, cached.
+    cursor: usize,
+    /// Total pending events (buckets + overflow).
+    len: usize,
+    /// Monotone tie-break counter.
+    seq: u64,
+    /// Events beyond the current calendar span, repatriated lazily.
+    overflow: Vec<Scheduled<E>>,
+    /// The bucket count never shrinks below this floor.
+    min_buckets: usize,
+    /// Cursor advances since the last rebuild (width-too-narrow signal).
+    advances: u64,
+    /// Pops since the last rebuild.
+    pops: u64,
+}
+
+/// A single bucket holding more than this many events triggers a
+/// density-keyed width resize (the Brown adaptation signal).
+const OVERLOAD: usize = 16;
+
 impl<E> CalendarQueue<E> {
-    /// Creates a calendar with `nbuckets` buckets of `width` time units.
+    /// Creates a calendar with `nbuckets` buckets (rounded up to a power
+    /// of two, so ring arithmetic is a mask instead of a modulo) of
+    /// roughly `width` time units (rounded to the nearest power of two for
+    /// exact bucket math). The calendar resizes itself as the population
+    /// grows or shrinks; `nbuckets` is the initial geometry and the shrink
+    /// floor.
     ///
     /// # Panics
     ///
-    /// Panics if `nbuckets == 0` or `width <= 0`.
+    /// Panics if `nbuckets == 0` or `width` is not positive and finite.
     #[must_use]
     pub fn new(nbuckets: usize, width: f64) -> Self {
-        assert!(nbuckets > 0 && width > 0.0);
+        assert!(nbuckets > 0, "calendar needs at least one bucket");
+        let nbuckets = nbuckets.next_power_of_two().min(MAX_BUCKETS);
+        let width = round_width(width);
         Self {
             buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
             width,
+            inv_width: 1.0 / width,
+            cursor_vb: 0,
             cursor: 0,
-            cursor_time: 0.0,
             len: 0,
             seq: 0,
             overflow: Vec::new(),
+            min_buckets: nbuckets,
+            advances: 0,
+            pops: 0,
         }
     }
 
-    fn span(&self) -> f64 {
-        self.width * self.buckets.len() as f64
+    /// A calendar sized for a simulation expected to hold about
+    /// `expected_events` concurrent events with service times of order one
+    /// time unit. The geometry is only a starting point — resizing keys the
+    /// width to the density actually observed.
+    #[must_use]
+    pub fn for_simulation(expected_events: usize) -> Self {
+        let nbuckets = (2 * expected_events.max(1))
+            .next_power_of_two()
+            .clamp(64, 1 << 16);
+        let mut cal = Self::new(nbuckets, 1.0 / 32.0);
+        cal.min_buckets = 64;
+        cal
+    }
+
+    /// The virtual bucket index of `time` — exact because `width` is a
+    /// power of two (`time * 2^k` only shifts the exponent).
+    ///
+    /// Capped at [`VB_CAP`] so a huge `time / width` ratio (the f64→u64
+    /// cast saturates at `u64::MAX`) cannot overflow the cursor
+    /// arithmetic: capped events share one far-future virtual bucket,
+    /// where the sorted-bucket `(time, seq)` order still pops them
+    /// correctly, and the cursor — which never moves past the earliest
+    /// pending event's bucket by more than one lap — stays clear of
+    /// `u64::MAX`.
+    #[inline]
+    fn vbucket(&self, time: f64) -> u64 {
+        debug_assert!(time >= 0.0, "calendar times must be non-negative");
+        ((time * self.inv_width) as u64).min(VB_CAP)
+    }
+
+    /// Inserts into the right bucket (or overflow). Does not touch `len`.
+    /// Returns the bucket index used (`None` for overflow).
+    ///
+    /// `NEWEST` marks a fresh `schedule` call: the event then carries the
+    /// largest sequence number ever issued, so among equal times it sorts
+    /// before every resident entry and comparing times alone suffices.
+    /// Re-placement during rebuilds and overflow repatriation moves *old*
+    /// events and must compare the full `(time, seq)` key.
+    #[inline]
+    fn place<const NEWEST: bool>(&mut self, s: Scheduled<E>) -> Option<usize> {
+        let n = self.buckets.len() as u64;
+        let vb = self.vbucket(s.time);
+        if vb >= self.cursor_vb.saturating_add(n) {
+            self.overflow.push(s);
+            return None;
+        }
+        // An event at or before the cursor's window goes into the cursor
+        // bucket so it is found *now*, not a full lap later.
+        let idx = if vb <= self.cursor_vb {
+            self.cursor
+        } else {
+            // The bucket count is always a power of two: mask, not modulo.
+            (vb & (n - 1)) as usize
+        };
+        let bucket = &mut self.buckets[idx];
+        // Descending by (time, seq); see the `NEWEST` contract above.
+        let pos = if NEWEST {
+            bucket.partition_point(|x| x.time > s.time)
+        } else {
+            bucket.partition_point(|x| (x.time, x.seq) > (s.time, s.seq))
+        };
+        bucket.insert(pos, s);
+        Some(idx)
+    }
+
+    /// Pulls overflow events whose bucket now lies within the calendar
+    /// span back into the buckets.
+    fn repatriate_overflow(&mut self) {
+        if self.overflow.is_empty() {
+            return;
+        }
+        for s in std::mem::take(&mut self.overflow) {
+            self.place::<false>(s); // re-defers anything still beyond the span
+        }
+    }
+
+    /// Jumps the cursor to the earliest pending event's bucket (called
+    /// after a full lap produced no pop, so every pending event is ahead
+    /// of the cursor).
+    fn jump_to_min(&mut self) {
+        debug_assert!(self.len > 0);
+        let mut min_vb = u64::MAX;
+        for bucket in &self.buckets {
+            if let Some(last) = bucket.last() {
+                min_vb = min_vb.min(self.vbucket(last.time));
+            }
+        }
+        for s in &self.overflow {
+            min_vb = min_vb.min(self.vbucket(s.time));
+        }
+        // A silent lap re-checked every bucket before over-running it, so
+        // nothing pending lies behind the cursor; the earliest bucket can
+        // coincide with the cursor's, never precede it.
+        debug_assert!(min_vb >= self.cursor_vb);
+        self.cursor_vb = min_vb;
+        self.cursor = (min_vb & (self.buckets.len() as u64 - 1)) as usize;
+        self.repatriate_overflow();
+    }
+
+    /// The bucket count matched to the current population: ~1 bucket per
+    /// event (occupancy near one balances cursor advances against
+    /// sorted-insert work).
+    fn target_buckets(&self) -> usize {
+        self.len
+            .max(1)
+            .next_power_of_two()
+            .clamp(self.min_buckets, MAX_BUCKETS)
+    }
+
+    /// Rebuilds the calendar with the given geometry, re-anchoring the
+    /// cursor at the same point in time and re-distributing every pending
+    /// event.
+    fn rebuild(&mut self, nbuckets: usize, width: f64) {
+        let mut all: Vec<Scheduled<E>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            all.append(bucket);
+        }
+        all.append(&mut self.overflow);
+        // cursor_vb * width is exact: power-of-two scaling.
+        let now = self.cursor_vb as f64 * self.width;
+        self.width = width;
+        self.inv_width = 1.0 / width;
+        // Same cap as `vbucket`: a width-narrowing rebuild while the
+        // cursor sits in the capped far-future bucket must not saturate
+        // the cursor to `u64::MAX` (which would funnel every future event
+        // into one bucket).
+        self.cursor_vb = ((now * self.inv_width) as u64).min(VB_CAP);
+        if nbuckets != self.buckets.len() {
+            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        }
+        self.cursor = (self.cursor_vb & (nbuckets as u64 - 1)) as usize;
+        self.advances = 0;
+        self.pops = 0;
+        for s in all {
+            self.place::<false>(s);
+        }
     }
 }
 
 impl<E> EventQueue<E> for CalendarQueue<E> {
+    #[inline]
     fn schedule(&mut self, time: f64, event: E) {
-        debug_assert!(time.is_finite());
-        let sched = Scheduled {
+        debug_assert!(time.is_finite() && time >= 0.0);
+        let s = Scheduled {
             time,
             seq: self.seq,
             event,
         };
         self.seq += 1;
         self.len += 1;
-        if time >= self.cursor_time + self.span() {
-            self.overflow.push(sched);
-        } else {
-            let idx = ((time / self.width) as usize) % self.buckets.len();
-            self.buckets[idx].push(sched);
+        let idx = self.place::<true>(s);
+        // Grow: keep the expected occupancy below one event per bucket.
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(self.target_buckets(), self.width);
+            return;
+        }
+        // Density overload: one bucket collecting many events means the
+        // width is too coarse for the hot window. Re-key it to that
+        // bucket's *local* density (Brown's adaptation, deterministic,
+        // and robust against far-future outliers that poison any global
+        // range estimate).
+        if let Some(idx) = idx {
+            let bucket = &self.buckets[idx];
+            if bucket.len() > OVERLOAD {
+                let range = bucket[0].time - bucket[bucket.len() - 1].time;
+                if range > 0.0 {
+                    let w = round_width(2.0 * range / bucket.len() as f64);
+                    if w < self.width {
+                        self.rebuild(self.target_buckets(), w);
+                    }
+                }
+            }
         }
     }
 
+    #[inline]
     fn next(&mut self) -> Option<(f64, E)> {
         if self.len == 0 {
             return None;
         }
+        let mut empty_advances = 0usize;
         loop {
-            let lap_end = self.cursor_time + self.width;
-            // Find the earliest event in the cursor bucket belonging to this lap.
+            let cursor_vb = self.cursor_vb;
+            let inv_width = self.inv_width;
             let bucket = &mut self.buckets[self.cursor];
-            let mut best: Option<usize> = None;
-            for (i, s) in bucket.iter().enumerate() {
-                if s.time < lap_end {
-                    match best {
-                        None => best = Some(i),
-                        Some(j) => {
-                            let better = s.time < bucket[j].time
-                                || (s.time == bucket[j].time && s.seq < bucket[j].seq);
-                            if better {
-                                best = Some(i);
-                            }
+            if let Some(last) = bucket.last() {
+                // Same capped virtual-bucket math as `vbucket` — the raw
+                // cast would overshoot `VB_CAP` and never test as due.
+                if ((last.time * inv_width) as u64).min(VB_CAP) <= cursor_vb {
+                    let s = bucket.pop().expect("tail just observed");
+                    self.len -= 1;
+                    self.pops += 1;
+                    if self.buckets.len() > self.min_buckets && 4 * self.len < self.buckets.len() {
+                        self.rebuild(self.target_buckets(), self.width);
+                    } else if self.advances > 8 * self.pops + 2 * self.buckets.len() as u64 {
+                        // Chronically sparse laps: the width is too narrow
+                        // for the event spread — widen it.
+                        let w = round_width(self.width * 8.0);
+                        if w > self.width {
+                            self.rebuild(self.target_buckets(), w);
+                        } else {
+                            self.advances = 0;
+                            self.pops = 0;
                         }
                     }
+                    return Some((s.time, s.event));
                 }
             }
-            if let Some(i) = best {
-                let s = bucket.swap_remove(i);
-                self.len -= 1;
-                return Some((s.time, s.event));
-            }
-            // Advance the cursor one bucket.
+            // Nothing due in this bucket's current window: advance.
+            self.cursor_vb += 1;
             self.cursor += 1;
-            self.cursor_time += self.width;
+            self.advances += 1;
             if self.cursor == self.buckets.len() {
                 self.cursor = 0;
-                // New lap: pull back overflow events that now fit.
-                let span = self.span();
-                let cursor_time = self.cursor_time;
-                let (fit, keep): (Vec<_>, Vec<_>) = self
-                    .overflow
-                    .drain(..)
-                    .partition(|s| s.time < cursor_time + span);
-                self.overflow = keep;
-                for s in fit {
-                    let idx = ((s.time / self.width) as usize) % self.buckets.len();
-                    self.buckets[idx].push(s);
-                }
+                self.repatriate_overflow();
+            }
+            empty_advances += 1;
+            if empty_advances > self.buckets.len() {
+                // A full silent lap: everything pending is far ahead.
+                self.jump_to_min();
+                empty_advances = 0;
             }
         }
     }
@@ -238,6 +481,16 @@ mod tests {
         assert_eq!(q.next(), Some((2.0, "b"))); // earlier seq first
         assert_eq!(q.next(), Some((2.0, "c")));
         assert_eq!(q.next(), None);
+    }
+
+    #[test]
+    fn widths_round_to_powers_of_two() {
+        assert_eq!(round_width(1.0), 1.0);
+        assert_eq!(round_width(0.75), 1.0);
+        assert_eq!(round_width(0.125), 0.125);
+        assert_eq!(round_width(3.0), 4.0);
+        assert_eq!(round_width(1e-30), f64::exp2(-24.0));
+        assert_eq!(round_width(1e30), f64::exp2(24.0));
     }
 
     #[test]
@@ -271,6 +524,116 @@ mod tests {
         assert!(cal.is_empty());
     }
 
+    /// Regression: an event scheduled at a time at-or-before the cursor
+    /// bucket's already-drained portion must pop immediately, not one full
+    /// lap later. The pre-overhaul calendar filed it under a bucket the
+    /// cursor had already passed, so later-lap events popped first.
+    #[test]
+    fn schedule_behind_cursor_pops_before_later_events() {
+        let mut cal = CalendarQueue::new(4, 1.0);
+        cal.schedule(2.5, "mid");
+        cal.schedule(3.5, "late");
+        assert_eq!(cal.next(), Some((2.5, "mid"))); // cursor now in bucket 2
+                                                    // Behind the cursor's drained portion — and in an earlier bucket.
+        cal.schedule(1.0, "past");
+        // At the cursor's exact window start.
+        cal.schedule(2.0, "edge");
+        assert_eq!(cal.next(), Some((1.0, "past")));
+        assert_eq!(cal.next(), Some((2.0, "edge")));
+        assert_eq!(cal.next(), Some((3.5, "late")));
+        assert_eq!(cal.next(), None);
+    }
+
+    /// The same interleaving, pinned against the heap so the order is the
+    /// specified one rather than merely a plausible one.
+    #[test]
+    fn interleaved_schedule_pop_order_matches_heap() {
+        let ops: &[(bool, f64)] = &[
+            (false, 2.5),
+            (false, 3.5),
+            (true, 0.0),
+            (false, 1.0), // behind the cursor
+            (false, 2.5), // equal to an already-popped time
+            (true, 0.0),
+            (true, 0.0),
+            (false, 0.25), // far behind, earlier lap bucket
+            (true, 0.0),
+            (true, 0.0),
+            (true, 0.0),
+        ];
+        let mut heap = HeapQueue::new();
+        let mut cal = CalendarQueue::new(4, 1.0);
+        let mut id = 0u32;
+        for &(pop, t) in ops {
+            if pop {
+                assert_eq!(heap.next(), cal.next());
+            } else {
+                heap.schedule(t, id);
+                cal.schedule(t, id);
+                id += 1;
+            }
+        }
+        assert_eq!(heap.next(), None);
+        assert_eq!(cal.next(), None);
+    }
+
+    #[test]
+    fn resizing_keeps_order_under_growth_and_drain() {
+        // Grow far past the initial 4 buckets, then drain to empty; every
+        // pop must match the heap bit for bit through grows and shrinks.
+        let mut heap = HeapQueue::new();
+        let mut cal = CalendarQueue::new(4, 1.0);
+        let mut x = 0x9E37_79B9u64;
+        for i in 0..2_000u32 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let t = (x >> 11) as f64 / (1u64 << 53) as f64 * 50.0;
+            heap.schedule(t, i);
+            cal.schedule(t, i);
+        }
+        assert!(cal.buckets.len() > 4, "growth should have triggered");
+        loop {
+            let a = heap.next();
+            let b = cal.next();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Regression: a time so far beyond the width scale that
+    /// `time / width` saturates the u64 cast must still pop (in heap
+    /// order) instead of overflowing the cursor arithmetic — `vbucket`
+    /// caps at `VB_CAP`, leaving the cursor headroom.
+    #[test]
+    fn saturating_virtual_buckets_pop_in_order() {
+        let mut cal = CalendarQueue::new(4, f64::exp2(-24.0));
+        let mut heap = HeapQueue::new();
+        for (i, t) in [2e12, 0.5, 3e12, 1e19].into_iter().enumerate() {
+            cal.schedule(t, i);
+            heap.schedule(t, i);
+        }
+        for _ in 0..4 {
+            assert_eq!(cal.next(), heap.next());
+        }
+        assert!(cal.is_empty());
+        // Interleaved: schedule another capped-bucket event after popping.
+        cal.schedule(5e12, 9);
+        cal.schedule(1.0, 10);
+        assert_eq!(cal.next(), Some((1.0, 10)));
+        assert_eq!(cal.next(), Some((5e12, 9)));
+    }
+
+    #[test]
+    fn far_future_events_pop_without_lap_spinning() {
+        // One event 10^6 spans ahead: the empty-lap jump must find it.
+        let mut cal = CalendarQueue::new(4, 0.5);
+        cal.schedule(2_000_000.0, "far");
+        cal.schedule(0.1, "near");
+        assert_eq!(cal.next(), Some((0.1, "near")));
+        assert_eq!(cal.next(), Some((2_000_000.0, "far")));
+    }
+
     proptest! {
         #[test]
         fn prop_calendar_equals_heap(ops in proptest::collection::vec((0.0f64..50.0, any::<bool>()), 1..300)) {
@@ -294,6 +657,56 @@ mod tests {
                 }
             }
             // Drain and compare the remainder.
+            loop {
+                let a = heap.next();
+                let b = cal.next();
+                prop_assert_eq!(a, b);
+                if a.is_none() { break; }
+            }
+        }
+
+        /// Adversarial variant: pops interleaved with schedules that may
+        /// land *behind* the last popped time (the fixed bug's territory),
+        /// plus occasional far-future outliers exercising overflow,
+        /// repatriation, resizing and the empty-lap jump.
+        #[test]
+        fn prop_calendar_equals_heap_with_past_and_far_events(
+            ops in proptest::collection::vec((0.0f64..8.0, 0u8..4), 1..300),
+        ) {
+            let mut heap = HeapQueue::new();
+            let mut cal = CalendarQueue::new(8, 0.5);
+            let mut id = 0u32;
+            let mut last_time = 0.0f64;
+            for (t, kind) in ops {
+                match kind {
+                    0 => {
+                        let a = heap.next();
+                        let b = cal.next();
+                        prop_assert_eq!(a, b);
+                        if let Some((t, _)) = a { last_time = t; }
+                    }
+                    // Future of the current time.
+                    1 => {
+                        heap.schedule(last_time + t, id);
+                        cal.schedule(last_time + t, id);
+                        id += 1;
+                    }
+                    // At or before the current time (a "past" schedule).
+                    2 => {
+                        let t = (last_time - t).max(0.0);
+                        heap.schedule(t, id);
+                        cal.schedule(t, id);
+                        id += 1;
+                    }
+                    // Far future: beyond the calendar span.
+                    _ => {
+                        let t = last_time + 100.0 + t * 40.0;
+                        heap.schedule(t, id);
+                        cal.schedule(t, id);
+                        id += 1;
+                    }
+                }
+            }
             loop {
                 let a = heap.next();
                 let b = cal.next();

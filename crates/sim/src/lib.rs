@@ -40,6 +40,7 @@
 #![warn(clippy::all)]
 
 pub mod copysys;
+pub mod engine;
 pub mod events;
 pub mod network;
 pub mod observer;
@@ -51,6 +52,7 @@ pub mod scenario;
 pub mod service;
 pub mod sweep;
 
+pub use engine::EngineSpec;
 pub use meshbound_queueing::load::Load;
 pub use network::{NetworkSim, SimResult};
 pub use runner::ReplicatedResult;

@@ -4,21 +4,39 @@
 //! Each directed edge is a server with its own FIFO queue and service rate.
 //! Packets are generated at source nodes by Poisson processes (or in batch
 //! at slot boundaries in slotted mode, §5.2), routed incrementally by a
-//! [`Router`], and leave the system on reaching their destination. The hot
-//! loop allocates nothing per event: routes are recomputed from
-//! `(current, destination)` — legal because greedy routing is Markovian
-//! (Corollary 4) — and packet records live in a free-list slab.
+//! [`Router`], and leave the system on reaching their destination.
+//!
+//! The hot loop allocates nothing per event and is driven by a selectable
+//! engine ([`EngineSpec`] on [`NetConfig`]):
+//!
+//! * the **future-event list** is either the reference binary heap or the
+//!   O(1)-amortized calendar queue (the default);
+//! * **routing** either recomputes the next hop from
+//!   `(current, destination)` — legal because greedy routing is Markovian
+//!   (Corollary 4) — or, for deterministic routers on gated sizes, reads it
+//!   from a precomputed [`RouteTable`] together with route lengths and
+//!   saturated-hop counts;
+//! * **edge queues** are intrusive linked lists threaded through one shared
+//!   slab (`next[pid]`), so an edge's state is two `u32` cursors and the
+//!   whole network's queue storage is a single allocation;
+//! * packet records live in a free-list slab.
+//!
+//! Engines are bit-identical by construction: every event pops in the same
+//! `(time, seq)` order and every random draw happens in the same sequence,
+//! so `SimResult` is invariant under the engine choice (pinned by
+//! `tests/engine_equivalence.rs`).
 
-use crate::events::{EventQueue, HeapQueue};
+use crate::engine::{EngineSpec, ROUTE_TABLE_MAX_NODES};
+use crate::events::{CalendarQueue, EventQueue, HeapQueue};
 use crate::observer::Observer;
 use crate::rng::{derive_rng, exp_sample, poisson_sample};
 use crate::service::ServiceKind;
 use meshbound_routing::dest::DestSampler;
-use meshbound_routing::Router;
+use meshbound_routing::{RouteTable, Router};
 use meshbound_topology::{EdgeId, NodeId, Topology};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Tuning parameters common to all topologies.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,6 +65,9 @@ pub struct NetConfig {
     /// are larger" diagnostic). Adds one integrator update per enqueue and
     /// dequeue.
     pub track_edge_queues: bool,
+    /// Hot-path engine selection (event queue + routing tables). All
+    /// engines produce bit-identical results.
+    pub engine: EngineSpec,
 }
 
 impl Default for NetConfig {
@@ -62,6 +83,7 @@ impl Default for NetConfig {
             sample_every: None,
             delay_quantiles: false,
             track_edge_queues: false,
+            engine: EngineSpec::Auto,
         }
     }
 }
@@ -104,6 +126,13 @@ pub struct SimResult {
     pub n_samples: Vec<(f64, f64)>,
     /// Measurement window length (horizon − warmup).
     pub measure_time: f64,
+    /// Future-event-list events processed over the whole run (arrivals,
+    /// departures, slot/sample/warmup ticks). Deterministic given the
+    /// seed, so engines must agree on it bit for bit.
+    pub events_processed: u64,
+    /// Events processed per wall-clock second — the run's throughput. The
+    /// **only** nondeterministic field; zero it before comparing results.
+    pub events_per_sec: f64,
     /// Median delay, when `delay_quantiles` was enabled.
     pub delay_p50: Option<f64>,
     /// 95th-percentile delay, when `delay_quantiles` was enabled.
@@ -136,24 +165,104 @@ struct Packet<S> {
     gen_time: f64,
 }
 
-#[derive(Debug, Default)]
+/// Sentinel for "no packet" in the intrusive edge-queue lists.
+const NIL: u32 = u32::MAX;
+
+/// One directed edge's server state — the hot 24 bytes touched on every
+/// enqueue/departure. The FIFO queue is an intrusive linked list threaded
+/// through the shared `qnext` slab (indexed by packet id), so an edge owns
+/// no heap allocation — just head/tail cursors. The optional
+/// queue-length-integral tracking lives in a separate cold array
+/// ([`QTrack`]) so the default configuration keeps the edge array compact.
+#[derive(Debug)]
 struct EdgeState {
-    queue: VecDeque<u32>,
+    /// Packet in service (when busy) and head of the waiting line.
+    head: u32,
+    /// Last packet in the line (`NIL` when empty).
+    tail: u32,
+    /// Queue length including the packet in service.
+    qlen: u32,
     busy: bool,
     service_start: f64,
-    /// Time-weighted queue-length integral (optional tracking).
-    q_integral: f64,
-    q_last: f64,
 }
 
-impl EdgeState {
-    /// Accumulates the queue-length integral up to `now` (post-warmup
-    /// clipping happens at extraction time via the warmup reset).
-    #[inline]
-    fn tick(&mut self, now: f64) {
-        self.q_integral += self.queue.len() as f64 * (now - self.q_last);
-        self.q_last = now;
+impl Default for EdgeState {
+    fn default() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+            qlen: 0,
+            busy: false,
+            service_start: 0.0,
+        }
     }
+}
+
+/// Cold per-edge tracking state: time-weighted queue-length integral and
+/// its last update time (allocated only under `track_edge_queues`).
+#[derive(Debug, Clone, Copy, Default)]
+struct QTrack {
+    integral: f64,
+    last: f64,
+}
+
+/// Accumulates an edge's queue-length integral up to `now` (post-warmup
+/// clipping happens at extraction time via the warmup reset).
+#[inline]
+fn qtick(t: &mut QTrack, qlen: u32, now: f64) {
+    t.integral += f64::from(qlen) * (now - t.last);
+    t.last = now;
+}
+
+/// Appends `pid` to an edge's intrusive FIFO (`qnext` is the shared slab).
+#[inline]
+fn q_push(edge: &mut EdgeState, qnext: &mut Vec<u32>, pid: u32) {
+    let i = pid as usize;
+    if qnext.len() <= i {
+        qnext.resize(i + 1, NIL);
+    }
+    qnext[i] = NIL;
+    if edge.tail == NIL {
+        edge.head = pid;
+    } else {
+        qnext[edge.tail as usize] = pid;
+    }
+    edge.tail = pid;
+    edge.qlen += 1;
+}
+
+/// Removes and returns the head-of-line packet of an edge's FIFO.
+#[inline]
+fn q_pop(edge: &mut EdgeState, qnext: &[u32]) -> u32 {
+    debug_assert!(edge.head != NIL, "departure from empty edge");
+    let pid = edge.head;
+    edge.head = qnext[pid as usize];
+    if edge.head == NIL {
+        edge.tail = NIL;
+    }
+    edge.qlen -= 1;
+    pid
+}
+
+/// Precomputed fast-path data the `Auto` engine attaches to a run. Each
+/// piece is independent: route tables are size-gated, service times only
+/// exist for the deterministic distribution.
+struct EngineTables {
+    /// Next hop, distance and edge targets for the (deterministic)
+    /// router, when the topology passes the size gate.
+    routes: Option<RouteTable>,
+    /// Saturated hops per `(src, dst)` pair, when `R_s` is tracked and a
+    /// route table exists.
+    sat_counts: Option<Vec<u32>>,
+    /// Per-edge service times, when the service distribution is
+    /// deterministic (saves a division per service start).
+    det_service: Option<Vec<f64>>,
+}
+
+/// The deterministic service time of edge `ei`, when precomputed.
+#[inline]
+fn det_of(det: Option<&[f64]>, ei: usize) -> Option<f64> {
+    det.map(|d| d[ei])
 }
 
 /// The generic FIFO network simulator.
@@ -233,9 +342,59 @@ where
         self
     }
 
+    /// Builds the `Auto` engine's precomputed tables. Route tables require
+    /// a deterministic router and a topology under the size gate; the
+    /// deterministic-service precompute applies regardless.
+    fn build_tables(&self) -> EngineTables {
+        let routes = (self.router.is_route_deterministic()
+            && self.topo.num_nodes() <= ROUTE_TABLE_MAX_NODES
+            && RouteTable::fits(&self.topo))
+        .then(|| RouteTable::build(&self.topo, &self.router));
+        let sat_counts = match (&routes, self.track_saturated) {
+            (Some(r), true) => Some(r.saturated_counts(&self.sat_edge)),
+            _ => None,
+        };
+        let det_service = (self.cfg.service == ServiceKind::Deterministic)
+            .then(|| self.service_rates.iter().map(|r| 1.0 / r).collect());
+        EngineTables {
+            routes,
+            sat_counts,
+            det_service,
+        }
+    }
+
     /// Runs the simulation to the horizon and returns aggregate statistics.
+    ///
+    /// The engine named by [`NetConfig::engine`] only moves wall-clock
+    /// time; the returned statistics are bit-identical across engines.
     #[must_use]
     pub fn run(self) -> SimResult {
+        // The throughput clock starts before any engine setup, so
+        // `events_per_sec` charges the Auto engine for its table builds —
+        // ev/s and wall-clock comparisons across engines stay consistent.
+        let wall = Instant::now();
+        let cap = 4 * self.sources.len();
+        match self.cfg.engine {
+            EngineSpec::Heap => self.run_with(wall, HeapQueue::with_capacity(cap), None),
+            EngineSpec::Calendar => self.run_with(wall, CalendarQueue::for_simulation(cap), None),
+            EngineSpec::Auto => {
+                let tables = self.build_tables();
+                self.run_with(wall, CalendarQueue::for_simulation(cap), Some(tables))
+            }
+        }
+    }
+
+    /// The engine-generic hot loop.
+    fn run_with<Q: EventQueue<Ev>>(
+        self,
+        wall: Instant,
+        mut queue: Q,
+        tables: Option<EngineTables>,
+    ) -> SimResult {
+        // Hoist the table views out of the loop: one flat Option each.
+        let routes: Option<&RouteTable> = tables.as_ref().and_then(|t| t.routes.as_ref());
+        let sat_counts: Option<&[u32]> = tables.as_ref().and_then(|t| t.sat_counts.as_deref());
+        let det: Option<&[f64]> = tables.as_ref().and_then(|t| t.det_service.as_deref());
         let cfg = self.cfg.clone();
         let num_edges = self.topo.num_edges();
         let mut rng = derive_rng(cfg.seed, 0);
@@ -243,9 +402,14 @@ where
         if cfg.delay_quantiles {
             obs.enable_delay_quantiles(1 << 16, cfg.seed ^ 0x5EED);
         }
-        let mut queue: HeapQueue<Ev> = HeapQueue::with_capacity(4 * self.sources.len());
         let mut edges: Vec<EdgeState> = (0..num_edges).map(|_| EdgeState::default()).collect();
+        let mut qtrack: Vec<QTrack> = if cfg.track_edge_queues {
+            vec![QTrack::default(); num_edges]
+        } else {
+            Vec::new()
+        };
         let mut packets: Vec<Packet<R::State>> = Vec::with_capacity(1024);
+        let mut qnext: Vec<u32> = Vec::with_capacity(1024);
         let mut free: Vec<u32> = Vec::new();
 
         // Prime the event list.
@@ -269,19 +433,21 @@ where
             queue.schedule(dt, Ev::Sample);
         }
 
+        let mut events_processed: u64 = 0;
         let mut now;
         while let Some((t, ev)) = queue.next() {
             if t > cfg.horizon {
                 break;
             }
+            events_processed += 1;
             now = t;
             match ev {
                 Ev::Warmup => {
                     obs.reset_at_warmup();
                     if cfg.track_edge_queues {
-                        for edge in &mut edges {
-                            edge.tick(cfg.warmup);
-                            edge.q_integral = 0.0;
+                        for (edge, t) in edges.iter().zip(qtrack.iter_mut()) {
+                            qtick(t, edge.qlen, cfg.warmup);
+                            t.integral = 0.0;
                         }
                     }
                 }
@@ -297,9 +463,14 @@ where
                         &mut rng,
                         &mut obs,
                         &mut edges,
+                        &mut qtrack,
+                        &mut qnext,
                         &mut packets,
                         &mut free,
                         &mut queue,
+                        routes,
+                        sat_counts,
+                        det,
                     );
                     let dt = exp_sample(&mut rng, cfg.lambda);
                     queue.schedule(now + dt, Ev::Arrival(i));
@@ -317,9 +488,14 @@ where
                                 &mut rng,
                                 &mut obs,
                                 &mut edges,
+                                &mut qtrack,
+                                &mut qnext,
                                 &mut packets,
                                 &mut free,
                                 &mut queue,
+                                routes,
+                                sat_counts,
+                                det,
                             );
                         }
                     }
@@ -328,47 +504,55 @@ where
                 Ev::Departure(e) => {
                     let ei = e as usize;
                     if cfg.track_edge_queues {
-                        edges[ei].tick(now);
+                        qtick(&mut qtrack[ei], edges[ei].qlen, now);
                     }
-                    let pid = edges[ei]
-                        .queue
-                        .pop_front()
-                        .expect("departure from empty edge");
-                    let duration = now - edges[ei].service_start;
+                    let edge = &mut edges[ei];
+                    let pid = q_pop(edge, &qnext);
+                    let duration = now - edge.service_start;
                     obs.service_done(now, ei, duration, self.sat_edge[ei]);
-                    edges[ei].busy = false;
-                    if !edges[ei].queue.is_empty() {
+                    edge.busy = false;
+                    if edge.qlen > 0 {
                         Self::start_service(
-                            &mut edges[ei],
+                            edge,
                             ei,
                             now,
                             cfg.service,
                             self.service_rates[ei],
+                            det_of(det, ei),
                             &mut rng,
                             &mut queue,
                         );
                     }
                     // Move the packet onward.
-                    let cur = self.topo.edge_target(EdgeId(e));
+                    let cur = match routes {
+                        Some(r) => r.edge_target(EdgeId(e)),
+                        None => self.topo.edge_target(EdgeId(e)),
+                    };
                     let pk = packets[pid as usize];
                     if cur == pk.dst {
                         obs.packet_exits(now, pk.gen_time, true);
                         free.push(pid);
                     } else {
-                        let next = self
-                            .router
-                            .next_edge(&self.topo, cur, pk.dst, pk.state)
-                            .expect("router stalled before destination");
+                        let next = match routes {
+                            Some(r) => r.next_edge(cur, pk.dst),
+                            None => self
+                                .router
+                                .next_edge(&self.topo, cur, pk.dst, pk.state)
+                                .expect("router stalled before destination"),
+                        };
+                        let ni = next.index();
                         Self::enqueue(
-                            &mut edges[next.index()],
-                            next.index(),
+                            &mut edges[ni],
+                            ni,
                             pid,
                             now,
                             cfg.service,
-                            self.service_rates[next.index()],
+                            self.service_rates[ni],
+                            det_of(det, ni),
                             &mut rng,
                             &mut queue,
-                            cfg.track_edge_queues,
+                            cfg.track_edge_queues.then(|| &mut qtrack[ni]),
+                            &mut qnext,
                         );
                     }
                 }
@@ -414,15 +598,18 @@ where
             final_n: obs.n_sys.value(),
             peak_n: obs.n_sys.peak(),
             measure_time,
+            events_processed,
+            events_per_sec: events_processed as f64 / wall.elapsed().as_secs_f64().max(1e-9),
             delay_p50: obs.delay_sample.as_ref().and_then(|r| r.quantile(0.5)),
             delay_p95: obs.delay_sample.as_ref().and_then(|r| r.quantile(0.95)),
             delay_p99: obs.delay_sample.as_ref().and_then(|r| r.quantile(0.99)),
             edge_mean_queue: cfg.track_edge_queues.then(|| {
                 edges
-                    .iter_mut()
-                    .map(|e| {
-                        e.tick(cfg.horizon);
-                        e.q_integral / measure_time
+                    .iter()
+                    .zip(qtrack.iter_mut())
+                    .map(|(e, t)| {
+                        qtick(t, e.qlen, cfg.horizon);
+                        t.integral / measure_time
                     })
                     .collect()
             }),
@@ -431,16 +618,21 @@ where
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn inject(
+    fn inject<Q: EventQueue<Ev>>(
         &self,
         now: f64,
         src: NodeId,
         rng: &mut SmallRng,
         obs: &mut Observer,
         edges: &mut [EdgeState],
+        qtrack: &mut [QTrack],
+        qnext: &mut Vec<u32>,
         packets: &mut Vec<Packet<R::State>>,
         free: &mut Vec<u32>,
-        queue: &mut HeapQueue<Ev>,
+        queue: &mut Q,
+        routes: Option<&RouteTable>,
+        sat_counts: Option<&[u32]>,
+        det: Option<&[f64]>,
     ) {
         let dst = self.dest.sample(&self.topo, src, rng);
         if src == dst {
@@ -450,12 +642,27 @@ where
             return;
         }
         obs.packet_generated(now);
+        // Deterministic routers draw nothing here (the
+        // `is_route_deterministic` contract), so the RNG stream is the
+        // same with and without tables.
         let state = self.router.init_state(&self.topo, src, dst, rng);
-        let hops = self.router.route_len(&self.topo, src, dst, state);
-        let sat = if self.track_saturated {
-            self.count_saturated_on_route(src, dst, state)
-        } else {
-            0
+        let (first, hops, sat) = match routes {
+            Some(r) => {
+                let (first, hops) = r.next_and_dist(src, dst);
+                let sat = sat_counts.map_or(0, |sc| {
+                    sc[src.index() * r.num_nodes() + dst.index()] as usize
+                });
+                (Some(first), hops, sat)
+            }
+            None => (
+                None,
+                self.router.route_len(&self.topo, src, dst, state),
+                if self.track_saturated {
+                    self.count_saturated_on_route(src, dst, state)
+                } else {
+                    0
+                },
+            ),
         };
         obs.packet_enters(now, hops, sat);
         let pid = match free.pop() {
@@ -476,20 +683,26 @@ where
                 (packets.len() - 1) as u32
             }
         };
-        let first = self
-            .router
-            .next_edge(&self.topo, src, dst, state)
-            .expect("non-self packet must have a first edge");
+        let first = match first {
+            Some(e) => e,
+            None => self
+                .router
+                .next_edge(&self.topo, src, dst, state)
+                .expect("non-self packet must have a first edge"),
+        };
+        let fi = first.index();
         Self::enqueue(
-            &mut edges[first.index()],
-            first.index(),
+            &mut edges[fi],
+            fi,
             pid,
             now,
             self.cfg.service,
-            self.service_rates[first.index()],
+            self.service_rates[fi],
+            det_of(det, fi),
             rng,
             queue,
-            self.cfg.track_edge_queues,
+            self.cfg.track_edge_queues.then(|| &mut qtrack[fi]),
+            qnext,
         );
     }
 
@@ -507,40 +720,47 @@ where
 
     #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn enqueue(
+    fn enqueue<Q: EventQueue<Ev>>(
         edge: &mut EdgeState,
         edge_idx: usize,
         pid: u32,
         now: f64,
         service: ServiceKind,
         rate: f64,
+        det: Option<f64>,
         rng: &mut SmallRng,
-        queue: &mut HeapQueue<Ev>,
-        track: bool,
+        queue: &mut Q,
+        qt: Option<&mut QTrack>,
+        qnext: &mut Vec<u32>,
     ) {
-        if track {
-            edge.tick(now);
+        if let Some(t) = qt {
+            qtick(t, edge.qlen, now);
         }
-        edge.queue.push_back(pid);
+        q_push(edge, qnext, pid);
         if !edge.busy {
-            Self::start_service(edge, edge_idx, now, service, rate, rng, queue);
+            Self::start_service(edge, edge_idx, now, service, rate, det, rng, queue);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn start_service(
+    fn start_service<Q: EventQueue<Ev>>(
         edge: &mut EdgeState,
         edge_idx: usize,
         now: f64,
         service: ServiceKind,
         rate: f64,
+        det: Option<f64>,
         rng: &mut SmallRng,
-        queue: &mut HeapQueue<Ev>,
+        queue: &mut Q,
     ) {
-        debug_assert!(!edge.busy && !edge.queue.is_empty());
+        debug_assert!(!edge.busy && edge.qlen > 0);
         edge.busy = true;
         edge.service_start = now;
-        let dur = service.sample(rate, rng);
+        let dur = match det {
+            Some(d) => d,
+            None => service.sample(rate, rng),
+        };
         queue.schedule(now + dur, Ev::Departure(edge_idx as u32));
     }
 }
@@ -653,6 +873,7 @@ mod tests {
         assert_eq!(a.avg_delay, b.avg_delay);
         assert_eq!(a.generated, b.generated);
         assert_eq!(a.time_avg_n, b.time_avg_n);
+        assert_eq!(a.events_processed, b.events_processed);
     }
 
     #[test]
@@ -663,6 +884,62 @@ mod tests {
         cfg.seed = 999;
         let b = NetworkSim::new(mesh, GreedyXY, UniformDest, cfg).run();
         assert_ne!(a.avg_delay, b.avg_delay);
+    }
+
+    /// The heart of the engine contract: heap, calendar and table engines
+    /// agree bit for bit — on the plain workload and with every expensive
+    /// tracking option turned on at once.
+    #[test]
+    fn engines_are_bit_identical() {
+        let mesh = Mesh2D::square(4);
+        let saturated: Vec<_> = mesh
+            .edges()
+            .filter(|&e| mesh.crossing_index(e) == 2)
+            .collect();
+        for fancy in [false, true] {
+            let base = NetConfig {
+                lambda: 0.2,
+                horizon: 2_000.0,
+                warmup: 200.0,
+                seed: 21,
+                track_edge_queues: fancy,
+                delay_quantiles: fancy,
+                sample_every: fancy.then_some(50.0),
+                service: if fancy {
+                    ServiceKind::Exponential
+                } else {
+                    ServiceKind::Deterministic
+                },
+                ..NetConfig::default()
+            };
+            let run = |engine: EngineSpec| {
+                let cfg = NetConfig {
+                    engine,
+                    ..base.clone()
+                };
+                let mut sim = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg)
+                    .with_service_rates(vec![1.25; mesh.num_edges()]);
+                if fancy {
+                    sim = sim.with_saturated_edges(&saturated);
+                }
+                sim.run()
+            };
+            let heap = run(EngineSpec::Heap);
+            let cal = run(EngineSpec::Calendar);
+            let auto = run(EngineSpec::Auto);
+            for other in [&cal, &auto] {
+                assert_eq!(heap.avg_delay.to_bits(), other.avg_delay.to_bits());
+                assert_eq!(heap.generated, other.generated);
+                assert_eq!(heap.completed, other.completed);
+                assert_eq!(heap.time_avg_n.to_bits(), other.time_avg_n.to_bits());
+                assert_eq!(heap.time_avg_rs.to_bits(), other.time_avg_rs.to_bits());
+                assert_eq!(heap.events_processed, other.events_processed);
+                assert_eq!(heap.delay_p99, other.delay_p99);
+                assert_eq!(heap.edge_mean_queue, other.edge_mean_queue);
+            }
+            assert!(heap.events_processed > 0);
+            assert!(heap.events_per_sec > 0.0);
+        }
     }
 
     #[test]

@@ -25,15 +25,19 @@ pub fn derive_rng(master: u64, stream: u64) -> SmallRng {
 
 /// Samples an exponential with the given `rate` (mean `1/rate`).
 ///
+/// Draws directly on `(0, 1]` — the generator yields `U ∈ [0, 1)`, so
+/// `1 − U` can never be zero and the logarithm is always finite; no
+/// rejection or clamping is needed. This sits on the simulator's
+/// service-time fast path, hence the forced inlining.
+///
 /// # Panics
 ///
 /// Panics in debug builds if `rate <= 0`.
-#[inline]
+#[inline(always)]
 pub fn exp_sample(rng: &mut SmallRng, rate: f64) -> f64 {
     debug_assert!(rate > 0.0);
-    // 1 − U ∈ (0, 1] avoids ln(0).
-    let u: f64 = rng.gen::<f64>();
-    -(1.0 - u).ln() / rate
+    let u: f64 = 1.0 - rng.gen::<f64>(); // u ∈ (0, 1]
+    -u.ln() / rate
 }
 
 /// Samples a Poisson random variable with the given `mean`.
@@ -114,6 +118,33 @@ mod tests {
         let rate = 2.5;
         let mean: f64 = (0..n).map(|_| exp_sample(&mut rng, rate)).sum::<f64>() / n as f64;
         assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    /// Guards the `(0, 1]` sampling change: the mean must track `1/rate`
+    /// across rates, every draw must be strictly positive and finite
+    /// (`ln(0)` would yield `∞`), and the second moment must match the
+    /// exponential's `2/rate²`.
+    #[test]
+    fn exp_sample_distribution_across_rates() {
+        for (seed, rate) in [(21u64, 0.25f64), (22, 1.0), (23, 4.0)] {
+            let mut rng = derive_rng(seed, 0);
+            let n = 200_000;
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for _ in 0..n {
+                let x = exp_sample(&mut rng, rate);
+                assert!(x > 0.0 && x.is_finite(), "bad sample {x} at rate {rate}");
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / f64::from(n);
+            let m2 = sum_sq / f64::from(n);
+            assert!((mean * rate - 1.0).abs() < 0.02, "mean {mean} rate {rate}");
+            assert!(
+                (m2 * rate * rate / 2.0 - 1.0).abs() < 0.05,
+                "E[X²] {m2} rate {rate}"
+            );
+        }
     }
 
     #[test]

@@ -116,6 +116,7 @@ impl From<&MeshSimConfig> for Scenario {
             sample_every: cfg.sample_every,
             delay_quantiles: cfg.delay_quantiles,
             track_edge_queues: cfg.track_edge_queues,
+            engine: crate::engine::EngineSpec::Auto,
         }
     }
 }

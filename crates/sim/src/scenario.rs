@@ -23,6 +23,7 @@
 //! `"torus:8,util=0.9,horizon=5000"` (see [`Scenario::spec_string`] for the
 //! inverse).
 
+use crate::engine::EngineSpec;
 use crate::network::{NetConfig, NetworkSim, SimResult};
 use crate::rng::splitmix64;
 use crate::runner::ReplicatedResult;
@@ -338,6 +339,9 @@ pub struct Scenario {
     pub delay_quantiles: bool,
     /// Track per-edge time-averaged queue lengths.
     pub track_edge_queues: bool,
+    /// Hot-path engine ([`EngineSpec::Auto`] by default). Engines only
+    /// move wall-clock time; results are bit-identical across them.
+    pub engine: EngineSpec,
 }
 
 impl Scenario {
@@ -362,6 +366,7 @@ impl Scenario {
             sample_every: None,
             delay_quantiles: false,
             track_edge_queues: false,
+            engine: EngineSpec::Auto,
         }
     }
 
@@ -499,6 +504,14 @@ impl Scenario {
     #[must_use]
     pub fn track_edge_queues(mut self, yes: bool) -> Self {
         self.track_edge_queues = yes;
+        self
+    }
+
+    /// Selects the hot-path engine (see [`EngineSpec`]). Results are
+    /// bit-identical whichever engine runs the scenario.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -892,6 +905,7 @@ impl Scenario {
             sample_every: self.sample_every,
             delay_quantiles: self.delay_quantiles,
             track_edge_queues: self.track_edge_queues,
+            engine: self.engine,
         }
     }
 
@@ -935,7 +949,8 @@ impl Scenario {
     /// `dest=uniform|nearby:<stop>|bernoulli:<p>`, exactly one of
     /// `lambda=`/`rho=`/`util=`, and `horizon=`, `warmup=`, `seed=`,
     /// `service=det|exp`, `slot=`, `sample=`, `self=`, `saturated=`,
-    /// `quantiles=`, `queues=` (booleans take `true`/`false`). Per-edge
+    /// `quantiles=`, `queues=` (booleans take `true`/`false`),
+    /// `engine=auto|heap|calendar`. Per-edge
     /// `service_rates` have no spec syntax — set them on the builder.
     ///
     /// # Errors
@@ -1037,6 +1052,9 @@ impl Scenario {
                 "saturated" => sc.track_saturated = bool_of(key, value)?,
                 "quantiles" => sc.delay_quantiles = bool_of(key, value)?,
                 "queues" => sc.track_edge_queues = bool_of(key, value)?,
+                "engine" => {
+                    sc.engine = EngineSpec::parse_str(value).map_err(ScenarioError::parse)?
+                }
                 other => {
                     return Err(ScenarioError::parse(format!("unknown key `{other}`")));
                 }
@@ -1095,6 +1113,9 @@ impl Scenario {
         }
         if self.track_edge_queues {
             s.push_str(",queues=true");
+        }
+        if self.engine != EngineSpec::Auto {
+            s.push_str(&format!(",engine={}", self.engine.as_str()));
         }
         s
     }
@@ -1278,6 +1299,12 @@ mod tests {
                 .track_saturated(true)
                 .include_self_packets(false)
                 .delay_quantiles(true),
+            Scenario::mesh(6)
+                .load(Load::TableRho(0.4))
+                .engine(EngineSpec::Heap),
+            Scenario::torus(5)
+                .load(Load::Utilization(0.3))
+                .engine(EngineSpec::Calendar),
         ];
         for sc in scenarios {
             let spec = sc.spec_string();
@@ -1301,6 +1328,7 @@ mod tests {
             "mesh:4,lambda=fast",
             "torus:8,router=randomized",
             "mesh:4,seed=-1",
+            "mesh:4,engine=quantum",
         ] {
             assert!(Scenario::parse(spec).is_err(), "`{spec}` should not parse");
         }

@@ -20,7 +20,11 @@ pub enum ServiceKind {
 
 impl ServiceKind {
     /// Samples one service time for a server of rate `rate`.
-    #[inline]
+    ///
+    /// Forced inline: this is the per-service fast path of the simulator's
+    /// hot loop, and the match collapses to a constant once the variant is
+    /// known.
+    #[inline(always)]
     #[must_use]
     pub fn sample(self, rate: f64, rng: &mut SmallRng) -> f64 {
         match self {

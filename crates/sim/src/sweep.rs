@@ -26,6 +26,7 @@
 //! grid and emits the JSON report lives in the `meshbound` facade crate
 //! (`meshbound::sweep`).
 
+use crate::engine::EngineSpec;
 use crate::rng::splitmix64;
 use crate::scenario::{
     DestSpec, RouterSpec, Scenario, ScenarioError, TopologySpec, DEFAULT_HORIZON, DEFAULT_WARMUP,
@@ -114,6 +115,10 @@ pub struct SweepSpec {
     pub routers: Vec<RouterSpec>,
     /// Destination axis.
     pub dests: Vec<DestSpec>,
+    /// Engine axis (defaults to `[Auto]`). Engines produce bit-identical
+    /// results and share per-cell seeds, so an `engine=` axis measures
+    /// pure wall-clock differences — the perf-ablation use case.
+    pub engines: Vec<EngineSpec>,
     /// Transmission-time distribution shared by every cell.
     pub service: ServiceKind,
     /// Independent replications per cell.
@@ -144,6 +149,7 @@ impl SweepSpec {
             loads: Vec::new(),
             routers: vec![RouterSpec::Greedy],
             dests: vec![DestSpec::Uniform],
+            engines: vec![EngineSpec::Auto],
             service: ServiceKind::Deterministic,
             reps: 1,
             seed: 1,
@@ -180,6 +186,13 @@ impl SweepSpec {
     #[must_use]
     pub fn dests(mut self, dests: Vec<DestSpec>) -> Self {
         self.dests = dests;
+        self
+    }
+
+    /// Sets the engine axis.
+    #[must_use]
+    pub fn engines(mut self, engines: Vec<EngineSpec>) -> Self {
+        self.engines = engines;
         self
     }
 
@@ -221,7 +234,11 @@ impl SweepSpec {
     /// Number of cells the grid expands to (before validation).
     #[must_use]
     pub fn num_cells(&self) -> usize {
-        self.topologies.len() * self.loads.len() * self.routers.len() * self.dests.len()
+        self.topologies.len()
+            * self.loads.len()
+            * self.routers.len()
+            * self.dests.len()
+            * self.engines.len()
     }
 
     /// Expands the grid into concrete scenarios, topology-major
@@ -244,6 +261,7 @@ impl SweepSpec {
             ("load", self.loads.len()),
             ("router", self.routers.len()),
             ("dest", self.dests.len()),
+            ("engine", self.engines.len()),
             ("reps", self.reps),
         ] {
             if len == 0 {
@@ -258,30 +276,34 @@ impl SweepSpec {
             for &load in &self.loads {
                 for &router in &self.routers {
                     for &dest in &self.dests {
-                        let mut sc = Scenario::new(topology.clone())
-                            .router(router)
-                            .dest(dest)
-                            .load(load)
-                            .service(self.service)
-                            .track_saturated(self.track_saturated);
-                        // First validation catches unsupported combinations
-                        // before `cell_rho` resolves the load against them.
-                        let invalid = |sc: &Scenario, e: ScenarioError| {
-                            SweepError::InvalidCell(format!("`{}`: {e}", sc.spec_string()))
-                        };
-                        sc.validate().map_err(|e| invalid(&sc, e))?;
-                        let (horizon, warmup) = self.horizon.resolve(cell_rho(&sc));
-                        sc = sc.horizon(horizon).warmup(warmup);
-                        let seed = self.cell_seed(&sc);
-                        sc = sc.seed(seed);
-                        sc.validate().map_err(|e| invalid(&sc, e))?;
-                        let spec = sc.spec_string();
-                        if !seen.insert(spec.clone()) {
-                            return Err(SweepError::DuplicateCell(format!(
-                                "`{spec}` appears twice — deduplicate the axis lists"
-                            )));
+                        for &engine in &self.engines {
+                            let mut sc = Scenario::new(topology.clone())
+                                .router(router)
+                                .dest(dest)
+                                .load(load)
+                                .service(self.service)
+                                .track_saturated(self.track_saturated)
+                                .engine(engine);
+                            // First validation catches unsupported
+                            // combinations before `cell_rho` resolves the
+                            // load against them.
+                            let invalid = |sc: &Scenario, e: ScenarioError| {
+                                SweepError::InvalidCell(format!("`{}`: {e}", sc.spec_string()))
+                            };
+                            sc.validate().map_err(|e| invalid(&sc, e))?;
+                            let (horizon, warmup) = self.horizon.resolve(cell_rho(&sc));
+                            sc = sc.horizon(horizon).warmup(warmup);
+                            let seed = self.cell_seed(&sc);
+                            sc = sc.seed(seed);
+                            sc.validate().map_err(|e| invalid(&sc, e))?;
+                            let spec = sc.spec_string();
+                            if !seen.insert(spec.clone()) {
+                                return Err(SweepError::DuplicateCell(format!(
+                                    "`{spec}` appears twice — deduplicate the axis lists"
+                                )));
+                            }
+                            cells.push(sc);
                         }
-                        cells.push(sc);
                     }
                 }
             }
@@ -294,16 +316,21 @@ impl SweepSpec {
     /// cells always get equal seeds and distinct cells get decorrelated
     /// streams.
     ///
-    /// Only the cell's *parameters* feed the hash — its `seed` field is
-    /// ignored — so re-deriving the seed of an already-expanded cell (e.g.
-    /// one parsed back out of a sweep report) returns the value
+    /// Only the cell's *physical* parameters feed the hash — its `seed`
+    /// field is ignored, and so is its `engine` (engines are bit-identical,
+    /// so cells differing only in engine share a seed and therefore produce
+    /// identical results: an `engine=` axis is a pure wall-clock ablation).
+    /// Re-deriving the seed of an already-expanded cell (e.g. one parsed
+    /// back out of a sweep report) returns the value
     /// [`SweepSpec::expand`] assigned it.
     #[must_use]
     pub fn cell_seed(&self, cell: &Scenario) -> u64 {
-        // Scenario spec strings omit the seed clause at the default seed,
-        // so clearing it reproduces the pre-seeding parameter string.
+        // Scenario spec strings omit the seed and engine clauses at their
+        // defaults, so clearing both reproduces the pre-seeding,
+        // engine-free parameter string.
         let mut unseeded = cell.clone();
         unseeded.seed = crate::scenario::DEFAULT_SEED;
+        unseeded.engine = EngineSpec::Auto;
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in unseeded.spec_string().bytes() {
             hash ^= u64::from(byte);
@@ -324,6 +351,7 @@ impl SweepSpec {
     /// load=rho:0.2|util:0.9|lambda:0.1 (required; convention:value pairs)
     /// router=greedy|randomized         (default greedy)
     /// dest=uniform|nearby:0.5|bernoulli:0.25 (default uniform)
+    /// engine=auto|heap|calendar        (default auto; a perf ablation axis)
     /// service=det|exp                  (default det)
     /// reps=2      seed=7               (defaults 1 and 1)
     /// horizon=2000 warmup=200          (fixed policy, the default)
@@ -387,6 +415,13 @@ impl SweepSpec {
                         .map_err(bad)?
                         .into_iter()
                         .map(|item| parse_dest(item).map_err(bad))
+                        .collect::<Result<_, _>>()?;
+                }
+                "engine" => {
+                    sweep.engines = split_axis(value)
+                        .map_err(bad)?
+                        .into_iter()
+                        .map(|item| EngineSpec::parse_str(item).map_err(bad))
                         .collect::<Result<_, _>>()?;
                 }
                 "service" => {
@@ -521,6 +556,17 @@ impl SweepSpec {
                         DestSpec::Nearby { stop } => format!("nearby:{stop}"),
                         DestSpec::Bernoulli { p } => format!("bernoulli:{p}"),
                     })
+                    .collect::<Vec<_>>()
+                    .join("|"),
+            );
+        }
+        if self.engines != [EngineSpec::Auto] {
+            out.push_str(" engine=");
+            out.push_str(
+                &self
+                    .engines
+                    .iter()
+                    .map(|e| e.as_str())
                     .collect::<Vec<_>>()
                     .join("|"),
             );
@@ -699,9 +745,29 @@ mod tests {
     }
 
     #[test]
+    fn engine_axis_cells_share_seeds_and_parameters() {
+        let sweep = small().engines(vec![EngineSpec::Auto, EngineSpec::Heap]);
+        assert_eq!(sweep.num_cells(), 8);
+        let cells = sweep.expand().unwrap();
+        assert_eq!(cells.len(), 8);
+        // Engine is the innermost axis; each adjacent pair differs only in
+        // engine and shares the derived seed (engines are bit-identical, so
+        // the axis is a pure wall-clock ablation).
+        for pair in cells.chunks(2) {
+            assert_eq!(pair[0].engine, EngineSpec::Auto);
+            assert_eq!(pair[1].engine, EngineSpec::Heap);
+            assert_eq!(pair[0].seed, pair[1].seed, "{}", pair[0].spec_string());
+            let mut a = pair[0].clone();
+            a.engine = pair[1].engine;
+            assert_eq!(a, pair[1]);
+        }
+    }
+
+    #[test]
     fn grammar_round_trips() {
         let sweeps = [
             small(),
+            small().engines(vec![EngineSpec::Heap, EngineSpec::Calendar]),
             small()
                 .routers(vec![RouterSpec::Greedy, RouterSpec::Randomized])
                 .reps(3)
@@ -746,6 +812,8 @@ mod tests {
             "topo=mesh:5 load=rho:0.2|",
             "topo=mesh:5 load=rho:0.5 jobs=4",
             "topo=mesh:5 load=rho:0.5 reps=none",
+            "topo=mesh:5 load=rho:0.5 engine=quantum",
+            "topo=mesh:5 load=rho:0.5 engine=heap|",
         ] {
             assert!(SweepSpec::parse(spec).is_err(), "`{spec}` should not parse");
         }

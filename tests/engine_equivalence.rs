@@ -1,0 +1,154 @@
+//! Cross-engine equivalence: the hot-path engine (`EngineSpec`) must never
+//! change a reported number. Heap, calendar and route-table paths are run
+//! side by side over every topology family, both time modes, and random
+//! loads/seeds, and every deterministic `SimResult` field is compared bit
+//! for bit.
+
+use meshbound::sim::SimResult;
+use meshbound::{DestSpec, EngineSpec, Load, RouterSpec, Scenario};
+use proptest::prelude::*;
+
+/// Bitwise comparison of every deterministic `SimResult` field
+/// (`events_per_sec` is wall-clock and excluded by design).
+fn assert_bit_identical(label: &str, a: &SimResult, b: &SimResult) {
+    let f = f64::to_bits;
+    assert_eq!(f(a.avg_delay), f(b.avg_delay), "{label}: avg_delay");
+    assert_eq!(f(a.delay_std_err), f(b.delay_std_err), "{label}: std_err");
+    assert_eq!(a.generated, b.generated, "{label}: generated");
+    assert_eq!(a.completed, b.completed, "{label}: completed");
+    assert_eq!(f(a.time_avg_n), f(b.time_avg_n), "{label}: time_avg_n");
+    assert_eq!(f(a.time_avg_r), f(b.time_avg_r), "{label}: time_avg_r");
+    assert_eq!(f(a.time_avg_rs), f(b.time_avg_rs), "{label}: time_avg_rs");
+    assert_eq!(f(a.r_ratio), f(b.r_ratio), "{label}: r_ratio");
+    assert_eq!(f(a.rs_ratio), f(b.rs_ratio), "{label}: rs_ratio");
+    assert_eq!(f(a.little_delay), f(b.little_delay), "{label}: little");
+    assert_eq!(
+        f(a.max_edge_utilization),
+        f(b.max_edge_utilization),
+        "{label}: max_edge_utilization"
+    );
+    assert_eq!(f(a.final_n), f(b.final_n), "{label}: final_n");
+    assert_eq!(f(a.peak_n), f(b.peak_n), "{label}: peak_n");
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "{label}: events_processed"
+    );
+    assert_eq!(a.n_samples, b.n_samples, "{label}: n_samples");
+    assert_eq!(a.delay_p50, b.delay_p50, "{label}: delay_p50");
+    assert_eq!(a.delay_p99, b.delay_p99, "{label}: delay_p99");
+    assert_eq!(a.edge_mean_queue, b.edge_mean_queue, "{label}: edge queues");
+    for (i, (x, y)) in a.edge_throughput.iter().zip(&b.edge_throughput).enumerate() {
+        assert_eq!(f(*x), f(*y), "{label}: edge_throughput[{i}]");
+    }
+}
+
+/// Runs one scenario under all three engines and cross-checks.
+fn check_all_engines(sc: Scenario) {
+    let label = sc.spec_string();
+    let heap = sc.clone().engine(EngineSpec::Heap).run();
+    let calendar = sc.clone().engine(EngineSpec::Calendar).run();
+    let auto = sc.engine(EngineSpec::Auto).run();
+    assert_bit_identical(&format!("{label} calendar-vs-heap"), &heap, &calendar);
+    assert_bit_identical(&format!("{label} auto-vs-heap"), &heap, &auto);
+    assert!(heap.events_processed > 0, "{label}: no events simulated");
+}
+
+/// The five topology families at a fixed operating point.
+fn family(idx: usize) -> Scenario {
+    match idx {
+        0 => Scenario::mesh(4),
+        1 => Scenario::torus(4),
+        2 => Scenario::hypercube(4),
+        3 => Scenario::butterfly(3),
+        _ => Scenario::mesh_kd(&[3, 3, 3]),
+    }
+}
+
+proptest! {
+    /// All five `TopologySpec` families × slotted/continuous × random
+    /// load and seed: heap, calendar and route-table engines must agree
+    /// bit for bit.
+    #[test]
+    fn engines_agree_across_topologies_and_modes(
+        topo in 0usize..5,
+        slotted in any::<bool>(),
+        lambda in 0.02f64..0.12,
+        seed in 1u64..1_000,
+    ) {
+        let mut sc = family(topo)
+            .load(Load::Lambda(lambda))
+            .horizon(250.0)
+            .warmup(25.0)
+            .seed(seed);
+        if slotted {
+            sc = sc.slot(1.0);
+        }
+        check_all_engines(sc);
+    }
+}
+
+#[test]
+fn engines_agree_with_every_tracking_option_enabled() {
+    // Saturated-service tracking (route-table saturated counts), delay
+    // quantiles, per-edge queues and N(t) sampling all at once, plus the
+    // Jackson (exponential) service mode.
+    let sc = Scenario::mesh(5)
+        .load(Load::TableRho(0.7))
+        .horizon(1_500.0)
+        .warmup(150.0)
+        .seed(99)
+        .track_saturated(true)
+        .delay_quantiles(true)
+        .track_edge_queues(true)
+        .sample_every(100.0);
+    check_all_engines(sc.clone());
+    check_all_engines(sc.service(meshbound::sim::ServiceKind::Exponential));
+}
+
+#[test]
+fn engines_agree_for_randomized_router_fallback() {
+    // The randomized router is not table-eligible: Auto must fall back to
+    // on-the-fly routing and still match the heap engine exactly.
+    let sc = Scenario::mesh(5)
+        .router(RouterSpec::Randomized)
+        .load(Load::Lambda(0.1))
+        .horizon(800.0)
+        .warmup(80.0)
+        .seed(7);
+    check_all_engines(sc);
+}
+
+#[test]
+fn engines_agree_for_nonuniform_destinations_and_rates() {
+    let sc = Scenario::mesh(4)
+        .dest(DestSpec::Nearby { stop: 0.4 })
+        .load(Load::Lambda(0.15))
+        .horizon(900.0)
+        .warmup(90.0)
+        .seed(31)
+        .service_rates(vec![1.5; 48]);
+    check_all_engines(sc);
+    let hc = Scenario::hypercube(4)
+        .dest(DestSpec::Bernoulli { p: 0.25 })
+        .load(Load::Lambda(0.3))
+        .horizon(600.0)
+        .warmup(60.0)
+        .seed(32);
+    check_all_engines(hc);
+}
+
+#[test]
+fn replication_runner_is_engine_invariant() {
+    // run_replicated fans out over Rayon with derived seeds; the engine
+    // must be invisible there too.
+    let base = Scenario::torus(5)
+        .load(Load::Utilization(0.5))
+        .horizon(500.0)
+        .warmup(50.0)
+        .seed(11);
+    let a = base.clone().engine(EngineSpec::Heap).run_replicated(3);
+    let b = base.engine(EngineSpec::Auto).run_replicated(3);
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_bit_identical("replicated torus", x, y);
+    }
+}

@@ -65,21 +65,28 @@ fn usage() -> String {
          \x20      repro [--quick] [--engine auto|heap|calendar] scenario <spec> [<spec>…]\n\
          \x20      repro [--quick] [--engine E] sweep <spec> [--out FILE] [--jobs N] [--check]\n\
          \n\
-         scenario specs look like `torus:8,util=0.9,horizon=5000` or\n\
-         `hypercube:6,dest=bernoulli:0.25,lambda=0.8` — topology head\n\
+         scenario specs look like `torus:8,util=0.9,horizon=5000`,\n\
+         `mesh:8,traffic=transpose,util=0.5` or\n\
+         `hypercube:6,traffic=bernoulli:0.25,lambda=0.8` — topology head\n\
          (mesh:N, mesh:RxC, torus:N, hypercube:D, butterfly:K, kd:AxBxC)\n\
-         followed by key=value options (router, dest, lambda/rho/util,\n\
-         horizon, warmup, seed, service, slot, sample, self, saturated,\n\
-         quantiles, queues, engine).\n\
+         followed by key=value options (router, traffic, src,\n\
+         lambda/rho/util, horizon, warmup, seed, service, slot, sample,\n\
+         self, saturated, quantiles, queues, engine).\n\
+         \n\
+         traffic= names the workload: uniform, nearby:<stop>,\n\
+         bernoulli:<p>, transpose, bitrev, bitcomp, shuffle or\n\
+         hotspot:<frac>[:<node>] (dest= is the legacy alias); src= names\n\
+         the source model: uniform or hotspot:<weight>[:<node>].\n\
          \n\
          --engine overrides the hot-path engine of every scenario or sweep\n\
          cell (bit-identical results, different wall clock).\n\
          \n\
          sweep specs are either table1|table2|table3 (the paper grids at\n\
          the current scale) or an axis grammar like\n\
-         `topo=mesh:5|torus:8 load=rho:0.2|rho:0.8 reps=2 seed=7\n\
-         horizon=auto:1500:12000` (axes: topo, load, router, dest;\n\
-         shared knobs: service, reps, seed, horizon, warmup, saturated).",
+         `topo=mesh:5|torus:8 load=rho:0.2|rho:0.8\n\
+         traffic=uniform|transpose reps=2 seed=7 horizon=auto:1500:12000`\n\
+         (axes: topo, load, router, traffic, engine; shared knobs: src,\n\
+         service, reps, seed, horizon, warmup, saturated).",
         ARTIFACTS.join("|")
     )
 }

@@ -11,7 +11,7 @@ use meshbound_queueing::jackson;
 use meshbound_queueing::little::mesh_total_arrival;
 use meshbound_queueing::load::{mesh_stability_threshold, optimal_stability_threshold, Load};
 use meshbound_routing::rates::mesh_thm6_rates;
-use meshbound_sim::{DestSpec, RouterSpec, Scenario, ServiceKind};
+use meshbound_sim::{RouterSpec, Scenario, ServiceKind, TrafficSpec};
 use meshbound_topology::Mesh2D;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -272,7 +272,7 @@ pub fn hypercube_study(d: usize, ps: &[f64], utilization: f64, scale: &Scale) ->
     ps.par_iter()
         .map(|&p| {
             let sc = Scenario::hypercube(d)
-                .dest(DestSpec::Bernoulli { p })
+                .traffic(TrafficSpec::bernoulli(p))
                 .load(Load::Utilization(utilization))
                 .horizon(scale.horizon(utilization))
                 .warmup(scale.warmup(utilization))
@@ -643,7 +643,7 @@ pub fn nearby_study(n: usize, stops: &[f64], lambda: f64, scale: &Scale) -> Vec<
         .par_iter()
         .map(|&stop| {
             let sc = Scenario::mesh(n)
-                .dest(DestSpec::Nearby { stop })
+                .traffic(TrafficSpec::nearby(stop))
                 .load(Load::Lambda(lambda))
                 .horizon(scale.horizon(0.8))
                 .warmup(scale.warmup(0.8))

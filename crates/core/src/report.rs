@@ -13,7 +13,7 @@ use meshbound_queueing::bounds::{
 use meshbound_queueing::load::{mesh_stability_threshold, optimal_stability_threshold, Load};
 use meshbound_queueing::remaining::{dbar_closed, light_load_r, sbar_closed};
 use meshbound_queueing::single::md1_mean_number;
-use meshbound_sim::{DestSpec, Scenario, TopologySpec};
+use meshbound_sim::{PatternSpec, Scenario, TopologySpec};
 use meshbound_topology::Mesh2D;
 use serde::{Deserialize, Serialize};
 
@@ -118,10 +118,13 @@ impl BoundsReport {
     }
 
     /// Computes the report for any [`Scenario`], dispatching to the
-    /// topology's closed forms where the paper derives them (§4.5 hypercube
-    /// and butterfly, §6 torus) and to exact rate enumeration otherwise
-    /// (rectangular meshes, nearby destinations, randomized greedy, `k`-d
-    /// meshes).
+    /// topology's closed forms where the paper derives them (§4.5
+    /// hypercube and butterfly, §6 torus — all under the standard uniform
+    /// workload) and to exact rate enumeration otherwise: rectangular
+    /// meshes, nearby destinations, randomized greedy, `k`-d meshes, and
+    /// every [`TrafficSpec`](meshbound_sim::TrafficSpec) workload
+    /// (permutations, hotspots, matrices, weighted sources), whose bounds
+    /// are resolved against the pattern's actual edge-rate vector.
     ///
     /// # Panics
     ///
@@ -131,21 +134,31 @@ impl BoundsReport {
         if let Err(e) = sc.validate() {
             panic!("{e}");
         }
-        match (&sc.topology, sc.dest) {
-            (TopologySpec::Mesh { rows, cols }, DestSpec::Uniform)
-                if rows == cols && sc.router == meshbound_sim::RouterSpec::Greedy =>
+        let uniform_sources = sc.traffic.source.is_uniform();
+        match (&sc.topology, &sc.traffic.pattern) {
+            (TopologySpec::Mesh { rows, cols }, PatternSpec::Uniform)
+                if rows == cols
+                    && uniform_sources
+                    && sc.router == meshbound_sim::RouterSpec::Greedy =>
             {
                 Self::compute(*rows, Load::Lambda(sc.lambda()))
             }
-            (TopologySpec::Torus { n }, _) => Self::torus_report(sc, *n),
-            (TopologySpec::Hypercube { dim }, dest) => {
-                let p = match dest {
-                    DestSpec::Bernoulli { p } => p,
+            (TopologySpec::Torus { n }, PatternSpec::Uniform) if uniform_sources => {
+                Self::torus_report(sc, *n)
+            }
+            (
+                TopologySpec::Hypercube { dim },
+                pattern @ (PatternSpec::Uniform | PatternSpec::Bernoulli { .. }),
+            ) if uniform_sources => {
+                let p = match pattern {
+                    PatternSpec::Bernoulli { p } => *p,
                     _ => 0.5,
                 };
                 Self::hypercube_report(sc, *dim, p)
             }
-            (TopologySpec::Butterfly { k }, _) => Self::butterfly_report(sc, *k),
+            // The butterfly's workload is always uniform output rows;
+            // only non-uniform *sources* fall through to enumeration.
+            (TopologySpec::Butterfly { k }, _) if uniform_sources => Self::butterfly_report(sc, *k),
             _ => Self::generic_report(sc),
         }
     }
@@ -257,9 +270,12 @@ impl BoundsReport {
     }
 
     /// Rate-enumeration fallback for every remaining Markovian scenario:
-    /// rectangular meshes, nearby destinations, randomized greedy and `k`-d
-    /// meshes. Uses the generic Theorem 5 product form and Theorem 10 copy
-    /// bound from the exact per-edge rates.
+    /// rectangular meshes, nearby destinations, randomized greedy, `k`-d
+    /// meshes, and all pattern/hotspot/matrix/weighted-source workloads.
+    /// Uses the generic Theorem 5 product form and Theorem 10 copy bound
+    /// from the exact per-edge rates of the *actual* workload. On the
+    /// torus the upper bound stays `∞` for every workload — §6's
+    /// layerability obstruction does not depend on the traffic.
     fn generic_report(sc: &Scenario) -> Self {
         let lambda = sc.lambda();
         let rates = sc.edge_rates();
@@ -284,7 +300,11 @@ impl BoundsReport {
             table_rho: peak,
             utilization: peak,
             mean_distance: trivial,
-            upper: upper::upper_bound_from_rates(&rates, gamma),
+            upper: if matches!(sc.topology, TopologySpec::Torus { .. }) {
+                f64::INFINITY
+            } else {
+                upper::upper_bound_from_rates(&rates, gamma)
+            },
             est_paper: estimate_from_rates(&rates, gamma, paper_queue_number),
             est_md1: estimate_from_rates(&rates, gamma, md1_mean_number),
             lower_thm8_any: 0.0,
@@ -366,7 +386,7 @@ impl BoundsReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use meshbound_sim::RouterSpec;
+    use meshbound_sim::{RouterSpec, SourceSpec, TrafficSpec};
 
     #[test]
     fn report_is_internally_consistent() {
@@ -406,15 +426,35 @@ mod tests {
                 .router(RouterSpec::Randomized)
                 .load(Load::Lambda(0.2)),
             Scenario::mesh(5)
-                .dest(DestSpec::Nearby { stop: 0.5 })
+                .traffic(TrafficSpec::nearby(0.5))
                 .load(Load::Lambda(0.3)),
             Scenario::torus(6).load(Load::Utilization(0.5)),
             Scenario::hypercube(5).load(Load::Utilization(0.5)),
             Scenario::hypercube(5)
-                .dest(DestSpec::Bernoulli { p: 0.25 })
+                .traffic(TrafficSpec::bernoulli(0.25))
                 .load(Load::Utilization(0.5)),
             Scenario::butterfly(4).load(Load::Utilization(0.5)),
             Scenario::mesh_kd(&[3, 3, 3]).load(Load::Utilization(0.5)),
+            // TrafficSpec workloads resolve against their own rate
+            // vectors.
+            Scenario::mesh(8)
+                .traffic(TrafficSpec::transpose())
+                .load(Load::Utilization(0.5)),
+            Scenario::mesh(8)
+                .traffic(TrafficSpec::bit_reversal())
+                .load(Load::Utilization(0.5)),
+            Scenario::mesh(6)
+                .traffic(TrafficSpec::hotspot(0.2))
+                .load(Load::Utilization(0.5)),
+            Scenario::hypercube(4)
+                .traffic(TrafficSpec::bit_complement())
+                .load(Load::Utilization(0.5)),
+            Scenario::mesh(5)
+                .source(SourceSpec::Hotspot {
+                    node: None,
+                    weight: 4.0,
+                })
+                .load(Load::Utilization(0.5)),
         ];
         for sc in &scenarios {
             let r = BoundsReport::compute_for(sc);
@@ -454,9 +494,34 @@ mod tests {
     }
 
     #[test]
+    fn pattern_reports_use_the_actual_rate_vector() {
+        // The transpose workload on an 8×8 mesh has a different peak than
+        // uniform; at util=0.5 its report must say utilization 0.5 and a
+        // finite upper bound strictly above the trivial one.
+        let sc = Scenario::mesh(8)
+            .traffic(TrafficSpec::transpose())
+            .load(Load::Utilization(0.5));
+        let r = BoundsReport::compute_for(&sc);
+        assert!((r.utilization - 0.5).abs() < 1e-9);
+        assert!(r.upper.is_finite() && r.upper > r.mean_distance);
+        // The same λ under the uniform workload gives a *different*
+        // report — the pattern matters.
+        let uniform = BoundsReport::compute_for(&Scenario::mesh(8).load(Load::Lambda(sc.lambda())));
+        assert_ne!(r.upper.to_bits(), uniform.upper.to_bits());
+        // Torus workloads keep the open upper bound whatever the pattern.
+        let torus = BoundsReport::compute_for(
+            &Scenario::torus(4)
+                .traffic(TrafficSpec::bit_complement())
+                .load(Load::Utilization(0.4)),
+        );
+        assert!(torus.upper.is_infinite());
+        assert!(torus.lower_best.is_finite() && torus.lower_best > 0.0);
+    }
+
+    #[test]
     fn hypercube_report_matches_closed_forms() {
         let sc = Scenario::hypercube(6)
-            .dest(DestSpec::Bernoulli { p: 0.25 })
+            .traffic(TrafficSpec::bernoulli(0.25))
             .load(Load::Lambda(1.0));
         let r = BoundsReport::compute_for(&sc);
         assert!((r.upper - hc_bounds::upper_bound_delay(6, 1.0, 0.25)).abs() < 1e-12);

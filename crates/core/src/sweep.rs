@@ -33,8 +33,8 @@ use std::time::Instant;
 
 /// Schema identifier embedded in every report; bump when the JSON layout
 /// changes shape. v2 added `events_processed`/`events_per_sec` to every
-/// cell.
-pub const SCHEMA: &str = "meshbound.sweep/v2";
+/// cell; v3 added the per-cell `traffic` workload label.
+pub const SCHEMA: &str = "meshbound.sweep/v3";
 
 /// Tolerance for judging a simulated mean delay against analytic bounds.
 ///
@@ -104,7 +104,10 @@ pub struct SweepCellReport {
     pub spec: String,
     /// Human-readable topology label.
     pub label: String,
-    /// The structured scenario (topology, router, dest, load, seed, …).
+    /// The cell's workload label (e.g. `"uniform"`, `"transpose"`,
+    /// `"hotspot:0.25"`, `"src:hotspot:4+uniform"`).
+    pub traffic: String,
+    /// The structured scenario (topology, router, traffic, load, seed, …).
     pub scenario: Scenario,
     /// Replications run for this cell.
     pub reps: usize,
@@ -327,6 +330,7 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
     SweepCellReport {
         spec: sc.spec_string(),
         label: sc.label(),
+        traffic: sc.traffic.label(),
         scenario: sc.clone(),
         reps,
         delay_mean,
@@ -419,9 +423,31 @@ mod tests {
         assert!(json.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")));
         assert!(json.contains("\"within_bounds\":true"));
         assert!(json.contains("\"cells\":["));
+        // v3: every cell carries its workload label.
+        assert!(json.contains("\"traffic\":\"uniform\""));
         // The torus's open upper bound serializes as null, not Infinity.
         assert!(json.contains("\"upper\":null"));
         assert!(!json.contains("inf"));
+    }
+
+    #[test]
+    fn traffic_axis_cells_carry_their_labels_and_check_out() {
+        let spec = meshbound_sim::SweepSpec::parse(
+            "topo=mesh:4 load=util:0.3 traffic=uniform|transpose|hotspot:0.25 \
+             horizon=500 warmup=50 reps=2",
+        )
+        .unwrap();
+        let report = run_sweep(&spec, Jobs::Parallel).unwrap();
+        assert_eq!(report.num_cells, 3);
+        let labels: Vec<&str> = report.cells.iter().map(|c| c.traffic.as_str()).collect();
+        assert_eq!(labels, ["uniform", "transpose", "hotspot:0.25"]);
+        // Each workload's simulated delay respects the bounds computed
+        // from its own edge-rate vector.
+        assert!(report.all_within_bounds, "{}", report.to_text());
+        // And the JSON carries the labels.
+        let json = report.to_json();
+        assert!(json.contains("\"traffic\":\"transpose\""));
+        assert!(json.contains("\"traffic\":\"hotspot:0.25\""));
     }
 
     #[test]

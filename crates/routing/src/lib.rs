@@ -30,6 +30,7 @@ pub mod greedy;
 pub mod hypercube;
 pub mod kd;
 pub mod lemma3;
+pub mod pattern;
 pub mod randomized;
 pub mod rates;
 pub mod router;
@@ -42,6 +43,9 @@ pub use dest::DestDist;
 pub use greedy::GreedyXY;
 pub use hypercube::DimOrder;
 pub use kd::KdGreedy;
+pub use pattern::{
+    GenericDest, HotspotDest, MatrixDest, PatternTopology, PermutationDest, PermutationKind,
+};
 pub use randomized::{Order, RandomizedGreedy};
 pub use router::{ObliviousRouter, Router};
 pub use table::RouteTable;

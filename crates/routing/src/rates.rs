@@ -38,15 +38,49 @@ where
     R: ObliviousRouter<T>,
     D: DestSampler<T>,
 {
+    let rates = vec![lambda_per_source; sources.len()];
+    edge_rates_weighted(topo, router, dest, &rates, sources)
+}
+
+/// Exact per-edge arrival rates with a **per-source rate vector** —
+/// the general form behind [`edge_rates_enumerated`], used by weighted
+/// sources, hotspot source models and traffic matrices.
+///
+/// `rates_per_source[i]` is the Poisson rate of `sources[i]`; zero-rate
+/// sources are skipped.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn edge_rates_weighted<T, R, D>(
+    topo: &T,
+    router: &R,
+    dest: &D,
+    rates_per_source: &[f64],
+    sources: &[NodeId],
+) -> Vec<f64>
+where
+    T: Topology,
+    R: ObliviousRouter<T>,
+    D: DestSampler<T>,
+{
+    assert_eq!(
+        rates_per_source.len(),
+        sources.len(),
+        "one rate per source required"
+    );
     let mut rates = vec![0.0; topo.num_edges()];
-    for &s in sources {
+    for (&s, &rate) in sources.iter().zip(rates_per_source) {
+        if rate == 0.0 {
+            continue;
+        }
         for d in topo.nodes() {
             let w = dest.weight(topo, s, d);
             if w == 0.0 {
                 continue;
             }
             for (p, path) in router.paths(topo, s, d) {
-                let contribution = lambda_per_source * w * p;
+                let contribution = rate * w * p;
                 for e in path {
                     rates[e.index()] += contribution;
                 }

@@ -14,12 +14,15 @@
 //!   routers (randomized greedy).
 //!
 //! The front door is the topology-generic [`Scenario`] in [`scenario`]: it
-//! names the topology, router, destination distribution and load in any
+//! names the topology, router, workload ([`TrafficSpec`]: source model +
+//! destination model — uniform, nearby, Bernoulli, the classic address
+//! permutations, hotspots, explicit traffic matrices) and load in any
 //! [`Load`] convention, runs single simulations ([`Scenario::run`]) or
 //! Rayon-parallel replications ([`Scenario::run_replicated`]), and parses
 //! compact command-line specs ([`Scenario::parse`]). Simulations are
 //! deterministic given a seed. The old mesh-only entry points
-//! (`MeshSimConfig`, `simulate_mesh`) remain as deprecated wrappers.
+//! (`MeshSimConfig`, `simulate_mesh`) and the scalar-destination
+//! `DestSpec` remain as deprecated wrappers.
 //!
 //! # Quickstart
 //!
@@ -51,13 +54,16 @@ pub mod runner;
 pub mod scenario;
 pub mod service;
 pub mod sweep;
+pub mod traffic;
 
 pub use engine::EngineSpec;
 pub use meshbound_queueing::load::Load;
-pub use network::{NetworkSim, SimResult};
+pub use meshbound_routing::pattern::PermutationKind;
+pub use network::{NetworkSim, SimError, SimResult};
 pub use runner::ReplicatedResult;
 #[allow(deprecated)]
 pub use runner::{simulate_mesh, simulate_mesh_replicated, MeshRouterKind, MeshSimConfig};
 pub use scenario::{DestSpec, RouterSpec, Scenario, ScenarioError, TopologySpec};
 pub use service::ServiceKind;
 pub use sweep::{HorizonPolicy, SweepError, SweepSpec};
+pub use traffic::{PatternSpec, SourceSpec, TrafficSpec};

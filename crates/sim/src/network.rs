@@ -144,6 +144,47 @@ pub struct SimResult {
     pub edge_mean_queue: Option<Vec<f64>>,
 }
 
+/// A structural failure inside a simulation run.
+///
+/// The only variant today is a router stall: the router returned no next
+/// edge for a packet that had not reached its destination. That is always
+/// a router/topology contract violation (greedy routers are total), so
+/// [`NetworkSim::run`] panics on it; [`NetworkSim::try_run`] surfaces it
+/// as a value for callers that prefer to handle it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The router produced no next edge at `node` for a packet destined
+    /// for `dst`.
+    RouterStalled {
+        /// Node the packet was stranded at.
+        node: NodeId,
+        /// The packet's destination.
+        dst: NodeId,
+        /// Type name of the offending router.
+        router: &'static str,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::RouterStalled { node, dst, router } => write!(
+                f,
+                "router {router} stalled at {node} before reaching destination {dst}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The short type name of a router (the last path segment), for
+/// [`SimError::RouterStalled`].
+fn router_name<R: ?Sized>() -> &'static str {
+    let full = std::any::type_name::<R>();
+    full.rsplit("::").next().unwrap_or(full)
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
     /// Next external arrival at `sources[idx]`.
@@ -280,6 +321,10 @@ where
     dest: D,
     cfg: NetConfig,
     sources: Vec<NodeId>,
+    /// Per-source Poisson rates (`None` = every source at `cfg.lambda`,
+    /// the historical scalar path — kept as `None` so the uniform case
+    /// stays on the exact same code path, bit for bit).
+    source_rates: Option<Vec<f64>>,
     service_rates: Vec<f64>,
     sat_edge: Vec<bool>,
     track_saturated: bool,
@@ -302,6 +347,7 @@ where
             dest,
             cfg,
             sources,
+            source_rates: None,
             service_rates: vec![1.0; num_edges],
             sat_edge: vec![false; num_edges],
             track_saturated: false,
@@ -309,11 +355,40 @@ where
     }
 
     /// Restricts packet generation to the given sources (e.g. butterfly
-    /// level-0 nodes).
+    /// level-0 nodes). Call before [`NetworkSim::with_source_rates`] —
+    /// rates are positional, so installing them against the wrong source
+    /// list would silently misassign them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if per-source rates were already installed, or `sources` is
+    /// empty.
     #[must_use]
     pub fn with_sources(mut self, sources: Vec<NodeId>) -> Self {
+        assert!(
+            self.source_rates.is_none(),
+            "set the source list before the per-source rates (rates are positional)"
+        );
         assert!(!sources.is_empty());
         self.sources = sources;
+        self
+    }
+
+    /// Sets **per-source** Poisson rates, one per entry of the source
+    /// list, generalizing the scalar `NetConfig::lambda`. Zero-rate
+    /// sources generate nothing (their arrival events are never
+    /// scheduled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the source count, any rate is
+    /// negative or non-finite, or all rates are zero.
+    #[must_use]
+    pub fn with_source_rates(mut self, rates: Vec<f64>) -> Self {
+        assert_eq!(rates.len(), self.sources.len(), "one rate per source");
+        assert!(rates.iter().all(|&r| r >= 0.0 && r.is_finite()));
+        assert!(rates.iter().any(|&r| r > 0.0), "all source rates are zero");
+        self.source_rates = Some(rates);
         self
     }
 
@@ -367,8 +442,25 @@ where
     ///
     /// The engine named by [`NetConfig::engine`] only moves wall-clock
     /// time; the returned statistics are bit-identical across engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`SimError`] message if the router stalls (a
+    /// router/topology contract violation); use [`NetworkSim::try_run`]
+    /// to handle it as a value.
     #[must_use]
     pub fn run(self) -> SimResult {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the simulation, surfacing structural failures as a value.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RouterStalled`] if the router returns no next edge for
+    /// an undelivered packet, naming the stuck `(node, dst, router)`
+    /// triple.
+    pub fn try_run(self) -> Result<SimResult, SimError> {
         // The throughput clock starts before any engine setup, so
         // `events_per_sec` charges the Auto engine for its table builds —
         // ev/s and wall-clock comparisons across engines stay consistent.
@@ -384,13 +476,22 @@ where
         }
     }
 
+    /// The Poisson rate of source `i` (by position in the source list).
+    #[inline]
+    fn source_rate(&self, i: usize) -> f64 {
+        match &self.source_rates {
+            Some(r) => r[i],
+            None => self.cfg.lambda,
+        }
+    }
+
     /// The engine-generic hot loop.
     fn run_with<Q: EventQueue<Ev>>(
         self,
         wall: Instant,
         mut queue: Q,
         tables: Option<EngineTables>,
-    ) -> SimResult {
+    ) -> Result<SimResult, SimError> {
         // Hoist the table views out of the loop: one flat Option each.
         let routes: Option<&RouteTable> = tables.as_ref().and_then(|t| t.routes.as_ref());
         let sat_counts: Option<&[u32]> = tables.as_ref().and_then(|t| t.sat_counts.as_deref());
@@ -412,12 +513,17 @@ where
         let mut qnext: Vec<u32> = Vec::with_capacity(1024);
         let mut free: Vec<u32> = Vec::new();
 
-        // Prime the event list.
+        // Prime the event list. Zero-rate sources never get an arrival
+        // event; every positive-rate source draws in list order, so the
+        // uniform case consumes the RNG stream exactly as before.
         match cfg.slot {
             None => {
                 for i in 0..self.sources.len() {
-                    let dt = exp_sample(&mut rng, cfg.lambda);
-                    queue.schedule(dt, Ev::Arrival(i as u32));
+                    let rate = self.source_rate(i);
+                    if rate > 0.0 {
+                        let dt = exp_sample(&mut rng, rate);
+                        queue.schedule(dt, Ev::Arrival(i as u32));
+                    }
                 }
             }
             Some(tau) => {
@@ -471,14 +577,14 @@ where
                         routes,
                         sat_counts,
                         det,
-                    );
-                    let dt = exp_sample(&mut rng, cfg.lambda);
+                    )?;
+                    let dt = exp_sample(&mut rng, self.source_rate(i as usize));
                     queue.schedule(now + dt, Ev::Arrival(i));
                 }
                 Ev::Slot => {
                     let tau = cfg.slot.unwrap();
-                    let mean = cfg.lambda * tau;
                     for i in 0..self.sources.len() {
+                        let mean = self.source_rate(i) * tau;
                         let k = poisson_sample(&mut rng, mean);
                         let src = self.sources[i];
                         for _ in 0..k {
@@ -496,7 +602,7 @@ where
                                 routes,
                                 sat_counts,
                                 det,
-                            );
+                            )?;
                         }
                     }
                     queue.schedule(now + tau, Ev::Slot);
@@ -535,10 +641,18 @@ where
                     } else {
                         let next = match routes {
                             Some(r) => r.next_edge(cur, pk.dst),
-                            None => self
-                                .router
-                                .next_edge(&self.topo, cur, pk.dst, pk.state)
-                                .expect("router stalled before destination"),
+                            None => {
+                                match self.router.next_edge(&self.topo, cur, pk.dst, pk.state) {
+                                    Some(e) => e,
+                                    None => {
+                                        return Err(SimError::RouterStalled {
+                                            node: cur,
+                                            dst: pk.dst,
+                                            router: router_name::<R>(),
+                                        })
+                                    }
+                                }
+                            }
                         };
                         let ni = next.index();
                         Self::enqueue(
@@ -566,7 +680,7 @@ where
         let time_avg_rs = obs.rs_total.integral(cfg.horizon) / measure_time;
         let throughput = obs.completed as f64 / measure_time;
         let max_util = obs.edge_busy.iter().cloned().fold(0.0f64, f64::max) / measure_time;
-        SimResult {
+        Ok(SimResult {
             avg_delay: obs.delay.mean(),
             delay_std_err: obs.delay.standard_error(),
             generated: obs.generated,
@@ -614,7 +728,7 @@ where
                     .collect()
             }),
             n_samples: obs.n_samples,
-        }
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -633,13 +747,13 @@ where
         routes: Option<&RouteTable>,
         sat_counts: Option<&[u32]>,
         det: Option<&[f64]>,
-    ) {
+    ) -> Result<(), SimError> {
         let dst = self.dest.sample(&self.topo, src, rng);
         if src == dst {
             if self.cfg.include_self_packets {
                 obs.zero_distance_packet(now);
             }
-            return;
+            return Ok(());
         }
         obs.packet_generated(now);
         // Deterministic routers draw nothing here (the
@@ -685,10 +799,16 @@ where
         };
         let first = match first {
             Some(e) => e,
-            None => self
-                .router
-                .next_edge(&self.topo, src, dst, state)
-                .expect("non-self packet must have a first edge"),
+            None => match self.router.next_edge(&self.topo, src, dst, state) {
+                Some(e) => e,
+                None => {
+                    return Err(SimError::RouterStalled {
+                        node: src,
+                        dst,
+                        router: router_name::<R>(),
+                    })
+                }
+            },
         };
         let fi = first.index();
         Self::enqueue(
@@ -704,6 +824,7 @@ where
             self.cfg.track_edge_queues.then(|| &mut qtrack[fi]),
             qnext,
         );
+        Ok(())
     }
 
     fn count_saturated_on_route(&self, src: NodeId, dst: NodeId, state: R::State) -> usize {
@@ -866,6 +987,17 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "before the per-source rates")]
+    fn sources_cannot_change_under_installed_rates() {
+        // Rates are positional; swapping the source list afterwards would
+        // silently misassign them, so the builder refuses.
+        let mesh = Mesh2D::square(3);
+        let _ = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, tiny_cfg())
+            .with_source_rates(vec![0.1; 9])
+            .with_sources(vec![meshbound_topology::NodeId(0)]);
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let mesh = Mesh2D::square(4);
         let a = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, tiny_cfg()).run();
@@ -1013,6 +1145,55 @@ mod tests {
             fast.avg_delay,
             slow.avg_delay
         );
+    }
+
+    /// The structured stall error: a router that refuses to route
+    /// surfaces the stuck (node, dst, router) triple as a `SimError`
+    /// value from `try_run`, and `run` panics with the same message.
+    #[test]
+    fn router_stall_reports_the_stuck_triple() {
+        use meshbound_topology::{EdgeId, NodeId};
+
+        /// A router that always stalls.
+        struct Stuck;
+        impl<T: Topology> Router<T> for Stuck {
+            type State = ();
+            fn init_state(&self, _: &T, _: NodeId, _: NodeId, _: &mut SmallRng) {}
+            fn next_edge(&self, _: &T, _: NodeId, _: NodeId, (): ()) -> Option<EdgeId> {
+                None
+            }
+            fn remaining_hops(&self, _: &T, _: NodeId, _: NodeId, (): ()) -> usize {
+                1
+            }
+        }
+
+        let make = || {
+            NetworkSim::new(
+                Mesh2D::square(3),
+                Stuck,
+                UniformDest,
+                NetConfig {
+                    lambda: 0.5,
+                    horizon: 100.0,
+                    warmup: 0.0,
+                    ..NetConfig::default()
+                },
+            )
+        };
+        let err = make().try_run().unwrap_err();
+        match &err {
+            SimError::RouterStalled { node, dst, router } => {
+                assert_ne!(node, dst);
+                assert_eq!(*router, "Stuck");
+            }
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("Stuck") && msg.contains("stalled"), "{msg}");
+        // `run()` panics with the same structured message.
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| make().run()))
+            .expect_err("run() must panic on a stall");
+        let text = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("stalled"), "{text}");
     }
 
     #[test]

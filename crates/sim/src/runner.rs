@@ -6,8 +6,9 @@
 //! wrappers that delegate to `Scenario`.
 
 use crate::network::SimResult;
-use crate::scenario::{DestSpec, RouterSpec, Scenario, TopologySpec};
+use crate::scenario::{RouterSpec, Scenario, TopologySpec};
 use crate::service::ServiceKind;
+use crate::traffic::{PatternSpec, TrafficSpec};
 use meshbound_queueing::load::Load;
 use meshbound_routing::dest::DestDist;
 use meshbound_stats::Summary;
@@ -100,10 +101,10 @@ impl From<&MeshSimConfig> for Scenario {
                 MeshRouterKind::Greedy => RouterSpec::Greedy,
                 MeshRouterKind::Randomized => RouterSpec::Randomized,
             },
-            dest: match cfg.dest {
-                DestDist::Uniform => DestSpec::Uniform,
-                DestDist::Nearby { stop } => DestSpec::Nearby { stop },
-            },
+            traffic: TrafficSpec::with_pattern(match cfg.dest {
+                DestDist::Uniform => PatternSpec::Uniform,
+                DestDist::Nearby { stop } => PatternSpec::Nearby { stop },
+            }),
             load: Load::Lambda(cfg.lambda),
             horizon: cfg.horizon,
             warmup: cfg.warmup,
@@ -233,7 +234,7 @@ mod tests {
             .warmup(500.0)
             .track_saturated(true);
         let uniform = base.clone().run();
-        let nearby = base.dest(DestSpec::Nearby { stop: 0.5 }).run();
+        let nearby = base.traffic(TrafficSpec::nearby(0.5)).run();
         assert!(
             nearby.avg_delay < uniform.avg_delay,
             "nearby {} vs uniform {}",

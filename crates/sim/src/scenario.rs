@@ -1,40 +1,56 @@
 //! The topology-generic [`Scenario`] API: one front door for every
 //! simulation the workspace can run.
 //!
-//! A [`Scenario`] names a complete experiment — topology, router,
-//! destination distribution, load, and every [`NetConfig`] knob — for any of
-//! the paper's network families: the 2-D array (the paper's subject), the
-//! torus (§6), the hypercube and butterfly (§4.5), and `k`-dimensional
-//! meshes (§5.2). One internal dispatch point maps the specification onto
-//! the right concrete [`NetworkSim`] instantiation, so callers never touch
-//! the generic machinery:
+//! A [`Scenario`] names a complete experiment — topology, router, a
+//! [`TrafficSpec`] workload (source model + destination model), load, and
+//! every [`NetConfig`] knob — for any of the paper's network families: the
+//! 2-D array (the paper's subject), the torus (§6), the hypercube and
+//! butterfly (§4.5), and `k`-dimensional meshes (§5.2). One internal
+//! dispatch point maps the specification onto the right concrete
+//! [`NetworkSim`] instantiation, so callers never touch the generic
+//! machinery:
 //!
 //! ```
-//! use meshbound_sim::{Load, Scenario};
+//! use meshbound_sim::{Load, Scenario, TrafficSpec};
 //!
 //! let result = Scenario::torus(8).load(Load::Utilization(0.5)).run();
 //! assert!(result.avg_delay > 0.0);
+//!
+//! // Any workload through the same entry point: the transpose
+//! // permutation on an 8×8 array at half the pattern's capacity.
+//! let result = Scenario::mesh(8)
+//!     .traffic(TrafficSpec::transpose())
+//!     .load(Load::Utilization(0.5))
+//!     .run();
+//! assert!(result.completed > 0);
 //! ```
 //!
-//! Loads are accepted in any of the [`Load`] conventions and resolved
-//! per topology ([`Scenario::lambda`]); replications fan out over Rayon
-//! ([`Scenario::run_replicated`]); and [`Scenario::parse`] builds a
-//! scenario from a compact command-line spec such as
-//! `"torus:8,util=0.9,horizon=5000"` (see [`Scenario::spec_string`] for the
-//! inverse).
+//! Loads are accepted in any of the [`Load`] conventions and resolved per
+//! topology *and workload* ([`Scenario::lambda`]): utilization-style loads
+//! solve against the workload's actual edge-rate vector. Replications fan
+//! out over Rayon ([`Scenario::run_replicated`]); and [`Scenario::parse`]
+//! builds a scenario from a compact command-line spec such as
+//! `"torus:8,util=0.9,horizon=5000"` or
+//! `"mesh:8,traffic=transpose,util=0.5"` (see [`Scenario::spec_string`]
+//! for the inverse). The pre-PR-5 `DestSpec` remains as a deprecated shim
+//! over [`PatternSpec`].
 
 use crate::engine::EngineSpec;
 use crate::network::{NetConfig, NetworkSim, SimResult};
 use crate::rng::splitmix64;
 use crate::runner::ReplicatedResult;
 use crate::service::ServiceKind;
+use crate::traffic::{PatternSpec, SourceSpec, TrafficSpec};
 use meshbound_queueing::load::Load;
 use meshbound_queueing::remaining::saturated_edges;
 use meshbound_routing::dest::{
     BernoulliDest, ButterflyOutput, DestSampler, NearbyWalk, UniformDest,
 };
+use meshbound_routing::pattern::{
+    GenericDest, HotspotDest, MatrixDest, PatternTopology, PermutationDest, PermutationKind,
+};
 use meshbound_routing::rates::{
-    all_nodes, edge_rates_enumerated, mesh_max_rate, mesh_thm6_rates, torus_row_rates,
+    all_nodes, edge_rates_weighted, mesh_max_rate, mesh_thm6_rates, torus_row_rates, total_rate,
 };
 use meshbound_routing::{
     ButterflyRouter, DimOrder, GreedyXY, KdGreedy, ObliviousRouter, RandomizedGreedy, Router,
@@ -240,7 +256,9 @@ pub enum RouterSpec {
     Randomized,
 }
 
-/// Which destination distribution a [`Scenario`] draws from.
+/// The pre-PR-5 destination enum, kept as a constructor shim over
+/// [`PatternSpec`] (the same playbook as `MeshSimConfig` in PR 2). New
+/// code should build a [`TrafficSpec`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum DestSpec {
     /// The standard model: uniform over all nodes. On the butterfly this
@@ -257,6 +275,71 @@ pub enum DestSpec {
         /// Per-dimension flip probability in `[0, 1]`.
         p: f64,
     },
+}
+
+impl From<DestSpec> for PatternSpec {
+    fn from(dest: DestSpec) -> Self {
+        match dest {
+            DestSpec::Uniform => PatternSpec::Uniform,
+            DestSpec::Nearby { stop } => PatternSpec::Nearby { stop },
+            DestSpec::Bernoulli { p } => PatternSpec::Bernoulli { p },
+        }
+    }
+}
+
+impl From<DestSpec> for TrafficSpec {
+    fn from(dest: DestSpec) -> Self {
+        TrafficSpec::with_pattern(dest.into())
+    }
+}
+
+/// Builds the topology-generic sampler for a permutation, hotspot or
+/// matrix pattern; `None` for the patterns each topology handles natively
+/// (uniform, nearby, Bernoulli).
+///
+/// # Panics
+///
+/// Panics if the pattern fails its build checks — `Scenario::validate`
+/// guarantees it cannot.
+fn generic_dest_for<T: PatternTopology>(topo: &T, pattern: &PatternSpec) -> Option<GenericDest> {
+    match pattern {
+        PatternSpec::Permutation { kind } => Some(GenericDest::Permutation(
+            PermutationDest::new(topo, *kind)
+                .unwrap_or_else(|e| panic!("unsupported permutation: {e}")),
+        )),
+        PatternSpec::Hotspot { node, frac } => {
+            let hot = node.map_or_else(|| topo.central_node(), |i| NodeId(i as u32));
+            Some(GenericDest::Hotspot(HotspotDest::new(hot, *frac)))
+        }
+        PatternSpec::Matrix { rows } => Some(GenericDest::Matrix(
+            MatrixDest::from_rows(rows).unwrap_or_else(|e| panic!("invalid traffic matrix: {e}")),
+        )),
+        PatternSpec::Uniform | PatternSpec::Nearby { .. } | PatternSpec::Bernoulli { .. } => None,
+    }
+}
+
+/// Weighted exact edge rates for any pattern a [`PatternTopology`] carries
+/// natively: uniform, nearby (mesh) and the topology-generic patterns.
+fn pattern_rates<T, R>(
+    topo: &T,
+    router: &R,
+    pattern: &PatternSpec,
+    per_source: &[f64],
+    sources: &[NodeId],
+) -> Vec<f64>
+where
+    T: PatternTopology,
+    R: ObliviousRouter<T>,
+{
+    match pattern {
+        PatternSpec::Uniform => {
+            edge_rates_weighted(topo, router, &UniformDest, per_source, sources)
+        }
+        other => match generic_dest_for(topo, other) {
+            Some(dest) => edge_rates_weighted(topo, router, &dest, per_source, sources),
+            None => unreachable!("validate() rejects this pattern on {}", topo.label()),
+        },
+    }
 }
 
 /// Why a scenario specification was rejected.
@@ -308,10 +391,10 @@ pub struct Scenario {
     pub topology: TopologySpec,
     /// Router choice.
     pub router: RouterSpec,
-    /// Destination distribution.
-    pub dest: DestSpec,
-    /// Offered load, in any [`Load`] convention; resolved to a per-source
-    /// rate by [`Scenario::lambda`].
+    /// The workload: source model plus destination model.
+    pub traffic: TrafficSpec,
+    /// Offered load, in any [`Load`] convention; resolved to the **mean**
+    /// per-source rate by [`Scenario::lambda`].
     pub load: Load,
     /// Simulated end time.
     pub horizon: f64,
@@ -353,7 +436,7 @@ impl Scenario {
         Self {
             topology,
             router: RouterSpec::Greedy,
-            dest: DestSpec::Uniform,
+            traffic: TrafficSpec::uniform(),
             load: Load::Lambda(0.1),
             horizon: DEFAULT_HORIZON,
             warmup: DEFAULT_WARMUP,
@@ -416,11 +499,35 @@ impl Scenario {
         self
     }
 
-    /// Sets the destination distribution.
+    /// Sets the whole workload (source model + destination model).
     #[must_use]
-    pub fn dest(mut self, dest: DestSpec) -> Self {
-        self.dest = dest;
+    pub fn traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
         self
+    }
+
+    /// Sets the destination model, keeping the source model.
+    #[must_use]
+    pub fn pattern(mut self, pattern: PatternSpec) -> Self {
+        self.traffic.pattern = pattern;
+        self
+    }
+
+    /// Sets the source model, keeping the destination model.
+    #[must_use]
+    pub fn source(mut self, source: SourceSpec) -> Self {
+        self.traffic.source = source;
+        self
+    }
+
+    /// Sets the destination distribution (pre-PR-5 shim).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `traffic`/`pattern` with a `TrafficSpec` instead"
+    )]
+    #[must_use]
+    pub fn dest(self, dest: DestSpec) -> Self {
+        self.pattern(dest.into())
     }
 
     /// Sets the offered load (any [`Load`] convention).
@@ -525,13 +632,15 @@ impl Scenario {
     // Load resolution and traffic characterization.
     // ----------------------------------------------------------------
 
-    /// The per-source arrival rate λ this scenario's load denotes.
+    /// The **mean** per-source arrival rate λ this scenario's load denotes
+    /// (each source `i` generates at `λ × w_i` with the mean-1 weights of
+    /// the workload's source model, so `γ = λ × #sources` always holds).
     ///
     /// `Load::Lambda` passes through. `Load::Utilization(ρ)` solves
-    /// `max_e λ_e = ρ` for the scenario's topology, router and destination
-    /// distribution. `Load::TableRho(ρ)` keeps Table I's mesh convention
-    /// `λ = 4ρ/n` on square meshes and coincides with the utilization
-    /// convention everywhere else.
+    /// `max_e λ_e = ρ` against the **workload's actual edge-rate vector**
+    /// (permutations, hotspots and matrices included). `Load::TableRho(ρ)`
+    /// keeps Table I's mesh convention `λ = 4ρ/n` on square meshes and
+    /// coincides with the utilization convention everywhere else.
     #[must_use]
     pub fn lambda(&self) -> f64 {
         self.lambda_given_peak(|| self.peak_unit_rate())
@@ -597,8 +706,11 @@ impl Scenario {
         1.0 / self.peak_unit_rate()
     }
 
-    /// Mean greedy route length over the scenario's destination
-    /// distribution (self-pairs included).
+    /// Mean greedy route length over the scenario's workload (self-pairs
+    /// included): closed forms for the paper's combinations, and for every
+    /// other workload the conservation identity
+    /// `Σ_e λ_e = Σ_s λ_s · E[route length | s]`, i.e. the total of the
+    /// unit-rate vector divided by the source count.
     #[must_use]
     pub fn mean_distance(&self) -> f64 {
         // Mean |i−j| over uniform ordered pairs (self included) on a line
@@ -607,13 +719,16 @@ impl Scenario {
             let m = m as f64;
             (m * m - 1.0) / (3.0 * m)
         };
-        match (&self.topology, self.dest) {
-            (TopologySpec::Mesh { rows, cols }, DestSpec::Uniform | DestSpec::Bernoulli { .. }) => {
-                line(*rows) + line(*cols)
-            }
-            (TopologySpec::Mesh { rows, cols }, DestSpec::Nearby { stop }) => {
+        let uniform_sources = self.traffic.source.is_uniform();
+        match (&self.topology, &self.traffic.pattern) {
+            // Every butterfly route is exactly k hops, whatever the
+            // source weighting.
+            (TopologySpec::Butterfly { k }, _) => *k as f64,
+            _ if !uniform_sources => self.mean_distance_from_rates(),
+            (TopologySpec::Mesh { rows, cols }, PatternSpec::Uniform) => line(*rows) + line(*cols),
+            (TopologySpec::Mesh { rows, cols }, PatternSpec::Nearby { stop }) => {
                 let mesh = Mesh2D::rect(*rows, *cols);
-                let w = NearbyWalk::new(stop);
+                let w = NearbyWalk::new(*stop);
                 let mut sum = 0.0;
                 for s in mesh.nodes() {
                     let (r1, c1) = mesh.coords(s);
@@ -625,51 +740,74 @@ impl Scenario {
                 }
                 sum / mesh.num_nodes() as f64
             }
-            (TopologySpec::Torus { n }, _) => Torus2D::new(*n).mean_distance(),
-            (TopologySpec::Hypercube { dim }, DestSpec::Bernoulli { p }) => *dim as f64 * p,
-            (TopologySpec::Hypercube { dim }, _) => *dim as f64 * 0.5,
-            (TopologySpec::Butterfly { k }, _) => *k as f64,
-            (TopologySpec::MeshKd { dims }, _) => dims.iter().map(|&d| line(d)).sum(),
+            (TopologySpec::Torus { n }, PatternSpec::Uniform) => Torus2D::new(*n).mean_distance(),
+            (TopologySpec::Hypercube { dim }, PatternSpec::Bernoulli { p }) => *dim as f64 * p,
+            (TopologySpec::Hypercube { dim }, PatternSpec::Uniform) => *dim as f64 * 0.5,
+            (TopologySpec::MeshKd { dims }, PatternSpec::Uniform) => {
+                dims.iter().map(|&d| line(d)).sum()
+            }
+            _ => self.mean_distance_from_rates(),
         }
     }
 
-    /// Per-edge arrival rates at `λ = 1` (closed form where available,
-    /// exact enumeration otherwise).
+    /// The conservation-law fallback: mean route length over generated
+    /// packets = `Σ_e λ_e / (λ × #sources)` evaluated at unit mean rate.
+    fn mean_distance_from_rates(&self) -> f64 {
+        total_rate(&self.unit_rates()) / self.num_sources() as f64
+    }
+
+    /// Mean-1 per-source rate weights of the workload (`None` = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails validation — call
+    /// [`Scenario::validate`] first.
+    fn source_weights(&self) -> Option<Vec<f64>> {
+        self.traffic
+            .source_weights(self.num_sources())
+            .unwrap_or_else(|e| panic!("invalid source model: {e}"))
+    }
+
+    /// Per-edge arrival rates at mean rate `λ = 1` (closed form where
+    /// available, exact weighted enumeration otherwise).
     fn unit_rates(&self) -> Vec<f64> {
-        fn enumerate<T, R, D>(topo: &T, router: &R, dest: &D, sources: &[NodeId]) -> Vec<f64>
-        where
-            T: Topology,
-            R: ObliviousRouter<T>,
-            D: DestSampler<T>,
-        {
-            edge_rates_enumerated(topo, router, dest, 1.0, sources)
-        }
-        match (&self.topology, self.router, self.dest) {
-            (TopologySpec::Mesh { rows, cols }, RouterSpec::Greedy, DestSpec::Uniform)
-                if rows == cols =>
+        let weights = self.source_weights();
+        let uniform_sources = weights.is_none();
+        let per_source = |n: usize| weights.clone().unwrap_or_else(|| vec![1.0; n]);
+        match (&self.topology, self.router, &self.traffic.pattern) {
+            (TopologySpec::Mesh { rows, cols }, RouterSpec::Greedy, PatternSpec::Uniform)
+                if rows == cols && uniform_sources =>
             {
                 mesh_thm6_rates(&Mesh2D::square(*rows), 1.0)
             }
-            (TopologySpec::Mesh { rows, cols }, router, dest) => {
+            (TopologySpec::Mesh { rows, cols }, router, pattern) => {
                 let mesh = Mesh2D::rect(*rows, *cols);
                 let sources = all_nodes(&mesh);
-                match (router, dest) {
-                    (RouterSpec::Greedy, DestSpec::Uniform) => {
-                        enumerate(&mesh, &GreedyXY, &UniformDest, &sources)
+                let per = per_source(sources.len());
+                match (router, pattern) {
+                    (RouterSpec::Greedy, PatternSpec::Nearby { stop }) => edge_rates_weighted(
+                        &mesh,
+                        &GreedyXY,
+                        &NearbyWalk::new(*stop),
+                        &per,
+                        &sources,
+                    ),
+                    (RouterSpec::Randomized, PatternSpec::Nearby { stop }) => edge_rates_weighted(
+                        &mesh,
+                        &RandomizedGreedy,
+                        &NearbyWalk::new(*stop),
+                        &per,
+                        &sources,
+                    ),
+                    (RouterSpec::Greedy, pattern) => {
+                        pattern_rates(&mesh, &GreedyXY, pattern, &per, &sources)
                     }
-                    (RouterSpec::Greedy, DestSpec::Nearby { stop }) => {
-                        enumerate(&mesh, &GreedyXY, &NearbyWalk::new(stop), &sources)
+                    (RouterSpec::Randomized, pattern) => {
+                        pattern_rates(&mesh, &RandomizedGreedy, pattern, &per, &sources)
                     }
-                    (RouterSpec::Randomized, DestSpec::Uniform) => {
-                        enumerate(&mesh, &RandomizedGreedy, &UniformDest, &sources)
-                    }
-                    (RouterSpec::Randomized, DestSpec::Nearby { stop }) => {
-                        enumerate(&mesh, &RandomizedGreedy, &NearbyWalk::new(stop), &sources)
-                    }
-                    _ => panic!("mesh scenarios do not support the Bernoulli destination"),
                 }
             }
-            (TopologySpec::Torus { n }, _, _) => {
+            (TopologySpec::Torus { n }, _, PatternSpec::Uniform) if uniform_sources => {
                 let torus = Torus2D::new(*n);
                 let (pos, neg) = torus_row_rates(*n, 1.0);
                 torus
@@ -680,44 +818,98 @@ impl Scenario {
                     })
                     .collect()
             }
-            (TopologySpec::Hypercube { dim }, _, dest) => {
-                let p = match dest {
-                    DestSpec::Bernoulli { p } => p,
-                    _ => 0.5,
-                };
-                vec![p; dim << dim]
+            (TopologySpec::Torus { n }, _, pattern) => {
+                let torus = Torus2D::new(*n);
+                let sources = all_nodes(&torus);
+                let per = per_source(sources.len());
+                pattern_rates(&torus, &TorusGreedy, pattern, &per, &sources)
             }
-            (TopologySpec::Butterfly { k }, _, _) => vec![0.5; k << (k + 1)],
-            (TopologySpec::MeshKd { dims }, _, _) => {
+            (TopologySpec::Hypercube { dim }, _, pattern) => {
+                let closed = match pattern {
+                    PatternSpec::Bernoulli { p } => Some(*p),
+                    PatternSpec::Uniform => Some(0.5),
+                    _ => None,
+                };
+                match closed {
+                    Some(p) if uniform_sources => vec![p; dim << dim],
+                    _ => {
+                        let cube = Hypercube::new(*dim);
+                        let sources = all_nodes(&cube);
+                        let per = per_source(sources.len());
+                        if let PatternSpec::Bernoulli { p } = pattern {
+                            edge_rates_weighted(
+                                &cube,
+                                &DimOrder,
+                                &BernoulliDest::new(*p),
+                                &per,
+                                &sources,
+                            )
+                        } else {
+                            pattern_rates(&cube, &DimOrder, pattern, &per, &sources)
+                        }
+                    }
+                }
+            }
+            // The butterfly's pattern is always uniform output rows
+            // (validated); only the source weighting can vary.
+            (TopologySpec::Butterfly { k }, _, _) if uniform_sources => vec![0.5; k << (k + 1)],
+            (TopologySpec::Butterfly { k }, _, _) => {
+                let b = Butterfly::new(*k);
+                let sources: Vec<NodeId> = (0..b.rows()).map(|w| b.node(0, w)).collect();
+                let per = per_source(sources.len());
+                edge_rates_weighted(&b, &ButterflyRouter, &ButterflyOutput, &per, &sources)
+            }
+            (TopologySpec::MeshKd { dims }, _, pattern) => {
                 let kd = MeshKD::new(dims);
                 let sources = all_nodes(&kd);
-                enumerate(&kd, &KdGreedy, &UniformDest, &sources)
+                let per = per_source(sources.len());
+                pattern_rates(&kd, &KdGreedy, pattern, &per, &sources)
             }
         }
     }
 
-    /// Peak per-edge rate at `λ = 1`, without materializing the rate vector
-    /// when a closed form exists.
+    /// Peak per-edge rate at mean rate `λ = 1`, without materializing the
+    /// rate vector when a closed form exists.
     fn peak_unit_rate(&self) -> f64 {
-        match (&self.topology, self.router, self.dest) {
-            (TopologySpec::Mesh { rows, cols }, RouterSpec::Greedy, DestSpec::Uniform)
-                if rows == cols =>
-            {
-                mesh_max_rate(*rows, 1.0)
+        if self.traffic.source.is_uniform() {
+            match (&self.topology, self.router, &self.traffic.pattern) {
+                (TopologySpec::Mesh { rows, cols }, RouterSpec::Greedy, PatternSpec::Uniform)
+                    if rows == cols =>
+                {
+                    return mesh_max_rate(*rows, 1.0)
+                }
+                (TopologySpec::Torus { n }, _, PatternSpec::Uniform) => {
+                    return torus_row_rates(*n, 1.0).0
+                }
+                (TopologySpec::Hypercube { .. }, _, PatternSpec::Bernoulli { p }) => return *p,
+                (TopologySpec::Hypercube { .. }, _, PatternSpec::Uniform) => return 0.5,
+                (TopologySpec::Butterfly { .. }, _, _) => return 0.5,
+                _ => {}
             }
-            (TopologySpec::Torus { n }, _, _) => torus_row_rates(*n, 1.0).0,
-            (TopologySpec::Hypercube { .. }, _, DestSpec::Bernoulli { p }) => p,
-            (TopologySpec::Hypercube { .. }, _, _) => 0.5,
-            (TopologySpec::Butterfly { .. }, _, _) => 0.5,
-            _ => self.unit_rates().into_iter().fold(0.0, f64::max),
         }
+        self.unit_rates().into_iter().fold(0.0, f64::max)
     }
 
     // ----------------------------------------------------------------
     // Validation.
     // ----------------------------------------------------------------
 
-    /// Checks that the combination of topology, router, destination, load
+    /// The concrete topology's verdict on a permutation kind (the
+    /// topology objects own the address arithmetic, so they own the
+    /// support rules too).
+    fn permutation_support(&self, kind: PermutationKind) -> Result<(), String> {
+        match &self.topology {
+            TopologySpec::Mesh { rows, cols } => {
+                Mesh2D::rect(*rows, *cols).supports_permutation(kind)
+            }
+            TopologySpec::Torus { n } => Torus2D::new(*n).supports_permutation(kind),
+            TopologySpec::Hypercube { dim } => Hypercube::new(*dim).supports_permutation(kind),
+            TopologySpec::Butterfly { k } => Butterfly::new(*k).supports_permutation(kind),
+            TopologySpec::MeshKd { dims } => MeshKD::new(dims).supports_permutation(kind),
+        }
+    }
+
+    /// Checks that the combination of topology, router, workload, load
     /// and knobs is runnable.
     ///
     /// # Errors
@@ -731,20 +923,71 @@ impl Scenario {
         if self.router == RouterSpec::Randomized && !is_mesh {
             return bad("the randomized greedy router exists only on the mesh".into());
         }
-        match (self.dest, &self.topology) {
-            (DestSpec::Nearby { .. }, t) if !matches!(t, TopologySpec::Mesh { .. }) => {
+        if matches!(self.topology, TopologySpec::Butterfly { .. })
+            && self.traffic.pattern != PatternSpec::Uniform
+        {
+            return bad(
+                "the butterfly supports only uniform output-row destinations (its sources \
+                 and destinations live on different levels)"
+                    .into(),
+            );
+        }
+        if let Err(e) = self.traffic.source.validate(self.num_sources()) {
+            return bad(e);
+        }
+        match (&self.traffic.pattern, &self.topology) {
+            (PatternSpec::Nearby { .. }, t) if !matches!(t, TopologySpec::Mesh { .. }) => {
                 return bad("the nearby destination walk exists only on the mesh".into());
             }
-            (DestSpec::Nearby { stop }, _) if !(stop > 0.0 && stop <= 1.0) => {
+            (PatternSpec::Nearby { stop }, _) if !(*stop > 0.0 && *stop <= 1.0) => {
                 return bad(format!("nearby stop probability {stop} outside (0, 1]"));
             }
-            (DestSpec::Bernoulli { .. }, t) if !matches!(t, TopologySpec::Hypercube { .. }) => {
+            (PatternSpec::Bernoulli { .. }, t) if !matches!(t, TopologySpec::Hypercube { .. }) => {
                 return bad("the Bernoulli destination exists only on the hypercube".into());
             }
             // p = 0 generates only self-packets: no traffic, and a
             // utilization load would resolve to λ = ∞.
-            (DestSpec::Bernoulli { p }, _) if !(p > 0.0 && p <= 1.0) => {
+            (PatternSpec::Bernoulli { p }, _) if !(*p > 0.0 && *p <= 1.0) => {
                 return bad(format!("Bernoulli flip probability {p} outside (0, 1]"));
+            }
+            (PatternSpec::Permutation { kind }, _) => {
+                if let Err(e) = self.permutation_support(*kind) {
+                    return bad(format!("{} on {}: {e}", kind, self.topology.label()));
+                }
+            }
+            (PatternSpec::Hotspot { node, frac }, _) => {
+                if !(frac.is_finite() && *frac > 0.0 && *frac <= 1.0) {
+                    return bad(format!("hotspot fraction {frac} outside (0, 1]"));
+                }
+                if let Some(i) = node {
+                    if *i >= self.topology.num_nodes() {
+                        return bad(format!(
+                            "hotspot node {i} out of range ({} has {} nodes)",
+                            self.topology.label(),
+                            self.topology.num_nodes()
+                        ));
+                    }
+                }
+            }
+            (PatternSpec::Matrix { rows }, _) => {
+                if self.traffic.source != SourceSpec::Uniform {
+                    return bad(
+                        "a traffic matrix fixes the per-source rates via its row sums; \
+                         leave the source model uniform"
+                            .into(),
+                    );
+                }
+                if rows.len() != self.topology.num_nodes() {
+                    return bad(format!(
+                        "traffic matrix has {} rows but {} has {} nodes",
+                        rows.len(),
+                        self.topology.label(),
+                        self.topology.num_nodes()
+                    ));
+                }
+                if let Err(e) = MatrixDest::from_rows(rows) {
+                    return bad(e);
+                }
             }
             _ => {}
         }
@@ -839,28 +1082,36 @@ impl Scenario {
             panic!("{e}");
         }
         let net = self.net_config(seed);
-        match (&self.topology, self.router, self.dest) {
-            (TopologySpec::Mesh { rows, cols }, router, dest) => {
+        match (&self.topology, self.router, &self.traffic.pattern) {
+            (TopologySpec::Mesh { rows, cols }, router, pattern) => {
                 let mesh = Mesh2D::rect(*rows, *cols);
                 let sat = if self.track_saturated && mesh.is_square() {
                     saturated_edges(&mesh)
                 } else {
                     Vec::new()
                 };
-                match (router, dest) {
-                    (RouterSpec::Greedy, DestSpec::Uniform) => {
+                if let Some(dest) = generic_dest_for(&mesh, pattern) {
+                    return match router {
+                        RouterSpec::Greedy => self.finish(mesh, GreedyXY, dest, net, &sat, None),
+                        RouterSpec::Randomized => {
+                            self.finish(mesh, RandomizedGreedy, dest, net, &sat, None)
+                        }
+                    };
+                }
+                match (router, pattern) {
+                    (RouterSpec::Greedy, PatternSpec::Uniform) => {
                         self.finish(mesh, GreedyXY, UniformDest, net, &sat, None)
                     }
-                    (RouterSpec::Greedy, DestSpec::Nearby { stop }) => {
-                        self.finish(mesh, GreedyXY, NearbyWalk::new(stop), net, &sat, None)
+                    (RouterSpec::Greedy, PatternSpec::Nearby { stop }) => {
+                        self.finish(mesh, GreedyXY, NearbyWalk::new(*stop), net, &sat, None)
                     }
-                    (RouterSpec::Randomized, DestSpec::Uniform) => {
+                    (RouterSpec::Randomized, PatternSpec::Uniform) => {
                         self.finish(mesh, RandomizedGreedy, UniformDest, net, &sat, None)
                     }
-                    (RouterSpec::Randomized, DestSpec::Nearby { stop }) => self.finish(
+                    (RouterSpec::Randomized, PatternSpec::Nearby { stop }) => self.finish(
                         mesh,
                         RandomizedGreedy,
-                        NearbyWalk::new(stop),
+                        NearbyWalk::new(*stop),
                         net,
                         &sat,
                         None,
@@ -868,27 +1119,36 @@ impl Scenario {
                     _ => unreachable!("validate() admits no other mesh combination"),
                 }
             }
-            (TopologySpec::Torus { n }, _, _) => {
-                self.finish(Torus2D::new(*n), TorusGreedy, UniformDest, net, &[], None)
+            (TopologySpec::Torus { n }, _, pattern) => {
+                let torus = Torus2D::new(*n);
+                match generic_dest_for(&torus, pattern) {
+                    Some(dest) => self.finish(torus, TorusGreedy, dest, net, &[], None),
+                    None => self.finish(torus, TorusGreedy, UniformDest, net, &[], None),
+                }
             }
-            (TopologySpec::Hypercube { dim }, _, DestSpec::Bernoulli { p }) => self.finish(
-                Hypercube::new(*dim),
-                DimOrder,
-                BernoulliDest::new(p),
-                net,
-                &[],
-                None,
-            ),
-            (TopologySpec::Hypercube { dim }, _, _) => {
-                self.finish(Hypercube::new(*dim), DimOrder, UniformDest, net, &[], None)
+            (TopologySpec::Hypercube { dim }, _, pattern) => {
+                let cube = Hypercube::new(*dim);
+                match pattern {
+                    PatternSpec::Bernoulli { p } => {
+                        self.finish(cube, DimOrder, BernoulliDest::new(*p), net, &[], None)
+                    }
+                    other => match generic_dest_for(&cube, other) {
+                        Some(dest) => self.finish(cube, DimOrder, dest, net, &[], None),
+                        None => self.finish(cube, DimOrder, UniformDest, net, &[], None),
+                    },
+                }
             }
             (TopologySpec::Butterfly { k }, _, _) => {
                 let b = Butterfly::new(*k);
                 let sources: Vec<NodeId> = (0..b.rows()).map(|w| b.node(0, w)).collect();
                 self.finish(b, ButterflyRouter, ButterflyOutput, net, &[], Some(sources))
             }
-            (TopologySpec::MeshKd { dims }, _, _) => {
-                self.finish(MeshKD::new(dims), KdGreedy, UniformDest, net, &[], None)
+            (TopologySpec::MeshKd { dims }, _, pattern) => {
+                let kd = MeshKD::new(dims);
+                match generic_dest_for(&kd, pattern) {
+                    Some(dest) => self.finish(kd, KdGreedy, dest, net, &[], None),
+                    None => self.finish(kd, KdGreedy, UniformDest, net, &[], None),
+                }
             }
         }
     }
@@ -923,9 +1183,13 @@ impl Scenario {
         R: Router<T>,
         D: DestSampler<T>,
     {
+        let lambda = net.lambda;
         let mut sim = NetworkSim::new(topo, router, dest, net);
         if let Some(s) = sources {
             sim = sim.with_sources(s);
+        }
+        if let Some(weights) = self.source_weights() {
+            sim = sim.with_source_rates(weights.into_iter().map(|w| w * lambda).collect());
         }
         if !sat.is_empty() {
             sim = sim.with_saturated_edges(sat);
@@ -942,16 +1206,20 @@ impl Scenario {
 
     /// Parses a compact scenario spec of the form
     /// `"<topology>:<size>[,key=value]…"`, e.g.
-    /// `"torus:8,util=0.9,horizon=5000,seed=7"` or
-    /// `"hypercube:6,dest=bernoulli:0.25,lambda=0.8"`.
+    /// `"torus:8,util=0.9,horizon=5000,seed=7"`,
+    /// `"mesh:8,traffic=transpose,util=0.5"` or
+    /// `"hypercube:6,traffic=bernoulli:0.25,lambda=0.8"`.
     ///
     /// Recognized keys: `router=greedy|randomized`,
-    /// `dest=uniform|nearby:<stop>|bernoulli:<p>`, exactly one of
-    /// `lambda=`/`rho=`/`util=`, and `horizon=`, `warmup=`, `seed=`,
-    /// `service=det|exp`, `slot=`, `sample=`, `self=`, `saturated=`,
-    /// `quantiles=`, `queues=` (booleans take `true`/`false`),
-    /// `engine=auto|heap|calendar`. Per-edge
-    /// `service_rates` have no spec syntax — set them on the builder.
+    /// `traffic=uniform|nearby:<stop>|bernoulli:<p>|transpose|bitrev|`
+    /// `bitcomp|shuffle|hotspot:<frac>[:<node>]` (with `dest=` kept as a
+    /// pre-PR-5 alias), `src=uniform|hotspot:<weight>[:<node>]`, exactly
+    /// one of `lambda=`/`rho=`/`util=`, and `horizon=`, `warmup=`,
+    /// `seed=`, `service=det|exp`, `slot=`, `sample=`, `self=`,
+    /// `saturated=`, `quantiles=`, `queues=` (booleans take
+    /// `true`/`false`), `engine=auto|heap|calendar`. Per-edge
+    /// `service_rates`, per-source rate vectors and traffic matrices have
+    /// no spec syntax — set them on the builder.
     ///
     /// # Errors
     ///
@@ -996,22 +1264,15 @@ impl Scenario {
                         }
                     };
                 }
-                "dest" => {
-                    sc.dest = match value.split_once(':') {
-                        None if value == "uniform" => DestSpec::Uniform,
-                        Some(("nearby", stop)) => DestSpec::Nearby {
-                            stop: f64_of("dest=nearby", stop)?,
-                        },
-                        Some(("bernoulli", p)) => DestSpec::Bernoulli {
-                            p: f64_of("dest=bernoulli", p)?,
-                        },
-                        _ => {
-                            return Err(ScenarioError::parse(format!(
-                                "unknown destination `{value}` (expected uniform, \
-                                 nearby:<stop> or bernoulli:<p>)"
-                            )))
-                        }
-                    };
+                // `dest=` is the pre-PR-5 spelling; both keys accept the
+                // full pattern grammar.
+                "traffic" | "dest" => {
+                    sc.traffic.pattern =
+                        PatternSpec::parse_token(value).map_err(ScenarioError::parse)?;
+                }
+                "src" => {
+                    sc.traffic.source =
+                        SourceSpec::parse_token(value).map_err(ScenarioError::parse)?;
                 }
                 "lambda" | "rho" | "util" => {
                     if load_seen {
@@ -1065,19 +1326,26 @@ impl Scenario {
     }
 
     /// Renders the scenario as a spec string that [`Scenario::parse`]
-    /// accepts; non-default knobs only. The one lossy field is
-    /// `service_rates`, which has no spec syntax (a per-edge vector does
-    /// not fit a one-line spec).
+    /// accepts; non-default knobs only. The lossy fields are
+    /// `service_rates`, `SourceSpec::Rates` vectors and
+    /// `PatternSpec::Matrix` matrices, which have no spec syntax (a
+    /// per-edge or per-pair table does not fit a one-line spec) and are
+    /// omitted.
     #[must_use]
     pub fn spec_string(&self) -> String {
         let mut s = self.topology.spec_head();
         if self.router == RouterSpec::Randomized {
             s.push_str(",router=randomized");
         }
-        match self.dest {
-            DestSpec::Uniform => {}
-            DestSpec::Nearby { stop } => s.push_str(&format!(",dest=nearby:{stop}")),
-            DestSpec::Bernoulli { p } => s.push_str(&format!(",dest=bernoulli:{p}")),
+        if self.traffic.pattern != PatternSpec::Uniform {
+            if let Some(token) = self.traffic.pattern.spec_token() {
+                s.push_str(&format!(",traffic={token}"));
+            }
+        }
+        if !self.traffic.source.is_uniform() {
+            if let Some(token) = self.traffic.source.spec_token() {
+                s.push_str(&format!(",src={token}"));
+            }
         }
         match self.load {
             Load::Lambda(l) => s.push_str(&format!(",lambda={l}")),
@@ -1179,7 +1447,7 @@ mod tests {
         assert!((mesh.lambda() - 0.32).abs() < 1e-12);
         // Hypercube utilization: λp = ρ.
         let hc = Scenario::hypercube(6)
-            .dest(DestSpec::Bernoulli { p: 0.25 })
+            .pattern(PatternSpec::Bernoulli { p: 0.25 })
             .load(Load::Utilization(0.5));
         assert!((hc.lambda() - 2.0).abs() < 1e-12);
         assert!((hc.peak_utilization() - 0.5).abs() < 1e-12);
@@ -1207,9 +1475,102 @@ mod tests {
     fn nearby_mean_distance_below_uniform() {
         let uniform = Scenario::mesh(6).mean_distance();
         let nearby = Scenario::mesh(6)
-            .dest(DestSpec::Nearby { stop: 0.5 })
+            .traffic(TrafficSpec::nearby(0.5))
             .mean_distance();
         assert!(nearby < uniform, "nearby {nearby} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn pattern_mean_distances_follow_geometry() {
+        // Bit-complement on an n×n mesh: every source travels
+        // (n−1−2r)+(n−1−2c) ... averaged = 2·mean|n−1−2c| over c.
+        let n = 8usize;
+        let per_axis: f64 = (0..n)
+            .map(|c| (n as f64 - 1.0 - 2.0 * c as f64).abs())
+            .sum::<f64>()
+            / n as f64;
+        let got = Scenario::mesh(n)
+            .traffic(TrafficSpec::bit_complement())
+            .mean_distance();
+        assert!((got - 2.0 * per_axis).abs() < 1e-9, "{got}");
+        // Transpose mean distance: E|r − c| × 2 over uniform (r, c).
+        let mut sum = 0.0;
+        for r in 0..n {
+            for c in 0..n {
+                sum += 2.0 * r.abs_diff(c) as f64;
+            }
+        }
+        let expect = sum / (n * n) as f64;
+        let got = Scenario::mesh(n)
+            .traffic(TrafficSpec::transpose())
+            .mean_distance();
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn hotspot_and_weighted_sources_resolve_utilization_loads() {
+        // Peak utilization must hit the requested ρ exactly, computed from
+        // the workload's actual rate vector.
+        for sc in [
+            Scenario::mesh(6)
+                .traffic(TrafficSpec::hotspot(0.3))
+                .load(Load::Utilization(0.6)),
+            Scenario::mesh(6)
+                .traffic(TrafficSpec::transpose())
+                .load(Load::Utilization(0.6)),
+            Scenario::torus(4)
+                .traffic(TrafficSpec::bit_complement())
+                .load(Load::Utilization(0.6)),
+            Scenario::mesh(5)
+                .source(SourceSpec::Hotspot {
+                    node: None,
+                    weight: 5.0,
+                })
+                .load(Load::Utilization(0.6)),
+        ] {
+            sc.validate().unwrap();
+            assert!(
+                (sc.peak_utilization() - 0.6).abs() < 1e-9,
+                "{}: {}",
+                sc.spec_string(),
+                sc.peak_utilization()
+            );
+            let rates = sc.edge_rates();
+            let peak = rates.iter().fold(0.0f64, |a, &b| a.max(b));
+            assert!((peak - 0.6).abs() < 1e-9, "{}", sc.spec_string());
+        }
+    }
+
+    #[test]
+    fn transpose_stresses_the_mesh_less_than_uniform_per_unit_lambda() {
+        // The transpose pattern's peak edge rate differs from uniform's;
+        // stability thresholds must reflect the actual pattern.
+        let uniform = Scenario::mesh(8).stability_lambda();
+        let transpose = Scenario::mesh(8)
+            .traffic(TrafficSpec::transpose())
+            .stability_lambda();
+        assert!(transpose > 0.0 && uniform > 0.0);
+        assert_ne!(transpose.to_bits(), uniform.to_bits());
+    }
+
+    #[test]
+    fn matrix_workload_rates_match_the_matrix() {
+        // A 2×2 mesh with a single flow 0 → 3 (one right edge + one down
+        // edge, rate = λ·weight of the lone source).
+        let n_nodes = 4;
+        let mut rows = vec![vec![0.0; n_nodes]; n_nodes];
+        rows[0][3] = 2.0;
+        let sc = Scenario::mesh(2)
+            .traffic(TrafficSpec::matrix(rows))
+            .load(Load::Lambda(0.1));
+        sc.validate().unwrap();
+        let rates = sc.edge_rates();
+        // Mean per-source rate 0.1 over 4 sources → total γ = 0.4, all of
+        // it from source 0, route length 2 → Σ rates = 0.8.
+        assert!((total_rate(&rates) - 0.8).abs() < 1e-12);
+        let positive = rates.iter().filter(|&&r| r > 0.0).count();
+        assert_eq!(positive, 2);
+        assert!((sc.mean_distance() - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -1238,11 +1599,11 @@ mod tests {
             .validate()
             .is_err());
         assert!(Scenario::hypercube(4)
-            .dest(DestSpec::Nearby { stop: 0.5 })
+            .traffic(TrafficSpec::nearby(0.5))
             .validate()
             .is_err());
         assert!(Scenario::mesh(4)
-            .dest(DestSpec::Bernoulli { p: 0.5 })
+            .traffic(TrafficSpec::bernoulli(0.5))
             .validate()
             .is_err());
         assert!(Scenario::mesh(4)
@@ -1255,6 +1616,92 @@ mod tests {
             .validate()
             .is_err());
         assert!(Scenario::mesh(4).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_workloads() {
+        // Transpose needs a square array.
+        assert!(Scenario::mesh_rect(3, 5)
+            .traffic(TrafficSpec::transpose())
+            .validate()
+            .is_err());
+        // Bit reversal needs power-of-two extents.
+        assert!(Scenario::mesh(5)
+            .traffic(TrafficSpec::bit_reversal())
+            .validate()
+            .is_err());
+        // Odd-dimension hypercube has no transpose.
+        assert!(Scenario::hypercube(5)
+            .traffic(TrafficSpec::transpose())
+            .validate()
+            .is_err());
+        // The butterfly takes no pattern at all.
+        assert!(Scenario::butterfly(3)
+            .traffic(TrafficSpec::hotspot(0.2))
+            .validate()
+            .is_err());
+        // Hotspot fraction and node must be in range.
+        assert!(Scenario::mesh(4)
+            .traffic(TrafficSpec::hotspot(0.0))
+            .validate()
+            .is_err());
+        assert!(Scenario::mesh(4)
+            .traffic(TrafficSpec::hotspot_at(0.2, 99))
+            .validate()
+            .is_err());
+        // Source hotspot index out of range; zero weight.
+        assert!(Scenario::mesh(4)
+            .source(SourceSpec::Hotspot {
+                node: Some(16),
+                weight: 2.0
+            })
+            .validate()
+            .is_err());
+        assert!(Scenario::mesh(4)
+            .source(SourceSpec::Rates {
+                rates: vec![0.0; 16]
+            })
+            .validate()
+            .is_err());
+        // Matrices must be square, node-count sized, and ride uniform
+        // sources.
+        assert!(Scenario::mesh(4)
+            .traffic(TrafficSpec::matrix(vec![vec![1.0; 3]; 3]))
+            .validate()
+            .is_err());
+        assert!(Scenario::mesh(2)
+            .traffic(
+                TrafficSpec::matrix(vec![vec![1.0; 4]; 4]).sources(SourceSpec::Hotspot {
+                    node: None,
+                    weight: 2.0
+                })
+            )
+            .validate()
+            .is_err());
+        // And the supported shapes pass.
+        assert!(Scenario::mesh(4)
+            .traffic(TrafficSpec::transpose())
+            .validate()
+            .is_ok());
+        assert!(Scenario::mesh(8)
+            .traffic(TrafficSpec::bit_reversal())
+            .validate()
+            .is_ok());
+        assert!(Scenario::hypercube(6)
+            .traffic(TrafficSpec::shuffle())
+            .validate()
+            .is_ok());
+        assert!(Scenario::torus(5)
+            .traffic(TrafficSpec::hotspot(0.5))
+            .validate()
+            .is_ok());
+        assert!(Scenario::butterfly(3)
+            .source(SourceSpec::Hotspot {
+                node: Some(0),
+                weight: 3.0
+            })
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -1283,7 +1730,7 @@ mod tests {
                 .load(Load::Utilization(0.9))
                 .horizon(5_000.0),
             Scenario::hypercube(6)
-                .dest(DestSpec::Bernoulli { p: 0.25 })
+                .traffic(TrafficSpec::bernoulli(0.25))
                 .load(Load::Lambda(0.8))
                 .service(ServiceKind::Exponential),
             Scenario::butterfly(4)
@@ -1294,11 +1741,35 @@ mod tests {
                 .slot(1.0),
             Scenario::mesh(5)
                 .router(RouterSpec::Randomized)
-                .dest(DestSpec::Nearby { stop: 0.5 })
+                .traffic(TrafficSpec::nearby(0.5))
                 .load(Load::Lambda(0.1))
                 .track_saturated(true)
                 .include_self_packets(false)
                 .delay_quantiles(true),
+            Scenario::mesh(8)
+                .traffic(TrafficSpec::transpose())
+                .load(Load::Utilization(0.5)),
+            Scenario::mesh(8)
+                .traffic(TrafficSpec::bit_reversal())
+                .load(Load::Lambda(0.05)),
+            Scenario::torus(4)
+                .traffic(TrafficSpec::shuffle())
+                .load(Load::Lambda(0.1)),
+            Scenario::mesh(6)
+                .traffic(TrafficSpec::hotspot(0.25))
+                .load(Load::Lambda(0.02)),
+            Scenario::mesh(6)
+                .traffic(TrafficSpec::hotspot_at(0.4, 7))
+                .load(Load::Lambda(0.02)),
+            Scenario::mesh(5)
+                .source(SourceSpec::Hotspot {
+                    node: None,
+                    weight: 4.0,
+                })
+                .load(Load::Lambda(0.05)),
+            Scenario::hypercube(6)
+                .traffic(TrafficSpec::bit_complement())
+                .load(Load::Utilization(0.3)),
             Scenario::mesh(6)
                 .load(Load::TableRho(0.4))
                 .engine(EngineSpec::Heap),
@@ -1329,6 +1800,13 @@ mod tests {
             "torus:8,router=randomized",
             "mesh:4,seed=-1",
             "mesh:4,engine=quantum",
+            "mesh:4,traffic=warp",
+            "mesh:4,traffic=hotspot",
+            "mesh:3x5,traffic=transpose",
+            "mesh:5,traffic=bitrev",
+            "mesh:4,src=hotspot",
+            "mesh:4,src=rates",
+            "butterfly:3,traffic=transpose",
         ] {
             assert!(Scenario::parse(spec).is_err(), "`{spec}` should not parse");
         }
@@ -1341,6 +1819,31 @@ mod tests {
         assert_eq!(sc.seed, 7);
         assert!(sc.lambda() > 0.0);
         let sc = Scenario::parse("hypercube:6,dest=bernoulli:0.25,lambda=0.8").unwrap();
-        assert_eq!(sc.dest, DestSpec::Bernoulli { p: 0.25 });
+        assert_eq!(sc.traffic.pattern, PatternSpec::Bernoulli { p: 0.25 });
+        // The `dest=` spelling is a pre-PR-5 alias for `traffic=`.
+        let via_traffic = Scenario::parse("hypercube:6,traffic=bernoulli:0.25,lambda=0.8").unwrap();
+        assert_eq!(via_traffic, sc);
+        let sc = Scenario::parse("mesh:8,traffic=transpose,util=0.5,src=hotspot:4:0").unwrap();
+        assert_eq!(
+            sc.traffic.pattern,
+            PatternSpec::Permutation {
+                kind: PermutationKind::Transpose
+            }
+        );
+        assert_eq!(
+            sc.traffic.source,
+            SourceSpec::Hotspot {
+                node: Some(0),
+                weight: 4.0
+            }
+        );
+    }
+
+    #[test]
+    fn deprecated_dest_shim_maps_onto_traffic() {
+        #[allow(deprecated)]
+        let old = Scenario::mesh(6).dest(DestSpec::Nearby { stop: 0.5 });
+        let new = Scenario::mesh(6).traffic(TrafficSpec::nearby(0.5));
+        assert_eq!(old, new);
     }
 }

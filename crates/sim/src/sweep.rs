@@ -32,6 +32,7 @@ use crate::scenario::{
     DestSpec, RouterSpec, Scenario, ScenarioError, TopologySpec, DEFAULT_HORIZON, DEFAULT_WARMUP,
 };
 use crate::service::ServiceKind;
+use crate::traffic::{PatternSpec, SourceSpec};
 use meshbound_queueing::load::Load;
 use serde::{Deserialize, Serialize};
 
@@ -113,8 +114,13 @@ pub struct SweepSpec {
     pub loads: Vec<Load>,
     /// Router axis.
     pub routers: Vec<RouterSpec>,
-    /// Destination axis.
-    pub dests: Vec<DestSpec>,
+    /// Traffic-pattern axis (the destination side of the workload; the
+    /// grammar key is `traffic=`, with `dest=` kept as the pre-PR-5
+    /// alias). Matrix workloads have no grammar token and are
+    /// builder-only at the [`Scenario`] level.
+    pub patterns: Vec<PatternSpec>,
+    /// Source model shared by every cell (`src=` clause; not an axis).
+    pub source: SourceSpec,
     /// Engine axis (defaults to `[Auto]`). Engines produce bit-identical
     /// results and share per-cell seeds, so an `engine=` axis measures
     /// pure wall-clock differences — the perf-ablation use case.
@@ -148,7 +154,8 @@ impl SweepSpec {
             topologies: Vec::new(),
             loads: Vec::new(),
             routers: vec![RouterSpec::Greedy],
-            dests: vec![DestSpec::Uniform],
+            patterns: vec![PatternSpec::Uniform],
+            source: SourceSpec::Uniform,
             engines: vec![EngineSpec::Auto],
             service: ServiceKind::Deterministic,
             reps: 1,
@@ -182,11 +189,29 @@ impl SweepSpec {
         self
     }
 
-    /// Sets the destination axis.
+    /// Sets the traffic-pattern axis.
     #[must_use]
-    pub fn dests(mut self, dests: Vec<DestSpec>) -> Self {
-        self.dests = dests;
+    pub fn patterns(mut self, patterns: Vec<PatternSpec>) -> Self {
+        self.patterns = patterns;
         self
+    }
+
+    /// Sets the shared source model.
+    #[must_use]
+    pub fn source(mut self, source: SourceSpec) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Sets the destination axis (pre-PR-5 shim over
+    /// [`SweepSpec::patterns`]).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `patterns` with `PatternSpec` values instead"
+    )]
+    #[must_use]
+    pub fn dests(self, dests: Vec<DestSpec>) -> Self {
+        self.patterns(dests.into_iter().map(PatternSpec::from).collect())
     }
 
     /// Sets the engine axis.
@@ -237,12 +262,12 @@ impl SweepSpec {
         self.topologies.len()
             * self.loads.len()
             * self.routers.len()
-            * self.dests.len()
+            * self.patterns.len()
             * self.engines.len()
     }
 
     /// Expands the grid into concrete scenarios, topology-major
-    /// (`for topology { for load { for router { for dest } } }`).
+    /// (`for topology { for load { for router { for traffic } } }`).
     ///
     /// Every cell gets a seed derived from the sweep seed and the cell's
     /// own parameters (see [`SweepSpec::cell_seed`]), so the expansion is a
@@ -260,7 +285,7 @@ impl SweepSpec {
             ("topo", self.topologies.len()),
             ("load", self.loads.len()),
             ("router", self.routers.len()),
-            ("dest", self.dests.len()),
+            ("traffic", self.patterns.len()),
             ("engine", self.engines.len()),
             ("reps", self.reps),
         ] {
@@ -270,16 +295,28 @@ impl SweepSpec {
                 )));
             }
         }
+        if let Some(p) = self
+            .patterns
+            .iter()
+            .find(|p| matches!(p, PatternSpec::Matrix { .. }))
+        {
+            return Err(SweepError::InvalidCell(format!(
+                "`{}` traffic has no sweep grammar — run matrix workloads through \
+                 `Scenario` directly",
+                p.label()
+            )));
+        }
         let mut cells = Vec::with_capacity(self.num_cells());
         let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
         for topology in &self.topologies {
             for &load in &self.loads {
                 for &router in &self.routers {
-                    for &dest in &self.dests {
+                    for pattern in &self.patterns {
                         for &engine in &self.engines {
                             let mut sc = Scenario::new(topology.clone())
                                 .router(router)
-                                .dest(dest)
+                                .pattern(pattern.clone())
+                                .source(self.source.clone())
                                 .load(load)
                                 .service(self.service)
                                 .track_saturated(self.track_saturated)
@@ -350,7 +387,12 @@ impl SweepSpec {
     /// topo=mesh:5|mesh:10|torus:8     (required; any Scenario topology head)
     /// load=rho:0.2|util:0.9|lambda:0.1 (required; convention:value pairs)
     /// router=greedy|randomized         (default greedy)
-    /// dest=uniform|nearby:0.5|bernoulli:0.25 (default uniform)
+    /// traffic=uniform|transpose|hotspot:0.2 (default uniform; also
+    ///                                  nearby:<stop>, bernoulli:<p>,
+    ///                                  bitrev, bitcomp, shuffle,
+    ///                                  hotspot:<frac>:<node>; `dest=` is
+    ///                                  the pre-PR-5 alias)
+    /// src=uniform|hotspot:4[:<node>]   (shared source model, not an axis)
     /// engine=auto|heap|calendar        (default auto; a perf ablation axis)
     /// service=det|exp                  (default det)
     /// reps=2      seed=7               (defaults 1 and 1)
@@ -379,7 +421,9 @@ impl SweepSpec {
             let (key, value) = clause
                 .split_once('=')
                 .ok_or_else(|| bad(format!("expected `key=value`, got `{clause}`")))?;
-            if !seen_keys.insert(key) {
+            // `traffic=` and `dest=` spell the same axis.
+            let canonical = if key == "dest" { "traffic" } else { key };
+            if !seen_keys.insert(canonical) {
                 return Err(bad(format!("duplicate clause `{key}=`")));
             }
             match key {
@@ -410,12 +454,15 @@ impl SweepSpec {
                         })
                         .collect::<Result<_, _>>()?;
                 }
-                "dest" => {
-                    sweep.dests = split_axis(value)
+                "traffic" | "dest" => {
+                    sweep.patterns = split_axis(value)
                         .map_err(bad)?
                         .into_iter()
-                        .map(|item| parse_dest(item).map_err(bad))
+                        .map(|item| PatternSpec::parse_token(item).map_err(bad))
                         .collect::<Result<_, _>>()?;
+                }
+                "src" => {
+                    sweep.source = SourceSpec::parse_token(value).map_err(bad)?;
                 }
                 "engine" => {
                     sweep.engines = split_axis(value)
@@ -545,20 +592,24 @@ impl SweepSpec {
                     .join("|"),
             );
         }
-        if self.dests != [DestSpec::Uniform] {
-            out.push_str(" dest=");
+        if self.patterns != [PatternSpec::Uniform] {
+            out.push_str(" traffic=");
             out.push_str(
                 &self
-                    .dests
+                    .patterns
                     .iter()
-                    .map(|d| match d {
-                        DestSpec::Uniform => "uniform".to_string(),
-                        DestSpec::Nearby { stop } => format!("nearby:{stop}"),
-                        DestSpec::Bernoulli { p } => format!("bernoulli:{p}"),
+                    .map(|p| {
+                        p.spec_token()
+                            .expect("matrix patterns are builder-only and cannot reach a sweep")
                     })
                     .collect::<Vec<_>>()
                     .join("|"),
             );
+        }
+        if !self.source.is_uniform() {
+            if let Some(token) = self.source.spec_token() {
+                out.push_str(&format!(" src={token}"));
+            }
         }
         if self.engines != [EngineSpec::Auto] {
             out.push_str(" engine=");
@@ -622,23 +673,6 @@ fn parse_load(item: &str) -> Result<Load, String> {
         "lambda" => Ok(Load::Lambda(v)),
         other => Err(format!(
             "unknown load convention `{other}` (expected rho, util or lambda)"
-        )),
-    }
-}
-
-fn parse_dest(item: &str) -> Result<DestSpec, String> {
-    match item.split_once(':') {
-        None if item == "uniform" => Ok(DestSpec::Uniform),
-        Some(("nearby", stop)) => stop
-            .parse::<f64>()
-            .map(|stop| DestSpec::Nearby { stop })
-            .map_err(|_| format!("bad stop probability in `{item}`")),
-        Some(("bernoulli", p)) => p
-            .parse::<f64>()
-            .map(|p| DestSpec::Bernoulli { p })
-            .map_err(|_| format!("bad flip probability in `{item}`")),
-        _ => Err(format!(
-            "unknown destination `{item}` (expected uniform, nearby:<stop> or bernoulli:<p>)"
         )),
     }
 }
@@ -775,8 +809,28 @@ mod tests {
             SweepSpec::new()
                 .topologies(vec![TopologySpec::Hypercube { dim: 5 }])
                 .loads(vec![Load::Utilization(0.5), Load::Lambda(0.25)])
-                .dests(vec![DestSpec::Uniform, DestSpec::Bernoulli { p: 0.25 }])
+                .patterns(vec![
+                    PatternSpec::Uniform,
+                    PatternSpec::Bernoulli { p: 0.25 },
+                ])
                 .service(ServiceKind::Exponential),
+            SweepSpec::new()
+                .topologies(vec![TopologySpec::Mesh { rows: 4, cols: 4 }])
+                .loads(vec![Load::Utilization(0.3)])
+                .patterns(vec![
+                    PatternSpec::Uniform,
+                    PatternSpec::Permutation {
+                        kind: meshbound_routing::pattern::PermutationKind::Transpose,
+                    },
+                    PatternSpec::Hotspot {
+                        node: None,
+                        frac: 0.25,
+                    },
+                ])
+                .source(SourceSpec::Hotspot {
+                    node: Some(0),
+                    weight: 4.0,
+                }),
             small().horizon(HorizonPolicy::Auto {
                 base: 1_500.0,
                 cap: 12_000.0,
@@ -814,9 +868,55 @@ mod tests {
             "topo=mesh:5 load=rho:0.5 reps=none",
             "topo=mesh:5 load=rho:0.5 engine=quantum",
             "topo=mesh:5 load=rho:0.5 engine=heap|",
+            "topo=mesh:5 load=rho:0.5 traffic=warp",
+            "topo=mesh:5 load=rho:0.5 traffic=uniform dest=uniform",
+            "topo=mesh:5 load=rho:0.5 src=rates",
         ] {
             assert!(SweepSpec::parse(spec).is_err(), "`{spec}` should not parse");
         }
+    }
+
+    #[test]
+    fn traffic_axis_expands_and_round_trips() {
+        let sweep = SweepSpec::parse(
+            "topo=mesh:4 load=util:0.3 traffic=uniform|transpose|hotspot:0.25 \
+             horizon=400 warmup=40",
+        )
+        .unwrap();
+        assert_eq!(sweep.num_cells(), 3);
+        let cells = sweep.expand().unwrap();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].traffic.pattern, PatternSpec::Uniform);
+        assert!(matches!(
+            cells[1].traffic.pattern,
+            PatternSpec::Permutation { .. }
+        ));
+        assert!(matches!(
+            cells[2].traffic.pattern,
+            PatternSpec::Hotspot { .. }
+        ));
+        // Every cell's spec string round-trips through Scenario::parse.
+        for cell in &cells {
+            let parsed = Scenario::parse(&cell.spec_string()).unwrap();
+            assert_eq!(&parsed, cell, "{}", cell.spec_string());
+        }
+        // And the sweep grammar round-trips through its own spec string.
+        assert_eq!(SweepSpec::parse(&sweep.spec_string()).unwrap(), sweep);
+        // `dest=` parses as an alias for `traffic=`.
+        let legacy = SweepSpec::parse(
+            "topo=mesh:4 load=util:0.3 dest=uniform|transpose|hotspot:0.25 \
+             horizon=400 warmup=40",
+        )
+        .unwrap();
+        assert_eq!(legacy, sweep);
+    }
+
+    #[test]
+    fn matrix_patterns_cannot_enter_a_sweep() {
+        let sweep = small().patterns(vec![PatternSpec::Matrix {
+            rows: vec![vec![1.0; 16]; 16],
+        }]);
+        assert!(matches!(sweep.expand(), Err(SweepError::InvalidCell(_))));
     }
 
     #[test]

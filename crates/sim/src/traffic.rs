@@ -1,0 +1,580 @@
+//! [`TrafficSpec`]: the first-class workload description a
+//! [`Scenario`](crate::Scenario) carries.
+//!
+//! A workload has two sides, and `TrafficSpec` owns both:
+//!
+//! * a **source model** ([`SourceSpec`]) — identical Poisson sources (the
+//!   paper's standard model), an explicit per-source rate vector, or
+//!   hotspot-weighted sources where one node generates a multiple of the
+//!   others' rate;
+//! * a **destination model** ([`PatternSpec`]) — uniform (the paper),
+//!   §5.2's nearby walk, §4.5's Bernoulli hypercube distribution, the
+//!   classic address permutations (transpose, bit-reversal,
+//!   bit-complement, shuffle), hotspot destinations, or an explicit
+//!   traffic matrix which fixes *both* sides at once.
+//!
+//! Loads keep their meaning: the resolved λ is the **mean** per-source
+//! rate, so `γ = λ × #sources` holds for every source model, and
+//! utilization-style loads resolve against the workload's actual edge-rate
+//! vector.
+//!
+//! The compact spec grammar writes a workload as `traffic=<pattern>` plus
+//! an optional `src=<model>` clause; per-node rate vectors and traffic
+//! matrices are builder-only (they do not fit a one-line spec), like
+//! per-edge `service_rates`.
+
+use meshbound_routing::pattern::PermutationKind;
+use serde::{Deserialize, Serialize};
+
+/// The source side of a workload: who generates packets, and how fast
+/// relative to each other. The scenario's load fixes the **mean**
+/// per-source rate; the source model only shapes the distribution around
+/// that mean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceSpec {
+    /// Identical Poisson sources (the paper's model).
+    Uniform,
+    /// One hot source generates `weight` times the rate of every other
+    /// source. `node: None` means the middle-index source
+    /// (`#sources / 2` — on a 2-D grid that is a row-start node, not the
+    /// geometric center; pass an explicit index for precise placement).
+    Hotspot {
+        /// Index into the scenario's source list (node id everywhere
+        /// except the butterfly, whose sources are the level-0 inputs).
+        node: Option<usize>,
+        /// Rate multiple of the hot source relative to the others; must be
+        /// positive (values below 1 make it a *cold* spot).
+        weight: f64,
+    },
+    /// Explicit relative per-source rates (normalized to mean 1 at
+    /// resolution time). Builder-only: no spec-string syntax.
+    Rates {
+        /// One non-negative relative rate per source, at least one
+        /// positive.
+        rates: Vec<f64>,
+    },
+}
+
+impl SourceSpec {
+    /// Whether this is the uniform model (no per-source rate vector
+    /// needed).
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, SourceSpec::Uniform)
+    }
+
+    /// Mean-1-normalized per-source weights, so `λ × weight_i` is source
+    /// `i`'s rate and the total arrival rate stays `λ × #sources`.
+    /// Returns `None` for the uniform model.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shape/value problems (see [`SourceSpec::validate`]).
+    pub fn weights(&self, num_sources: usize) -> Result<Option<Vec<f64>>, String> {
+        self.validate(num_sources)?;
+        match self {
+            SourceSpec::Uniform => Ok(None),
+            SourceSpec::Hotspot { node, weight } => {
+                let hot = node.unwrap_or(num_sources / 2);
+                let mut w = vec![1.0; num_sources];
+                w[hot] = *weight;
+                Ok(Some(mean_normalize(w)))
+            }
+            SourceSpec::Rates { rates } => Ok(Some(mean_normalize(rates.clone()))),
+        }
+    }
+
+    /// Checks the model against a source count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason: out-of-range hot index,
+    /// non-positive weight, wrong vector length, negative or all-zero
+    /// rates.
+    pub fn validate(&self, num_sources: usize) -> Result<(), String> {
+        match self {
+            SourceSpec::Uniform => Ok(()),
+            SourceSpec::Hotspot { node, weight } => {
+                if !(weight.is_finite() && *weight > 0.0) {
+                    return Err(format!("hotspot source weight {weight} must be positive"));
+                }
+                if let Some(i) = node {
+                    if *i >= num_sources {
+                        return Err(format!(
+                            "hotspot source index {i} out of range (have {num_sources} sources)"
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            SourceSpec::Rates { rates } => {
+                if rates.len() != num_sources {
+                    return Err(format!(
+                        "source rate vector has {} entries but the scenario has {num_sources} \
+                         sources",
+                        rates.len()
+                    ));
+                }
+                if !rates.iter().all(|r| r.is_finite() && *r >= 0.0) {
+                    return Err("every source rate must be finite and non-negative".into());
+                }
+                if !rates.iter().any(|&r| r > 0.0) {
+                    return Err("source rate vector is all zero (no traffic)".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The spec-grammar token, or `None` for builder-only models
+    /// (`Rates`).
+    #[must_use]
+    pub fn spec_token(&self) -> Option<String> {
+        match self {
+            SourceSpec::Uniform => Some("uniform".into()),
+            SourceSpec::Hotspot { node, weight } => Some(match node {
+                Some(i) => format!("hotspot:{weight}:{i}"),
+                None => format!("hotspot:{weight}"),
+            }),
+            SourceSpec::Rates { .. } => None,
+        }
+    }
+
+    /// Parses a `src=` token (`uniform` or `hotspot:<weight>[:<node>]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed token.
+    pub fn parse_token(s: &str) -> Result<Self, String> {
+        match s.split(':').collect::<Vec<_>>().as_slice() {
+            ["uniform"] => Ok(SourceSpec::Uniform),
+            ["hotspot", w] => Ok(SourceSpec::Hotspot {
+                node: None,
+                weight: num(w, "hotspot source weight")?,
+            }),
+            ["hotspot", w, i] => Ok(SourceSpec::Hotspot {
+                node: Some(index(i, "hotspot source index")?),
+                weight: num(w, "hotspot source weight")?,
+            }),
+            _ => Err(format!(
+                "unknown source model `{s}` (expected uniform or hotspot:<weight>[:<node>])"
+            )),
+        }
+    }
+
+    /// Short human-readable label (`"uniform"`, `"hotspot:4"`, `"rates"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.spec_token().unwrap_or_else(|| "rates".into())
+    }
+}
+
+/// The destination side of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PatternSpec {
+    /// Uniform over all nodes (the paper's standard model; uniform output
+    /// rows on the butterfly).
+    Uniform,
+    /// §5.2's "nearby" stopping-walk distribution (mesh only).
+    Nearby {
+        /// Per-node stopping probability in `(0, 1]`.
+        stop: f64,
+    },
+    /// §4.5's per-bit Bernoulli distribution (hypercube only).
+    Bernoulli {
+        /// Per-dimension flip probability in `(0, 1]`.
+        p: f64,
+    },
+    /// A classic address permutation (transpose, bit-reversal,
+    /// bit-complement, shuffle); topology support is checked by
+    /// [`meshbound_routing::pattern::PatternTopology`].
+    Permutation {
+        /// Which permutation.
+        kind: PermutationKind,
+    },
+    /// A fraction of every source's traffic converges on one hot node,
+    /// the rest stays uniform.
+    Hotspot {
+        /// The hot node id; `None` means the topology's geometrically
+        /// central node (the middle coordinate tuple on grids).
+        node: Option<usize>,
+        /// Fraction of traffic aimed at the hot node, in `(0, 1]`.
+        frac: f64,
+    },
+    /// An explicit traffic matrix: `rows[s][d]` is the relative rate of
+    /// the `s → d` flow. Fixes both sides of the workload (row sums give
+    /// the per-source rates), so it requires a uniform [`SourceSpec`].
+    /// Builder-only: no spec-string syntax.
+    Matrix {
+        /// The square relative-rate matrix (`num_nodes × num_nodes`).
+        rows: Vec<Vec<f64>>,
+    },
+}
+
+impl PatternSpec {
+    /// The spec-grammar token, or `None` for builder-only patterns
+    /// (`Matrix`).
+    #[must_use]
+    pub fn spec_token(&self) -> Option<String> {
+        match self {
+            PatternSpec::Uniform => Some("uniform".into()),
+            PatternSpec::Nearby { stop } => Some(format!("nearby:{stop}")),
+            PatternSpec::Bernoulli { p } => Some(format!("bernoulli:{p}")),
+            PatternSpec::Permutation { kind } => Some(kind.as_str().into()),
+            PatternSpec::Hotspot { node, frac } => Some(match node {
+                Some(i) => format!("hotspot:{frac}:{i}"),
+                None => format!("hotspot:{frac}"),
+            }),
+            PatternSpec::Matrix { .. } => None,
+        }
+    }
+
+    /// Parses a `traffic=` token: `uniform`, `nearby:<stop>`,
+    /// `bernoulli:<p>`, a permutation name, or `hotspot:<frac>[:<node>]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed token.
+    pub fn parse_token(s: &str) -> Result<Self, String> {
+        if let Ok(kind) = PermutationKind::parse_str(s) {
+            return Ok(PatternSpec::Permutation { kind });
+        }
+        match s.split(':').collect::<Vec<_>>().as_slice() {
+            ["uniform"] => Ok(PatternSpec::Uniform),
+            ["nearby", stop] => Ok(PatternSpec::Nearby {
+                stop: num(stop, "nearby stop probability")?,
+            }),
+            ["bernoulli", p] => Ok(PatternSpec::Bernoulli {
+                p: num(p, "bernoulli flip probability")?,
+            }),
+            ["hotspot", f] => Ok(PatternSpec::Hotspot {
+                node: None,
+                frac: num(f, "hotspot fraction")?,
+            }),
+            ["hotspot", f, i] => Ok(PatternSpec::Hotspot {
+                node: Some(index(i, "hotspot node")?),
+                frac: num(f, "hotspot fraction")?,
+            }),
+            _ => Err(format!(
+                "unknown traffic pattern `{s}` (expected uniform, nearby:<stop>, \
+                 bernoulli:<p>, transpose, bitrev, bitcomp, shuffle or \
+                 hotspot:<frac>[:<node>])"
+            )),
+        }
+    }
+
+    /// Short human-readable label (`"transpose"`, `"hotspot:0.2"`,
+    /// `"matrix[16]"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PatternSpec::Matrix { rows } => format!("matrix[{}]", rows.len()),
+            other => other.spec_token().expect("only Matrix lacks a token"),
+        }
+    }
+}
+
+/// A complete workload: source model plus destination model.
+///
+/// The default (`uniform` sources, `uniform` destinations) is exactly the
+/// paper's standard model and is bit-identical to the historical scalar-λ
+/// path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Who generates packets, and at what relative rates.
+    pub source: SourceSpec,
+    /// Where packets go.
+    pub pattern: PatternSpec,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+impl TrafficSpec {
+    /// The paper's standard model: identical sources, uniform
+    /// destinations.
+    #[must_use]
+    pub fn uniform() -> Self {
+        Self {
+            source: SourceSpec::Uniform,
+            pattern: PatternSpec::Uniform,
+        }
+    }
+
+    /// Uniform sources with the given destination pattern.
+    #[must_use]
+    pub fn with_pattern(pattern: PatternSpec) -> Self {
+        Self {
+            source: SourceSpec::Uniform,
+            pattern,
+        }
+    }
+
+    /// A permutation workload.
+    #[must_use]
+    pub fn permutation(kind: PermutationKind) -> Self {
+        Self::with_pattern(PatternSpec::Permutation { kind })
+    }
+
+    /// The transpose permutation.
+    #[must_use]
+    pub fn transpose() -> Self {
+        Self::permutation(PermutationKind::Transpose)
+    }
+
+    /// The bit-reversal permutation.
+    #[must_use]
+    pub fn bit_reversal() -> Self {
+        Self::permutation(PermutationKind::BitReversal)
+    }
+
+    /// The bit-complement permutation.
+    #[must_use]
+    pub fn bit_complement() -> Self {
+        Self::permutation(PermutationKind::BitComplement)
+    }
+
+    /// The perfect-shuffle permutation.
+    #[must_use]
+    pub fn shuffle() -> Self {
+        Self::permutation(PermutationKind::Shuffle)
+    }
+
+    /// A destination hotspot at the center node.
+    #[must_use]
+    pub fn hotspot(frac: f64) -> Self {
+        Self::with_pattern(PatternSpec::Hotspot { node: None, frac })
+    }
+
+    /// A destination hotspot at an explicit node.
+    #[must_use]
+    pub fn hotspot_at(frac: f64, node: usize) -> Self {
+        Self::with_pattern(PatternSpec::Hotspot {
+            node: Some(node),
+            frac,
+        })
+    }
+
+    /// An explicit traffic matrix (`rows[s][d]` = relative `s → d` rate).
+    #[must_use]
+    pub fn matrix(rows: Vec<Vec<f64>>) -> Self {
+        Self::with_pattern(PatternSpec::Matrix { rows })
+    }
+
+    /// §5.2's nearby walk with uniform sources.
+    #[must_use]
+    pub fn nearby(stop: f64) -> Self {
+        Self::with_pattern(PatternSpec::Nearby { stop })
+    }
+
+    /// §4.5's Bernoulli hypercube distribution with uniform sources.
+    #[must_use]
+    pub fn bernoulli(p: f64) -> Self {
+        Self::with_pattern(PatternSpec::Bernoulli { p })
+    }
+
+    /// Replaces the source model.
+    #[must_use]
+    pub fn sources(mut self, source: SourceSpec) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Whether this is exactly the paper's standard model (the fast
+    /// closed-form paths apply).
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.source.is_uniform() && self.pattern == PatternSpec::Uniform
+    }
+
+    /// Mean-1-normalized per-source rate weights, or `None` when every
+    /// source generates at the same rate. For matrix workloads the weights
+    /// come from the row sums (the matrix fixes both sides).
+    ///
+    /// # Errors
+    ///
+    /// Propagates source-model and matrix shape rejections.
+    pub fn source_weights(&self, num_sources: usize) -> Result<Option<Vec<f64>>, String> {
+        if let PatternSpec::Matrix { rows } = &self.pattern {
+            let sums: Vec<f64> = rows.iter().map(|r| r.iter().sum()).collect();
+            let spec = SourceSpec::Rates { rates: sums };
+            return spec.weights(num_sources);
+        }
+        self.source.weights(num_sources)
+    }
+
+    /// Short human-readable label: the pattern label, prefixed with the
+    /// source label when sources are non-uniform (e.g.
+    /// `"src:hotspot:4+uniform"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.source.is_uniform() {
+            self.pattern.label()
+        } else {
+            format!("src:{}+{}", self.source.label(), self.pattern.label())
+        }
+    }
+}
+
+fn mean_normalize(mut w: Vec<f64>) -> Vec<f64> {
+    let mean = w.iter().sum::<f64>() / w.len() as f64;
+    for x in &mut w {
+        *x /= mean;
+    }
+    w
+}
+
+fn num(s: &str, what: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .map_err(|_| format!("bad number `{s}` for {what}"))
+}
+
+fn index(s: &str, what: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("bad index `{s}` for {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_weights_normalize_to_mean_one() {
+        let w = SourceSpec::Hotspot {
+            node: Some(0),
+            weight: 4.0,
+        }
+        .weights(4)
+        .unwrap()
+        .unwrap();
+        assert!((w.iter().sum::<f64>() - 4.0).abs() < 1e-12);
+        assert!((w[0] / w[1] - 4.0).abs() < 1e-12);
+        assert_eq!(SourceSpec::Uniform.weights(9).unwrap(), None);
+    }
+
+    #[test]
+    fn source_validation_rejects_bad_shapes() {
+        assert!(SourceSpec::Hotspot {
+            node: Some(9),
+            weight: 2.0
+        }
+        .validate(4)
+        .is_err());
+        assert!(SourceSpec::Hotspot {
+            node: None,
+            weight: 0.0
+        }
+        .validate(4)
+        .is_err());
+        assert!(SourceSpec::Rates {
+            rates: vec![1.0; 3]
+        }
+        .validate(4)
+        .is_err());
+        assert!(SourceSpec::Rates {
+            rates: vec![0.0; 4]
+        }
+        .validate(4)
+        .is_err());
+        assert!(SourceSpec::Rates {
+            rates: vec![0.0, 1.0, 0.0, 2.0]
+        }
+        .validate(4)
+        .is_ok());
+    }
+
+    #[test]
+    fn matrix_weights_come_from_row_sums() {
+        let t = TrafficSpec::matrix(vec![
+            vec![0.0, 3.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ]);
+        let w = t.source_weights(3).unwrap().unwrap();
+        // Row sums 3, 1, 0 → mean-normalized 9/4, 3/4, 0.
+        assert!((w[0] - 2.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+        assert_eq!(w[2], 0.0);
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        let patterns = [
+            PatternSpec::Uniform,
+            PatternSpec::Nearby { stop: 0.5 },
+            PatternSpec::Bernoulli { p: 0.25 },
+            PatternSpec::Permutation {
+                kind: PermutationKind::Transpose,
+            },
+            PatternSpec::Permutation {
+                kind: PermutationKind::Shuffle,
+            },
+            PatternSpec::Hotspot {
+                node: None,
+                frac: 0.2,
+            },
+            PatternSpec::Hotspot {
+                node: Some(7),
+                frac: 0.4,
+            },
+        ];
+        for p in patterns {
+            let token = p.spec_token().unwrap();
+            assert_eq!(PatternSpec::parse_token(&token).unwrap(), p, "`{token}`");
+        }
+        let sources = [
+            SourceSpec::Uniform,
+            SourceSpec::Hotspot {
+                node: None,
+                weight: 4.0,
+            },
+            SourceSpec::Hotspot {
+                node: Some(3),
+                weight: 0.5,
+            },
+        ];
+        for s in sources {
+            let token = s.spec_token().unwrap();
+            assert_eq!(SourceSpec::parse_token(&token).unwrap(), s, "`{token}`");
+        }
+    }
+
+    #[test]
+    fn malformed_tokens_are_rejected() {
+        for t in [
+            "",
+            "nearby",
+            "hotspot",
+            "hotspot:x",
+            "hotspot:0.2:1:9",
+            "warp",
+        ] {
+            assert!(PatternSpec::parse_token(t).is_err(), "`{t}` should fail");
+        }
+        for t in ["", "hotspot", "hotspot:abc", "rates"] {
+            assert!(SourceSpec::parse_token(t).is_err(), "`{t}` should fail");
+        }
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(TrafficSpec::uniform().label(), "uniform");
+        assert_eq!(TrafficSpec::transpose().label(), "transpose");
+        assert_eq!(
+            TrafficSpec::matrix(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).label(),
+            "matrix[2]"
+        );
+        assert_eq!(
+            TrafficSpec::uniform()
+                .sources(SourceSpec::Hotspot {
+                    node: None,
+                    weight: 4.0
+                })
+                .label(),
+            "src:hotspot:4+uniform"
+        );
+    }
+}

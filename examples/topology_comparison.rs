@@ -13,7 +13,7 @@
 //! paper derives for it — the kind of apples-to-apples comparison an
 //! interconnect designer would run.
 
-use meshbound::{BoundsReport, DestSpec, Load, Scenario};
+use meshbound::{BoundsReport, Load, Scenario, TrafficSpec};
 use meshbound_repro::banner;
 
 fn main() {
@@ -28,7 +28,7 @@ fn main() {
     let scenarios = [
         Scenario::mesh(8),
         Scenario::torus(8),
-        Scenario::hypercube(6).dest(DestSpec::Bernoulli { p: 0.5 }),
+        Scenario::hypercube(6).traffic(TrafficSpec::bernoulli(0.5)),
         Scenario::butterfly(6),
         Scenario::mesh_kd(&[4, 4, 4]),
     ];

@@ -1,0 +1,94 @@
+//! Traffic patterns on one array: same network, very different workloads.
+//!
+//! ```text
+//! cargo run --release --example traffic_patterns
+//! ```
+//!
+//! The paper proves its bounds for uniform random destinations, but the
+//! technique only needs per-edge arrival rates — which the workspace can
+//! compute exactly for any oblivious workload. This example puts the
+//! classic interconnection-network workloads on an 8×8 array through the
+//! first-class `TrafficSpec` API:
+//!
+//! * each workload's **stability threshold** `λ*` (the λ at which its
+//!   busiest edge saturates) differs, because each pattern concentrates
+//!   load differently;
+//! * at matched peak utilization, `BoundsReport::compute_for` derives the
+//!   bounds from each workload's **own edge-rate vector**, and the
+//!   simulated delay lands between them.
+
+use meshbound::{BoundsReport, Load, Scenario, SourceSpec, TrafficSpec};
+use meshbound_repro::banner;
+
+fn main() {
+    let n = 8;
+    let util = 0.6;
+
+    banner(&format!(
+        "Workloads on the {n}x{n} array at peak edge utilization {util}"
+    ));
+    println!(
+        "{:<20} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "traffic", "λ*", "mean dist", "lower", "T (sim)", "upper", "gap"
+    );
+
+    let workloads = [
+        TrafficSpec::uniform(),
+        TrafficSpec::transpose(),
+        TrafficSpec::bit_reversal(),
+        TrafficSpec::bit_complement(),
+        TrafficSpec::shuffle(),
+        TrafficSpec::hotspot(0.15),
+        TrafficSpec::uniform().sources(SourceSpec::Hotspot {
+            node: None,
+            weight: 8.0,
+        }),
+    ];
+    for (i, traffic) in workloads.into_iter().enumerate() {
+        let sc = Scenario::mesh(n)
+            .traffic(traffic)
+            .load(Load::Utilization(util))
+            .horizon(20_000.0)
+            .warmup(2_000.0)
+            .seed(1 + i as u64);
+        let report = BoundsReport::compute_for(&sc);
+        let res = sc.run();
+        println!(
+            "{:<20} {:>9.4} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>9.2}",
+            sc.traffic.label(),
+            sc.stability_lambda(),
+            report.mean_distance,
+            report.lower_best,
+            res.avg_delay,
+            report.upper,
+            report.gap(),
+        );
+    }
+
+    banner("Uniform vs transpose across load");
+    println!("{:<6} {:>14} {:>14}", "ρ", "T uniform", "T transpose");
+    for rho in [0.2, 0.5, 0.8] {
+        let run = |traffic: TrafficSpec| {
+            Scenario::mesh(n)
+                .traffic(traffic)
+                .load(Load::Utilization(rho))
+                .horizon(10_000.0)
+                .warmup(1_000.0)
+                .seed(7)
+                .run()
+                .avg_delay
+        };
+        println!(
+            "{:<6} {:>14.3} {:>14.3}",
+            rho,
+            run(TrafficSpec::uniform()),
+            run(TrafficSpec::transpose()),
+        );
+    }
+    println!(
+        "\nTranspose routes are the same mean length as uniform's, but they\n\
+         concentrate on far fewer edges: its busiest edge saturates at a much\n\
+         lower λ* (see the first table), yet at *matched utilization* the\n\
+         uncongested edges leave transpose with the lower delay."
+    );
+}

@@ -5,7 +5,7 @@
 //! for bit.
 
 use meshbound::sim::SimResult;
-use meshbound::{DestSpec, EngineSpec, Load, RouterSpec, Scenario};
+use meshbound::{EngineSpec, Load, RouterSpec, Scenario, TrafficSpec};
 use proptest::prelude::*;
 
 /// Bitwise comparison of every deterministic `SimResult` field
@@ -121,7 +121,7 @@ fn engines_agree_for_randomized_router_fallback() {
 #[test]
 fn engines_agree_for_nonuniform_destinations_and_rates() {
     let sc = Scenario::mesh(4)
-        .dest(DestSpec::Nearby { stop: 0.4 })
+        .traffic(TrafficSpec::nearby(0.4))
         .load(Load::Lambda(0.15))
         .horizon(900.0)
         .warmup(90.0)
@@ -129,7 +129,7 @@ fn engines_agree_for_nonuniform_destinations_and_rates() {
         .service_rates(vec![1.5; 48]);
     check_all_engines(sc);
     let hc = Scenario::hypercube(4)
-        .dest(DestSpec::Bernoulli { p: 0.25 })
+        .traffic(TrafficSpec::bernoulli(0.25))
         .load(Load::Lambda(0.3))
         .horizon(600.0)
         .warmup(60.0)

@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "jackson_vs_fifo",
     "parameter_sweep",
     "topology_comparison",
+    "traffic_patterns",
 ];
 
 #[test]

@@ -4,7 +4,7 @@
 //! `BoundsReport::compute_for` stays ordered on every topology, and
 //! `Scenario::parse` round-trips.
 
-use meshbound::{BoundsReport, DestSpec, Load, Scenario, TopologySpec};
+use meshbound::{BoundsReport, Load, Scenario, TopologySpec, TrafficSpec};
 
 /// One light-load scenario per topology family (and the non-uniform
 /// destination variants), sized to finish in seconds.
@@ -20,7 +20,7 @@ fn light_load_scenarios() -> Vec<Scenario> {
         light(Scenario::mesh_rect(3, 6)),
         light(Scenario::torus(6)),
         light(Scenario::hypercube(5)),
-        light(Scenario::hypercube(5).dest(DestSpec::Bernoulli { p: 0.3 })),
+        light(Scenario::hypercube(5).traffic(TrafficSpec::bernoulli(0.3))),
         light(Scenario::butterfly(4)),
         light(Scenario::mesh_kd(&[3, 3, 3])),
     ]

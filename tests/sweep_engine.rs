@@ -145,7 +145,7 @@ fn json_report_contract() {
     // The torus's open upper bound must be null (valid JSON), never `inf`.
     assert!(json.contains("\"upper\":null"));
     let pretty = report.to_json_pretty();
-    assert!(pretty.contains("\n  \"schema\": \"meshbound.sweep/v2\""));
+    assert!(pretty.contains("\n  \"schema\": \"meshbound.sweep/v3\""));
 }
 
 #[test]
@@ -184,7 +184,7 @@ fn repro_sweep_cli_writes_checked_json() {
         String::from_utf8_lossy(&output.stderr),
     );
     let json = std::fs::read_to_string(&out).expect("JSON written");
-    assert!(json.contains("\"schema\": \"meshbound.sweep/v2\""));
+    assert!(json.contains("\"schema\": \"meshbound.sweep/v3\""));
     assert!(json.contains("\"all_within_bounds\": true"));
     let _ = std::fs::remove_file(&out);
     // A bad grammar and a bounds-violating check path must exit nonzero.

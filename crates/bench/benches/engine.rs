@@ -2,7 +2,8 @@
 //! throughput, and the engine comparison that feeds `BENCH_engine.json`.
 //!
 //! Running this bench always measures events/sec for every [`EngineSpec`]
-//! on the Table-I mesh workload (ρ = 0.8), asserts the engines agree bit
+//! on the Table-I mesh workload (ρ = 0.8) and on table-free hypercube
+//! shuffles (ρ = 0.5, up to 2¹⁶ nodes), asserts the engines agree bit
 //! for bit, and writes a schema-versioned JSON report to
 //! `$ENGINE_BENCH_OUT` (default `BENCH_engine.json`) — the first point of
 //! the perf trajectory CI archives. Pass `-- --smoke` for the reduced CI
@@ -10,18 +11,20 @@
 
 use criterion::{BatchSize, Criterion, Throughput};
 use meshbound::sim::events::{CalendarQueue, EventQueue, HeapQueue};
-use meshbound::{EngineSpec, Load, Scenario};
+use meshbound::{EngineSpec, Load, Scenario, TrafficSpec};
 use serde::Serialize;
 
 /// Schema identifier of the JSON report; bump on layout changes.
-const SCHEMA: &str = "meshbound.engine-bench/v1";
+/// v2: rows gained a `topo`/`nodes` axis and the table-free hypercube
+/// shuffle workloads joined the mesh sweep.
+const SCHEMA: &str = "meshbound.engine-bench/v2";
 
 #[derive(Serialize)]
 struct EngineBenchReport {
     schema: String,
     /// Human description of the measured workload.
     workload: String,
-    /// One row per (mesh size, engine).
+    /// One row per (workload size, engine).
     rows: Vec<Row>,
     /// Headline number: `Auto` vs `Heap` events/sec at the largest size.
     speedup_auto_vs_heap: f64,
@@ -30,7 +33,13 @@ struct EngineBenchReport {
 #[derive(Serialize, Clone)]
 struct Row {
     engine: String,
+    /// Topology family: `"mesh"` (Table-I uniform) or `"hypercube"`
+    /// (shuffle permutation, table-free above the route-table gate).
+    topo: String,
+    /// Size parameter: mesh side or hypercube dimension.
     n: usize,
+    /// Total node count — the scaling axis (`n²` or `2^n`).
+    nodes: usize,
     rho: f64,
     horizon: f64,
     /// Deterministic event count (identical across engines by contract).
@@ -41,6 +50,53 @@ struct Row {
     speedup_vs_heap: f64,
 }
 
+/// One measured point on the (topology, nodes) grid.
+struct Workload {
+    topo: &'static str,
+    n: usize,
+    nodes: usize,
+    rho: f64,
+    horizon: f64,
+}
+
+impl Workload {
+    fn mesh(n: usize, horizon: f64) -> Self {
+        Workload {
+            topo: "mesh",
+            n,
+            nodes: n * n,
+            rho: 0.8,
+            horizon,
+        }
+    }
+
+    /// Hypercube shuffle above the route-table gate: exercises the
+    /// table-free routing path the million-node scenarios rely on.
+    fn cube_shuffle(dim: usize, horizon: f64) -> Self {
+        Workload {
+            topo: "hypercube",
+            n: dim,
+            nodes: 1 << dim,
+            rho: 0.5,
+            horizon,
+        }
+    }
+
+    fn scenario(&self, engine: EngineSpec) -> Scenario {
+        let base = match self.topo {
+            "mesh" => Scenario::mesh(self.n).load(Load::TableRho(self.rho)),
+            "hypercube" => Scenario::hypercube(self.n)
+                .traffic(TrafficSpec::shuffle())
+                .load(Load::Utilization(self.rho)),
+            other => unreachable!("unknown workload topology {other}"),
+        };
+        base.horizon(self.horizon)
+            .warmup(self.horizon / 5.0)
+            .seed(13)
+            .engine(engine)
+    }
+}
+
 /// The cross-engine comparison: measures all engines at several sizes,
 /// asserts bit-identity, and assembles the JSON report.
 ///
@@ -49,32 +105,37 @@ struct Row {
 /// alike instead of biasing whichever ran during the bad stretch; the
 /// best round per engine is reported.
 fn engine_comparison(smoke: bool) -> EngineBenchReport {
-    // Horizons track real workloads (the Scenario default is 2000): engine
-    // setup is one-time, so unrealistically short runs would under-credit
-    // (or over-credit) whichever engine amortizes differently.
-    let sizes: &[(usize, f64)] = if smoke {
-        &[(5, 200.0), (10, 400.0)]
+    // Horizons track real workloads (the Scenario default is 2000, or 50
+    // above 4096 nodes): engine setup is one-time, so unrealistically
+    // short runs would under-credit (or over-credit) whichever engine
+    // amortizes differently.
+    let sizes: Vec<Workload> = if smoke {
+        vec![
+            Workload::mesh(5, 200.0),
+            Workload::mesh(10, 400.0),
+            Workload::cube_shuffle(10, 100.0),
+            Workload::cube_shuffle(14, 20.0),
+        ]
     } else {
-        &[(5, 500.0), (10, 1_000.0), (20, 1_000.0)]
+        vec![
+            Workload::mesh(5, 500.0),
+            Workload::mesh(10, 1_000.0),
+            Workload::mesh(20, 1_000.0),
+            Workload::cube_shuffle(10, 200.0),
+            Workload::cube_shuffle(14, 50.0),
+            Workload::cube_shuffle(16, 50.0),
+        ]
     };
     let engines = [EngineSpec::Heap, EngineSpec::Calendar, EngineSpec::Auto];
     let reps = if smoke { 3 } else { 5 };
     let mut rows = Vec::new();
     let mut headline = 0.0;
-    for &(n, horizon) in sizes {
-        let scenario = |engine: EngineSpec| {
-            Scenario::mesh(n)
-                .load(Load::TableRho(0.8))
-                .horizon(horizon)
-                .warmup(horizon / 5.0)
-                .seed(13)
-                .engine(engine)
-        };
+    for w in &sizes {
         let mut best = [0.0f64; 3];
         let mut fingerprint = [(0u64, 0u64); 3];
         for _ in 0..reps {
             for (slot, &engine) in engines.iter().enumerate() {
-                let res = scenario(engine).run();
+                let res = w.scenario(engine).run();
                 best[slot] = best[slot].max(res.events_per_sec);
                 fingerprint[slot] = (res.events_processed, res.avg_delay.to_bits());
             }
@@ -82,8 +143,8 @@ fn engine_comparison(smoke: bool) -> EngineBenchReport {
         for slot in 1..engines.len() {
             assert_eq!(
                 fingerprint[slot], fingerprint[0],
-                "engine {} diverged from heap on mesh n={n}",
-                engines[slot]
+                "engine {} diverged from heap on {} n={}",
+                engines[slot], w.topo, w.n
             );
         }
         let heap_eps = best[0];
@@ -94,9 +155,11 @@ fn engine_comparison(smoke: bool) -> EngineBenchReport {
             }
             rows.push(Row {
                 engine: engine.as_str().to_string(),
-                n,
-                rho: 0.8,
-                horizon,
+                topo: w.topo.to_string(),
+                n: w.n,
+                nodes: w.nodes,
+                rho: w.rho,
+                horizon: w.horizon,
                 events_processed: fingerprint[slot].0,
                 events_per_sec: best[slot],
                 speedup_vs_heap: speedup,
@@ -105,7 +168,8 @@ fn engine_comparison(smoke: bool) -> EngineBenchReport {
     }
     EngineBenchReport {
         schema: SCHEMA.to_string(),
-        workload: "Table-I square mesh, rho=0.8, seed 13".to_string(),
+        workload: "Table-I square mesh (rho=0.8) and hypercube shuffle (rho=0.5), seed 13"
+            .to_string(),
         rows,
         speedup_auto_vs_heap: headline,
     }
@@ -174,8 +238,14 @@ fn main() {
     println!("engine comparison ({}):", report.workload);
     for row in &report.rows {
         println!(
-            "  mesh n={:<3} {:<9} {:>10.0} events/s  ({:.2}x vs heap, {} events)",
-            row.n, row.engine, row.events_per_sec, row.speedup_vs_heap, row.events_processed
+            "  {:<9} n={:<3} ({:>6} nodes) {:<9} {:>10.0} events/s  ({:.2}x vs heap, {} events)",
+            row.topo,
+            row.n,
+            row.nodes,
+            row.engine,
+            row.events_per_sec,
+            row.speedup_vs_heap,
+            row.events_processed
         );
     }
     println!(

@@ -66,12 +66,13 @@ fn usage() -> String {
          \x20      repro [--quick] [--engine E] sweep <spec> [--out FILE] [--jobs N] [--check]\n\
          \n\
          scenario specs look like `torus:8,util=0.9,horizon=5000`,\n\
-         `mesh:8,traffic=transpose,util=0.5` or\n\
-         `hypercube:6,traffic=bernoulli:0.25,lambda=0.8` — topology head\n\
-         (mesh:N, mesh:RxC, torus:N, hypercube:D, butterfly:K, kd:AxBxC)\n\
-         followed by key=value options (router, traffic, src,\n\
-         lambda/rho/util, horizon, warmup, seed, service, slot, sample,\n\
-         self, saturated, quantiles, queues, engine).\n\
+         `mesh:8,traffic=transpose,util=0.5` or (quoted, whitespace and\n\
+         commas both separate) `\"hypercube:20 traffic=shuffle\n\
+         load=rho:0.5\"` — topology head (mesh:N, mesh:RxC, torus:N,\n\
+         hypercube:D, butterfly:K, kd:AxBxC) followed by key=value\n\
+         options (router, traffic, src, lambda/rho/util or\n\
+         load=<convention>:<value>, horizon, warmup, seed, service, slot,\n\
+         sample, self, saturated, quantiles, queues, engine).\n\
          \n\
          traffic= names the workload: uniform, nearby:<stop>,\n\
          bernoulli:<p>, transpose, bitrev, bitcomp, shuffle or\n\

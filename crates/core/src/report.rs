@@ -82,6 +82,11 @@ pub struct BoundsReport {
     /// Stability threshold with optimal capacity allocation, `6/(n+1)`
     /// (square mesh only, else 0).
     pub optimal_stability_lambda: f64,
+    /// Number of silent sources — all-zero traffic-matrix rows that
+    /// generate nothing. Zero for every non-matrix workload. Surfaced so a
+    /// mostly-zero matrix cannot masquerade as a healthy all-sources
+    /// workload (the offered load concentrates on the speaking rows).
+    pub silent_sources: usize,
 }
 
 impl BoundsReport {
@@ -114,6 +119,7 @@ impl BoundsReport {
             light_load_r: light_load_r(n),
             stability_lambda: mesh_stability_threshold(n),
             optimal_stability_lambda: optimal_stability_threshold(n),
+            silent_sources: 0,
         }
     }
 
@@ -194,6 +200,7 @@ impl BoundsReport {
             light_load_r: 0.0,
             stability_lambda: torus_bounds::stability_threshold(n),
             optimal_stability_lambda: 0.0,
+            silent_sources: sc.silent_sources(),
         }
     }
 
@@ -231,6 +238,7 @@ impl BoundsReport {
             light_load_r: 0.0,
             stability_lambda: 1.0 / p,
             optimal_stability_lambda: 0.0,
+            silent_sources: sc.silent_sources(),
         }
     }
 
@@ -266,6 +274,7 @@ impl BoundsReport {
             light_load_r: 0.0,
             stability_lambda: 2.0,
             optimal_stability_lambda: 0.0,
+            silent_sources: sc.silent_sources(),
         }
     }
 
@@ -319,6 +328,7 @@ impl BoundsReport {
             light_load_r: 0.0,
             stability_lambda: lambda / peak,
             optimal_stability_lambda: 0.0,
+            silent_sources: sc.silent_sources(),
         }
     }
 
@@ -378,6 +388,13 @@ impl BoundsReport {
             ));
         } else {
             s.push_str(&format!("  stability: λ < {:.4}\n", self.stability_lambda));
+        }
+        if self.silent_sources > 0 {
+            s.push_str(&format!(
+                "  WARNING: {} of {} sources are silent (all-zero matrix rows) — \
+                 the offered load concentrates on the remaining sources\n",
+                self.silent_sources, self.nodes
+            ));
         }
         s
     }
@@ -541,6 +558,26 @@ mod tests {
     fn heavy_traffic_gap_bounded_for_odd_n() {
         let r = BoundsReport::compute(9, Load::Utilization(0.9999));
         assert!(r.gap() < 6.0, "gap {}", r.gap());
+    }
+
+    #[test]
+    fn silent_sources_surface_in_the_report() {
+        let rows = vec![
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+        ];
+        let sc = Scenario::mesh(2)
+            .pattern(meshbound_sim::PatternSpec::Matrix { rows })
+            .load(Load::Lambda(0.1));
+        let r = BoundsReport::compute_for(&sc);
+        assert_eq!(r.silent_sources, 2);
+        assert!(r.to_text().contains("2 of 4 sources are silent"));
+        // Non-matrix workloads report zero and stay warning-free.
+        let r = BoundsReport::compute(8, Load::TableRho(0.5));
+        assert_eq!(r.silent_sources, 0);
+        assert!(!r.to_text().contains("silent"));
     }
 
     #[test]

@@ -16,6 +16,29 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// The sparse structure of a destination distribution at one source.
+///
+/// [`crate::rates::edge_rates_sparse`] uses this to replace the
+/// all-destinations weight scan with a walk over the few destinations that
+/// actually carry mass, turning permutation and hotspot rate vectors from
+/// `O(N² · route)` into `O(N · route)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DestSupport {
+    /// No sparse structure known: enumerate every destination.
+    Dense,
+    /// The mass at this source decomposes as
+    /// `weight(src, dst) = uniform / N + Σ_{(d, w) ∈ points, d = dst} w`:
+    /// a few point masses plus a remainder spread uniformly over all `N`
+    /// nodes.
+    Sparse {
+        /// Point masses `(destination, probability)`.
+        points: Vec<(NodeId, f64)>,
+        /// Total mass spread uniformly over all nodes (`0.0` for pure
+        /// point-mass patterns such as permutations and matrix rows).
+        uniform: f64,
+    },
+}
+
 /// A destination distribution over a topology.
 pub trait DestSampler<T: Topology> {
     /// Draws a destination for a packet generated at `src`.
@@ -23,6 +46,18 @@ pub trait DestSampler<T: Topology> {
 
     /// Probability that a packet generated at `src` is destined for `dst`.
     fn weight(&self, topo: &T, src: NodeId, dst: NodeId) -> f64;
+
+    /// The sparse support of the distribution at `src`, when one is known.
+    ///
+    /// The default reports [`DestSupport::Dense`] — no structure — which
+    /// keeps callers on the exact full-scan rate path. Samplers whose mass
+    /// concentrates on a few destinations (permutations, hotspots, sparse
+    /// matrix rows) override this so [`crate::rates::edge_rates_sparse`]
+    /// can skip the scan without changing a single computed value.
+    fn support(&self, topo: &T, src: NodeId) -> DestSupport {
+        let _ = (topo, src);
+        DestSupport::Dense
+    }
 }
 
 /// Convenience enum naming the built-in destination distributions.
@@ -51,6 +86,13 @@ impl<T: Topology> DestSampler<T> for UniformDest {
     #[inline]
     fn weight(&self, topo: &T, _: NodeId, _: NodeId) -> f64 {
         1.0 / topo.num_nodes() as f64
+    }
+
+    fn support(&self, _: &T, _: NodeId) -> DestSupport {
+        DestSupport::Sparse {
+            points: Vec::new(),
+            uniform: 1.0,
+        }
     }
 }
 

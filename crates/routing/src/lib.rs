@@ -39,7 +39,7 @@ pub mod torus;
 pub mod traffic;
 
 pub use butterfly::ButterflyRouter;
-pub use dest::DestDist;
+pub use dest::{DestDist, DestSupport};
 pub use greedy::GreedyXY;
 pub use hypercube::DimOrder;
 pub use kd::KdGreedy;
@@ -50,4 +50,6 @@ pub use randomized::{Order, RandomizedGreedy};
 pub use router::{ObliviousRouter, Router};
 pub use table::RouteTable;
 pub use torus::TorusGreedy;
-pub use traffic::{traffic_fixed_point, MarkovRouting};
+pub use traffic::{
+    traffic_fixed_point, try_traffic_fixed_point, MarkovRouting, TrafficConvergenceError,
+};

@@ -17,7 +17,7 @@
 //! All three implement [`DestSampler`] for every [`Topology`], so they
 //! plug into the simulator and the exact rate enumeration unchanged.
 
-use crate::dest::DestSampler;
+use crate::dest::{DestSampler, DestSupport};
 use meshbound_topology::{Butterfly, Hypercube, Mesh2D, MeshKD, NodeId, Topology, Torus2D};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -405,6 +405,13 @@ impl<T: PatternTopology> DestSampler<T> for PermutationDest {
             0.0
         }
     }
+
+    fn support(&self, topo: &T, src: NodeId) -> DestSupport {
+        DestSupport::Sparse {
+            points: vec![(topo.permutation_target(self.kind, src), 1.0)],
+            uniform: 0.0,
+        }
+    }
 }
 
 /// A hotspot workload: each packet targets the hot node with probability
@@ -452,6 +459,13 @@ impl<T: Topology> DestSampler<T> for HotspotDest {
             self.frac + uniform
         } else {
             uniform
+        }
+    }
+
+    fn support(&self, _: &T, _: NodeId) -> DestSupport {
+        DestSupport::Sparse {
+            points: vec![(self.hot, self.frac)],
+            uniform: 1.0 - self.frac,
         }
     }
 }
@@ -531,6 +545,17 @@ impl MatrixDest {
     pub fn size(&self) -> usize {
         self.n
     }
+
+    /// Number of all-zero rows — "silent sources" that generate no
+    /// traffic at all. A mostly-zero matrix can look like a healthy
+    /// workload (the rate vector and bounds are all finite), so the
+    /// scenario layer surfaces this count in its reports.
+    #[must_use]
+    pub fn silent_sources(&self) -> usize {
+        (0..self.n)
+            .filter(|s| self.cum[(s + 1) * self.n - 1] == 0.0)
+            .count()
+    }
 }
 
 impl<T: Topology> DestSampler<T> for MatrixDest {
@@ -548,6 +573,19 @@ impl<T: Topology> DestSampler<T> for MatrixDest {
 
     fn weight(&self, _: &T, src: NodeId, dst: NodeId) -> f64 {
         self.prob[src.index() * self.n + dst.index()]
+    }
+
+    fn support(&self, _: &T, src: NodeId) -> DestSupport {
+        let row = &self.prob[src.index() * self.n..(src.index() + 1) * self.n];
+        DestSupport::Sparse {
+            points: row
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w > 0.0)
+                .map(|(d, &w)| (NodeId(d as u32), w))
+                .collect(),
+            uniform: 0.0,
+        }
     }
 }
 
@@ -578,6 +616,14 @@ impl<T: PatternTopology> DestSampler<T> for GenericDest {
             GenericDest::Permutation(p) => p.weight(topo, src, dst),
             GenericDest::Hotspot(h) => h.weight(topo, src, dst),
             GenericDest::Matrix(m) => m.weight(topo, src, dst),
+        }
+    }
+
+    fn support(&self, topo: &T, src: NodeId) -> DestSupport {
+        match self {
+            GenericDest::Permutation(p) => p.support(topo, src),
+            GenericDest::Hotspot(h) => h.support(topo, src),
+            GenericDest::Matrix(m) => m.support(topo, src),
         }
     }
 }
@@ -774,6 +820,78 @@ mod tests {
             let d = mx.sample(&topo, NodeId(0), &mut r);
             assert_ne!(d, NodeId(9), "sampled a zero-weight destination");
         }
+    }
+
+    /// `support()` must reproduce `weight()` exactly at every destination:
+    /// `weight(src, dst) = uniform/N + Σ matching point masses`.
+    fn assert_support_matches_weights<T, D>(topo: &T, dest: &D)
+    where
+        T: Topology,
+        D: DestSampler<T>,
+    {
+        for src in topo.nodes() {
+            let DestSupport::Sparse { points, uniform } = dest.support(topo, src) else {
+                panic!("expected sparse support at {src}");
+            };
+            let base = uniform / topo.num_nodes() as f64;
+            for dst in topo.nodes() {
+                let mass: f64 = points
+                    .iter()
+                    .filter(|&&(d, _)| d == dst)
+                    .map(|&(_, w)| w)
+                    .sum();
+                let got = base + mass;
+                let want = dest.weight(topo, src, dst);
+                assert!(
+                    (got - want).abs() < 1e-15,
+                    "src {src}, dst {dst}: support gives {got}, weight gives {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_supports_reproduce_the_weights() {
+        let m = Mesh2D::square(4);
+        for kind in PermutationKind::ALL {
+            let p = PermutationDest::new(&m, kind).unwrap();
+            assert_support_matches_weights(&m, &p);
+            assert_support_matches_weights(&m, &GenericDest::Permutation(p));
+        }
+        let hot = HotspotDest::new(m.node(1, 1), 0.3);
+        assert_support_matches_weights(&m, &hot);
+        assert_support_matches_weights(&m, &GenericDest::Hotspot(hot));
+        let rows = vec![
+            vec![0.0, 2.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.25, 0.25, 0.25, 0.25],
+        ];
+        let mx = MatrixDest::from_rows(&rows).unwrap();
+        let small = Mesh2D::square(2);
+        assert_support_matches_weights(&small, &mx);
+        assert_support_matches_weights(&small, &GenericDest::Matrix(mx));
+        // The default implementation stays dense.
+        assert_eq!(
+            crate::dest::UniformDest.support(&m, m.node(0, 0)),
+            DestSupport::Sparse {
+                points: Vec::new(),
+                uniform: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn silent_sources_counts_all_zero_rows() {
+        let rows = vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let mx = MatrixDest::from_rows(&rows).unwrap();
+        assert_eq!(mx.silent_sources(), 2);
+        let dense = MatrixDest::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert_eq!(dense.silent_sources(), 0);
     }
 
     #[test]

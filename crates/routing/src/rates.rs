@@ -17,7 +17,7 @@
 //! * [`butterfly_rate`] — §4.5: all butterfly edges carry `λ/2`;
 //! * [`torus_row_rates`] — wraparound flow split for the torus of §6.
 
-use crate::dest::DestSampler;
+use crate::dest::{DestSampler, DestSupport};
 use crate::router::ObliviousRouter;
 use meshbound_topology::{Mesh2D, NodeId, Topology};
 
@@ -88,6 +88,90 @@ where
         }
     }
     rates
+}
+
+/// Sparse-support fast path for [`edge_rates_weighted`].
+///
+/// When every source's destination distribution decomposes as *a handful of
+/// point masses plus a shared uniform remainder*
+/// ([`DestSupport::Sparse`](crate::dest::DestSupport)), the exact rate sum
+/// splits the same way:
+///
+/// ```text
+/// λ_e = Σ_s λ_s · Σ_{(d, w) ∈ points(s)} w · P[path s→d crosses e]
+///       + uniform · λ_e^{uniform destinations}
+/// ```
+///
+/// The point-mass part costs O(points · route length) per source — for a
+/// permutation that is O(N · diameter) total instead of the O(N² · route)
+/// all-destinations scan — and the uniform remainder is delegated to
+/// `uniform_rates`, which must return the per-edge rates the **same**
+/// `rates_per_source` vector would induce under uniform destinations
+/// (typically a closed form such as [`mesh_thm6_rates`]), or `None` if no
+/// cheap form exists.
+///
+/// Returns `None` — caller falls back to enumeration — if any source reports
+/// dense support, if sources disagree on the uniform remainder mass, or if a
+/// uniform remainder is needed but `uniform_rates` declines.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn edge_rates_sparse<T, R, D, F>(
+    topo: &T,
+    router: &R,
+    dest: &D,
+    rates_per_source: &[f64],
+    sources: &[NodeId],
+    uniform_rates: F,
+) -> Option<Vec<f64>>
+where
+    T: Topology,
+    R: ObliviousRouter<T>,
+    D: DestSampler<T>,
+    F: FnOnce() -> Option<Vec<f64>>,
+{
+    assert_eq!(
+        rates_per_source.len(),
+        sources.len(),
+        "one rate per source required"
+    );
+    let mut rates = vec![0.0; topo.num_edges()];
+    let mut uniform_mass: Option<f64> = None;
+    for (&s, &rate) in sources.iter().zip(rates_per_source) {
+        let DestSupport::Sparse { points, uniform } = dest.support(topo, s) else {
+            return None;
+        };
+        match uniform_mass {
+            None => uniform_mass = Some(uniform),
+            Some(u) if u != uniform => return None,
+            Some(_) => {}
+        }
+        if rate == 0.0 {
+            continue;
+        }
+        for (d, w) in points {
+            if w == 0.0 {
+                continue;
+            }
+            for (p, path) in router.paths(topo, s, d) {
+                let contribution = rate * w * p;
+                for e in path {
+                    rates[e.index()] += contribution;
+                }
+            }
+        }
+    }
+    if let Some(uniform) = uniform_mass {
+        if uniform > 0.0 {
+            let base = uniform_rates()?;
+            debug_assert_eq!(base.len(), rates.len());
+            for (r, b) in rates.iter_mut().zip(&base) {
+                *r += uniform * b;
+            }
+        }
+    }
+    Some(rates)
 }
 
 /// All nodes of a topology, as a source list.
@@ -305,6 +389,62 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sparse_matches_weighted_on_patterns() {
+        use crate::pattern::{HotspotDest, MatrixDest, PermutationDest, PermutationKind};
+        let m = Mesh2D::square(4);
+        let srcs = all_nodes(&m);
+        let rates: Vec<f64> = (0..srcs.len()).map(|i| 0.1 + 0.01 * i as f64).collect();
+        let transpose = PermutationDest::new(&m, PermutationKind::Transpose).unwrap();
+        let slow = edge_rates_weighted(&m, &GreedyXY, &transpose, &rates, &srcs);
+        let fast = edge_rates_sparse(&m, &GreedyXY, &transpose, &rates, &srcs, || None).unwrap();
+        for (a, b) in slow.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Hotspot needs the uniform remainder; decline it and the fast path
+        // must bail rather than return wrong numbers.
+        let hot = HotspotDest::new(m.node(1, 2), 0.4);
+        assert!(edge_rates_sparse(&m, &GreedyXY, &hot, &rates, &srcs, || None).is_none());
+        let uniform_base = edge_rates_weighted(&m, &GreedyXY, &UniformDest, &rates, &srcs);
+        let slow = edge_rates_weighted(&m, &GreedyXY, &hot, &rates, &srcs);
+        let fast = edge_rates_sparse(&m, &GreedyXY, &hot, &rates, &srcs, || {
+            Some(uniform_base.clone())
+        })
+        .unwrap();
+        for (a, b) in slow.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Matrix rows with a silent source.
+        let rows = vec![
+            vec![0.0, 0.5, 0.5, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.2, 0.3, 0.5, 0.0],
+        ];
+        let mx = MatrixDest::from_rows(&rows).unwrap();
+        let small = Mesh2D::square(2);
+        let ssrc = all_nodes(&small);
+        let srates = vec![0.25; 4];
+        let slow = edge_rates_weighted(&small, &GreedyXY, &mx, &srates, &ssrc);
+        let fast = edge_rates_sparse(&small, &GreedyXY, &mx, &srates, &ssrc, || None).unwrap();
+        for (a, b) in slow.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Dense samplers decline.
+        let h = Hypercube::new(3);
+        let hsrc = all_nodes(&h);
+        let hrates = vec![0.1; hsrc.len()];
+        assert!(edge_rates_sparse(
+            &h,
+            &DimOrder,
+            &BernoulliDest::new(0.5),
+            &hrates,
+            &hsrc,
+            || None
+        )
+        .is_none());
     }
 
     #[test]

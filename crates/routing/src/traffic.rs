@@ -52,18 +52,53 @@ impl MarkovRouting {
     }
 }
 
+/// Fixed-point iteration ran out of sweeps before reaching tolerance.
+///
+/// Returned by [`try_traffic_fixed_point`]; carries enough state to decide
+/// whether to retry with a larger budget (small `residual`, nearly there) or
+/// to diagnose a genuinely non-contracting chain (`residual` stuck or
+/// growing, as for a routing loop with no exit probability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConvergenceError {
+    /// Number of sweeps performed (equals the `max_iter` budget).
+    pub iterations: usize,
+    /// Max-norm change of the rate vector over the final sweep.
+    pub residual: f64,
+    /// The tolerance that was requested.
+    pub tol: f64,
+}
+
+impl std::fmt::Display for TrafficConvergenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "traffic equations failed to converge in {} iterations (residual {:e}, tolerance {:e})",
+            self.iterations, self.residual, self.tol
+        )
+    }
+}
+
+impl std::error::Error for TrafficConvergenceError {}
+
 /// Solves the traffic equations by fixed-point iteration to absolute
 /// tolerance `tol` (at most `max_iter` sweeps).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if iteration fails to converge — which cannot happen for
-/// substochastic routing with exit probability bounded away from zero.
-#[must_use]
-pub fn traffic_fixed_point(routing: &MarkovRouting, tol: f64, max_iter: usize) -> Vec<f64> {
+/// Returns [`TrafficConvergenceError`] — with the final residual — if the
+/// budget runs out first. For substochastic routing with exit probability
+/// bounded away from zero convergence is geometric and this cannot happen
+/// with any reasonable budget; a chain with a closed cycle (row sum 1 along
+/// a loop) never converges and always lands here.
+pub fn try_traffic_fixed_point(
+    routing: &MarkovRouting,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vec<f64>, TrafficConvergenceError> {
     let n = routing.external.len();
     let mut lambda = routing.external.clone();
     let mut next = vec![0.0; n];
+    let mut residual = f64::INFINITY;
     for _ in 0..max_iter {
         next.copy_from_slice(&routing.external);
         for (e, row) in routing.transitions.iter().enumerate() {
@@ -75,17 +110,32 @@ pub fn traffic_fixed_point(routing: &MarkovRouting, tol: f64, max_iter: usize) -
                 next[to.index()] += flow * p;
             }
         }
-        let diff: f64 = lambda
+        residual = lambda
             .iter()
             .zip(&next)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
         std::mem::swap(&mut lambda, &mut next);
-        if diff < tol {
-            return lambda;
+        if residual < tol {
+            return Ok(lambda);
         }
     }
-    panic!("traffic equations failed to converge in {max_iter} iterations");
+    Err(TrafficConvergenceError {
+        iterations: max_iter,
+        residual,
+        tol,
+    })
+}
+
+/// Panicking convenience wrapper around [`try_traffic_fixed_point`].
+///
+/// # Panics
+///
+/// Panics if iteration fails to converge — which cannot happen for
+/// substochastic routing with exit probability bounded away from zero.
+#[must_use]
+pub fn traffic_fixed_point(routing: &MarkovRouting, tol: f64, max_iter: usize) -> Vec<f64> {
+    try_traffic_fixed_point(routing, tol, max_iter).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The edge-level Markov chain of greedy routing with uniform destinations
@@ -285,6 +335,31 @@ mod tests {
         let solved = traffic_fixed_point(&routing, 1e-14, 100);
         assert!((solved[0] - 1.0).abs() < 1e-12);
         assert!((solved[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_convergence_is_a_structured_error() {
+        // A closed 2-cycle with total row mass 1 circulates flow forever;
+        // the iterates oscillate and never meet any tolerance.
+        let loopy = MarkovRouting {
+            external: vec![1.0, 0.0],
+            transitions: vec![vec![(EdgeId(1), 1.0)], vec![(EdgeId(0), 1.0)]],
+        };
+        loopy.validate();
+        let err = try_traffic_fixed_point(&loopy, 1e-9, 50).unwrap_err();
+        assert_eq!(err.iterations, 50);
+        assert!(err.residual > err.tol, "residual {} stuck", err.residual);
+        let msg = err.to_string();
+        assert!(msg.contains("failed to converge in 50 iterations"), "{msg}");
+    }
+
+    #[test]
+    fn try_fixed_point_agrees_with_wrapper() {
+        let mesh = Mesh2D::square(4);
+        let routing = mesh_markov_routing(&mesh, 0.5);
+        let a = traffic_fixed_point(&routing, 1e-13, 10_000);
+        let b = try_traffic_fixed_point(&routing, 1e-13, 10_000).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -17,6 +17,26 @@ use serde::{Deserialize, Serialize};
 /// where the 20×20 mesh's 640 KiB table is still a clear win.)
 pub const ROUTE_TABLE_MAX_NODES: usize = 512;
 
+/// Node-count gate above which `Scenario::edge_rates` tries the
+/// sparse-support fast path
+/// ([`edge_rates_sparse`](meshbound_routing::rates::edge_rates_sparse))
+/// before falling back to the O(N² · route) all-destinations scan. Below
+/// the gate enumeration is already sub-millisecond and stays the single
+/// code path that every ≤512-node published number was produced by; above
+/// it, permutation and hotspot workloads get O(N · diameter) rate vectors
+/// that remain exact to enumeration (pinned by `tests/scale.rs`).
+pub const SPARSE_RATES_MIN_NODES: usize = ROUTE_TABLE_MAX_NODES;
+
+/// Edge-count gate above which [`SimResult`](crate::SimResult) stops
+/// materializing full per-edge vectors (`edge_throughput`) and reports only
+/// the streaming Welford summary (`edge_throughput_stats`). At
+/// `hypercube:20` there are `20 · 2²⁰ ≈ 2.1 × 10⁷` directed edges; a
+/// per-edge `f64` vector per replication is ~168 MiB of copying that no
+/// caller inspects edge-by-edge at that scale. Every topology that fits a
+/// route table (≤ 512 nodes ⇒ ≤ 5120 edges) sits far below this gate, so
+/// published small-scale results are untouched bit-for-bit.
+pub const STREAMING_STATS_MAX_EDGES: usize = 1 << 16;
+
 /// Which engine drives the simulator's hot loop.
 ///
 /// * [`EngineSpec::Auto`] (the default) — calendar-queue future-event list

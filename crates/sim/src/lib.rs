@@ -59,7 +59,7 @@ pub mod traffic;
 pub use engine::EngineSpec;
 pub use meshbound_queueing::load::Load;
 pub use meshbound_routing::pattern::PermutationKind;
-pub use network::{NetworkSim, SimError, SimResult};
+pub use network::{EdgeThroughputStats, NetworkSim, SimError, SimResult};
 pub use runner::ReplicatedResult;
 #[allow(deprecated)]
 pub use runner::{simulate_mesh, simulate_mesh_replicated, MeshRouterKind, MeshSimConfig};

@@ -26,7 +26,7 @@
 //! so `SimResult` is invariant under the engine choice (pinned by
 //! `tests/engine_equivalence.rs`).
 
-use crate::engine::{EngineSpec, ROUTE_TABLE_MAX_NODES};
+use crate::engine::{EngineSpec, ROUTE_TABLE_MAX_NODES, STREAMING_STATS_MAX_EDGES};
 use crate::events::{CalendarQueue, EventQueue, HeapQueue};
 use crate::observer::Observer;
 use crate::rng::{derive_rng, exp_sample, poisson_sample};
@@ -117,7 +117,14 @@ pub struct SimResult {
     /// Highest per-edge busy fraction observed.
     pub max_edge_utilization: f64,
     /// Per-edge empirical service throughput (completions per unit time).
+    /// Materialized only up to [`STREAMING_STATS_MAX_EDGES`] edges; above
+    /// that scale the vector is empty and [`SimResult::edge_throughput_stats`]
+    /// carries the streaming summary instead.
     pub edge_throughput: Vec<f64>,
+    /// Streaming (Welford) summary of the per-edge service throughput —
+    /// always present, and the only per-edge throughput view at scales
+    /// where the full vector is not materialized.
+    pub edge_throughput_stats: EdgeThroughputStats,
     /// `N(t)` at the horizon (large values flag instability).
     pub final_n: f64,
     /// Peak `N(t)` observed.
@@ -142,6 +149,22 @@ pub struct SimResult {
     /// Per-edge time-averaged queue length (including the packet in
     /// service), when `track_edge_queues` was enabled.
     pub edge_mean_queue: Option<Vec<f64>>,
+}
+
+/// Streaming cross-edge summary of per-edge service throughput, computed
+/// with a single Welford pass so it costs O(1) memory however many edges
+/// the topology has. Deterministic given the seed (it reduces the same
+/// service counts every engine must agree on bit for bit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeThroughputStats {
+    /// Number of edges summarized.
+    pub edges: usize,
+    /// Mean per-edge throughput (completions per unit time).
+    pub mean: f64,
+    /// Largest per-edge throughput.
+    pub max: f64,
+    /// Sample standard deviation across edges (0 with fewer than 2 edges).
+    pub std_dev: f64,
 }
 
 /// A structural failure inside a simulation run.
@@ -704,11 +727,26 @@ where
                 0.0
             },
             max_edge_utilization: max_util,
-            edge_throughput: obs
-                .edge_services
-                .iter()
-                .map(|&c| c as f64 / measure_time)
-                .collect(),
+            edge_throughput: if obs.edge_services.len() <= STREAMING_STATS_MAX_EDGES {
+                obs.edge_services
+                    .iter()
+                    .map(|&c| c as f64 / measure_time)
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            edge_throughput_stats: {
+                let mut w = meshbound_stats::Welford::new();
+                for &c in &obs.edge_services {
+                    w.push(c as f64 / measure_time);
+                }
+                EdgeThroughputStats {
+                    edges: obs.edge_services.len(),
+                    mean: w.mean(),
+                    max: w.max(),
+                    std_dev: w.sample_variance().sqrt(),
+                }
+            },
             final_n: obs.n_sys.value(),
             peak_n: obs.n_sys.peak(),
             measure_time,

@@ -35,7 +35,7 @@
 //! for the inverse). The pre-PR-5 `DestSpec` remains as a deprecated shim
 //! over [`PatternSpec`].
 
-use crate::engine::EngineSpec;
+use crate::engine::{EngineSpec, SPARSE_RATES_MIN_NODES, STREAMING_STATS_MAX_EDGES};
 use crate::network::{NetConfig, NetworkSim, SimResult};
 use crate::rng::splitmix64;
 use crate::runner::ReplicatedResult;
@@ -50,7 +50,8 @@ use meshbound_routing::pattern::{
     GenericDest, HotspotDest, MatrixDest, PatternTopology, PermutationDest, PermutationKind,
 };
 use meshbound_routing::rates::{
-    all_nodes, edge_rates_weighted, mesh_max_rate, mesh_thm6_rates, torus_row_rates, total_rate,
+    all_nodes, edge_rates_sparse, edge_rates_weighted, mesh_max_rate, mesh_thm6_rates,
+    torus_row_rates, total_rate,
 };
 use meshbound_routing::{
     ButterflyRouter, DimOrder, GreedyXY, KdGreedy, ObliviousRouter, RandomizedGreedy, Router,
@@ -299,20 +300,23 @@ impl From<DestSpec> for TrafficSpec {
 ///
 /// # Panics
 ///
-/// Panics if the pattern fails its build checks — `Scenario::validate`
-/// guarantees it cannot.
+/// Unreachable after [`Scenario::validate`], which rejects unsupported
+/// permutations and invalid matrices with a typed [`ScenarioError`] before
+/// any code path can reach here.
 fn generic_dest_for<T: PatternTopology>(topo: &T, pattern: &PatternSpec) -> Option<GenericDest> {
     match pattern {
         PatternSpec::Permutation { kind } => Some(GenericDest::Permutation(
-            PermutationDest::new(topo, *kind)
-                .unwrap_or_else(|e| panic!("unsupported permutation: {e}")),
+            PermutationDest::new(topo, *kind).unwrap_or_else(|e| {
+                unreachable!("validate() rejects unsupported permutations: {e}")
+            }),
         )),
         PatternSpec::Hotspot { node, frac } => {
             let hot = node.map_or_else(|| topo.central_node(), |i| NodeId(i as u32));
             Some(GenericDest::Hotspot(HotspotDest::new(hot, *frac)))
         }
         PatternSpec::Matrix { rows } => Some(GenericDest::Matrix(
-            MatrixDest::from_rows(rows).unwrap_or_else(|e| panic!("invalid traffic matrix: {e}")),
+            MatrixDest::from_rows(rows)
+                .unwrap_or_else(|e| unreachable!("validate() rejects invalid matrices: {e}")),
         )),
         PatternSpec::Uniform | PatternSpec::Nearby { .. } | PatternSpec::Bernoulli { .. } => None,
     }
@@ -320,26 +324,60 @@ fn generic_dest_for<T: PatternTopology>(topo: &T, pattern: &PatternSpec) -> Opti
 
 /// Weighted exact edge rates for any pattern a [`PatternTopology`] carries
 /// natively: uniform, nearby (mesh) and the topology-generic patterns.
-fn pattern_rates<T, R>(
+///
+/// Above [`SPARSE_RATES_MIN_NODES`] sources, sparse-support patterns
+/// (permutation, hotspot, matrix) take the O(N · route) fast path of
+/// [`edge_rates_sparse`]; `uniform_unit` supplies the closed-form per-edge
+/// rates of the **same** `per_source` vector under uniform destinations
+/// (the hotspot remainder), or `None` when no closed form applies. At or
+/// below the gate every pattern runs through the same enumeration that
+/// produced all published ≤512-node numbers.
+fn pattern_rates<T, R, F>(
     topo: &T,
     router: &R,
     pattern: &PatternSpec,
     per_source: &[f64],
     sources: &[NodeId],
+    uniform_unit: F,
 ) -> Vec<f64>
 where
     T: PatternTopology,
     R: ObliviousRouter<T>,
+    F: FnOnce() -> Option<Vec<f64>>,
 {
     match pattern {
         PatternSpec::Uniform => {
             edge_rates_weighted(topo, router, &UniformDest, per_source, sources)
         }
         other => match generic_dest_for(topo, other) {
-            Some(dest) => edge_rates_weighted(topo, router, &dest, per_source, sources),
+            Some(dest) => {
+                if sources.len() > SPARSE_RATES_MIN_NODES {
+                    if let Some(rates) =
+                        edge_rates_sparse(topo, router, &dest, per_source, sources, uniform_unit)
+                    {
+                        return rates;
+                    }
+                }
+                edge_rates_weighted(topo, router, &dest, per_source, sources)
+            }
             None => unreachable!("validate() rejects this pattern on {}", topo.label()),
         },
     }
+}
+
+/// Closed-form unit-rate vector of the `n × n` torus with uniform sources
+/// and uniform destinations ([`torus_row_rates`] expanded per edge); also
+/// the hotspot fast path's uniform remainder.
+fn torus_uniform_unit_rates(n: usize) -> Vec<f64> {
+    let torus = Torus2D::new(n);
+    let (pos, neg) = torus_row_rates(n, 1.0);
+    torus
+        .edges()
+        .map(|e| match Direction::ALL[e.index() % 4] {
+            Direction::Right | Direction::Down => pos,
+            Direction::Left | Direction::Up => neg,
+        })
+        .collect()
 }
 
 /// Why a scenario specification was rejected.
@@ -376,6 +414,28 @@ impl std::error::Error for ScenarioError {}
 pub(crate) const DEFAULT_HORIZON: f64 = 2_000.0;
 pub(crate) const DEFAULT_WARMUP: f64 = 200.0;
 pub(crate) const DEFAULT_SEED: u64 = 1;
+
+/// Node count above which [`Scenario::new`] picks the short large-scale
+/// default horizon instead of [`DEFAULT_HORIZON`]. Event count scales as
+/// `nodes × λ × horizon × route length`, so at `hypercube:20` the
+/// small-scale default of 2000 would mean ~10¹⁰ events; the per-event
+/// statistics at that scale are already tight at a horizon of 50 (over a
+/// million sources average the noise away). Chosen comfortably above every
+/// topology used by the ≤512-node published tables so their defaults are
+/// untouched.
+pub(crate) const LARGE_SCALE_NODES: usize = 4096;
+pub(crate) const LARGE_DEFAULT_HORIZON: f64 = 50.0;
+pub(crate) const LARGE_DEFAULT_WARMUP: f64 = 5.0;
+
+/// The default `(horizon, warmup)` for a topology: the classic
+/// `(2000, 200)` up to [`LARGE_SCALE_NODES`] nodes, `(50, 5)` beyond.
+pub(crate) fn default_horizon_for(topology: &TopologySpec) -> (f64, f64) {
+    if topology.num_nodes() > LARGE_SCALE_NODES {
+        (LARGE_DEFAULT_HORIZON, LARGE_DEFAULT_WARMUP)
+    } else {
+        (DEFAULT_HORIZON, DEFAULT_WARMUP)
+    }
+}
 
 /// A complete, topology-generic simulation specification.
 ///
@@ -429,17 +489,20 @@ pub struct Scenario {
 
 impl Scenario {
     /// Creates a scenario on `topology` with the default knobs: greedy
-    /// routing, uniform destinations, `λ = 0.1`, horizon 2000, warmup 200,
-    /// seed 1, deterministic service.
+    /// routing, uniform destinations, `λ = 0.1`, horizon 2000, warmup 200
+    /// (50 and 5 above 4096 nodes, where per-event statistics are dense
+    /// enough that the long horizon only burns wall-clock time), seed 1,
+    /// deterministic service.
     #[must_use]
     pub fn new(topology: TopologySpec) -> Self {
+        let (horizon, warmup) = default_horizon_for(&topology);
         Self {
             topology,
             router: RouterSpec::Greedy,
             traffic: TrafficSpec::uniform(),
             load: Load::Lambda(0.1),
-            horizon: DEFAULT_HORIZON,
-            warmup: DEFAULT_WARMUP,
+            horizon,
+            warmup,
             seed: DEFAULT_SEED,
             service: ServiceKind::Deterministic,
             include_self_packets: true,
@@ -675,6 +738,23 @@ impl Scenario {
         self.lambda() * self.num_sources() as f64
     }
 
+    /// Number of **silent sources**: traffic-matrix rows that are entirely
+    /// zero, so those nodes generate no packets at all. Zero for every
+    /// other pattern. A mostly-zero matrix is structurally valid (only the
+    /// all-zero matrix is rejected) but concentrates the whole offered
+    /// load on the speaking rows — `BoundsReport` surfaces this count so
+    /// it can't masquerade as a healthy all-sources workload.
+    #[must_use]
+    pub fn silent_sources(&self) -> usize {
+        match &self.traffic.pattern {
+            PatternSpec::Matrix { rows } => rows
+                .iter()
+                .filter(|row| row.iter().all(|&w| w == 0.0))
+                .count(),
+            _ => 0,
+        }
+    }
+
     /// Exact per-edge arrival rates at the resolved λ, for the scenario's
     /// router and destination distribution.
     ///
@@ -711,6 +791,14 @@ impl Scenario {
     /// other workload the conservation identity
     /// `Σ_e λ_e = Σ_s λ_s · E[route length | s]`, i.e. the total of the
     /// unit-rate vector divided by the source count.
+    ///
+    /// With [silent sources](Scenario::silent_sources) the conservation
+    /// fallback still divides by the **full** source count — which is
+    /// correct, not a bug: the mean-1 source weights already sum to the
+    /// source count with silent rows carrying weight 0, so the quotient is
+    /// the rate-weighted mean `Σ_s w_s·E[len|s] / Σ_s w_s`, i.e. the mean
+    /// route length per **generated** packet. Silent rows simply don't
+    /// contribute packets to the average.
     #[must_use]
     pub fn mean_distance(&self) -> f64 {
         // Mean |i−j| over uniform ordered pairs (self included) on a line
@@ -800,29 +888,26 @@ impl Scenario {
                         &sources,
                     ),
                     (RouterSpec::Greedy, pattern) => {
-                        pattern_rates(&mesh, &GreedyXY, pattern, &per, &sources)
+                        let square = rows == cols;
+                        pattern_rates(&mesh, &GreedyXY, pattern, &per, &sources, || {
+                            (uniform_sources && square).then(|| mesh_thm6_rates(&mesh, 1.0))
+                        })
                     }
                     (RouterSpec::Randomized, pattern) => {
-                        pattern_rates(&mesh, &RandomizedGreedy, pattern, &per, &sources)
+                        pattern_rates(&mesh, &RandomizedGreedy, pattern, &per, &sources, || None)
                     }
                 }
             }
             (TopologySpec::Torus { n }, _, PatternSpec::Uniform) if uniform_sources => {
-                let torus = Torus2D::new(*n);
-                let (pos, neg) = torus_row_rates(*n, 1.0);
-                torus
-                    .edges()
-                    .map(|e| match Direction::ALL[e.index() % 4] {
-                        Direction::Right | Direction::Down => pos,
-                        Direction::Left | Direction::Up => neg,
-                    })
-                    .collect()
+                torus_uniform_unit_rates(*n)
             }
             (TopologySpec::Torus { n }, _, pattern) => {
                 let torus = Torus2D::new(*n);
                 let sources = all_nodes(&torus);
                 let per = per_source(sources.len());
-                pattern_rates(&torus, &TorusGreedy, pattern, &per, &sources)
+                pattern_rates(&torus, &TorusGreedy, pattern, &per, &sources, || {
+                    uniform_sources.then(|| torus_uniform_unit_rates(*n))
+                })
             }
             (TopologySpec::Hypercube { dim }, _, pattern) => {
                 let closed = match pattern {
@@ -845,7 +930,9 @@ impl Scenario {
                                 &sources,
                             )
                         } else {
-                            pattern_rates(&cube, &DimOrder, pattern, &per, &sources)
+                            pattern_rates(&cube, &DimOrder, pattern, &per, &sources, || {
+                                uniform_sources.then(|| vec![0.5; dim << dim])
+                            })
                         }
                     }
                 }
@@ -863,7 +950,7 @@ impl Scenario {
                 let kd = MeshKD::new(dims);
                 let sources = all_nodes(&kd);
                 let per = per_source(sources.len());
-                pattern_rates(&kd, &KdGreedy, pattern, &per, &sources)
+                pattern_rates(&kd, &KdGreedy, pattern, &per, &sources, || None)
             }
         }
     }
@@ -1018,6 +1105,15 @@ impl Scenario {
             if !(dt > 0.0 && dt.is_finite()) {
                 return bad(format!("sample interval {dt} must be positive and finite"));
             }
+        }
+        if self.track_edge_queues && self.topology.num_edges() > STREAMING_STATS_MAX_EDGES {
+            return bad(format!(
+                "per-edge queue tracking materializes a vector per edge; {} has {} edges, \
+                 above the streaming-stats gate of {} — run without queues=true at this scale",
+                self.topology.label(),
+                self.topology.num_edges(),
+                STREAMING_STATS_MAX_EDGES
+            ));
         }
         if let Some(rates) = &self.service_rates {
             if rates.len() != self.topology.num_edges() {
@@ -1208,13 +1304,16 @@ impl Scenario {
     /// `"<topology>:<size>[,key=value]…"`, e.g.
     /// `"torus:8,util=0.9,horizon=5000,seed=7"`,
     /// `"mesh:8,traffic=transpose,util=0.5"` or
-    /// `"hypercube:6,traffic=bernoulli:0.25,lambda=0.8"`.
+    /// `"hypercube:20 traffic=shuffle load=rho:0.5"` — fields separate on
+    /// commas and/or whitespace, so a quoted shell argument with spaces is
+    /// one valid spec.
     ///
     /// Recognized keys: `router=greedy|randomized`,
     /// `traffic=uniform|nearby:<stop>|bernoulli:<p>|transpose|bitrev|`
     /// `bitcomp|shuffle|hotspot:<frac>[:<node>]` (with `dest=` kept as a
     /// pre-PR-5 alias), `src=uniform|hotspot:<weight>[:<node>]`, exactly
-    /// one of `lambda=`/`rho=`/`util=`, and `horizon=`, `warmup=`,
+    /// one of `lambda=`/`rho=`/`util=` (or the explicit spelling
+    /// `load=lambda:<v>|rho:<v>|util:<v>`), and `horizon=`, `warmup=`,
     /// `seed=`, `service=det|exp`, `slot=`, `sample=`, `self=`,
     /// `saturated=`, `quantiles=`, `queues=` (booleans take
     /// `true`/`false`), `engine=auto|heap|calendar`. Per-edge
@@ -1227,7 +1326,9 @@ impl Scenario {
     /// [`ScenarioError::Unsupported`] when the parsed combination fails
     /// [`Scenario::validate`].
     pub fn parse(spec: &str) -> Result<Self, ScenarioError> {
-        let mut parts = spec.split(',');
+        let mut parts = spec
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|p| !p.is_empty());
         let head = parts.next().unwrap_or_default().trim();
         let mut sc = Scenario::new(TopologySpec::parse_head(head)?);
         let mut load_seen = false;
@@ -1287,6 +1388,34 @@ impl Scenario {
                         "lambda" => Load::Lambda(v),
                         "rho" => Load::TableRho(v),
                         _ => Load::Utilization(v),
+                    };
+                }
+                // The explicit spelling `load=<convention>:<value>`.
+                "load" => {
+                    if load_seen {
+                        return Err(ScenarioError::parse(
+                            "`load` conflicts with an earlier load key — give exactly \
+                             one of lambda=, rho=, util= or load="
+                                .into(),
+                        ));
+                    }
+                    load_seen = true;
+                    let (conv, num) = value.split_once(':').ok_or_else(|| {
+                        ScenarioError::parse(format!(
+                            "expected `load=<convention>:<value>`, got `load={value}`"
+                        ))
+                    })?;
+                    let v = f64_of(key, num)?;
+                    sc.load = match conv {
+                        "lambda" => Load::Lambda(v),
+                        "rho" => Load::TableRho(v),
+                        "util" => Load::Utilization(v),
+                        other => {
+                            return Err(ScenarioError::parse(format!(
+                                "unknown load convention `{other}` (expected lambda, rho \
+                                 or util)"
+                            )))
+                        }
                     };
                 }
                 "horizon" => sc.horizon = f64_of(key, value)?,
@@ -1352,10 +1481,11 @@ impl Scenario {
             Load::TableRho(r) => s.push_str(&format!(",rho={r}")),
             Load::Utilization(u) => s.push_str(&format!(",util={u}")),
         }
-        if self.horizon != DEFAULT_HORIZON {
+        let (default_horizon, default_warmup) = default_horizon_for(&self.topology);
+        if self.horizon != default_horizon {
             s.push_str(&format!(",horizon={}", self.horizon));
         }
-        if self.warmup != DEFAULT_WARMUP {
+        if self.warmup != default_warmup {
             s.push_str(&format!(",warmup={}", self.warmup));
         }
         if self.seed != DEFAULT_SEED {
@@ -1807,9 +1937,94 @@ mod tests {
             "mesh:4,src=hotspot",
             "mesh:4,src=rates",
             "butterfly:3,traffic=transpose",
+            "mesh:4,load=0.5",
+            "mesh:4,load=parsecs:0.5",
+            "mesh:4,load=rho:0.5,util=0.5",
+            "mesh:4,lambda=0.1,load=rho:0.5",
         ] {
             assert!(Scenario::parse(spec).is_err(), "`{spec}` should not parse");
         }
+    }
+
+    #[test]
+    fn butterfly_permutation_is_a_typed_error_not_a_panic() {
+        // Regression: this used to reach `generic_dest_for`'s panic path
+        // through run(); validation must reject it up front — in both the
+        // comma and whitespace spellings.
+        for spec in [
+            "butterfly:3,traffic=transpose",
+            "butterfly:3 traffic=transpose",
+        ] {
+            match Scenario::parse(spec) {
+                Err(ScenarioError::Unsupported(msg)) => {
+                    assert!(msg.contains("butterfly"), "`{spec}`: {msg}")
+                }
+                other => panic!("`{spec}`: expected Unsupported, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn whitespace_and_load_key_parse() {
+        let sc = Scenario::parse("hypercube:6 traffic=shuffle load=rho:0.5").unwrap();
+        assert_eq!(sc.topology, TopologySpec::Hypercube { dim: 6 });
+        assert_eq!(
+            sc.traffic.pattern,
+            PatternSpec::Permutation {
+                kind: PermutationKind::Shuffle
+            }
+        );
+        assert_eq!(sc.load, Load::TableRho(0.5));
+        // Equivalent to the comma spelling with the short load key.
+        let comma = Scenario::parse("hypercube:6,traffic=shuffle,rho=0.5").unwrap();
+        assert_eq!(sc, comma);
+        // Mixed separators and the other conventions.
+        let sc = Scenario::parse("torus:8, traffic=transpose load=util:0.4 seed=3").unwrap();
+        assert_eq!(sc.load, Load::Utilization(0.4));
+        assert_eq!(sc.seed, 3);
+        let sc = Scenario::parse("mesh:5 load=lambda:0.12").unwrap();
+        assert_eq!(sc.load, Load::Lambda(0.12));
+    }
+
+    #[test]
+    fn large_topologies_default_to_the_short_horizon() {
+        let small = Scenario::hypercube(10);
+        assert_eq!(
+            (small.horizon, small.warmup),
+            (DEFAULT_HORIZON, DEFAULT_WARMUP)
+        );
+        let big = Scenario::hypercube(16);
+        assert_eq!(
+            (big.horizon, big.warmup),
+            (LARGE_DEFAULT_HORIZON, LARGE_DEFAULT_WARMUP)
+        );
+        // spec_string stays minimal at the per-topology default and
+        // round-trips an explicit override.
+        assert!(!big.spec_string().contains("horizon="));
+        let long = big.horizon(2_000.0).warmup(200.0);
+        let spec = long.spec_string();
+        assert!(spec.contains("horizon=2000"), "{spec}");
+        assert_eq!(Scenario::parse(&spec).unwrap(), long);
+    }
+
+    #[test]
+    fn silent_sources_counted_for_matrices_only() {
+        let rows = vec![
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+        ];
+        let sc = Scenario::mesh(2).pattern(PatternSpec::Matrix { rows });
+        sc.validate().unwrap();
+        assert_eq!(sc.silent_sources(), 2);
+        assert_eq!(Scenario::mesh(4).silent_sources(), 0);
+        assert_eq!(
+            Scenario::mesh(4)
+                .traffic(TrafficSpec::hotspot(0.5))
+                .silent_sources(),
+            0
+        );
     }
 
     #[test]

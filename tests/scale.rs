@@ -1,0 +1,258 @@
+//! Scale tests: the sparse-support rate fast path must be bit-close to the
+//! all-destinations enumeration everywhere both run, and million-node-class
+//! scenarios must keep memory streaming (no per-edge vectors, no route
+//! tables, no panics).
+//!
+//! The fast path ([`edge_rates_sparse`]) activates inside
+//! `Scenario::edge_rates` only above 512 sources, so every published
+//! ≤512-node number still comes from the enumeration path; these tests pin
+//! the two paths together across the pattern zoo and then smoke-test the
+//! wiring at 2¹⁰–2¹⁶ nodes.
+
+use meshbound::routing::dest::{DestSampler, UniformDest};
+use meshbound::routing::pattern::{HotspotDest, MatrixDest, PatternTopology, PermutationDest};
+use meshbound::routing::rates::{
+    all_nodes, edge_rates_sparse, edge_rates_weighted, mesh_thm6_rates,
+};
+use meshbound::routing::{DimOrder, GreedyXY, ObliviousRouter, RandomizedGreedy, TorusGreedy};
+use meshbound::topology::{Hypercube, Mesh2D, NodeId, Topology, Torus2D};
+use meshbound::{Load, PermutationKind, Scenario, TrafficSpec};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-12;
+
+fn assert_rates_close(label: &str, fast: &[f64], slow: &[f64]) {
+    assert_eq!(fast.len(), slow.len(), "{label}: length");
+    for (i, (a, b)) in fast.iter().zip(slow).enumerate() {
+        assert!(
+            (a - b).abs() <= TOL,
+            "{label}: edge {i}: sparse {a} vs enumerated {b}"
+        );
+    }
+}
+
+/// Sparse vs enumerated for one sampler on one topology, with per-source
+/// rates that are deliberately non-uniform so the weighting matters.
+fn check_sparse<T, R, D>(label: &str, topo: &T, router: &R, dest: &D)
+where
+    T: Topology,
+    R: ObliviousRouter<T>,
+    D: DestSampler<T>,
+{
+    let sources = all_nodes(topo);
+    let rates: Vec<f64> = (0..sources.len())
+        .map(|i| 0.05 + 0.003 * (i % 17) as f64)
+        .collect();
+    let slow = edge_rates_weighted(topo, router, dest, &rates, &sources);
+    let fast = edge_rates_sparse(topo, router, dest, &rates, &sources, || None)
+        .unwrap_or_else(|| panic!("{label}: sparse path declined"));
+    assert_rates_close(label, &fast, &slow);
+}
+
+#[test]
+fn sparse_matches_enumeration_across_the_pattern_zoo() {
+    // Every permutation each topology supports, on ≤512-node instances.
+    let mesh = Mesh2D::square(8);
+    let torus = Torus2D::new(8);
+    let cube = Hypercube::new(6);
+    for kind in PermutationKind::ALL {
+        if mesh.supports_permutation(kind).is_ok() {
+            let dest = PermutationDest::new(&mesh, kind).unwrap();
+            check_sparse(&format!("mesh {kind}"), &mesh, &GreedyXY, &dest);
+            check_sparse(
+                &format!("mesh randomized {kind}"),
+                &mesh,
+                &RandomizedGreedy,
+                &dest,
+            );
+        }
+        if torus.supports_permutation(kind).is_ok() {
+            let dest = PermutationDest::new(&torus, kind).unwrap();
+            check_sparse(&format!("torus {kind}"), &torus, &TorusGreedy, &dest);
+        }
+        if cube.supports_permutation(kind).is_ok() {
+            let dest = PermutationDest::new(&cube, kind).unwrap();
+            check_sparse(&format!("hypercube {kind}"), &cube, &DimOrder, &dest);
+        }
+    }
+}
+
+#[test]
+fn sparse_hotspot_needs_and_uses_the_uniform_remainder() {
+    // The uniform base must correspond to the SAME per-source rates, so
+    // these arms use constant rates and supply the matching base directly.
+    let mesh = Mesh2D::square(8);
+    let sources = all_nodes(&mesh);
+    let rates = vec![0.1; sources.len()];
+    let hot = HotspotDest::new(mesh.node(3, 4), 0.3);
+    // Without a uniform closed form the fast path must decline…
+    assert!(edge_rates_sparse(&mesh, &GreedyXY, &hot, &rates, &sources, || None).is_none());
+    // …and with it the decomposition point-masses + 0.7 × uniform is exact
+    // (the Theorem 6 closed form is the base the scenario layer wires in).
+    let slow = edge_rates_weighted(&mesh, &GreedyXY, &hot, &rates, &sources);
+    let fast = edge_rates_sparse(&mesh, &GreedyXY, &hot, &rates, &sources, || {
+        Some(mesh_thm6_rates(&mesh, 0.1))
+    })
+    .expect("mesh hotspot: sparse path declined");
+    assert_rates_close("mesh hotspot", &fast, &slow);
+
+    let cube = Hypercube::new(6);
+    let hot = HotspotDest::new(NodeId(17), 0.45);
+    let sources = all_nodes(&cube);
+    let per = vec![0.2; sources.len()];
+    let slow = edge_rates_weighted(&cube, &DimOrder, &hot, &per, &sources);
+    let fast = edge_rates_sparse(&cube, &DimOrder, &hot, &per, &sources, || {
+        Some(edge_rates_weighted(
+            &cube,
+            &DimOrder,
+            &UniformDest,
+            &per,
+            &sources,
+        ))
+    })
+    .expect("hypercube hotspot: sparse path declined");
+    assert_rates_close("hypercube hotspot", &fast, &slow);
+}
+
+#[test]
+fn scenario_edge_rates_agree_with_direct_enumeration_above_the_gate() {
+    // hypercube:10 has 1024 > 512 sources, so Scenario::edge_rates takes
+    // the sparse path; enumerate directly and compare. This pins the
+    // scenario wiring (gate, closures, λ resolution), not just the kernel.
+    let cube = Hypercube::new(10);
+    let sources = all_nodes(&cube);
+    for (traffic, label) in [
+        (TrafficSpec::shuffle(), "shuffle"),
+        (TrafficSpec::bit_reversal(), "bitrev"),
+        (TrafficSpec::hotspot(0.25), "hotspot"),
+    ] {
+        let sc = Scenario::hypercube(10)
+            .traffic(traffic.clone())
+            .load(Load::Lambda(0.4));
+        let got = sc.edge_rates();
+        let per = vec![0.4; sources.len()];
+        let want = match &traffic.pattern {
+            meshbound::PatternSpec::Permutation { kind } => {
+                let dest = PermutationDest::new(&cube, *kind).unwrap();
+                edge_rates_weighted(&cube, &DimOrder, &dest, &per, &sources)
+            }
+            meshbound::PatternSpec::Hotspot { frac, .. } => {
+                let dest = HotspotDest::new(cube.central_node(), *frac);
+                edge_rates_weighted(&cube, &DimOrder, &dest, &per, &sources)
+            }
+            other => panic!("unexpected pattern {other:?}"),
+        };
+        assert_rates_close(&format!("hypercube:10 {label}"), &got, &want);
+        // The bounds pipeline built on these rates stays finite.
+        let report = meshbound::BoundsReport::compute_for(&sc);
+        assert!(report.stability_lambda.is_finite() && report.stability_lambda > 0.0);
+        assert!(report.mean_distance > 0.0, "{label}");
+    }
+}
+
+proptest! {
+    /// Random sparse matrices (silent rows included) on a small mesh:
+    /// the fast path reproduces enumeration to 1e-12.
+    #[test]
+    fn sparse_matrix_rates_match_enumeration(
+        entries in proptest::collection::vec(0u8..4, (16 * 16)..(16 * 16 + 1)),
+        scale_milli in 1u32..2000,
+    ) {
+        let n = 16usize;
+        let scale = f64::from(scale_milli) / 1000.0;
+        let mut rows: Vec<Vec<f64>> = (0..n)
+            .map(|r| entries[r * n..(r + 1) * n].iter().map(|&e| scale * f64::from(e)).collect())
+            .collect();
+        // MatrixDest rejects the all-zero matrix (rightly); pin one entry
+        // positive so every generated case is a valid workload.
+        rows[0][1] += scale;
+        let mesh = Mesh2D::square(4);
+        let dest = MatrixDest::from_rows(&rows).unwrap();
+        let sources = all_nodes(&mesh);
+        let per: Vec<f64> = (0..sources.len()).map(|i| 0.01 + 0.02 * (i % 5) as f64).collect();
+        let slow = edge_rates_weighted(&mesh, &GreedyXY, &dest, &per, &sources);
+        let fast = edge_rates_sparse(&mesh, &GreedyXY, &dest, &per, &sources, || None).unwrap();
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() <= TOL);
+        }
+    }
+
+    /// Random hotspot fractions and locations on mesh and torus, uniform
+    /// remainder supplied from the closed forms the scenario layer uses.
+    #[test]
+    fn sparse_hotspot_rates_match_enumeration(
+        frac_milli in 1u32..1000,
+        node in 0u32..64,
+        lambda_milli in 1u32..800,
+    ) {
+        let frac = f64::from(frac_milli) / 1000.0;
+        let lambda = f64::from(lambda_milli) / 1000.0;
+        let mesh = Mesh2D::square(8);
+        let hot = HotspotDest::new(NodeId(node), frac);
+        let sources = all_nodes(&mesh);
+        let per = vec![lambda; sources.len()];
+        let slow = edge_rates_weighted(&mesh, &GreedyXY, &hot, &per, &sources);
+        let fast = edge_rates_sparse(&mesh, &GreedyXY, &hot, &per, &sources, || {
+            Some(mesh_thm6_rates(&mesh, lambda))
+        })
+        .unwrap();
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() <= TOL);
+        }
+    }
+}
+
+#[test]
+fn large_hypercube_streams_its_edge_stats() {
+    // 2¹⁶ nodes, 2²⁰ edges: far above both the route-table gate and the
+    // streaming-stats gate. A short horizon keeps this a smoke test; the
+    // point is that it runs table-free, keeps per-edge collection
+    // streaming, and produces a coherent report.
+    let sc = Scenario::hypercube(16)
+        .traffic(TrafficSpec::shuffle())
+        .load(Load::TableRho(0.3))
+        .horizon(4.0)
+        .warmup(1.0);
+    // The large-scale default horizon applies before the explicit override.
+    assert_eq!(Scenario::hypercube(16).horizon, 50.0);
+    let res = sc.run();
+    assert!(res.completed > 0);
+    let edges = 16 << 16;
+    assert!(
+        res.edge_throughput.is_empty(),
+        "per-edge vector materialized at {edges} edges"
+    );
+    assert_eq!(res.edge_throughput_stats.edges, edges);
+    assert!(res.edge_throughput_stats.max > 0.0);
+    assert!(res.edge_throughput_stats.mean > 0.0);
+    assert!(res.edge_throughput_stats.max >= res.edge_throughput_stats.mean);
+    assert!(res.edge_mean_queue.is_none());
+    // Per-edge queue tracking is a typed error at this scale, not an OOM.
+    let rejected = sc.track_edge_queues(true).validate();
+    assert!(
+        rejected.is_err(),
+        "queues=true must be rejected at 2^20 edges"
+    );
+
+    // Below the gate the full vector is still there and consistent with
+    // the streaming summary.
+    let small = Scenario::hypercube(6).load(Load::Lambda(0.2)).run();
+    assert_eq!(small.edge_throughput.len(), 6 << 6);
+    let max = small.edge_throughput.iter().cloned().fold(0.0f64, f64::max);
+    assert_eq!(max.to_bits(), small.edge_throughput_stats.max.to_bits());
+}
+
+#[test]
+fn million_node_bounds_report_without_simulation() {
+    // The acceptance scenario's analytic side at full 2²⁰ scale: rates,
+    // stability and the bounds report must all come out finite through the
+    // sparse path (no 2⁴⁰-entry enumeration, no route table).
+    let sc = Scenario::parse("hypercube:20 traffic=shuffle load=rho:0.5").unwrap();
+    assert_eq!(sc.horizon, 50.0, "large-scale default horizon");
+    let report = meshbound::BoundsReport::compute_for(&sc);
+    assert_eq!(report.nodes, 1 << 20);
+    assert!(report.lambda > 0.0 && report.lambda.is_finite());
+    assert!(report.stability_lambda.is_finite() && report.stability_lambda > 0.0);
+    assert!(report.mean_distance > 0.0);
+    assert!((report.utilization - 0.5).abs() < 1e-9);
+}

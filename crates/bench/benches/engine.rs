@@ -17,22 +17,36 @@ use serde::Serialize;
 /// Schema identifier of the JSON report; bump on layout changes.
 /// v2: rows gained a `topo`/`nodes` axis and the table-free hypercube
 /// shuffle workloads joined the mesh sweep.
-const SCHEMA: &str = "meshbound.engine-bench/v2";
+/// v3: rows gained a `cores` axis and the sharded parallel engine joined
+/// the comparison (`sharded:1`, `sharded:4`), with a sharded headline.
+const SCHEMA: &str = "meshbound.engine-bench/v3";
 
 #[derive(Serialize)]
 struct EngineBenchReport {
     schema: String,
     /// Human description of the measured workload.
     workload: String,
+    /// Threads the measuring host offered
+    /// (`std::thread::available_parallelism`) — the context for the
+    /// sharded rows: `sharded:4` can only beat `sharded:1` when
+    /// `host_cores > 1`.
+    host_cores: usize,
     /// One row per (workload size, engine).
     rows: Vec<Row>,
     /// Headline number: `Auto` vs `Heap` events/sec at the largest size.
     speedup_auto_vs_heap: f64,
+    /// Parallel headline: `sharded:4` vs `sharded:1` events/sec at the
+    /// largest size. Only meaningful on a multi-core host — a 1-core
+    /// runner reports ~1.0 or below (barrier overhead, no parallelism).
+    speedup_sharded4_vs_sharded1: f64,
 }
 
 #[derive(Serialize, Clone)]
 struct Row {
     engine: String,
+    /// Worker threads the engine runs on: 1 for the single-core engines,
+    /// the shard count for `sharded:<N>`.
+    cores: usize,
     /// Topology family: `"mesh"` (Table-I uniform) or `"hypercube"`
     /// (shuffle permutation, table-free above the route-table gate).
     topo: String,
@@ -126,21 +140,40 @@ fn engine_comparison(smoke: bool) -> EngineBenchReport {
             Workload::cube_shuffle(16, 50.0),
         ]
     };
-    let engines = [EngineSpec::Heap, EngineSpec::Calendar, EngineSpec::Auto];
+    // Slots 0..=3 (heap, calendar, auto, sharded:1) must agree bit for
+    // bit; sharded:4 replicates the per-shard ticks and adds handoff
+    // events, so its fingerprint is only required to be *rep-stable*.
+    let engines = [
+        EngineSpec::Heap,
+        EngineSpec::Calendar,
+        EngineSpec::Auto,
+        EngineSpec::Sharded { shards: 1 },
+        EngineSpec::Sharded { shards: 4 },
+    ];
+    const BIT_IDENTICAL_SLOTS: usize = 4;
     let reps = if smoke { 3 } else { 5 };
     let mut rows = Vec::new();
     let mut headline = 0.0;
+    let mut sharded_headline = 0.0;
     for w in &sizes {
-        let mut best = [0.0f64; 3];
-        let mut fingerprint = [(0u64, 0u64); 3];
+        let mut best = [0.0f64; 5];
+        let mut fingerprint: [Option<(u64, u64)>; 5] = [None; 5];
         for _ in 0..reps {
             for (slot, &engine) in engines.iter().enumerate() {
                 let res = w.scenario(engine).run();
                 best[slot] = best[slot].max(res.events_per_sec);
-                fingerprint[slot] = (res.events_processed, res.avg_delay.to_bits());
+                let fp = (res.events_processed, res.avg_delay.to_bits());
+                match fingerprint[slot] {
+                    None => fingerprint[slot] = Some(fp),
+                    Some(prev) => assert_eq!(
+                        prev, fp,
+                        "engine {engine} is not deterministic across reps on {} n={}",
+                        w.topo, w.n
+                    ),
+                }
             }
         }
-        for slot in 1..engines.len() {
+        for slot in 1..BIT_IDENTICAL_SLOTS {
             assert_eq!(
                 fingerprint[slot], fingerprint[0],
                 "engine {} diverged from heap on {} n={}",
@@ -153,25 +186,33 @@ fn engine_comparison(smoke: bool) -> EngineBenchReport {
             if engine == EngineSpec::Auto {
                 headline = speedup; // last size wins: the headline scale
             }
+            let cores = match engine {
+                EngineSpec::Sharded { shards } => shards,
+                _ => 1,
+            };
             rows.push(Row {
-                engine: engine.as_str().to_string(),
+                engine: engine.to_string(),
+                cores,
                 topo: w.topo.to_string(),
                 n: w.n,
                 nodes: w.nodes,
                 rho: w.rho,
                 horizon: w.horizon,
-                events_processed: fingerprint[slot].0,
+                events_processed: fingerprint[slot].expect("measured above").0,
                 events_per_sec: best[slot],
                 speedup_vs_heap: speedup,
             });
         }
+        sharded_headline = best[4] / best[3]; // last size wins here too
     }
     EngineBenchReport {
         schema: SCHEMA.to_string(),
         workload: "Table-I square mesh (rho=0.8) and hypercube shuffle (rho=0.5), seed 13"
             .to_string(),
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         rows,
         speedup_auto_vs_heap: headline,
+        speedup_sharded4_vs_sharded1: sharded_headline,
     }
 }
 
@@ -238,19 +279,21 @@ fn main() {
     println!("engine comparison ({}):", report.workload);
     for row in &report.rows {
         println!(
-            "  {:<9} n={:<3} ({:>6} nodes) {:<9} {:>10.0} events/s  ({:.2}x vs heap, {} events)",
+            "  {:<9} n={:<3} ({:>6} nodes) {:<9} cores={} {:>10.0} events/s  \
+             ({:.2}x vs heap, {} events)",
             row.topo,
             row.n,
             row.nodes,
             row.engine,
+            row.cores,
             row.events_per_sec,
             row.speedup_vs_heap,
             row.events_processed
         );
     }
     println!(
-        "headline: auto vs heap {:.2}x at the largest size",
-        report.speedup_auto_vs_heap
+        "headline: auto vs heap {:.2}x, sharded:4 vs sharded:1 {:.2}x at the largest size",
+        report.speedup_auto_vs_heap, report.speedup_sharded4_vs_sharded1
     );
     let out = std::env::var("ENGINE_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
     match std::fs::write(&out, serde::json::to_string_pretty(&report)) {

@@ -2,15 +2,15 @@
 //!
 //! `Scenario::run` resolves the load convention, matches on the
 //! topology/router/destination combination, and only then instantiates the
-//! same monomorphized `NetworkSim` the old `simulate_mesh` path built
-//! directly. This bench runs both entry points on an identical 6×6 mesh
-//! workload to show the dispatch layer costs nothing measurable next to
-//! the simulation itself.
-
-#![allow(deprecated)]
+//! same monomorphized `NetworkSim` a direct caller would build. This bench
+//! runs both entry points on an identical 6×6 mesh workload to show the
+//! dispatch layer costs nothing measurable next to the simulation itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use meshbound::sim::{simulate_mesh, MeshSimConfig};
+use meshbound::routing::dest::UniformDest;
+use meshbound::routing::GreedyXY;
+use meshbound::sim::network::{NetConfig, NetworkSim};
+use meshbound::topology::Mesh2D;
 use meshbound::{Load, Scenario};
 
 const N: usize = 6;
@@ -21,7 +21,7 @@ const SEED: u64 = 17;
 
 fn bench(c: &mut Criterion) {
     // Sanity: the two paths must simulate the identical system.
-    let old = simulate_mesh(&legacy_config());
+    let old = direct_sim().run();
     let new = scenario().run();
     assert_eq!(
         old.avg_delay.to_bits(),
@@ -30,8 +30,8 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("scenario_dispatch");
-    group.bench_function("legacy_simulate_mesh_6x6", |b| {
-        b.iter(|| simulate_mesh(&legacy_config()));
+    group.bench_function("direct_network_sim_6x6", |b| {
+        b.iter(|| direct_sim().run());
     });
     group.bench_function("scenario_run_6x6", |b| {
         b.iter(|| scenario().run());
@@ -47,16 +47,15 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-fn legacy_config() -> MeshSimConfig {
-    MeshSimConfig {
-        n: N,
+fn direct_sim() -> NetworkSim<Mesh2D, GreedyXY, UniformDest> {
+    let cfg = NetConfig {
         lambda: 4.0 * RHO / N as f64,
         horizon: HORIZON,
         warmup: WARMUP,
         seed: SEED,
-        track_saturated: false,
-        ..MeshSimConfig::default()
-    }
+        ..NetConfig::default()
+    };
+    NetworkSim::new(Mesh2D::square(N), GreedyXY, UniformDest, cfg)
 }
 
 fn scenario() -> Scenario {

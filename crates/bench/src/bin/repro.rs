@@ -5,7 +5,8 @@
 //! repro [--quick] [table1|table2|table3|fig1|fig2|bounds|stability|
 //!        capacity|hypercube|butterfly|randomized|torus|kd|slotted|
 //!        nonuniform|dominance|report|all]
-//! repro [--engine auto|heap|calendar] scenario <spec> [<spec>…]
+//! repro [--engine auto|heap|calendar|sharded:<N>] scenario <spec> [<spec>…]
+//! repro [--shards N] scenario <spec> [<spec>…]
 //! repro [--quick] [--engine E] sweep <spec> [--out FILE] [--jobs N] [--check]
 //! ```
 //!
@@ -20,7 +21,11 @@
 //!
 //! `--engine` forces a hot-path engine (`EngineSpec`) on every scenario or
 //! sweep cell named on the command line — results are bit-identical across
-//! engines, so the flag is a wall-clock ablation knob.
+//! the single-core engines, so the flag is a wall-clock ablation knob.
+//! `--shards N` is shorthand for `--engine sharded:N`: the conservative
+//! parallel engine partitions the topology across `N` threads (requires
+//! deterministic service times when `N >= 2`; deterministic per
+//! `(seed, shards)` pair).
 //!
 //! `repro sweep` runs a whole scenario grid in parallel and emits the
 //! machine-readable JSON report (`meshbound::sweep`). The spec is either a
@@ -62,7 +67,8 @@ const ARTIFACTS: &[&str] = &[
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [{}]\n\
-         \x20      repro [--quick] [--engine auto|heap|calendar] scenario <spec> [<spec>…]\n\
+         \x20      repro [--quick] [--engine auto|heap|calendar|sharded:<N>] scenario <spec> [<spec>…]\n\
+         \x20      repro [--quick] [--shards N] scenario <spec> [<spec>…]\n\
          \x20      repro [--quick] [--engine E] sweep <spec> [--out FILE] [--jobs N] [--check]\n\
          \n\
          scenario specs look like `torus:8,util=0.9,horizon=5000`,\n\
@@ -80,7 +86,10 @@ fn usage() -> String {
          the source model: uniform or hotspot:<weight>[:<node>].\n\
          \n\
          --engine overrides the hot-path engine of every scenario or sweep\n\
-         cell (bit-identical results, different wall clock).\n\
+         cell (bit-identical results across the single-core engines,\n\
+         different wall clock); --shards N is shorthand for\n\
+         --engine sharded:N, the conservative parallel engine (N >= 2\n\
+         needs service=det).\n\
          \n\
          sweep specs are either table1|table2|table3 (the paper grids at\n\
          the current scale) or an axis grammar like\n\
@@ -113,6 +122,23 @@ fn extract_engine(args: &mut Vec<String>) -> Result<Option<EngineSpec>, String> 
         return Err("`--engine` given twice".into());
     }
     Ok(Some(engine))
+}
+
+/// Extracts a `--shards <N>` flag from `args` — shorthand for
+/// `--engine sharded:<N>`.
+fn extract_shards(args: &mut Vec<String>) -> Result<Option<EngineSpec>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--shards") else {
+        return Ok(None);
+    };
+    let shards = match args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => return Err("`--shards` needs a shard count >= 1".into()),
+    };
+    args.drain(pos..=pos + 1);
+    if args.iter().any(|a| a == "--shards") {
+        return Err("`--shards` given twice".into());
+    }
+    Ok(Some(EngineSpec::Sharded { shards }))
 }
 
 /// The `repro sweep` subcommand.
@@ -214,12 +240,19 @@ fn sweep_command(args: &[String], mut quick: bool, engine: Option<EngineSpec>) -
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let engine = match extract_engine(&mut args) {
-        Ok(e) => e,
-        Err(msg) => {
+    let engine = match (extract_engine(&mut args), extract_shards(&mut args)) {
+        (Err(msg), _) | (_, Err(msg)) => {
             eprintln!("repro: {msg}\n{}", usage());
             return ExitCode::from(2);
         }
+        (Ok(Some(_)), Ok(Some(_))) => {
+            eprintln!(
+                "repro: `--engine` and `--shards` conflict — pick one\n{}",
+                usage()
+            );
+            return ExitCode::from(2);
+        }
+        (Ok(engine), Ok(shards)) => engine.or(shards),
     };
     // The sweep subcommand has its own flags (`--out`, `--jobs`, `--check`)
     // and is handled separately; only `--quick` may precede it.
@@ -263,7 +296,7 @@ fn main() -> ExitCode {
 
     if engine.is_some() && !expecting_specs {
         eprintln!(
-            "repro: `--engine` applies to the scenario and sweep commands\n{}",
+            "repro: `--engine`/`--shards` apply to the scenario and sweep commands\n{}",
             usage()
         );
         return ExitCode::from(2);

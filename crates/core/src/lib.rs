@@ -69,8 +69,8 @@ pub mod sweep;
 
 pub use meshbound_queueing::load::Load;
 pub use meshbound_sim::{
-    DestSpec, EngineSpec, HorizonPolicy, PatternSpec, PermutationKind, RouterSpec, Scenario,
-    ScenarioError, SourceSpec, SweepError, SweepSpec, TopologySpec, TrafficSpec,
+    EngineSpec, HorizonPolicy, PatternSpec, PermutationKind, RouterSpec, Scenario, ScenarioError,
+    SourceSpec, SweepError, SweepSpec, TopologySpec, TrafficSpec,
 };
 pub use report::BoundsReport;
 pub use sweep::{run_cells, run_sweep, BoundsCheck, Jobs, SweepCellReport, SweepReport};

@@ -33,8 +33,11 @@ use std::time::Instant;
 
 /// Schema identifier embedded in every report; bump when the JSON layout
 /// changes shape. v2 added `events_processed`/`events_per_sec` to every
-/// cell; v3 added the per-cell `traffic` workload label.
-pub const SCHEMA: &str = "meshbound.sweep/v3";
+/// cell; v3 added the per-cell `traffic` workload label; v4 split each
+/// cell's wall clock into `setup_s` (analytic bounds + edge-rate cache
+/// warmup) and `sim_s` (replication hot loop) and redefined
+/// `events_per_sec` over `sim_s` alone.
+pub const SCHEMA: &str = "meshbound.sweep/v4";
 
 /// Tolerance for judging a simulated mean delay against analytic bounds.
 ///
@@ -132,9 +135,11 @@ pub struct SweepCellReport {
     /// Future-event-list events processed, summed over replications
     /// (deterministic: a pure work measure).
     pub events_processed: u64,
-    /// Mean simulator throughput in events per wall-clock second across
-    /// replications (a timing field, zeroed by
-    /// [`SweepReport::without_timings`]).
+    /// Simulator throughput over the hot loop alone: total
+    /// `events_processed` divided by [`sim_s`](Self::sim_s). Setup work
+    /// (bounds, edge-rate derivation) is excluded, so this measures the
+    /// event loop rather than the cell overhead. A timing field, zeroed by
+    /// [`SweepReport::without_timings`].
     pub events_per_sec: f64,
     /// The analytic report at this cell's operating point.
     pub bounds: BoundsReport,
@@ -144,6 +149,13 @@ pub struct SweepCellReport {
     /// Whether a finite upper bound constrained this cell (the torus has
     /// none, and saturated loads push the Theorem 7 bound to `∞`).
     pub upper_bound_finite: bool,
+    /// Wall-clock seconds of cell setup: the analytic [`BoundsReport`],
+    /// which also derives (and caches) the cell's unit edge rates before
+    /// the simulation starts.
+    pub setup_s: f64,
+    /// Wall-clock seconds of the replication hot loop (`run_replicated`),
+    /// after setup has warmed the rate cache.
+    pub sim_s: f64,
     /// Wall-clock seconds this cell took (simulation + bounds).
     pub wall_s: f64,
 }
@@ -204,6 +216,8 @@ impl SweepReport {
         copy.cells_wall_s = 0.0;
         copy.speedup = 0.0;
         for cell in &mut copy.cells {
+            cell.setup_s = 0.0;
+            cell.sim_s = 0.0;
             cell.wall_s = 0.0;
             cell.events_per_sec = 0.0;
         }
@@ -305,10 +319,18 @@ pub fn run_cells(spec: &str, cells: Vec<Scenario>, reps: usize, jobs: Jobs) -> S
 }
 
 /// Simulates one cell and assembles its report.
+///
+/// The analytic bounds run *first*: computing them derives the cell's
+/// unit edge rates, which `Scenario` memoizes, so by the time the
+/// replications start the rate cache is warm and `sim_s` times the event
+/// loop alone.
 fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
     let t0 = Instant::now();
-    let rep = sc.run_replicated(reps);
     let bounds = BoundsReport::compute_for(sc);
+    let setup_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let rep = sc.run_replicated(reps);
+    let sim_s = t1.elapsed().as_secs_f64();
     let delay_mean = rep.delay.mean();
     let delay_half_width = if reps >= 2 {
         rep.delay.confidence_interval(0.95).half_width
@@ -316,17 +338,19 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
         0.0
     };
     let mut throughput = 0.0;
-    let mut events_per_sec = 0.0;
     let (mut generated, mut completed, mut events_processed) = (0u64, 0u64, 0u64);
     for run in &rep.runs {
         throughput += run.completed as f64 / run.measure_time;
         generated += run.generated;
         completed += run.completed;
         events_processed += run.events_processed;
-        events_per_sec += run.events_per_sec;
     }
     throughput /= rep.runs.len() as f64;
-    events_per_sec /= rep.runs.len() as f64;
+    let events_per_sec = if sim_s > 0.0 {
+        events_processed as f64 / sim_s
+    } else {
+        0.0
+    };
     SweepCellReport {
         spec: sc.spec_string(),
         label: sc.label(),
@@ -346,6 +370,8 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
         within_bounds: check.verdict(delay_mean, &bounds),
         upper_bound_finite: bounds.upper.is_finite(),
         bounds,
+        setup_s,
+        sim_s,
         wall_s: t0.elapsed().as_secs_f64(),
     }
 }
@@ -394,11 +420,25 @@ mod tests {
         for cell in &report.cells {
             assert!(cell.events_processed > 0, "{}", cell.spec);
             assert!(cell.events_per_sec > 0.0, "{}", cell.spec);
+            // v4: the wall clock is split — setup (bounds + rate cache)
+            // and the simulation hot loop are timed separately, and ev/s
+            // is events over sim_s alone.
+            assert!(cell.setup_s > 0.0, "{}", cell.spec);
+            assert!(cell.sim_s > 0.0, "{}", cell.spec);
+            assert!(cell.wall_s >= cell.setup_s + cell.sim_s, "{}", cell.spec);
+            let expected = cell.events_processed as f64 / cell.sim_s;
+            assert!(
+                (cell.events_per_sec - expected).abs() < 1e-9 * expected,
+                "ev/s is not events/sim_s for {}",
+                cell.spec
+            );
         }
         let stripped = report.without_timings();
         for cell in &stripped.cells {
             assert!(cell.events_processed > 0); // deterministic: kept
             assert_eq!(cell.events_per_sec, 0.0); // wall-clock: zeroed
+            assert_eq!(cell.setup_s, 0.0);
+            assert_eq!(cell.sim_s, 0.0);
         }
     }
 

@@ -12,7 +12,7 @@ use rand::rngs::SmallRng;
 /// per-packet state (e.g. the coin flip of randomized greedy).
 pub trait Router<T: Topology> {
     /// Per-packet routing state, fixed at generation time.
-    type State: Copy + std::fmt::Debug;
+    type State: Copy + Send + Sync + std::fmt::Debug;
 
     /// Draws the per-packet state for a new packet (e.g. randomized greedy's
     /// ordering coin). Deterministic routers return a unit-like state.

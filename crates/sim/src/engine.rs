@@ -1,10 +1,16 @@
 //! Hot-path engine selection for [`NetworkSim::run`](crate::NetworkSim::run).
 //!
-//! Every engine produces **bit-identical** [`SimResult`](crate::SimResult)s
-//! for the same scenario and seed — the engine choice moves wall-clock
-//! time, never a single reported number. The cross-engine equivalence
-//! suite (`tests/engine_equivalence.rs`) pins that guarantee across all
-//! topologies and both time modes.
+//! Every single-core engine produces **bit-identical**
+//! [`SimResult`](crate::SimResult)s for the same scenario and seed — the
+//! engine choice moves wall-clock time, never a single reported number.
+//! The cross-engine equivalence suite (`tests/engine_equivalence.rs`) pins
+//! that guarantee across all topologies and both time modes.
+//!
+//! The parallel engine ([`EngineSpec::Sharded`]) has a weaker but still
+//! hard contract: for a fixed `(seed, shard_count)` it is bit-identical
+//! across reruns and thread schedules, and the single-core engines remain
+//! its statistical oracle (delay, throughput and conservation-law ratios
+//! agree within replication noise; see `crate::shard`).
 
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +54,11 @@ pub const STREAMING_STATS_MAX_EDGES: usize = 1 << 16;
 ///   implementation and the benchmark yardstick.
 /// * [`EngineSpec::Calendar`] — calendar queue with on-the-fly routing
 ///   (isolates the event-queue contribution in ablations).
+/// * [`EngineSpec::Sharded`] — conservative parallel DES: the topology is
+///   partitioned into `shards` node blocks, each runs its own calendar
+///   queue on its own thread, and cross-shard packets are exchanged at
+///   epoch boundaries (see `crate::shard`). Requires deterministic
+///   service times (the lookahead is the minimum cut-edge service time).
 ///
 /// # Examples
 ///
@@ -76,6 +87,14 @@ pub enum EngineSpec {
     Heap,
     /// Calendar queue, on-the-fly routing.
     Calendar,
+    /// Conservative parallel DES over `shards` node shards, one thread
+    /// per shard (spec form `sharded:<N>`, or the `shards=<N>` key).
+    Sharded {
+        /// Requested shard count (clamped to `[1, num_nodes]` at run
+        /// time; determinism depends on the requested count, not the
+        /// host's core count).
+        shards: usize,
+    },
 }
 
 // Not `#[derive(Default)]`: the offline serde_derive stub parses the enum
@@ -88,40 +107,60 @@ impl Default for EngineSpec {
 }
 
 impl EngineSpec {
-    /// All engines, in the order benchmarks and sweeps enumerate them.
+    /// The single-core engines, in the order benchmarks and sweeps
+    /// enumerate them. These are the bit-identical family; the sharded
+    /// engine is excluded because its contract is per-(seed, shards)
+    /// determinism, not cross-engine bit-identity.
     pub const ALL: [EngineSpec; 3] = [EngineSpec::Auto, EngineSpec::Heap, EngineSpec::Calendar];
 
-    /// The spec-string name (`"auto"`, `"heap"`, `"calendar"`).
+    /// The spec-string family name (`"auto"`, `"heap"`, `"calendar"`,
+    /// `"sharded"` — the shard count is carried by [`std::fmt::Display`]
+    /// and the `shards=` spec key).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             EngineSpec::Auto => "auto",
             EngineSpec::Heap => "heap",
             EngineSpec::Calendar => "calendar",
+            EngineSpec::Sharded { .. } => "sharded",
         }
     }
 
-    /// Parses a spec-string name.
+    /// Parses a spec-string name: `auto`, `heap`, `calendar` or
+    /// `sharded:<N>` (N ≥ 1).
     ///
     /// # Errors
     ///
-    /// Returns the offending name when it is not one of
-    /// `auto|heap|calendar`.
+    /// Returns a message naming the offending input when it is not one of
+    /// the forms above.
     pub fn parse_str(s: &str) -> Result<Self, String> {
         match s {
             "auto" => Ok(EngineSpec::Auto),
             "heap" => Ok(EngineSpec::Heap),
             "calendar" => Ok(EngineSpec::Calendar),
-            other => Err(format!(
-                "unknown engine `{other}` (expected auto, heap or calendar)"
-            )),
+            other => {
+                if let Some(count) = other.strip_prefix("sharded:") {
+                    return match count.parse::<usize>() {
+                        Ok(shards) if shards >= 1 => Ok(EngineSpec::Sharded { shards }),
+                        _ => Err(format!(
+                            "engine `sharded:` needs a shard count >= 1, got `{count}`"
+                        )),
+                    };
+                }
+                Err(format!(
+                    "unknown engine `{other}` (expected auto, heap, calendar or sharded:<N>)"
+                ))
+            }
         }
     }
 }
 
 impl std::fmt::Display for EngineSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.as_str())
+        match self {
+            EngineSpec::Sharded { shards } => write!(f, "sharded:{shards}"),
+            other => f.write_str(other.as_str()),
+        }
     }
 }
 
@@ -136,6 +175,18 @@ mod tests {
             assert_eq!(format!("{e}"), e.as_str());
         }
         assert!(EngineSpec::parse_str("quantum").is_err());
+    }
+
+    #[test]
+    fn sharded_round_trips_with_its_count() {
+        let e = EngineSpec::parse_str("sharded:4").unwrap();
+        assert_eq!(e, EngineSpec::Sharded { shards: 4 });
+        assert_eq!(e.as_str(), "sharded");
+        assert_eq!(format!("{e}"), "sharded:4");
+        assert_eq!(EngineSpec::parse_str(&format!("{e}")), Ok(e));
+        for bad in ["sharded", "sharded:", "sharded:0", "sharded:x"] {
+            assert!(EngineSpec::parse_str(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

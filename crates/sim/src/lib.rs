@@ -20,9 +20,9 @@
 //! [`Load`] convention, runs single simulations ([`Scenario::run`]) or
 //! Rayon-parallel replications ([`Scenario::run_replicated`]), and parses
 //! compact command-line specs ([`Scenario::parse`]). Simulations are
-//! deterministic given a seed. The old mesh-only entry points
-//! (`MeshSimConfig`, `simulate_mesh`) and the scalar-destination
-//! `DestSpec` remain as deprecated wrappers.
+//! deterministic given a seed; the conservative parallel engine in
+//! [`shard`] runs one scenario across threads with per-`(seed, shards)`
+//! determinism.
 //!
 //! # Quickstart
 //!
@@ -53,6 +53,7 @@ pub mod rng;
 pub mod runner;
 pub mod scenario;
 pub mod service;
+pub mod shard;
 pub mod sweep;
 pub mod traffic;
 
@@ -61,9 +62,7 @@ pub use meshbound_queueing::load::Load;
 pub use meshbound_routing::pattern::PermutationKind;
 pub use network::{EdgeThroughputStats, NetworkSim, SimError, SimResult};
 pub use runner::ReplicatedResult;
-#[allow(deprecated)]
-pub use runner::{simulate_mesh, simulate_mesh_replicated, MeshRouterKind, MeshSimConfig};
-pub use scenario::{DestSpec, RouterSpec, Scenario, ScenarioError, TopologySpec};
+pub use scenario::{RouterSpec, Scenario, ScenarioError, TopologySpec};
 pub use service::ServiceKind;
 pub use sweep::{HorizonPolicy, SweepError, SweepSpec};
 pub use traffic::{PatternSpec, SourceSpec, TrafficSpec};

@@ -135,7 +135,10 @@ pub struct SimResult {
     pub measure_time: f64,
     /// Future-event-list events processed over the whole run (arrivals,
     /// departures, slot/sample/warmup ticks). Deterministic given the
-    /// seed, so engines must agree on it bit for bit.
+    /// seed, so the single-core engines must agree on it bit for bit.
+    /// The sharded engine replicates its per-shard ticks and adds one
+    /// handoff event per cross-shard packet transfer, so its count is
+    /// comparable only across runs of the same `(seed, shards)` pair.
     pub events_processed: u64,
     /// Events processed per wall-clock second — the run's throughput. The
     /// **only** nondeterministic field; zero it before comparing results.
@@ -203,7 +206,7 @@ impl std::error::Error for SimError {}
 
 /// The short type name of a router (the last path segment), for
 /// [`SimError::RouterStalled`].
-fn router_name<R: ?Sized>() -> &'static str {
+pub(crate) fn router_name<R: ?Sized>() -> &'static str {
     let full = std::any::type_name::<R>();
     full.rsplit("::").next().unwrap_or(full)
 }
@@ -223,14 +226,14 @@ enum Ev {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Packet<S> {
-    dst: NodeId,
-    state: S,
-    gen_time: f64,
+pub(crate) struct Packet<S> {
+    pub(crate) dst: NodeId,
+    pub(crate) state: S,
+    pub(crate) gen_time: f64,
 }
 
 /// Sentinel for "no packet" in the intrusive edge-queue lists.
-const NIL: u32 = u32::MAX;
+pub(crate) const NIL: u32 = u32::MAX;
 
 /// One directed edge's server state — the hot 24 bytes touched on every
 /// enqueue/departure. The FIFO queue is an intrusive linked list threaded
@@ -239,15 +242,15 @@ const NIL: u32 = u32::MAX;
 /// queue-length-integral tracking lives in a separate cold array
 /// ([`QTrack`]) so the default configuration keeps the edge array compact.
 #[derive(Debug)]
-struct EdgeState {
+pub(crate) struct EdgeState {
     /// Packet in service (when busy) and head of the waiting line.
-    head: u32,
+    pub(crate) head: u32,
     /// Last packet in the line (`NIL` when empty).
-    tail: u32,
+    pub(crate) tail: u32,
     /// Queue length including the packet in service.
-    qlen: u32,
-    busy: bool,
-    service_start: f64,
+    pub(crate) qlen: u32,
+    pub(crate) busy: bool,
+    pub(crate) service_start: f64,
 }
 
 impl Default for EdgeState {
@@ -265,22 +268,22 @@ impl Default for EdgeState {
 /// Cold per-edge tracking state: time-weighted queue-length integral and
 /// its last update time (allocated only under `track_edge_queues`).
 #[derive(Debug, Clone, Copy, Default)]
-struct QTrack {
-    integral: f64,
-    last: f64,
+pub(crate) struct QTrack {
+    pub(crate) integral: f64,
+    pub(crate) last: f64,
 }
 
 /// Accumulates an edge's queue-length integral up to `now` (post-warmup
 /// clipping happens at extraction time via the warmup reset).
 #[inline]
-fn qtick(t: &mut QTrack, qlen: u32, now: f64) {
+pub(crate) fn qtick(t: &mut QTrack, qlen: u32, now: f64) {
     t.integral += f64::from(qlen) * (now - t.last);
     t.last = now;
 }
 
 /// Appends `pid` to an edge's intrusive FIFO (`qnext` is the shared slab).
 #[inline]
-fn q_push(edge: &mut EdgeState, qnext: &mut Vec<u32>, pid: u32) {
+pub(crate) fn q_push(edge: &mut EdgeState, qnext: &mut Vec<u32>, pid: u32) {
     let i = pid as usize;
     if qnext.len() <= i {
         qnext.resize(i + 1, NIL);
@@ -297,7 +300,7 @@ fn q_push(edge: &mut EdgeState, qnext: &mut Vec<u32>, pid: u32) {
 
 /// Removes and returns the head-of-line packet of an edge's FIFO.
 #[inline]
-fn q_pop(edge: &mut EdgeState, qnext: &[u32]) -> u32 {
+pub(crate) fn q_pop(edge: &mut EdgeState, qnext: &[u32]) -> u32 {
     debug_assert!(edge.head != NIL, "departure from empty edge");
     let pid = edge.head;
     edge.head = qnext[pid as usize];
@@ -339,25 +342,27 @@ where
     R: Router<T>,
     D: DestSampler<T>,
 {
-    topo: T,
-    router: R,
-    dest: D,
-    cfg: NetConfig,
-    sources: Vec<NodeId>,
+    pub(crate) topo: T,
+    pub(crate) router: R,
+    pub(crate) dest: D,
+    pub(crate) cfg: NetConfig,
+    pub(crate) sources: Vec<NodeId>,
     /// Per-source Poisson rates (`None` = every source at `cfg.lambda`,
     /// the historical scalar path — kept as `None` so the uniform case
     /// stays on the exact same code path, bit for bit).
-    source_rates: Option<Vec<f64>>,
-    service_rates: Vec<f64>,
-    sat_edge: Vec<bool>,
-    track_saturated: bool,
+    pub(crate) source_rates: Option<Vec<f64>>,
+    pub(crate) service_rates: Vec<f64>,
+    pub(crate) sat_edge: Vec<bool>,
+    pub(crate) track_saturated: bool,
 }
 
 impl<T, R, D> NetworkSim<T, R, D>
 where
-    T: Topology,
-    R: Router<T>,
-    D: DestSampler<T>,
+    // `Sync` lets the sharded engine borrow the simulator from its worker
+    // threads; every concrete topology/router/sampler is plain data.
+    T: Topology + Sync,
+    R: Router<T> + Sync,
+    D: DestSampler<T> + Sync,
 {
     /// Creates a simulator over `topo` where every node is a source and all
     /// edges have unit service rate.
@@ -463,8 +468,11 @@ where
 
     /// Runs the simulation to the horizon and returns aggregate statistics.
     ///
-    /// The engine named by [`NetConfig::engine`] only moves wall-clock
-    /// time; the returned statistics are bit-identical across engines.
+    /// The single-core engines named by [`NetConfig::engine`] only move
+    /// wall-clock time; their returned statistics are bit-identical. The
+    /// sharded engine is bit-identical per `(seed, shards)` pair and
+    /// statistically equivalent to the single-core engines (see
+    /// `crate::shard`).
     ///
     /// # Panics
     ///
@@ -496,12 +504,13 @@ where
                 let tables = self.build_tables();
                 self.run_with(wall, CalendarQueue::for_simulation(cap), Some(tables))
             }
+            EngineSpec::Sharded { shards } => crate::shard::run_sharded(self, wall, shards),
         }
     }
 
     /// The Poisson rate of source `i` (by position in the source list).
     #[inline]
-    fn source_rate(&self, i: usize) -> f64 {
+    pub(crate) fn source_rate(&self, i: usize) -> f64 {
         match &self.source_rates {
             Some(r) => r[i],
             None => self.cfg.lambda,
@@ -865,7 +874,12 @@ where
         Ok(())
     }
 
-    fn count_saturated_on_route(&self, src: NodeId, dst: NodeId, state: R::State) -> usize {
+    pub(crate) fn count_saturated_on_route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        state: R::State,
+    ) -> usize {
         let mut count = 0;
         let mut cur = src;
         while let Some(e) = self.router.next_edge(&self.topo, cur, dst, state) {

@@ -1,134 +1,13 @@
-//! Replication aggregation and the legacy square-mesh drivers.
+//! Replication aggregation for [`Scenario::run_replicated`](crate::scenario::Scenario::run_replicated).
 //!
 //! The topology-generic front door is [`crate::scenario::Scenario`]; this
-//! module keeps the [`ReplicatedResult`] aggregate it returns, plus the
-//! original mesh-only configuration type and entry points as deprecated
-//! wrappers that delegate to `Scenario`.
+//! module keeps the [`ReplicatedResult`] aggregate it returns. (The
+//! original mesh-only entry points — `MeshSimConfig`, `simulate_mesh` —
+//! lived here as deprecated wrappers until PR 7 removed them.)
 
 use crate::network::SimResult;
-use crate::scenario::{RouterSpec, Scenario, TopologySpec};
-use crate::service::ServiceKind;
-use crate::traffic::{PatternSpec, TrafficSpec};
-use meshbound_queueing::load::Load;
-use meshbound_routing::dest::DestDist;
 use meshbound_stats::Summary;
 use serde::{Deserialize, Serialize};
-
-/// Which mesh router to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[deprecated(since = "0.2.0", note = "use `scenario::RouterSpec` instead")]
-pub enum MeshRouterKind {
-    /// Standard greedy (column first, then row).
-    Greedy,
-    /// §6's randomized order variant.
-    Randomized,
-}
-
-/// Configuration of a square-mesh simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[deprecated(
-    since = "0.2.0",
-    note = "use the topology-generic `scenario::Scenario` builder instead"
-)]
-pub struct MeshSimConfig {
-    /// Mesh side `n`.
-    pub n: usize,
-    /// Per-node arrival rate λ (use `Load` from the queueing crate to
-    /// convert Table-ρ).
-    pub lambda: f64,
-    /// Simulated end time.
-    pub horizon: f64,
-    /// Warmup discarded from statistics.
-    pub warmup: f64,
-    /// Master seed.
-    pub seed: u64,
-    /// Transmission-time distribution (deterministic = standard model,
-    /// exponential = Jackson model).
-    pub service: ServiceKind,
-    /// Router choice.
-    #[allow(deprecated)]
-    pub router: MeshRouterKind,
-    /// Destination distribution.
-    pub dest: DestDist,
-    /// Count source-=-destination packets (delay 0) in the average.
-    pub include_self_packets: bool,
-    /// Track the remaining-saturated-services integral (Table III).
-    pub track_saturated: bool,
-    /// Optional per-edge service rates (§5.1).
-    pub service_rates: Option<Vec<f64>>,
-    /// Slotted-time width τ (§5.2); `None` = continuous time.
-    pub slot: Option<f64>,
-    /// Optional `N(t)` sampling interval.
-    pub sample_every: Option<f64>,
-    /// Track delay quantiles (median / p95 / p99) via reservoir sampling.
-    pub delay_quantiles: bool,
-    /// Track per-edge time-averaged queue lengths.
-    pub track_edge_queues: bool,
-}
-
-#[allow(deprecated)]
-impl Default for MeshSimConfig {
-    fn default() -> Self {
-        Self {
-            n: 5,
-            lambda: 0.1,
-            horizon: 2_000.0,
-            warmup: 200.0,
-            seed: 1,
-            service: ServiceKind::Deterministic,
-            router: MeshRouterKind::Greedy,
-            dest: DestDist::Uniform,
-            include_self_packets: true,
-            track_saturated: true,
-            service_rates: None,
-            slot: None,
-            sample_every: None,
-            delay_quantiles: false,
-            track_edge_queues: false,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<&MeshSimConfig> for Scenario {
-    fn from(cfg: &MeshSimConfig) -> Self {
-        Scenario {
-            topology: TopologySpec::Mesh {
-                rows: cfg.n,
-                cols: cfg.n,
-            },
-            router: match cfg.router {
-                MeshRouterKind::Greedy => RouterSpec::Greedy,
-                MeshRouterKind::Randomized => RouterSpec::Randomized,
-            },
-            traffic: TrafficSpec::with_pattern(match cfg.dest {
-                DestDist::Uniform => PatternSpec::Uniform,
-                DestDist::Nearby { stop } => PatternSpec::Nearby { stop },
-            }),
-            load: Load::Lambda(cfg.lambda),
-            horizon: cfg.horizon,
-            warmup: cfg.warmup,
-            seed: cfg.seed,
-            service: cfg.service,
-            include_self_packets: cfg.include_self_packets,
-            track_saturated: cfg.track_saturated,
-            service_rates: cfg.service_rates.clone(),
-            slot: cfg.slot,
-            sample_every: cfg.sample_every,
-            delay_quantiles: cfg.delay_quantiles,
-            track_edge_queues: cfg.track_edge_queues,
-            engine: crate::engine::EngineSpec::Auto,
-        }
-    }
-}
-
-/// Runs one mesh simulation described by `cfg`.
-#[deprecated(since = "0.2.0", note = "use `Scenario::run` instead")]
-#[allow(deprecated)]
-#[must_use]
-pub fn simulate_mesh(cfg: &MeshSimConfig) -> SimResult {
-    Scenario::from(cfg).run()
-}
 
 /// Aggregated replication statistics for an experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -170,18 +49,11 @@ impl ReplicatedResult {
     }
 }
 
-/// Runs `reps` independent replications of `cfg` in parallel (one derived
-/// seed per replication) and aggregates the headline metrics.
-#[deprecated(since = "0.2.0", note = "use `Scenario::run_replicated` instead")]
-#[allow(deprecated)]
-#[must_use]
-pub fn simulate_mesh_replicated(cfg: &MeshSimConfig, reps: usize) -> ReplicatedResult {
-    Scenario::from(cfg).run_replicated(reps)
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::scenario::{RouterSpec, Scenario};
+    use crate::traffic::TrafficSpec;
+    use meshbound_queueing::load::Load;
 
     fn base() -> Scenario {
         Scenario::mesh(4)
@@ -240,31 +112,6 @@ mod tests {
             "nearby {} vs uniform {}",
             nearby.avg_delay,
             uniform.avg_delay
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_scenario() {
-        // The old mesh-only entry points must stay bit-compatible with the
-        // Scenario they construct.
-        let cfg = MeshSimConfig {
-            n: 4,
-            lambda: 0.12,
-            horizon: 1_500.0,
-            warmup: 150.0,
-            seed: 21,
-            ..MeshSimConfig::default()
-        };
-        let old = simulate_mesh(&cfg);
-        let new = Scenario::from(&cfg).run();
-        assert_eq!(old.avg_delay.to_bits(), new.avg_delay.to_bits());
-        assert_eq!(old.generated, new.generated);
-        let old_rep = simulate_mesh_replicated(&cfg, 3);
-        let new_rep = Scenario::from(&cfg).run_replicated(3);
-        assert_eq!(
-            old_rep.delay.mean().to_bits(),
-            new_rep.delay.mean().to_bits()
         );
     }
 }

@@ -32,8 +32,7 @@
 //! builds a scenario from a compact command-line spec such as
 //! `"torus:8,util=0.9,horizon=5000"` or
 //! `"mesh:8,traffic=transpose,util=0.5"` (see [`Scenario::spec_string`]
-//! for the inverse). The pre-PR-5 `DestSpec` remains as a deprecated shim
-//! over [`PatternSpec`].
+//! for the inverse).
 
 use crate::engine::{EngineSpec, SPARSE_RATES_MIN_NODES, STREAMING_STATS_MAX_EDGES};
 use crate::network::{NetConfig, NetworkSim, SimResult};
@@ -255,43 +254,6 @@ pub enum RouterSpec {
     Greedy,
     /// §6's randomized-order greedy variant (mesh only).
     Randomized,
-}
-
-/// The pre-PR-5 destination enum, kept as a constructor shim over
-/// [`PatternSpec`] (the same playbook as `MeshSimConfig` in PR 2). New
-/// code should build a [`TrafficSpec`] instead.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum DestSpec {
-    /// The standard model: uniform over all nodes. On the butterfly this
-    /// means a uniform output row (packets enter at level 0).
-    Uniform,
-    /// §5.2's "nearby" stopping-walk distribution (mesh only).
-    Nearby {
-        /// Per-node stopping probability in `(0, 1]`.
-        stop: f64,
-    },
-    /// §4.5's per-bit Bernoulli distribution (hypercube only); `p = 1/2`
-    /// recovers the uniform distribution.
-    Bernoulli {
-        /// Per-dimension flip probability in `[0, 1]`.
-        p: f64,
-    },
-}
-
-impl From<DestSpec> for PatternSpec {
-    fn from(dest: DestSpec) -> Self {
-        match dest {
-            DestSpec::Uniform => PatternSpec::Uniform,
-            DestSpec::Nearby { stop } => PatternSpec::Nearby { stop },
-            DestSpec::Bernoulli { p } => PatternSpec::Bernoulli { p },
-        }
-    }
-}
-
-impl From<DestSpec> for TrafficSpec {
-    fn from(dest: DestSpec) -> Self {
-        TrafficSpec::with_pattern(dest.into())
-    }
 }
 
 /// Builds the topology-generic sampler for a permutation, hotspot or
@@ -583,16 +545,6 @@ impl Scenario {
         self
     }
 
-    /// Sets the destination distribution (pre-PR-5 shim).
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `traffic`/`pattern` with a `TrafficSpec` instead"
-    )]
-    #[must_use]
-    pub fn dest(self, dest: DestSpec) -> Self {
-        self.pattern(dest.into())
-    }
-
     /// Sets the offered load (any [`Load`] convention).
     #[must_use]
     pub fn load(mut self, load: Load) -> Self {
@@ -856,9 +808,49 @@ impl Scenario {
             .unwrap_or_else(|e| panic!("invalid source model: {e}"))
     }
 
-    /// Per-edge arrival rates at mean rate `λ = 1` (closed form where
-    /// available, exact weighted enumeration otherwise).
+    /// Per-edge arrival rates at mean rate `λ = 1`, memoized per
+    /// `(topology, router, traffic)` triple.
+    ///
+    /// The unit-rate vector is load-independent, and sweeps re-derive it
+    /// for every cell of a load axis — with path enumeration that is the
+    /// dominant setup cost. The cache is keyed on everything
+    /// [`Scenario::unit_rates_uncached`] reads, so a hit returns the
+    /// bit-identical vector the cold path would compute (pinned in
+    /// `tests/sweep_engine.rs`). Matrix patterns and explicit per-source
+    /// rate vectors are not cached (unbounded key size, rarely repeated),
+    /// nor are vectors above [`STREAMING_STATS_MAX_EDGES`] (the sparse
+    /// path is already cheap at that scale and the entries would dominate
+    /// memory).
     fn unit_rates(&self) -> Vec<f64> {
+        use std::collections::HashMap;
+        use std::sync::{Arc, Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<String, Arc<Vec<f64>>>>> = OnceLock::new();
+        /// Entry cap: at the edge-count gate each vector is ≤ 0.5 MiB, so
+        /// the cache tops out around 32 MiB before it resets.
+        const MAX_ENTRIES: usize = 64;
+        let cacheable = !matches!(self.traffic.pattern, PatternSpec::Matrix { .. })
+            && !matches!(self.traffic.source, SourceSpec::Rates { .. })
+            && self.topology.num_edges() <= STREAMING_STATS_MAX_EDGES;
+        if !cacheable {
+            return self.unit_rates_uncached();
+        }
+        let key = format!("{:?}|{:?}|{:?}", self.topology, self.router, self.traffic);
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("unit-rate cache poisoned").get(&key) {
+            return hit.as_ref().clone();
+        }
+        let rates = self.unit_rates_uncached();
+        let mut map = cache.lock().expect("unit-rate cache poisoned");
+        if map.len() >= MAX_ENTRIES {
+            map.clear();
+        }
+        map.insert(key, Arc::new(rates.clone()));
+        rates
+    }
+
+    /// The cold path of [`Scenario::unit_rates`]: closed form where
+    /// available, exact weighted enumeration otherwise.
+    fn unit_rates_uncached(&self) -> Vec<f64> {
         let weights = self.source_weights();
         let uniform_sources = weights.is_none();
         let per_source = |n: usize| weights.clone().unwrap_or_else(|| vec![1.0; n]);
@@ -1115,6 +1107,15 @@ impl Scenario {
                 STREAMING_STATS_MAX_EDGES
             ));
         }
+        if let EngineSpec::Sharded { shards } = self.engine {
+            if shards >= 2 && self.service == ServiceKind::Exponential {
+                return bad(format!(
+                    "the sharded engine with shards={shards} needs deterministic service \
+                     times — its conservative lookahead is the minimum cut-edge service \
+                     time, which exponential service does not bound"
+                ));
+            }
+        }
         if let Some(rates) = &self.service_rates {
             if rates.len() != self.topology.num_edges() {
                 return bad(format!(
@@ -1275,9 +1276,9 @@ impl Scenario {
         sources: Option<Vec<NodeId>>,
     ) -> SimResult
     where
-        T: Topology,
-        R: Router<T>,
-        D: DestSampler<T>,
+        T: Topology + Sync,
+        R: Router<T> + Sync,
+        D: DestSampler<T> + Sync,
     {
         let lambda = net.lambda;
         let mut sim = NetworkSim::new(topo, router, dest, net);
@@ -1316,7 +1317,8 @@ impl Scenario {
     /// `load=lambda:<v>|rho:<v>|util:<v>`), and `horizon=`, `warmup=`,
     /// `seed=`, `service=det|exp`, `slot=`, `sample=`, `self=`,
     /// `saturated=`, `quantiles=`, `queues=` (booleans take
-    /// `true`/`false`), `engine=auto|heap|calendar`. Per-edge
+    /// `true`/`false`), `engine=auto|heap|calendar|sharded:<N>` and
+    /// `shards=<N>` (shorthand for the sharded engine). Per-edge
     /// `service_rates`, per-source rate vectors and traffic matrices have
     /// no spec syntax — set them on the builder.
     ///
@@ -1445,6 +1447,20 @@ impl Scenario {
                 "engine" => {
                     sc.engine = EngineSpec::parse_str(value).map_err(ScenarioError::parse)?
                 }
+                // Shorthand for `engine=sharded:<N>`.
+                "shards" => {
+                    let shards =
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| {
+                                ScenarioError::parse(format!(
+                                    "`shards` needs a count >= 1, got `{value}`"
+                                ))
+                            })?;
+                    sc.engine = EngineSpec::Sharded { shards };
+                }
                 other => {
                     return Err(ScenarioError::parse(format!("unknown key `{other}`")));
                 }
@@ -1512,8 +1528,10 @@ impl Scenario {
         if self.track_edge_queues {
             s.push_str(",queues=true");
         }
-        if self.engine != EngineSpec::Auto {
-            s.push_str(&format!(",engine={}", self.engine.as_str()));
+        match self.engine {
+            EngineSpec::Auto => {}
+            EngineSpec::Sharded { shards } => s.push_str(&format!(",shards={shards}")),
+            other => s.push_str(&format!(",engine={}", other.as_str())),
         }
         s
     }
@@ -2055,10 +2073,40 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_dest_shim_maps_onto_traffic() {
-        #[allow(deprecated)]
-        let old = Scenario::mesh(6).dest(DestSpec::Nearby { stop: 0.5 });
-        let new = Scenario::mesh(6).traffic(TrafficSpec::nearby(0.5));
-        assert_eq!(old, new);
+    fn shards_key_round_trips_through_spec_strings() {
+        let sc = Scenario::parse("mesh:6,rho=0.4,shards=4").unwrap();
+        assert_eq!(sc.engine, EngineSpec::Sharded { shards: 4 });
+        let spec = sc.spec_string();
+        assert!(spec.ends_with(",shards=4"), "{spec}");
+        assert_eq!(Scenario::parse(&spec).unwrap(), sc);
+        // The long spelling resolves to the same scenario.
+        let long = Scenario::parse("mesh:6,rho=0.4,engine=sharded:4").unwrap();
+        assert_eq!(long, sc);
+        assert!(Scenario::parse("mesh:6,shards=0").is_err());
+        assert!(Scenario::parse("mesh:6,shards=two").is_err());
+    }
+
+    #[test]
+    fn sharded_engine_rejects_exponential_service() {
+        let err = Scenario::parse("mesh:6,rho=0.4,shards=4,service=exp").unwrap_err();
+        assert!(err.to_string().contains("deterministic service"), "{err}");
+        // A single shard has no cut edges, so exponential service is fine.
+        assert!(Scenario::parse("mesh:6,rho=0.4,shards=1,service=exp").is_ok());
+    }
+
+    #[test]
+    fn unit_rate_cache_hit_is_bit_identical_to_the_cold_path() {
+        // Two equal scenarios: the second `edge_rates` call is a cache
+        // hit (same topology/router/traffic key); the uncached path must
+        // agree bit for bit.
+        let sc = Scenario::mesh(7).traffic(TrafficSpec::transpose());
+        let cold = sc.unit_rates_uncached();
+        let warm = sc.unit_rates();
+        let hit = sc.unit_rates();
+        assert_eq!(cold.len(), warm.len());
+        for ((a, b), c) in cold.iter().zip(&warm).zip(&hit) {
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
     }
 }

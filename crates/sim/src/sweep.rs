@@ -29,7 +29,7 @@
 use crate::engine::EngineSpec;
 use crate::rng::splitmix64;
 use crate::scenario::{
-    DestSpec, RouterSpec, Scenario, ScenarioError, TopologySpec, DEFAULT_HORIZON, DEFAULT_WARMUP,
+    RouterSpec, Scenario, ScenarioError, TopologySpec, DEFAULT_HORIZON, DEFAULT_WARMUP,
 };
 use crate::service::ServiceKind;
 use crate::traffic::{PatternSpec, SourceSpec};
@@ -201,17 +201,6 @@ impl SweepSpec {
     pub fn source(mut self, source: SourceSpec) -> Self {
         self.source = source;
         self
-    }
-
-    /// Sets the destination axis (pre-PR-5 shim over
-    /// [`SweepSpec::patterns`]).
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `patterns` with `PatternSpec` values instead"
-    )]
-    #[must_use]
-    pub fn dests(self, dests: Vec<DestSpec>) -> Self {
-        self.patterns(dests.into_iter().map(PatternSpec::from).collect())
     }
 
     /// Sets the engine axis.
@@ -393,7 +382,11 @@ impl SweepSpec {
     ///                                  hotspot:<frac>:<node>; `dest=` is
     ///                                  the pre-PR-5 alias)
     /// src=uniform|hotspot:4[:<node>]   (shared source model, not an axis)
-    /// engine=auto|heap|calendar        (default auto; a perf ablation axis)
+    /// engine=auto|heap|calendar|sharded:<N> (default auto; a perf
+    ///                                  ablation axis — single-core engines
+    ///                                  are bit-identical, `sharded:<N>`
+    ///                                  is the conservative parallel
+    ///                                  engine)
     /// service=det|exp                  (default det)
     /// reps=2      seed=7               (defaults 1 and 1)
     /// horizon=2000 warmup=200          (fixed policy, the default)
@@ -613,11 +606,13 @@ impl SweepSpec {
         }
         if self.engines != [EngineSpec::Auto] {
             out.push_str(" engine=");
+            // Display, not `as_str`: `sharded:<N>` must keep its count to
+            // round-trip through `EngineSpec::parse_str`.
             out.push_str(
                 &self
                     .engines
                     .iter()
-                    .map(|e| e.as_str())
+                    .map(|e| e.to_string())
                     .collect::<Vec<_>>()
                     .join("|"),
             );
@@ -802,6 +797,12 @@ mod tests {
         let sweeps = [
             small(),
             small().engines(vec![EngineSpec::Heap, EngineSpec::Calendar]),
+            // The sharded engine's count must survive the round trip
+            // (`engine=sharded:4`, not a bare `engine=sharded`).
+            small().engines(vec![
+                EngineSpec::Sharded { shards: 1 },
+                EngineSpec::Sharded { shards: 4 },
+            ]),
             small()
                 .routers(vec![RouterSpec::Greedy, RouterSpec::Randomized])
                 .reps(3)

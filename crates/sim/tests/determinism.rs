@@ -151,16 +151,13 @@ fn replication_zero_keeps_the_plain_splitmix_stream() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_mesh_wrappers_match_scenario() {
-    use meshbound_sim::{simulate_mesh, MeshSimConfig};
-    let cfg = MeshSimConfig {
-        n: 5,
-        lambda: 0.16,
-        horizon: 800.0,
-        warmup: 100.0,
-        seed: 42,
-        ..MeshSimConfig::default()
-    };
-    assert_bit_identical(&simulate_mesh(&cfg), &scenario(42).run());
+fn sharded_engine_is_deterministic_across_runs_and_shard_counts() {
+    use meshbound_sim::EngineSpec;
+    for shards in [1, 2, 4] {
+        let sc = scenario(42).engine(EngineSpec::Sharded { shards });
+        let a = sc.run();
+        let b = sc.run();
+        assert_bit_identical(&a, &b);
+        assert!(a.completed > 0, "shards={shards} delivered nothing");
+    }
 }

@@ -88,6 +88,14 @@ impl Reservoir {
         self.sample.is_empty()
     }
 
+    /// The retained sample, in insertion/replacement order. This is what
+    /// the sharded engine re-feeds through a fresh reservoir to merge
+    /// per-shard quantile samples deterministically.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.sample
+    }
+
     /// Estimated `q`-quantile (nearest-rank on the sorted sample), or
     /// `None` when empty.
     ///

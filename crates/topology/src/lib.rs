@@ -28,6 +28,7 @@ pub mod layering;
 pub mod linear;
 pub mod mesh;
 pub mod meshkd;
+pub mod partition;
 pub mod render;
 pub mod torus;
 pub mod traits;
@@ -39,5 +40,6 @@ pub use layering::{check_layered, lemma2_label};
 pub use linear::LinearArray;
 pub use mesh::{Direction, Mesh2D};
 pub use meshkd::MeshKD;
+pub use partition::Partition;
 pub use torus::Torus2D;
 pub use traits::Topology;

@@ -2,7 +2,10 @@
 //! change a reported number. Heap, calendar and route-table paths are run
 //! side by side over every topology family, both time modes, and random
 //! loads/seeds, and every deterministic `SimResult` field is compared bit
-//! for bit.
+//! for bit. The conservative parallel engine joins at three levels:
+//! `sharded:1` is bit-identical to the calendar oracle, `sharded:{2,4}`
+//! agree with it statistically, and every `(seed, shards)` pair reruns
+//! bit-identically.
 
 use meshbound::sim::SimResult;
 use meshbound::{EngineSpec, Load, RouterSpec, Scenario, TrafficSpec};
@@ -135,6 +138,90 @@ fn engines_agree_for_nonuniform_destinations_and_rates() {
         .warmup(60.0)
         .seed(32);
     check_all_engines(hc);
+}
+
+/// The sharded-oracle operating points: small members of the families the
+/// conservative parallel engine supports, at a load where queues form.
+fn sharded_cases() -> Vec<Scenario> {
+    vec![
+        Scenario::mesh(5).load(Load::Lambda(0.15)),
+        Scenario::torus(4).load(Load::Lambda(0.12)),
+        Scenario::hypercube(4).load(Load::Lambda(0.3)),
+    ]
+}
+
+#[test]
+fn one_shard_matches_the_calendar_engine_bit_for_bit() {
+    // `sharded:1` runs the full conservative machinery — epoch windows,
+    // outbox exchange, merge — on one thread, and must still reproduce
+    // the single-core calendar engine exactly.
+    for sc in sharded_cases() {
+        let sc = sc
+            .horizon(600.0)
+            .warmup(60.0)
+            .seed(23)
+            .delay_quantiles(true)
+            .track_edge_queues(true)
+            .sample_every(50.0);
+        let label = sc.spec_string();
+        let calendar = sc.clone().engine(EngineSpec::Calendar).run();
+        let sharded = sc.engine(EngineSpec::Sharded { shards: 1 }).run();
+        assert_bit_identical(
+            &format!("{label} sharded:1-vs-calendar"),
+            &calendar,
+            &sharded,
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_agrees_statistically_with_the_oracle() {
+    // At shards >= 2 the partition changes the per-shard RNG streams, so
+    // results differ bitwise from the single-core oracle — but they
+    // simulate the same system, so the summary statistics must agree
+    // within sampling noise.
+    for sc in sharded_cases() {
+        let sc = sc.horizon(900.0).warmup(90.0).seed(41);
+        let label = sc.spec_string();
+        let oracle = sc.clone().engine(EngineSpec::Calendar).run();
+        for shards in [2, 4] {
+            let res = sc.clone().engine(EngineSpec::Sharded { shards }).run();
+            assert!(
+                res.completed > 0,
+                "{label} shards={shards}: nothing delivered"
+            );
+            let rel = (res.avg_delay - oracle.avg_delay).abs() / oracle.avg_delay;
+            assert!(
+                rel < 0.15,
+                "{label} shards={shards}: delay {} vs oracle {} (rel {rel:.3})",
+                res.avg_delay,
+                oracle.avg_delay
+            );
+            let rel_n = (res.time_avg_n - oracle.time_avg_n).abs() / oracle.time_avg_n;
+            assert!(
+                rel_n < 0.15,
+                "{label} shards={shards}: N {} vs oracle {} (rel {rel_n:.3})",
+                res.time_avg_n,
+                oracle.time_avg_n
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_is_deterministic_at_every_shard_count() {
+    // Fixed (seed, shards) must reproduce the identical SimResult across
+    // reruns — thread scheduling is invisible by construction.
+    for sc in sharded_cases() {
+        let sc = sc.horizon(600.0).warmup(60.0).seed(57);
+        let label = sc.spec_string();
+        for shards in [1, 2, 4] {
+            let spec = sc.clone().engine(EngineSpec::Sharded { shards });
+            let a = spec.clone().run();
+            let b = spec.run();
+            assert_bit_identical(&format!("{label} shards={shards} rerun"), &a, &b);
+        }
+    }
 }
 
 #[test]

@@ -145,7 +145,41 @@ fn json_report_contract() {
     // The torus's open upper bound must be null (valid JSON), never `inf`.
     assert!(json.contains("\"upper\":null"));
     let pretty = report.to_json_pretty();
-    assert!(pretty.contains("\n  \"schema\": \"meshbound.sweep/v3\""));
+    assert!(pretty.contains("\n  \"schema\": \"meshbound.sweep/v4\""));
+    // v4: the cell wall clock is split into setup and hot-loop time.
+    for key in ["\"setup_s\":", "\"sim_s\":"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn rate_cache_hits_are_bit_identical_to_the_cold_path() {
+    // `Scenario::edge_rates` memoizes the unit-rate vector per
+    // (topology, router, pattern); cells that differ only in load share
+    // one cache entry. A warm hit must reproduce the cold computation bit
+    // for bit, and so must whole sweeps run back to back (first run cold,
+    // second run entirely warm).
+    let sc = Scenario::parse("mesh:6,traffic=transpose,rho=0.3").unwrap();
+    let cold = sc.edge_rates();
+    let warm = sc.edge_rates();
+    assert_eq!(cold.len(), warm.len());
+    for (i, (a, b)) in cold.iter().zip(&warm).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "edge_rates[{i}] differs on a hit");
+    }
+    // A different load over the same (topology, router, pattern) rides the
+    // same unit-rate entry — scaling must stay exact: rates are
+    // unit_rates · λ, so the ratio of the two vectors is the λ ratio.
+    let spec = SweepSpec::parse(
+        "topo=mesh:6 traffic=transpose load=rho:0.2|rho:0.6 horizon=300 warmup=30",
+    )
+    .unwrap();
+    let first = run_sweep(&spec, Jobs::Sequential).unwrap();
+    let second = run_sweep(&spec, Jobs::Sequential).unwrap();
+    assert_eq!(
+        first.without_timings().to_json(),
+        second.without_timings().to_json(),
+        "a warm rate cache changed sweep results"
+    );
 }
 
 #[test]
@@ -184,7 +218,7 @@ fn repro_sweep_cli_writes_checked_json() {
         String::from_utf8_lossy(&output.stderr),
     );
     let json = std::fs::read_to_string(&out).expect("JSON written");
-    assert!(json.contains("\"schema\": \"meshbound.sweep/v3\""));
+    assert!(json.contains("\"schema\": \"meshbound.sweep/v4\""));
     assert!(json.contains("\"all_within_bounds\": true"));
     let _ = std::fs::remove_file(&out);
     // A bad grammar and a bounds-violating check path must exit nonzero.

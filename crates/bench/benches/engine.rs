@@ -11,7 +11,7 @@
 
 use criterion::{BatchSize, Criterion, Throughput};
 use meshbound::sim::events::{CalendarQueue, EventQueue, HeapQueue};
-use meshbound::{EngineSpec, Load, Scenario, TrafficSpec};
+use meshbound::{EngineSpec, Load, RouterSpec, Scenario, TrafficSpec};
 use serde::Serialize;
 
 /// Schema identifier of the JSON report; bump on layout changes.
@@ -19,7 +19,9 @@ use serde::Serialize;
 /// shuffle workloads joined the mesh sweep.
 /// v3: rows gained a `cores` axis and the sharded parallel engine joined
 /// the comparison (`sharded:1`, `sharded:4`), with a sharded headline.
-const SCHEMA: &str = "meshbound.engine-bench/v3";
+/// v4: the report gained a `router_comparison` block measuring greedy vs
+/// odd-even adaptive events/sec on the mesh transpose workload.
+const SCHEMA: &str = "meshbound.engine-bench/v4";
 
 #[derive(Serialize)]
 struct EngineBenchReport {
@@ -39,6 +41,20 @@ struct EngineBenchReport {
     /// largest size. Only meaningful on a multi-core host — a 1-core
     /// runner reports ~1.0 or below (barrier overhead, no parallelism).
     speedup_sharded4_vs_sharded1: f64,
+    /// Routing-layer overhead probe: the per-hop adaptive path (odd-even,
+    /// queue-aware `next_hop` at every dequeue) against the oblivious
+    /// route-table path (greedy) on the same workload.
+    router_comparison: RouterComparison,
+}
+
+/// Greedy vs odd-even simulator throughput on one transpose workload —
+/// the cost of per-hop adaptive decisions relative to table lookups.
+#[derive(Serialize)]
+struct RouterComparison {
+    /// Human description of the measured workload.
+    workload: String,
+    greedy_events_per_sec: f64,
+    oddeven_events_per_sec: f64,
 }
 
 #[derive(Serialize, Clone)]
@@ -108,6 +124,39 @@ impl Workload {
             .warmup(self.horizon / 5.0)
             .seed(13)
             .engine(engine)
+    }
+}
+
+/// Measures greedy vs odd-even events/sec on the mesh:16 transpose
+/// workload at ρ = 0.8 — the acceptance workload where odd-even's extra
+/// path diversity pays off. Best of `reps` interleaved rounds, like the
+/// engine grid.
+fn router_comparison(smoke: bool) -> RouterComparison {
+    let horizon = if smoke { 200.0 } else { 1_000.0 };
+    let reps = if smoke { 3 } else { 5 };
+    let scenario = |router: RouterSpec| {
+        Scenario::mesh(16)
+            .traffic(TrafficSpec::transpose())
+            .load(Load::Utilization(0.8))
+            .horizon(horizon)
+            .warmup(horizon / 5.0)
+            .seed(13)
+            .router(router)
+    };
+    let mut best = [0.0f64; 2];
+    for _ in 0..reps {
+        for (slot, router) in [RouterSpec::Greedy, RouterSpec::OddEven]
+            .into_iter()
+            .enumerate()
+        {
+            let res = scenario(router).run();
+            best[slot] = best[slot].max(res.events_per_sec);
+        }
+    }
+    RouterComparison {
+        workload: format!("mesh:16 transpose (util rho=0.8), horizon {horizon}, seed 13"),
+        greedy_events_per_sec: best[0],
+        oddeven_events_per_sec: best[1],
     }
 }
 
@@ -213,6 +262,7 @@ fn engine_comparison(smoke: bool) -> EngineBenchReport {
         rows,
         speedup_auto_vs_heap: headline,
         speedup_sharded4_vs_sharded1: sharded_headline,
+        router_comparison: router_comparison(smoke),
     }
 }
 
@@ -294,6 +344,12 @@ fn main() {
     println!(
         "headline: auto vs heap {:.2}x, sharded:4 vs sharded:1 {:.2}x at the largest size",
         report.speedup_auto_vs_heap, report.speedup_sharded4_vs_sharded1
+    );
+    println!(
+        "routers ({}): greedy {:.0} events/s, oddeven {:.0} events/s",
+        report.router_comparison.workload,
+        report.router_comparison.greedy_events_per_sec,
+        report.router_comparison.oddeven_events_per_sec
     );
     let out = std::env::var("ENGINE_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
     match std::fs::write(&out, serde::json::to_string_pretty(&report)) {

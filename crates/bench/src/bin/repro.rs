@@ -76,7 +76,8 @@ fn usage() -> String {
          commas both separate) `\"hypercube:20 traffic=shuffle\n\
          load=rho:0.5\"` — topology head (mesh:N, mesh:RxC, torus:N,\n\
          hypercube:D, butterfly:K, kd:AxBxC) followed by key=value\n\
-         options (router, traffic, src, lambda/rho/util or\n\
+         options (router=greedy|randomized|westfirst|oddeven, traffic,\n\
+         src, lambda/rho/util or\n\
          load=<convention>:<value>, horizon, warmup, seed, service, slot,\n\
          sample, self, saturated, quantiles, queues, engine).\n\
          \n\

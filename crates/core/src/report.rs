@@ -149,7 +149,12 @@ impl BoundsReport {
             {
                 Self::compute(*rows, Load::Lambda(sc.lambda()))
             }
-            (TopologySpec::Torus { n }, PatternSpec::Uniform) if uniform_sources => {
+            // The torus closed forms describe greedy wraparound routing;
+            // adaptive routers fall through to the rate-enumeration
+            // fallback, whose λ* comes from their fixed-point rate vector.
+            (TopologySpec::Torus { n }, PatternSpec::Uniform)
+                if uniform_sources && !sc.router.is_adaptive() =>
+            {
                 Self::torus_report(sc, *n)
             }
             (
@@ -471,6 +476,18 @@ mod tests {
                     node: None,
                     weight: 4.0,
                 })
+                .load(Load::Utilization(0.5)),
+            // Adaptive routers: λ* and the bounds resolve against the
+            // fixed-point rate vector.
+            Scenario::mesh(6)
+                .router(RouterSpec::WestFirst)
+                .load(Load::Utilization(0.5)),
+            Scenario::mesh(8)
+                .router(RouterSpec::OddEven)
+                .traffic(TrafficSpec::transpose())
+                .load(Load::Utilization(0.5)),
+            Scenario::torus(5)
+                .router(RouterSpec::OddEven)
                 .load(Load::Utilization(0.5)),
         ];
         for sc in &scenarios {

@@ -36,8 +36,9 @@ use std::time::Instant;
 /// cell; v3 added the per-cell `traffic` workload label; v4 split each
 /// cell's wall clock into `setup_s` (analytic bounds + edge-rate cache
 /// warmup) and `sim_s` (replication hot loop) and redefined
-/// `events_per_sec` over `sim_s` alone.
-pub const SCHEMA: &str = "meshbound.sweep/v4";
+/// `events_per_sec` over `sim_s` alone; v5 added the per-cell `router`
+/// label alongside the `router=` sweep axis.
+pub const SCHEMA: &str = "meshbound.sweep/v5";
 
 /// Tolerance for judging a simulated mean delay against analytic bounds.
 ///
@@ -110,6 +111,9 @@ pub struct SweepCellReport {
     /// The cell's workload label (e.g. `"uniform"`, `"transpose"`,
     /// `"hotspot:0.25"`, `"src:hotspot:4+uniform"`).
     pub traffic: String,
+    /// The cell's router label (`"greedy"`, `"randomized"`,
+    /// `"westfirst"` or `"oddeven"`).
+    pub router: String,
     /// The structured scenario (topology, router, traffic, load, seed, …).
     pub scenario: Scenario,
     /// Replications run for this cell.
@@ -355,6 +359,7 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
         spec: sc.spec_string(),
         label: sc.label(),
         traffic: sc.traffic.label(),
+        router: sc.router.as_str().to_string(),
         scenario: sc.clone(),
         reps,
         delay_mean,
@@ -465,6 +470,8 @@ mod tests {
         assert!(json.contains("\"cells\":["));
         // v3: every cell carries its workload label.
         assert!(json.contains("\"traffic\":\"uniform\""));
+        // v5: every cell carries its router label.
+        assert!(json.contains("\"router\":\"greedy\""));
         // The torus's open upper bound serializes as null, not Infinity.
         assert!(json.contains("\"upper\":null"));
         assert!(!json.contains("inf"));

@@ -1,5 +1,6 @@
 //! Standard greedy routing on the array: column first, then row.
 
+use crate::policy::SplitRouting;
 use crate::router::{ObliviousRouter, Router};
 use meshbound_topology::{layering, EdgeId, Mesh2D, NodeId};
 use rand::rngs::SmallRng;
@@ -55,6 +56,20 @@ impl Router<Mesh2D> for GreedyXY {
     #[inline]
     fn remaining_hops(&self, topo: &Mesh2D, cur: NodeId, dst: NodeId, _: ()) -> usize {
         topo.manhattan(cur, dst)
+    }
+}
+
+impl SplitRouting<Mesh2D> for GreedyXY {
+    fn splits(
+        &self,
+        topo: &Mesh2D,
+        _prev: Option<EdgeId>,
+        here: NodeId,
+        dst: NodeId,
+    ) -> Vec<(EdgeId, f64)> {
+        self.next_edge(topo, here, dst, ())
+            .map(|e| vec![(e, 1.0)])
+            .unwrap_or_default()
     }
 }
 

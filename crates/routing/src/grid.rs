@@ -1,0 +1,172 @@
+//! Internal 2-D grid adapter shared by the turn-model routers.
+//!
+//! [`WestFirst`](crate::WestFirst) and [`OddEven`](crate::OddEven) are
+//! defined over an abstract row/column grid so one implementation serves
+//! both [`Mesh2D`] and [`Torus2D`]. On the torus the displacement frame is
+//! the shortest-wrap delta, recomputed at every hop: deltas shrink
+//! monotonically toward zero and never flip sign, so the routes stay
+//! minimal.
+
+use crate::policy::LocalView;
+use meshbound_topology::{Direction, EdgeId, Mesh2D, NodeId, Topology, Torus2D};
+
+/// A topology that looks like a 2-D grid to a turn-model router.
+pub(crate) trait TurnGrid: Topology {
+    /// Column index of a node.
+    fn col_of(&self, v: NodeId) -> usize;
+
+    /// Signed `(row, col)` displacement from `cur` to `dst` in the routing
+    /// frame: plain coordinate differences on the mesh, shortest-wrap
+    /// deltas on the torus.
+    fn deltas(&self, cur: NodeId, dst: NodeId) -> (isize, isize);
+
+    /// The out-edge of `v` in `dir`, if the grid has one. Minimal moves
+    /// (toward a nonzero delta component) always do.
+    fn dir_edge(&self, v: NodeId, dir: Direction) -> Option<EdgeId>;
+
+    /// Minimal route length between two nodes.
+    fn hop_distance(&self, a: NodeId, b: NodeId) -> usize;
+
+    /// Direction of an edge.
+    fn edge_dir(&self, e: EdgeId) -> Direction;
+}
+
+impl TurnGrid for Mesh2D {
+    #[inline]
+    fn col_of(&self, v: NodeId) -> usize {
+        self.coords(v).1
+    }
+
+    #[inline]
+    fn deltas(&self, cur: NodeId, dst: NodeId) -> (isize, isize) {
+        let (r, c) = self.coords(cur);
+        let (rd, cd) = self.coords(dst);
+        (rd as isize - r as isize, cd as isize - c as isize)
+    }
+
+    #[inline]
+    fn dir_edge(&self, v: NodeId, dir: Direction) -> Option<EdgeId> {
+        let (r, c) = self.coords(v);
+        self.edge_in_direction(r, c, dir)
+    }
+
+    #[inline]
+    fn hop_distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.manhattan(a, b)
+    }
+
+    #[inline]
+    fn edge_dir(&self, e: EdgeId) -> Direction {
+        self.direction(e)
+    }
+}
+
+impl TurnGrid for Torus2D {
+    #[inline]
+    fn col_of(&self, v: NodeId) -> usize {
+        self.coords(v).1
+    }
+
+    #[inline]
+    fn deltas(&self, cur: NodeId, dst: NodeId) -> (isize, isize) {
+        let n = self.side();
+        let (r, c) = self.coords(cur);
+        let (rd, cd) = self.coords(dst);
+        (Torus2D::wrap_delta(n, r, rd), Torus2D::wrap_delta(n, c, cd))
+    }
+
+    #[inline]
+    fn dir_edge(&self, v: NodeId, dir: Direction) -> Option<EdgeId> {
+        Some(self.edge_in_direction(v, dir))
+    }
+
+    #[inline]
+    fn hop_distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.distance(a, b)
+    }
+
+    #[inline]
+    fn edge_dir(&self, e: EdgeId) -> Direction {
+        self.direction(e)
+    }
+}
+
+/// The vertical direction that reduces a nonzero row delta.
+#[inline]
+pub(crate) fn vertical_toward(dr: isize) -> Direction {
+    if dr > 0 {
+        Direction::Down
+    } else {
+        Direction::Up
+    }
+}
+
+/// The permitted productive hops out of one node — at most a horizontal
+/// and a vertical candidate, in tie-break order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HopSet {
+    buf: [EdgeId; 2],
+    len: u8,
+}
+
+impl Default for HopSet {
+    fn default() -> Self {
+        HopSet {
+            buf: [EdgeId(0); 2],
+            len: 0,
+        }
+    }
+}
+
+impl HopSet {
+    #[inline]
+    pub(crate) fn push(&mut self, e: EdgeId) {
+        self.buf[self.len as usize] = e;
+        self.len += 1;
+    }
+
+    #[inline]
+    pub(crate) fn push_dir<G: TurnGrid>(&mut self, topo: &G, v: NodeId, dir: Direction) {
+        let e = topo
+            .dir_edge(v, dir)
+            .expect("minimal move must stay on the grid");
+        self.push(e);
+    }
+
+    /// The canonical (empty-network) choice: the first candidate.
+    #[inline]
+    pub(crate) fn first(&self) -> Option<EdgeId> {
+        (self.len > 0).then(|| self.buf[0])
+    }
+
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[EdgeId] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// The candidate with the shortest local queue; ties keep the
+    /// canonical order, so an all-zero view reproduces [`HopSet::first`].
+    #[inline]
+    pub(crate) fn least_occupied(&self, local: &dyn LocalView) -> Option<EdgeId> {
+        let mut best = None;
+        let mut best_q = u32::MAX;
+        for &e in self.as_slice() {
+            let q = local.queue_len(e);
+            if q < best_q {
+                best_q = q;
+                best = Some(e);
+            }
+        }
+        best
+    }
+
+    /// Equal-split branching over the candidates, for the rate solver.
+    pub(crate) fn equal_splits(&self) -> Vec<(EdgeId, f64)> {
+        let s = self.as_slice();
+        if s.is_empty() {
+            return Vec::new();
+        }
+        let p = 1.0 / s.len() as f64;
+        s.iter().map(|&e| (e, p)).collect()
+    }
+}

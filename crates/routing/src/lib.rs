@@ -13,6 +13,14 @@
 //! * [`KdGreedy`] — axis-by-axis greedy routing on `k`-dimensional meshes
 //!   (§5.2).
 //!
+//! Beyond the paper's oblivious schemes, the [`policy`] module defines the
+//! per-hop [`RoutingPolicy`] API (every [`Router`] is one via a blanket
+//! impl) under which [`WestFirst`] and [`OddEven`] implement turn-model
+//! **adaptive** routing on the mesh and torus; their steady-state edge
+//! rates come from the fixed-point solver
+//! [`adaptive_edge_rates`] instead of path
+//! enumeration.
+//!
 //! Destination distributions live in [`dest`]: uniform (the standard model),
 //! the hypercube's Bernoulli-`p` distribution, and the §5.2 "nearby" walk
 //! distribution. The [`lemma3`] module implements the Markov chain of
@@ -27,29 +35,38 @@
 pub mod butterfly;
 pub mod dest;
 pub mod greedy;
+mod grid;
 pub mod hypercube;
 pub mod kd;
 pub mod lemma3;
+pub mod oddeven;
 pub mod pattern;
+pub mod policy;
 pub mod randomized;
 pub mod rates;
 pub mod router;
 pub mod table;
 pub mod torus;
 pub mod traffic;
+pub mod westfirst;
 
 pub use butterfly::ButterflyRouter;
 pub use dest::{DestDist, DestSupport};
 pub use greedy::GreedyXY;
 pub use hypercube::DimOrder;
 pub use kd::KdGreedy;
+pub use oddeven::OddEven;
 pub use pattern::{
     GenericDest, HotspotDest, MatrixDest, PatternTopology, PermutationDest, PermutationKind,
 };
+pub use policy::{policy_route, LocalView, RoutingPolicy, SplitRouting, ZeroView};
 pub use randomized::{Order, RandomizedGreedy};
 pub use router::{ObliviousRouter, Router};
 pub use table::RouteTable;
 pub use torus::TorusGreedy;
+#[allow(deprecated)]
+pub use traffic::traffic_fixed_point;
 pub use traffic::{
-    traffic_fixed_point, try_traffic_fixed_point, MarkovRouting, TrafficConvergenceError,
+    adaptive_edge_rates, try_traffic_fixed_point, MarkovRouting, TrafficConvergenceError,
 };
+pub use westfirst::WestFirst;

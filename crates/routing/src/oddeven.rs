@@ -1,0 +1,289 @@
+//! Odd-even minimal-adaptive routing on the 2-D grid.
+//!
+//! Chiu's odd-even turn model forbids East→North and East→South turns at
+//! nodes in **even** columns, and North→West and South→West turns at nodes
+//! in **odd** columns. Unlike west-first, the restriction is spread evenly
+//! over the grid, so the adaptivity left to a packet does not collapse for
+//! whole classes of source/destination pairs — which is why odd-even is
+//! the standard baseline for adaptive mesh routing.
+//!
+//! The minimal-adaptive candidate set at `(r, c)` for a packet from source
+//! column `c_s` headed to `(r_d, c_d)` follows from the two rules:
+//!
+//! * **eastbound** (`Δc > 0`): a vertical move is permitted iff `c` is odd
+//!   or `c = c_s` (in an even non-source column the packet must have
+//!   entered horizontally, so its first vertical move would be a forbidden
+//!   EN/ES turn); East is permitted iff `c_d` is odd or `Δc ≠ 1` (landing
+//!   in an even destination column with rows left to correct would force a
+//!   forbidden turn there);
+//! * **westbound** (`Δc < 0`): West is always permitted; a vertical move
+//!   is permitted iff `c` is even (the later NW/SW turn back West happens
+//!   in this column);
+//! * `Δc = 0`: the vertical move toward the destination.
+//!
+//! On the mesh the eastbound candidate set is never empty (both rules
+//! failing would need `c` and `c_d = c + 1` both even). On the torus —
+//! where the model runs in the shortest-wrap displacement frame — an odd
+//! side length breaks the column-parity alternation at the wrap seam, and
+//! that corner case *can* empty the set; the router then falls back to the
+//! minimal East hop. As with west-first, the torus variant is a
+//! congestion-avoidance heuristic, not a finite-buffer deadlock-freedom
+//! proof.
+
+use crate::grid::{vertical_toward, HopSet, TurnGrid};
+use crate::policy::{LocalView, SplitRouting};
+use crate::router::Router;
+use meshbound_topology::{Direction, EdgeId, Mesh2D, NodeId, Torus2D};
+use rand::rngs::SmallRng;
+
+/// Odd-even minimal-adaptive routing (Chiu's turn model).
+///
+/// Per-packet state is the source column (the rules treat the source
+/// column specially); [`Router::init_state`] records it without drawing
+/// from the RNG, so adding this router never perturbs a scenario's random
+/// streams. At each hop the packet takes the permitted productive out-edge
+/// with the shortest local queue ([`LocalView`]), ties preferring the
+/// horizontal move.
+///
+/// # Examples
+///
+/// ```
+/// use meshbound_topology::{Mesh2D, Topology};
+/// use meshbound_routing::{OddEven, Router};
+/// let mesh = Mesh2D::square(6);
+/// let route = OddEven.route(&mesh, mesh.node(0, 0), mesh.node(4, 3), 0);
+/// assert_eq!(route.len(), 7); // minimal
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OddEven;
+
+impl OddEven {
+    /// The permitted productive hops at `cur` (see the module docs for the
+    /// derivation), horizontal candidate first.
+    pub(crate) fn candidates<G: TurnGrid>(
+        topo: &G,
+        cur: NodeId,
+        dst: NodeId,
+        src_col: usize,
+    ) -> HopSet {
+        let (dr, dc) = topo.deltas(cur, dst);
+        let col = topo.col_of(cur);
+        let dst_col = topo.col_of(dst);
+        let mut out = HopSet::default();
+        if dc > 0 {
+            if dr == 0 || dst_col % 2 == 1 || dc != 1 {
+                out.push_dir(topo, cur, Direction::Right);
+            }
+            if dr != 0 && (col % 2 == 1 || col == src_col) {
+                out.push_dir(topo, cur, vertical_toward(dr));
+            }
+            if out.first().is_none() {
+                // Torus-only corner case: the wrap seam of an odd-sided
+                // torus can make both `col` and the adjacent destination
+                // column even. Fall back to the minimal East hop rather
+                // than stall.
+                out.push_dir(topo, cur, Direction::Right);
+            }
+        } else if dc < 0 {
+            out.push_dir(topo, cur, Direction::Left);
+            if dr != 0 && col.is_multiple_of(2) {
+                out.push_dir(topo, cur, vertical_toward(dr));
+            }
+        } else if dr != 0 {
+            out.push_dir(topo, cur, vertical_toward(dr));
+        }
+        out
+    }
+
+    /// Source column for the solver's branching model, inferred from the
+    /// arrival edge: at the source (`prev = None`) it is the current
+    /// column; after a horizontal hop the current column cannot be the
+    /// source column (column movement is monotone); after a vertical hop
+    /// the packet has never left its column *if* that column is even (in
+    /// an odd column the rules never consult the source column, so the
+    /// value is immaterial).
+    fn inferred_src_col<G: TurnGrid>(topo: &G, prev: Option<EdgeId>, here: NodeId) -> usize {
+        match prev {
+            None => topo.col_of(here),
+            Some(e) => match topo.edge_dir(e) {
+                Direction::Right | Direction::Left => usize::MAX,
+                Direction::Down | Direction::Up => topo.col_of(here),
+            },
+        }
+    }
+}
+
+macro_rules! impl_odd_even {
+    ($topo:ty) => {
+        impl Router<$topo> for OddEven {
+            /// The packet's source column.
+            type State = u32;
+
+            #[inline]
+            fn init_state(&self, topo: &$topo, src: NodeId, _: NodeId, _: &mut SmallRng) -> u32 {
+                topo.col_of(src) as u32
+            }
+
+            #[inline]
+            fn next_edge(
+                &self,
+                topo: &$topo,
+                cur: NodeId,
+                dst: NodeId,
+                src_col: u32,
+            ) -> Option<EdgeId> {
+                Self::candidates(topo, cur, dst, src_col as usize).first()
+            }
+
+            #[inline]
+            fn next_hop(
+                &self,
+                topo: &$topo,
+                here: NodeId,
+                dst: NodeId,
+                src_col: u32,
+                local: &dyn LocalView,
+            ) -> Option<EdgeId> {
+                Self::candidates(topo, here, dst, src_col as usize).least_occupied(local)
+            }
+
+            #[inline]
+            fn remaining_hops(&self, topo: &$topo, cur: NodeId, dst: NodeId, _: u32) -> usize {
+                topo.hop_distance(cur, dst)
+            }
+        }
+
+        impl SplitRouting<$topo> for OddEven {
+            fn splits(
+                &self,
+                topo: &$topo,
+                prev: Option<EdgeId>,
+                here: NodeId,
+                dst: NodeId,
+            ) -> Vec<(EdgeId, f64)> {
+                let src_col = Self::inferred_src_col(topo, prev, here);
+                Self::candidates(topo, here, dst, src_col).equal_splits()
+            }
+        }
+    };
+}
+
+impl_odd_even!(Mesh2D);
+impl_odd_even!(Torus2D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshbound_topology::Topology;
+
+    struct QueueMap(Vec<u32>);
+
+    impl LocalView for QueueMap {
+        fn queue_len(&self, e: EdgeId) -> u32 {
+            self.0[e.index()]
+        }
+    }
+
+    /// Walks the canonical route and checks every consecutive hop pair
+    /// against the two odd-even rules.
+    fn assert_no_forbidden_turn(m: &Mesh2D, src: NodeId, dst: NodeId) {
+        let route = OddEven.route(m, src, dst, m.coords(src).1 as u32);
+        assert_eq!(route.len(), m.manhattan(src, dst), "{src}->{dst} minimal");
+        for pair in route.windows(2) {
+            let from = m.direction(pair[0]);
+            let to = m.direction(pair[1]);
+            let col = m.coords(m.edge_source(pair[1])).1;
+            let east_to_vertical = from == Direction::Right && !to.is_row();
+            let vertical_to_west = !from.is_row() && to == Direction::Left;
+            assert!(
+                !(east_to_vertical && col.is_multiple_of(2)),
+                "EN/ES turn at even column {col} on {src}->{dst}"
+            );
+            assert!(
+                !(vertical_to_west && col % 2 == 1),
+                "NW/SW turn at odd column {col} on {src}->{dst}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_routes_respect_both_rules() {
+        for n in [4usize, 5, 6] {
+            let m = Mesh2D::square(n);
+            for a in m.nodes() {
+                for b in m.nodes() {
+                    assert_no_forbidden_turn(&m, a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_routes_are_minimal_despite_the_seam_fallback() {
+        for n in [4usize, 5] {
+            let t = Torus2D::new(n);
+            for a in t.nodes() {
+                for b in t.nodes() {
+                    let route = OddEven.route(&t, a, b, t.coords(a).1 as u32);
+                    assert_eq!(route.len(), t.distance(a, b), "n={n} {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_moves_forbidden_in_even_transit_columns() {
+        // Eastbound packet at an even column it did not start in: the only
+        // permitted move is East.
+        let m = Mesh2D::square(6);
+        let cands = OddEven::candidates(&m, m.node(1, 2), m.node(4, 5), 0);
+        assert_eq!(cands.as_slice().len(), 1);
+        assert_eq!(m.direction(cands.first().unwrap()), Direction::Right);
+        // Same node as the source column: vertical reopens.
+        let cands = OddEven::candidates(&m, m.node(1, 2), m.node(4, 5), 2);
+        assert_eq!(cands.as_slice().len(), 2);
+    }
+
+    #[test]
+    fn adaptive_pick_diverts_around_congestion() {
+        let m = Mesh2D::square(6);
+        let cur = m.node(1, 1); // odd column: both candidates open
+        let dst = m.node(4, 4);
+        let canonical = OddEven.next_edge(&m, cur, dst, 1).unwrap();
+        assert_eq!(m.direction(canonical), Direction::Right);
+        let mut queues = vec![0u32; m.num_edges()];
+        queues[canonical.index()] = 3;
+        let picked = OddEven
+            .next_hop(&m, cur, dst, 1, &QueueMap(queues))
+            .unwrap();
+        assert_eq!(m.direction(picked), Direction::Down);
+    }
+
+    #[test]
+    fn split_source_inference_matches_explicit_state() {
+        // Wherever the chain model can reach a node, its inferred source
+        // column must reproduce the explicit-state candidate set.
+        let m = Mesh2D::square(5);
+        for src in m.nodes() {
+            for dst in m.nodes() {
+                let src_col = m.coords(src).1 as u32;
+                let mut cur = src;
+                let mut prev = None;
+                while let Some(e) = OddEven.next_edge(&m, cur, dst, src_col) {
+                    let explicit = OddEven::candidates(&m, cur, dst, src_col as usize);
+                    let inferred = OddEven.splits(&m, prev, cur, dst);
+                    assert_eq!(
+                        explicit.as_slice().len(),
+                        inferred.len(),
+                        "{src}->{dst} at {cur}"
+                    );
+                    for (a, (b, _)) in explicit.as_slice().iter().zip(&inferred) {
+                        assert_eq!(a, b, "{src}->{dst} at {cur}");
+                    }
+                    prev = Some(e);
+                    cur = m.edge_target(e);
+                }
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! standard scheme — a finding reproduced by this crate's experiment
 //! harness.
 
+use crate::policy::SplitRouting;
 use crate::router::{ObliviousRouter, Router};
 use meshbound_topology::{EdgeId, Mesh2D, NodeId, Topology};
 use rand::rngs::SmallRng;
@@ -76,6 +77,44 @@ impl Router<Mesh2D> for RandomizedGreedy {
     #[inline]
     fn remaining_hops(&self, topo: &Mesh2D, cur: NodeId, dst: NodeId, _: Order) -> usize {
         topo.manhattan(cur, dst)
+    }
+}
+
+impl SplitRouting<Mesh2D> for RandomizedGreedy {
+    /// Exact branching model: the order coin splits the flow only at the
+    /// source (`prev = None`, both corrections pending); afterwards the
+    /// arrival direction determines the continuation — a packet that just
+    /// moved horizontally behaves like [`Order::ColumnFirst`] and one that
+    /// just moved vertically like [`Order::RowFirst`], in *both* orders.
+    fn splits(
+        &self,
+        topo: &Mesh2D,
+        prev: Option<EdgeId>,
+        here: NodeId,
+        dst: NodeId,
+    ) -> Vec<(EdgeId, f64)> {
+        match prev {
+            None => {
+                let col = Self::step(topo, here, dst, Order::ColumnFirst);
+                let row = Self::step(topo, here, dst, Order::RowFirst);
+                match (col, row) {
+                    (Some(a), Some(b)) if a != b => vec![(a, 0.5), (b, 0.5)],
+                    (Some(a), _) => vec![(a, 1.0)],
+                    (None, Some(b)) => vec![(b, 1.0)],
+                    (None, None) => Vec::new(),
+                }
+            }
+            Some(e) => {
+                let order = if topo.direction(e).is_row() {
+                    Order::ColumnFirst
+                } else {
+                    Order::RowFirst
+                };
+                Self::step(topo, here, dst, order)
+                    .map(|x| vec![(x, 1.0)])
+                    .unwrap_or_default()
+            }
+        }
     }
 }
 

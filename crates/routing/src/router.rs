@@ -1,5 +1,6 @@
 //! The [`Router`] and [`ObliviousRouter`] traits.
 
+use crate::policy::LocalView;
 use meshbound_topology::{EdgeId, NodeId, Topology};
 use rand::rngs::SmallRng;
 
@@ -21,6 +22,26 @@ pub trait Router<T: Topology> {
     /// The next edge a packet at `cur` with destination `dst` crosses, or
     /// `None` if it has arrived.
     fn next_edge(&self, topo: &T, cur: NodeId, dst: NodeId, state: Self::State) -> Option<EdgeId>;
+
+    /// The per-hop decision with a live congestion view — the method the
+    /// simulation engines call at every dequeue (via
+    /// [`crate::RoutingPolicy`]).
+    ///
+    /// The default ignores the view and forwards to [`Router::next_edge`],
+    /// which keeps every oblivious router bit-identical to the
+    /// pre-declared-path semantics. Adaptive routers override this to pick
+    /// the least-occupied permitted productive hop; their `next_edge`
+    /// remains the canonical ([`crate::ZeroView`]) choice.
+    fn next_hop(
+        &self,
+        topo: &T,
+        here: NodeId,
+        dst: NodeId,
+        state: Self::State,
+        _local: &dyn LocalView,
+    ) -> Option<EdgeId> {
+        self.next_edge(topo, here, dst, state)
+    }
 
     /// Number of edges the packet still has to cross from `cur` (including
     /// the next one), i.e. the "remaining distance" of Definition 11.

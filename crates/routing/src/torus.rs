@@ -5,6 +5,7 @@
 //! Theorem 1 upper bound does not apply; Theorem 10's lower bound still
 //! holds (its proof does not need the Markov property).
 
+use crate::policy::SplitRouting;
 use crate::router::{ObliviousRouter, Router};
 use meshbound_topology::{Direction, EdgeId, NodeId, Torus2D};
 use rand::rngs::SmallRng;
@@ -56,6 +57,20 @@ impl Router<Torus2D> for TorusGreedy {
     #[inline]
     fn remaining_hops(&self, topo: &Torus2D, cur: NodeId, dst: NodeId, _: ()) -> usize {
         topo.distance(cur, dst)
+    }
+}
+
+impl SplitRouting<Torus2D> for TorusGreedy {
+    fn splits(
+        &self,
+        topo: &Torus2D,
+        _prev: Option<EdgeId>,
+        here: NodeId,
+        dst: NodeId,
+    ) -> Vec<(EdgeId, f64)> {
+        Self::step(topo, here, dst)
+            .map(|e| vec![(e, 1.0)])
+            .unwrap_or_default()
     }
 }
 

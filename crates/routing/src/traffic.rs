@@ -134,8 +134,89 @@ pub fn try_traffic_fixed_point(
 /// Panics if iteration fails to converge — which cannot happen for
 /// substochastic routing with exit probability bounded away from zero.
 #[must_use]
+#[deprecated(
+    since = "0.8.0",
+    note = "panics on non-convergence; use `try_traffic_fixed_point` and \
+            surface the `TrafficConvergenceError`"
+)]
 pub fn traffic_fixed_point(routing: &MarkovRouting, tol: f64, max_iter: usize) -> Vec<f64> {
     try_traffic_fixed_point(routing, tol, max_iter).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Steady-state per-edge arrival rates for a
+/// [`SplitRouting`](crate::SplitRouting) router — the
+/// rate computation for routers **without enumerable paths**.
+///
+/// For each destination `d` the router's branching model induces an
+/// absorbing Markov chain on edges: external flow enters at every source
+/// `s` with rate `rate_s · weight(s, d)` split over
+/// `splits(topo, None, s, d)`, and flow on edge `e` continues over
+/// `splits(topo, Some(e), target(e), d)`. Each per-destination chain is
+/// solved by [`try_traffic_fixed_point`] and the rates are summed over all
+/// destinations. Minimal routers yield nilpotent chains, so each solve
+/// converges exactly within a diameter's worth of sweeps.
+///
+/// For oblivious routers whose `SplitRouting` model is exact (greedy,
+/// torus greedy, randomized greedy) this reproduces the path-enumeration
+/// rates of [`crate::rates::edge_rates_weighted`] to well below `1e-9`;
+/// for adaptive routers it is the conventional equal-split steady-state
+/// model.
+///
+/// # Errors
+///
+/// Returns the [`TrafficConvergenceError`] of the first per-destination
+/// chain that fails to converge (possible only for a non-minimal model
+/// with a closed cycle).
+pub fn adaptive_edge_rates<T, R, D>(
+    topo: &T,
+    router: &R,
+    dest: &D,
+    rates_per_source: &[f64],
+    sources: &[meshbound_topology::NodeId],
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vec<f64>, TrafficConvergenceError>
+where
+    T: Topology,
+    R: crate::policy::SplitRouting<T> + ?Sized,
+    D: crate::dest::DestSampler<T> + ?Sized,
+{
+    let num_edges = topo.num_edges();
+    let mut rates = vec![0.0; num_edges];
+    let mut external = vec![0.0; num_edges];
+    for d in topo.nodes() {
+        external.iter_mut().for_each(|x| *x = 0.0);
+        let mut any = false;
+        for (&s, &rate) in sources.iter().zip(rates_per_source) {
+            if rate == 0.0 || s == d {
+                continue;
+            }
+            let w = dest.weight(topo, s, d);
+            if w == 0.0 {
+                continue;
+            }
+            for (e, p) in router.splits(topo, None, s, d) {
+                external[e.index()] += rate * w * p;
+                any = true;
+            }
+        }
+        if !any {
+            continue;
+        }
+        let transitions: Vec<Vec<(EdgeId, f64)>> = topo
+            .edges()
+            .map(|e| router.splits(topo, Some(e), topo.edge_target(e), d))
+            .collect();
+        let routing = MarkovRouting {
+            external: external.clone(),
+            transitions,
+        };
+        let solved = try_traffic_fixed_point(&routing, tol, max_iter)?;
+        for (acc, x) in rates.iter_mut().zip(&solved) {
+            *acc += x;
+        }
+    }
+    Ok(rates)
 }
 
 /// The edge-level Markov chain of greedy routing with uniform destinations
@@ -277,7 +358,7 @@ mod tests {
             let lambda = 0.37;
             let routing = mesh_markov_routing(&mesh, lambda);
             routing.validate();
-            let solved = traffic_fixed_point(&routing, 1e-13, 10_000);
+            let solved = try_traffic_fixed_point(&routing, 1e-13, 10_000).unwrap();
             let closed = mesh_thm6_rates(&mesh, lambda);
             for e in mesh.edges() {
                 assert!(
@@ -310,7 +391,7 @@ mod tests {
             let lambda = 0.6;
             let routing = hypercube_markov_routing(&cube, lambda, p);
             routing.validate();
-            let solved = traffic_fixed_point(&routing, 1e-13, 10_000);
+            let solved = try_traffic_fixed_point(&routing, 1e-13, 10_000).unwrap();
             for e in cube.edges() {
                 assert!(
                     (solved[e.index()] - hypercube_rate(lambda, p)).abs() < 1e-9,
@@ -332,7 +413,7 @@ mod tests {
             transitions: vec![vec![(EdgeId(1), 0.5)], vec![]],
         };
         routing.validate();
-        let solved = traffic_fixed_point(&routing, 1e-14, 100);
+        let solved = try_traffic_fixed_point(&routing, 1e-14, 100).unwrap();
         assert!((solved[0] - 1.0).abs() < 1e-12);
         assert!((solved[1] - 0.5).abs() < 1e-12);
     }
@@ -354,12 +435,122 @@ mod tests {
     }
 
     #[test]
-    fn try_fixed_point_agrees_with_wrapper() {
+    #[allow(deprecated)]
+    fn try_fixed_point_agrees_with_deprecated_wrapper() {
         let mesh = Mesh2D::square(4);
         let routing = mesh_markov_routing(&mesh, 0.5);
         let a = traffic_fixed_point(&routing, 1e-13, 10_000);
         let b = try_traffic_fixed_point(&routing, 1e-13, 10_000).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_solver_matches_path_enumeration_for_oblivious_routers() {
+        // The fixed-point solver and the path-enumeration rates must agree
+        // to ≤ 1e-9 wherever both apply: greedy (single path), randomized
+        // greedy (genuine two-way splits), torus greedy (wrap frame), and
+        // a non-uniform destination distribution.
+        use crate::dest::{NearbyWalk, UniformDest};
+        use crate::greedy::GreedyXY;
+        use crate::randomized::RandomizedGreedy;
+        use crate::rates::{all_nodes, edge_rates_weighted};
+        use crate::torus::TorusGreedy;
+        use meshbound_topology::Torus2D;
+
+        fn check(label: &str, solved: &[f64], enumerated: &[f64]) {
+            assert_eq!(solved.len(), enumerated.len());
+            for (i, (a, b)) in solved.iter().zip(enumerated).enumerate() {
+                assert!((a - b).abs() <= 1e-9, "{label} edge {i}: {a} vs {b}");
+            }
+        }
+
+        let mesh = Mesh2D::square(5);
+        let sources = all_nodes(&mesh);
+        let per = vec![0.3; sources.len()];
+        check(
+            "greedy/uniform",
+            &adaptive_edge_rates(
+                &mesh,
+                &GreedyXY,
+                &UniformDest,
+                &per,
+                &sources,
+                1e-13,
+                10_000,
+            )
+            .unwrap(),
+            &edge_rates_weighted(&mesh, &GreedyXY, &UniformDest, &per, &sources),
+        );
+        let nearby = NearbyWalk::new(0.5);
+        check(
+            "greedy/nearby",
+            &adaptive_edge_rates(&mesh, &GreedyXY, &nearby, &per, &sources, 1e-13, 10_000).unwrap(),
+            &edge_rates_weighted(&mesh, &GreedyXY, &nearby, &per, &sources),
+        );
+        check(
+            "randomized/uniform",
+            &adaptive_edge_rates(
+                &mesh,
+                &RandomizedGreedy,
+                &UniformDest,
+                &per,
+                &sources,
+                1e-13,
+                10_000,
+            )
+            .unwrap(),
+            &edge_rates_weighted(&mesh, &RandomizedGreedy, &UniformDest, &per, &sources),
+        );
+        let torus = Torus2D::new(5);
+        let tsources = all_nodes(&torus);
+        let tper = vec![0.2; tsources.len()];
+        check(
+            "torus/uniform",
+            &adaptive_edge_rates(
+                &torus,
+                &TorusGreedy,
+                &UniformDest,
+                &tper,
+                &tsources,
+                1e-13,
+                10_000,
+            )
+            .unwrap(),
+            &edge_rates_weighted(&torus, &TorusGreedy, &UniformDest, &tper, &tsources),
+        );
+    }
+
+    #[test]
+    fn adaptive_solver_conserves_flow_for_turn_models() {
+        // Equal-split models for west-first and odd-even: total external
+        // injection must equal λ · Σ_{s,d} weight(s,d) worth of first hops,
+        // and every edge rate must be nonnegative and finite.
+        use crate::dest::UniformDest;
+        use crate::oddeven::OddEven;
+        use crate::rates::{all_nodes, total_rate};
+        use crate::westfirst::WestFirst;
+
+        let mesh = Mesh2D::square(6);
+        let sources = all_nodes(&mesh);
+        let per = vec![0.4; sources.len()];
+        let wf = adaptive_edge_rates(
+            &mesh,
+            &WestFirst,
+            &UniformDest,
+            &per,
+            &sources,
+            1e-13,
+            10_000,
+        )
+        .unwrap();
+        let oe = adaptive_edge_rates(&mesh, &OddEven, &UniformDest, &per, &sources, 1e-13, 10_000)
+            .unwrap();
+        // Both are minimal routers over the same demand, so the *total*
+        // edge-crossing rate (λ × mean distance × sources) is identical.
+        assert!((total_rate(&wf) - total_rate(&oe)).abs() < 1e-9);
+        for rates in [&wf, &oe] {
+            assert!(rates.iter().all(|r| r.is_finite() && *r >= 0.0));
+        }
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! West-first minimal-adaptive routing on the 2-D grid.
+//!
+//! The west-first turn model (Glass & Ni) forbids the two turns *into*
+//! West: a packet whose destination lies to the west must cross **all** of
+//! its westward edges first, before any other move; once it is done going
+//! west (or never needed to) it routes minimal-adaptively among the
+//! remaining productive directions (East, Down, Up). Every route is
+//! minimal, and on the mesh the turn restriction makes the channel
+//! dependency graph acyclic, so the discipline is deadlock-free even with
+//! finite buffers. (This simulator's output queues are unbounded, so
+//! deadlock cannot occur in-sim regardless; the restriction is what makes
+//! the discipline meaningful as hardware.)
+//!
+//! On the torus the same rule is applied in the shortest-wrap displacement
+//! frame, recomputed at every hop. That keeps routes minimal and
+//! live, but wraparound rings reintroduce cyclic channel dependencies, so
+//! the torus variant is a congestion-avoidance heuristic rather than a
+//! finite-buffer deadlock-freedom proof.
+
+use crate::grid::{vertical_toward, HopSet, TurnGrid};
+use crate::policy::{LocalView, SplitRouting};
+use crate::router::Router;
+use meshbound_topology::{Direction, EdgeId, Mesh2D, NodeId, Torus2D};
+use rand::rngs::SmallRng;
+
+/// West-first minimal-adaptive routing (Glass–Ni turn model).
+///
+/// Adaptivity: at each hop the packet takes the permitted productive
+/// out-edge with the shortest local queue ([`LocalView`]); ties and the
+/// empty-network canonical route prefer East over vertical movement.
+///
+/// # Examples
+///
+/// ```
+/// use meshbound_topology::{Mesh2D, Topology};
+/// use meshbound_routing::{Router, WestFirst, ZeroView};
+/// let mesh = Mesh2D::square(4);
+/// // Westward destination: the first hops are forced west.
+/// let route = WestFirst.route(&mesh, mesh.node(0, 3), mesh.node(2, 0), ());
+/// assert_eq!(route.len(), 5);
+/// assert_eq!(mesh.direction(route[0]), meshbound_topology::Direction::Left);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WestFirst;
+
+impl WestFirst {
+    /// The permitted productive hops at `cur`: `[Left]` alone while any
+    /// westward displacement remains, otherwise East and/or the vertical
+    /// move toward the destination.
+    pub(crate) fn candidates<G: TurnGrid>(topo: &G, cur: NodeId, dst: NodeId) -> HopSet {
+        let (dr, dc) = topo.deltas(cur, dst);
+        let mut out = HopSet::default();
+        if dc < 0 {
+            // No turn into West exists, so all westward correction comes
+            // first — and while it lasts the packet has no choice.
+            out.push_dir(topo, cur, Direction::Left);
+            return out;
+        }
+        if dc > 0 {
+            out.push_dir(topo, cur, Direction::Right);
+        }
+        if dr != 0 {
+            out.push_dir(topo, cur, vertical_toward(dr));
+        }
+        out
+    }
+}
+
+macro_rules! impl_west_first {
+    ($topo:ty) => {
+        impl Router<$topo> for WestFirst {
+            type State = ();
+
+            #[inline]
+            fn init_state(&self, _: &$topo, _: NodeId, _: NodeId, _: &mut SmallRng) {}
+
+            #[inline]
+            fn next_edge(&self, topo: &$topo, cur: NodeId, dst: NodeId, _: ()) -> Option<EdgeId> {
+                Self::candidates(topo, cur, dst).first()
+            }
+
+            #[inline]
+            fn next_hop(
+                &self,
+                topo: &$topo,
+                here: NodeId,
+                dst: NodeId,
+                _: (),
+                local: &dyn LocalView,
+            ) -> Option<EdgeId> {
+                Self::candidates(topo, here, dst).least_occupied(local)
+            }
+
+            #[inline]
+            fn remaining_hops(&self, topo: &$topo, cur: NodeId, dst: NodeId, _: ()) -> usize {
+                topo.hop_distance(cur, dst)
+            }
+        }
+
+        impl SplitRouting<$topo> for WestFirst {
+            fn splits(
+                &self,
+                topo: &$topo,
+                _prev: Option<EdgeId>,
+                here: NodeId,
+                dst: NodeId,
+            ) -> Vec<(EdgeId, f64)> {
+                Self::candidates(topo, here, dst).equal_splits()
+            }
+        }
+    };
+}
+
+impl_west_first!(Mesh2D);
+impl_west_first!(Torus2D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ZeroView;
+    use meshbound_topology::Topology;
+
+    struct QueueMap(Vec<u32>);
+
+    impl LocalView for QueueMap {
+        fn queue_len(&self, e: EdgeId) -> u32 {
+            self.0[e.index()]
+        }
+    }
+
+    #[test]
+    fn west_phase_is_forced_and_first() {
+        let m = Mesh2D::square(5);
+        let route = WestFirst.route(&m, m.node(1, 4), m.node(3, 1), ());
+        assert_eq!(route.len(), 5);
+        // Once a non-West hop is taken, West never reappears.
+        let mut seen_other = false;
+        for &e in &route {
+            let west = m.direction(e) == Direction::Left;
+            if west {
+                assert!(!seen_other, "west hop after a non-west hop");
+            } else {
+                seen_other = true;
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_minimal_on_mesh_and_torus() {
+        let m = Mesh2D::square(4);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                assert_eq!(WestFirst.route(&m, a, b, ()).len(), m.manhattan(a, b));
+            }
+        }
+        let t = Torus2D::new(5);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(WestFirst.route(&t, a, b, ()).len(), t.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_pick_avoids_the_longer_queue() {
+        let m = Mesh2D::square(4);
+        let cur = m.node(1, 1);
+        let dst = m.node(3, 3);
+        let east = WestFirst.next_edge(&m, cur, dst, ()).unwrap();
+        assert_eq!(m.direction(east), Direction::Right);
+        // Pile packets on the canonical (East) edge: the adaptive hook
+        // must divert to the vertical candidate.
+        let mut queues = vec![0u32; m.num_edges()];
+        queues[east.index()] = 7;
+        let picked = WestFirst
+            .next_hop(&m, cur, dst, (), &QueueMap(queues))
+            .unwrap();
+        assert_eq!(m.direction(picked), Direction::Down);
+        // An empty view reproduces the canonical choice.
+        assert_eq!(WestFirst.next_hop(&m, cur, dst, (), &ZeroView), Some(east));
+    }
+
+    #[test]
+    fn splits_are_equal_over_candidates() {
+        let m = Mesh2D::square(4);
+        let s = WestFirst.splits(&m, None, m.node(0, 0), m.node(2, 2));
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|&(_, p)| (p - 0.5).abs() < 1e-15));
+        let west = WestFirst.splits(&m, None, m.node(0, 3), m.node(2, 0));
+        assert_eq!(west.len(), 1);
+        assert_eq!(m.direction(west[0].0), Direction::Left);
+    }
+}

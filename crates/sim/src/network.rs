@@ -11,11 +11,13 @@
 //!
 //! * the **future-event list** is either the reference binary heap or the
 //!   O(1)-amortized calendar queue (the default);
-//! * **routing** either recomputes the next hop from
-//!   `(current, destination)` — legal because greedy routing is Markovian
-//!   (Corollary 4) — or, for deterministic routers on gated sizes, reads it
-//!   from a precomputed [`RouteTable`] together with route lengths and
-//!   saturated-hop counts;
+//! * **routing** calls [`Router::next_hop`] at every dequeue with a live
+//!   [`LocalView`] of the switch's output queues (`QueueView`) — the
+//!   per-hop `RoutingPolicy` surface under which oblivious routers recompute
+//!   their Markovian next edge (Corollary 4) and adaptive turn-model routers
+//!   steer around congestion — or, for deterministic routers on gated sizes,
+//!   reads hops from a precomputed [`RouteTable`] together with route
+//!   lengths and saturated-hop counts;
 //! * **edge queues** are intrusive linked lists threaded through one shared
 //!   slab (`next[pid]`), so an edge's state is two `u32` cursors and the
 //!   whole network's queue storage is a single allocation;
@@ -32,7 +34,7 @@ use crate::observer::Observer;
 use crate::rng::{derive_rng, exp_sample, poisson_sample};
 use crate::service::ServiceKind;
 use meshbound_routing::dest::DestSampler;
-use meshbound_routing::{RouteTable, Router};
+use meshbound_routing::{LocalView, RouteTable, Router, ZeroView};
 use meshbound_topology::{EdgeId, NodeId, Topology};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -262,6 +264,22 @@ impl Default for EdgeState {
             busy: false,
             service_start: 0.0,
         }
+    }
+}
+
+/// The engine's live [`LocalView`]: per-output-port queue occupancy read
+/// straight off the edge-state slab. Handed to [`Router::next_hop`] at
+/// every dequeue, so adaptive policies see the congestion of the instant
+/// they decide in — including the effect of earlier decisions at the same
+/// switch.
+pub(crate) struct QueueView<'a> {
+    pub(crate) edges: &'a [EdgeState],
+}
+
+impl LocalView for QueueView<'_> {
+    #[inline]
+    fn queue_len(&self, e: EdgeId) -> u32 {
+        self.edges[e.index()].qlen
     }
 }
 
@@ -674,7 +692,11 @@ where
                         let next = match routes {
                             Some(r) => r.next_edge(cur, pk.dst),
                             None => {
-                                match self.router.next_edge(&self.topo, cur, pk.dst, pk.state) {
+                                let view = QueueView { edges: &edges };
+                                match self
+                                    .router
+                                    .next_hop(&self.topo, cur, pk.dst, pk.state, &view)
+                                {
                                     Some(e) => e,
                                     None => {
                                         return Err(SimError::RouterStalled {
@@ -846,16 +868,19 @@ where
         };
         let first = match first {
             Some(e) => e,
-            None => match self.router.next_edge(&self.topo, src, dst, state) {
-                Some(e) => e,
-                None => {
-                    return Err(SimError::RouterStalled {
-                        node: src,
-                        dst,
-                        router: router_name::<R>(),
-                    })
+            None => {
+                let view = QueueView { edges: &*edges };
+                match self.router.next_hop(&self.topo, src, dst, state, &view) {
+                    Some(e) => e,
+                    None => {
+                        return Err(SimError::RouterStalled {
+                            node: src,
+                            dst,
+                            router: router_name::<R>(),
+                        })
+                    }
                 }
-            },
+            }
         };
         let fi = first.index();
         Self::enqueue(
@@ -874,6 +899,9 @@ where
         Ok(())
     }
 
+    /// Saturated hops along the *canonical* (empty-network) route — the
+    /// zero-view walk, which coincides with the actual route for oblivious
+    /// routers and is the conventional reference path for adaptive ones.
     pub(crate) fn count_saturated_on_route(
         &self,
         src: NodeId,
@@ -882,7 +910,7 @@ where
     ) -> usize {
         let mut count = 0;
         let mut cur = src;
-        while let Some(e) = self.router.next_edge(&self.topo, cur, dst, state) {
+        while let Some(e) = self.router.next_hop(&self.topo, cur, dst, state, &ZeroView) {
             if self.sat_edge[e.index()] {
                 count += 1;
             }

@@ -53,8 +53,8 @@ use meshbound_routing::rates::{
     torus_row_rates, total_rate,
 };
 use meshbound_routing::{
-    ButterflyRouter, DimOrder, GreedyXY, KdGreedy, ObliviousRouter, RandomizedGreedy, Router,
-    TorusGreedy,
+    adaptive_edge_rates, ButterflyRouter, DimOrder, GreedyXY, KdGreedy, ObliviousRouter, OddEven,
+    RandomizedGreedy, Router, SplitRouting, TorusGreedy, TrafficConvergenceError, WestFirst,
 };
 use meshbound_topology::{
     Butterfly, Direction, EdgeId, Hypercube, Mesh2D, MeshKD, NodeId, Topology, Torus2D,
@@ -244,7 +244,8 @@ impl TopologySpec {
 }
 
 /// Which router a [`Scenario`] uses. Each topology has a canonical greedy
-/// router; the randomized variant exists only on the mesh.
+/// router; the randomized variant exists only on the mesh, and the two
+/// turn-model adaptive routers exist on the mesh and torus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RouterSpec {
     /// The topology's canonical greedy router: [`GreedyXY`] on the mesh,
@@ -254,6 +255,51 @@ pub enum RouterSpec {
     Greedy,
     /// §6's randomized-order greedy variant (mesh only).
     Randomized,
+    /// West-first turn-model adaptive routing ([`WestFirst`]; mesh and
+    /// torus).
+    WestFirst,
+    /// Odd-even turn-model adaptive routing ([`OddEven`]; mesh and
+    /// torus).
+    OddEven,
+}
+
+impl RouterSpec {
+    /// The spec-string token, e.g. `"oddeven"` for `router=oddeven`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouterSpec::Greedy => "greedy",
+            RouterSpec::Randomized => "randomized",
+            RouterSpec::WestFirst => "westfirst",
+            RouterSpec::OddEven => "oddeven",
+        }
+    }
+
+    /// Whether the router picks hops adaptively from local queue state.
+    /// Adaptive routers have no enumerable path set, so their edge rates
+    /// come from the fixed-point solver, and they stay off the packed
+    /// route-table fast path.
+    #[must_use]
+    pub fn is_adaptive(self) -> bool {
+        matches!(self, RouterSpec::WestFirst | RouterSpec::OddEven)
+    }
+
+    /// Parses a spec token (the value of a `router=` key).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted tokens.
+    pub fn parse_token(value: &str) -> Result<Self, String> {
+        match value {
+            "greedy" => Ok(RouterSpec::Greedy),
+            "randomized" => Ok(RouterSpec::Randomized),
+            "westfirst" => Ok(RouterSpec::WestFirst),
+            "oddeven" => Ok(RouterSpec::OddEven),
+            _ => Err(format!(
+                "unknown router `{value}` (expected greedy, randomized, westfirst or oddeven)"
+            )),
+        }
+    }
 }
 
 /// Builds the topology-generic sampler for a permutation, hotspot or
@@ -327,6 +373,60 @@ where
     }
 }
 
+/// Absolute tolerance of the adaptive fixed-point rate solver. Minimal
+/// routers give nilpotent per-destination chains, so the iteration is
+/// exact after `diameter` sweeps — the tolerance only guards the
+/// termination test against rounding noise.
+const FP_TOL: f64 = 1e-13;
+
+/// Sweep budget of the adaptive fixed-point rate solver; far above the
+/// diameter of any topology that fits the edge-rate gates.
+const FP_MAX_ITER: usize = 10_000;
+
+/// Steady-state edge rates for an adaptive (split-routing) router under
+/// any pattern without a topology-native sampler requirement: uniform or
+/// the topology-generic patterns. (The mesh-only nearby walk is dispatched
+/// by the caller, whose topology is concrete.)
+fn adaptive_pattern_rates<T, R>(
+    topo: &T,
+    router: &R,
+    pattern: &PatternSpec,
+    per_source: &[f64],
+    sources: &[NodeId],
+) -> Result<Vec<f64>, ScenarioError>
+where
+    T: PatternTopology,
+    R: SplitRouting<T>,
+{
+    let rates = match pattern {
+        PatternSpec::Uniform => adaptive_edge_rates(
+            topo,
+            router,
+            &UniformDest,
+            per_source,
+            sources,
+            FP_TOL,
+            FP_MAX_ITER,
+        )?,
+        other => match generic_dest_for(topo, other) {
+            Some(dest) => adaptive_edge_rates(
+                topo,
+                router,
+                &dest,
+                per_source,
+                sources,
+                FP_TOL,
+                FP_MAX_ITER,
+            )?,
+            None => unreachable!(
+                "validate() admits no other adaptive pattern on {}",
+                topo.label()
+            ),
+        },
+    };
+    Ok(rates)
+}
+
 /// Closed-form unit-rate vector of the `n × n` torus with uniform sources
 /// and uniform destinations ([`torus_row_rates`] expanded per edge); also
 /// the hotspot fast path's uniform remainder.
@@ -343,13 +443,19 @@ fn torus_uniform_unit_rates(n: usize) -> Vec<f64> {
 }
 
 /// Why a scenario specification was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioError {
     /// The spec string could not be parsed.
     Parse(String),
     /// The parsed combination is not supported (e.g. a randomized router on
     /// the torus).
     Unsupported(String),
+    /// The fixed-point rate solver for an adaptive router ran out of
+    /// sweeps before reaching tolerance (see
+    /// [`adaptive_edge_rates`]).
+    ///
+    /// [`adaptive_edge_rates`]: meshbound_routing::adaptive_edge_rates
+    Convergence(TrafficConvergenceError),
 }
 
 impl ScenarioError {
@@ -367,11 +473,25 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::Parse(m) => write!(f, "scenario parse error: {m}"),
             ScenarioError::Unsupported(m) => write!(f, "unsupported scenario: {m}"),
+            ScenarioError::Convergence(e) => write!(f, "scenario rate solver: {e}"),
         }
     }
 }
 
-impl std::error::Error for ScenarioError {}
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Convergence(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrafficConvergenceError> for ScenarioError {
+    fn from(e: TrafficConvergenceError) -> Self {
+        ScenarioError::Convergence(e)
+    }
+}
 
 pub(crate) const DEFAULT_HORIZON: f64 = 2_000.0;
 pub(crate) const DEFAULT_WARMUP: f64 = 200.0;
@@ -658,7 +778,7 @@ impl Scenario {
     /// coincides with the utilization convention everywhere else.
     #[must_use]
     pub fn lambda(&self) -> f64 {
-        self.lambda_given_peak(|| self.peak_unit_rate())
+        self.lambda_given_peak(|| self.peak_unit_rate().unwrap_or_else(|e| panic!("{e}")))
     }
 
     /// Load resolution with the peak unit rate supplied lazily, so callers
@@ -710,32 +830,66 @@ impl Scenario {
     /// Exact per-edge arrival rates at the resolved λ, for the scenario's
     /// router and destination distribution.
     ///
-    /// Uses closed forms where the paper provides them and exact path
-    /// enumeration (`O(sources × nodes × route)`) otherwise. Materializes a
+    /// Uses closed forms where the paper provides them, exact path
+    /// enumeration (`O(sources × nodes × route)`) for oblivious routers,
+    /// and the fixed-point solver for adaptive ones. Materializes a
     /// vector of length `num_edges` — avoid on very large hypercubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adaptive fixed-point solver fails to converge — use
+    /// [`Scenario::try_edge_rates`] to handle that as a typed error.
     #[must_use]
     pub fn edge_rates(&self) -> Vec<f64> {
-        let unit = self.unit_rates();
+        self.try_edge_rates().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Scenario::edge_rates`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Convergence`] if the fixed-point solver
+    /// for an adaptive router runs out of sweeps (impossible for the
+    /// minimal turn-model routers, whose per-destination chains are
+    /// nilpotent — the variant exists so callers never face a panic).
+    pub fn try_edge_rates(&self) -> Result<Vec<f64>, ScenarioError> {
+        let unit = self.unit_rates()?;
         // Resolve utilization-style loads against the vector we already
         // hold: on every closed-form topology its maximum is the same
         // expression peak_unit_rate() would compute, and on enumerated
         // topologies this avoids a second full path enumeration.
         let lambda = self.lambda_given_peak(|| unit.iter().fold(0.0, |a: f64, &b| a.max(b)));
-        unit.into_iter().map(|r| r * lambda).collect()
+        Ok(unit.into_iter().map(|r| r * lambda).collect())
     }
 
     /// Peak edge utilization `max_e λ_e` at the resolved λ (unit service
     /// rates).
     #[must_use]
     pub fn peak_utilization(&self) -> f64 {
-        self.lambda() * self.peak_unit_rate()
+        self.lambda() * self.peak_unit_rate().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The stability threshold `λ*` of the scenario's routing pattern with
     /// unit service rates: the λ at which the busiest edge saturates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adaptive fixed-point solver fails to converge — use
+    /// [`Scenario::try_stability_lambda`] to handle that as a typed error.
     #[must_use]
     pub fn stability_lambda(&self) -> f64 {
-        1.0 / self.peak_unit_rate()
+        self.try_stability_lambda()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Scenario::stability_lambda`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Convergence`] if the fixed-point solver
+    /// for an adaptive router runs out of sweeps.
+    pub fn try_stability_lambda(&self) -> Result<f64, ScenarioError> {
+        Ok(1.0 / self.peak_unit_rate()?)
     }
 
     /// Mean greedy route length over the scenario's workload (self-pairs
@@ -793,7 +947,8 @@ impl Scenario {
     /// The conservation-law fallback: mean route length over generated
     /// packets = `Σ_e λ_e / (λ × #sources)` evaluated at unit mean rate.
     fn mean_distance_from_rates(&self) -> f64 {
-        total_rate(&self.unit_rates()) / self.num_sources() as f64
+        let unit = self.unit_rates().unwrap_or_else(|e| panic!("{e}"));
+        total_rate(&unit) / self.num_sources() as f64
     }
 
     /// Mean-1 per-source rate weights of the workload (`None` = uniform).
@@ -821,7 +976,7 @@ impl Scenario {
     /// nor are vectors above [`STREAMING_STATS_MAX_EDGES`] (the sparse
     /// path is already cheap at that scale and the entries would dominate
     /// memory).
-    fn unit_rates(&self) -> Vec<f64> {
+    fn unit_rates(&self) -> Result<Vec<f64>, ScenarioError> {
         use std::collections::HashMap;
         use std::sync::{Arc, Mutex, OnceLock};
         static CACHE: OnceLock<Mutex<HashMap<String, Arc<Vec<f64>>>>> = OnceLock::new();
@@ -837,24 +992,25 @@ impl Scenario {
         let key = format!("{:?}|{:?}|{:?}", self.topology, self.router, self.traffic);
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(hit) = cache.lock().expect("unit-rate cache poisoned").get(&key) {
-            return hit.as_ref().clone();
+            return Ok(hit.as_ref().clone());
         }
-        let rates = self.unit_rates_uncached();
+        let rates = self.unit_rates_uncached()?;
         let mut map = cache.lock().expect("unit-rate cache poisoned");
         if map.len() >= MAX_ENTRIES {
             map.clear();
         }
         map.insert(key, Arc::new(rates.clone()));
-        rates
+        Ok(rates)
     }
 
     /// The cold path of [`Scenario::unit_rates`]: closed form where
-    /// available, exact weighted enumeration otherwise.
-    fn unit_rates_uncached(&self) -> Vec<f64> {
+    /// available, exact weighted enumeration for oblivious routers, and
+    /// the fixed-point solver for adaptive ones.
+    fn unit_rates_uncached(&self) -> Result<Vec<f64>, ScenarioError> {
         let weights = self.source_weights();
         let uniform_sources = weights.is_none();
         let per_source = |n: usize| weights.clone().unwrap_or_else(|| vec![1.0; n]);
-        match (&self.topology, self.router, &self.traffic.pattern) {
+        Ok(match (&self.topology, self.router, &self.traffic.pattern) {
             (TopologySpec::Mesh { rows, cols }, RouterSpec::Greedy, PatternSpec::Uniform)
                 if rows == cols && uniform_sources =>
             {
@@ -879,6 +1035,24 @@ impl Scenario {
                         &per,
                         &sources,
                     ),
+                    (RouterSpec::WestFirst, PatternSpec::Nearby { stop }) => adaptive_edge_rates(
+                        &mesh,
+                        &WestFirst,
+                        &NearbyWalk::new(*stop),
+                        &per,
+                        &sources,
+                        FP_TOL,
+                        FP_MAX_ITER,
+                    )?,
+                    (RouterSpec::OddEven, PatternSpec::Nearby { stop }) => adaptive_edge_rates(
+                        &mesh,
+                        &OddEven,
+                        &NearbyWalk::new(*stop),
+                        &per,
+                        &sources,
+                        FP_TOL,
+                        FP_MAX_ITER,
+                    )?,
                     (RouterSpec::Greedy, pattern) => {
                         let square = rows == cols;
                         pattern_rates(&mesh, &GreedyXY, pattern, &per, &sources, || {
@@ -888,18 +1062,34 @@ impl Scenario {
                     (RouterSpec::Randomized, pattern) => {
                         pattern_rates(&mesh, &RandomizedGreedy, pattern, &per, &sources, || None)
                     }
+                    (RouterSpec::WestFirst, pattern) => {
+                        adaptive_pattern_rates(&mesh, &WestFirst, pattern, &per, &sources)?
+                    }
+                    (RouterSpec::OddEven, pattern) => {
+                        adaptive_pattern_rates(&mesh, &OddEven, pattern, &per, &sources)?
+                    }
                 }
             }
-            (TopologySpec::Torus { n }, _, PatternSpec::Uniform) if uniform_sources => {
+            (TopologySpec::Torus { n }, router, PatternSpec::Uniform)
+                if uniform_sources && !router.is_adaptive() =>
+            {
                 torus_uniform_unit_rates(*n)
             }
-            (TopologySpec::Torus { n }, _, pattern) => {
+            (TopologySpec::Torus { n }, router, pattern) => {
                 let torus = Torus2D::new(*n);
                 let sources = all_nodes(&torus);
                 let per = per_source(sources.len());
-                pattern_rates(&torus, &TorusGreedy, pattern, &per, &sources, || {
-                    uniform_sources.then(|| torus_uniform_unit_rates(*n))
-                })
+                match router {
+                    RouterSpec::WestFirst => {
+                        adaptive_pattern_rates(&torus, &WestFirst, pattern, &per, &sources)?
+                    }
+                    RouterSpec::OddEven => {
+                        adaptive_pattern_rates(&torus, &OddEven, pattern, &per, &sources)?
+                    }
+                    _ => pattern_rates(&torus, &TorusGreedy, pattern, &per, &sources, || {
+                        uniform_sources.then(|| torus_uniform_unit_rates(*n))
+                    }),
+                }
             }
             (TopologySpec::Hypercube { dim }, _, pattern) => {
                 let closed = match pattern {
@@ -944,29 +1134,33 @@ impl Scenario {
                 let per = per_source(sources.len());
                 pattern_rates(&kd, &KdGreedy, pattern, &per, &sources, || None)
             }
-        }
+        })
     }
 
     /// Peak per-edge rate at mean rate `λ = 1`, without materializing the
-    /// rate vector when a closed form exists.
-    fn peak_unit_rate(&self) -> f64 {
+    /// rate vector when a closed form exists. (The torus closed form is
+    /// the greedy router's; adaptive routers spread flow differently and
+    /// fall through to their solved vector.)
+    fn peak_unit_rate(&self) -> Result<f64, ScenarioError> {
         if self.traffic.source.is_uniform() {
             match (&self.topology, self.router, &self.traffic.pattern) {
                 (TopologySpec::Mesh { rows, cols }, RouterSpec::Greedy, PatternSpec::Uniform)
                     if rows == cols =>
                 {
-                    return mesh_max_rate(*rows, 1.0)
+                    return Ok(mesh_max_rate(*rows, 1.0))
                 }
-                (TopologySpec::Torus { n }, _, PatternSpec::Uniform) => {
-                    return torus_row_rates(*n, 1.0).0
+                (TopologySpec::Torus { n }, router, PatternSpec::Uniform)
+                    if !router.is_adaptive() =>
+                {
+                    return Ok(torus_row_rates(*n, 1.0).0)
                 }
-                (TopologySpec::Hypercube { .. }, _, PatternSpec::Bernoulli { p }) => return *p,
-                (TopologySpec::Hypercube { .. }, _, PatternSpec::Uniform) => return 0.5,
-                (TopologySpec::Butterfly { .. }, _, _) => return 0.5,
+                (TopologySpec::Hypercube { .. }, _, PatternSpec::Bernoulli { p }) => return Ok(*p),
+                (TopologySpec::Hypercube { .. }, _, PatternSpec::Uniform) => return Ok(0.5),
+                (TopologySpec::Butterfly { .. }, _, _) => return Ok(0.5),
                 _ => {}
             }
         }
-        self.unit_rates().into_iter().fold(0.0, f64::max)
+        Ok(self.unit_rates()?.into_iter().fold(0.0, f64::max))
     }
 
     // ----------------------------------------------------------------
@@ -1001,6 +1195,19 @@ impl Scenario {
         let is_mesh = matches!(self.topology, TopologySpec::Mesh { .. });
         if self.router == RouterSpec::Randomized && !is_mesh {
             return bad("the randomized greedy router exists only on the mesh".into());
+        }
+        if self.router.is_adaptive()
+            && !matches!(
+                self.topology,
+                TopologySpec::Mesh { .. } | TopologySpec::Torus { .. }
+            )
+        {
+            return bad(format!(
+                "the {} adaptive router needs a 2-D turn model; {} has none — \
+                 adaptive routing exists only on the mesh and torus",
+                self.router.as_str(),
+                self.topology.label()
+            ));
         }
         if matches!(self.topology, TopologySpec::Butterfly { .. })
             && self.traffic.pattern != PatternSpec::Uniform
@@ -1193,6 +1400,10 @@ impl Scenario {
                         RouterSpec::Randomized => {
                             self.finish(mesh, RandomizedGreedy, dest, net, &sat, None)
                         }
+                        RouterSpec::WestFirst => {
+                            self.finish(mesh, WestFirst, dest, net, &sat, None)
+                        }
+                        RouterSpec::OddEven => self.finish(mesh, OddEven, dest, net, &sat, None),
                     };
                 }
                 match (router, pattern) {
@@ -1213,14 +1424,38 @@ impl Scenario {
                         &sat,
                         None,
                     ),
+                    (RouterSpec::WestFirst, PatternSpec::Uniform) => {
+                        self.finish(mesh, WestFirst, UniformDest, net, &sat, None)
+                    }
+                    (RouterSpec::WestFirst, PatternSpec::Nearby { stop }) => {
+                        self.finish(mesh, WestFirst, NearbyWalk::new(*stop), net, &sat, None)
+                    }
+                    (RouterSpec::OddEven, PatternSpec::Uniform) => {
+                        self.finish(mesh, OddEven, UniformDest, net, &sat, None)
+                    }
+                    (RouterSpec::OddEven, PatternSpec::Nearby { stop }) => {
+                        self.finish(mesh, OddEven, NearbyWalk::new(*stop), net, &sat, None)
+                    }
                     _ => unreachable!("validate() admits no other mesh combination"),
                 }
             }
-            (TopologySpec::Torus { n }, _, pattern) => {
+            (TopologySpec::Torus { n }, router, pattern) => {
                 let torus = Torus2D::new(*n);
-                match generic_dest_for(&torus, pattern) {
-                    Some(dest) => self.finish(torus, TorusGreedy, dest, net, &[], None),
-                    None => self.finish(torus, TorusGreedy, UniformDest, net, &[], None),
+                match (router, generic_dest_for(&torus, pattern)) {
+                    (RouterSpec::WestFirst, Some(dest)) => {
+                        self.finish(torus, WestFirst, dest, net, &[], None)
+                    }
+                    (RouterSpec::WestFirst, None) => {
+                        self.finish(torus, WestFirst, UniformDest, net, &[], None)
+                    }
+                    (RouterSpec::OddEven, Some(dest)) => {
+                        self.finish(torus, OddEven, dest, net, &[], None)
+                    }
+                    (RouterSpec::OddEven, None) => {
+                        self.finish(torus, OddEven, UniformDest, net, &[], None)
+                    }
+                    (_, Some(dest)) => self.finish(torus, TorusGreedy, dest, net, &[], None),
+                    (_, None) => self.finish(torus, TorusGreedy, UniformDest, net, &[], None),
                 }
             }
             (TopologySpec::Hypercube { dim }, _, pattern) => {
@@ -1309,7 +1544,7 @@ impl Scenario {
     /// commas and/or whitespace, so a quoted shell argument with spaces is
     /// one valid spec.
     ///
-    /// Recognized keys: `router=greedy|randomized`,
+    /// Recognized keys: `router=greedy|randomized|westfirst|oddeven`,
     /// `traffic=uniform|nearby:<stop>|bernoulli:<p>|transpose|bitrev|`
     /// `bitcomp|shuffle|hotspot:<frac>[:<node>]` (with `dest=` kept as a
     /// pre-PR-5 alias), `src=uniform|hotspot:<weight>[:<node>]`, exactly
@@ -1357,15 +1592,7 @@ impl Scenario {
             })?;
             match key {
                 "router" => {
-                    sc.router = match value {
-                        "greedy" => RouterSpec::Greedy,
-                        "randomized" => RouterSpec::Randomized,
-                        _ => {
-                            return Err(ScenarioError::parse(format!(
-                                "unknown router `{value}` (expected greedy or randomized)"
-                            )))
-                        }
-                    };
+                    sc.router = RouterSpec::parse_token(value).map_err(ScenarioError::parse)?;
                 }
                 // `dest=` is the pre-PR-5 spelling; both keys accept the
                 // full pattern grammar.
@@ -1479,8 +1706,8 @@ impl Scenario {
     #[must_use]
     pub fn spec_string(&self) -> String {
         let mut s = self.topology.spec_head();
-        if self.router == RouterSpec::Randomized {
-            s.push_str(",router=randomized");
+        if self.router != RouterSpec::Greedy {
+            s.push_str(&format!(",router={}", self.router.as_str()));
         }
         if self.traffic.pattern != PatternSpec::Uniform {
             if let Some(token) = self.traffic.pattern.spec_token() {
@@ -1746,6 +1973,24 @@ mod tests {
             .router(RouterSpec::Randomized)
             .validate()
             .is_err());
+        // Adaptive routers need a topology with a 2-D turn model; the
+        // rejection is a typed Unsupported error, not a panic.
+        for router in [RouterSpec::WestFirst, RouterSpec::OddEven] {
+            for sc in [
+                Scenario::hypercube(4).router(router),
+                Scenario::butterfly(3).router(router),
+                Scenario::mesh_kd(&[3, 3, 3]).router(router),
+            ] {
+                match sc.validate() {
+                    Err(ScenarioError::Unsupported(msg)) => {
+                        assert!(msg.contains(router.as_str()), "{msg}");
+                    }
+                    other => panic!("expected Unsupported, got {other:?}"),
+                }
+            }
+            assert!(Scenario::mesh(4).router(router).validate().is_ok());
+            assert!(Scenario::torus(4).router(router).validate().is_ok());
+        }
         assert!(Scenario::hypercube(4)
             .traffic(TrafficSpec::nearby(0.5))
             .validate()
@@ -1924,6 +2169,13 @@ mod tests {
             Scenario::torus(5)
                 .load(Load::Utilization(0.3))
                 .engine(EngineSpec::Calendar),
+            Scenario::mesh(6)
+                .router(RouterSpec::WestFirst)
+                .load(Load::Lambda(0.05)),
+            Scenario::torus(6)
+                .router(RouterSpec::OddEven)
+                .traffic(TrafficSpec::transpose())
+                .load(Load::Utilization(0.4)),
         ];
         for sc in scenarios {
             let spec = sc.spec_string();
@@ -1946,6 +2198,10 @@ mod tests {
             "mesh:4,speed=9",
             "mesh:4,lambda=fast",
             "torus:8,router=randomized",
+            "hypercube:4,router=oddeven",
+            "butterfly:3,router=westfirst",
+            "kd:3x3x3,router=oddeven",
+            "mesh:4,router=eastlast",
             "mesh:4,seed=-1",
             "mesh:4,engine=quantum",
             "mesh:4,traffic=warp",
@@ -2100,13 +2356,73 @@ mod tests {
         // hit (same topology/router/traffic key); the uncached path must
         // agree bit for bit.
         let sc = Scenario::mesh(7).traffic(TrafficSpec::transpose());
-        let cold = sc.unit_rates_uncached();
-        let warm = sc.unit_rates();
-        let hit = sc.unit_rates();
+        let cold = sc.unit_rates_uncached().unwrap();
+        let warm = sc.unit_rates().unwrap();
+        let hit = sc.unit_rates().unwrap();
         assert_eq!(cold.len(), warm.len());
         for ((a, b), c) in cold.iter().zip(&warm).zip(&hit) {
             assert_eq!(a.to_bits(), b.to_bits());
             assert_eq!(a.to_bits(), c.to_bits());
         }
+    }
+
+    #[test]
+    fn adaptive_routers_run_end_to_end_from_spec_strings() {
+        for spec in [
+            "mesh:5,router=westfirst,lambda=0.05,horizon=300,warmup=30",
+            "mesh:5,router=oddeven,traffic=transpose,util=0.4,horizon=300,warmup=30",
+            "torus:5,router=westfirst,util=0.3,horizon=300,warmup=30",
+            "torus:5,router=oddeven,lambda=0.05,horizon=300,warmup=30",
+        ] {
+            let sc = Scenario::parse(spec).unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+            let result = sc.run();
+            assert!(result.completed > 0, "`{spec}` moved no packets");
+            assert!(result.avg_delay.is_finite());
+        }
+    }
+
+    #[test]
+    fn adaptive_rates_come_from_the_fixed_point_solver() {
+        // The solved vector must satisfy the conservation law
+        // Σ_e λ_e = λ · Σ_s E[route length | s] — adaptive turn-model
+        // routes are minimal, so the closed-form mean distance applies.
+        for router in [RouterSpec::WestFirst, RouterSpec::OddEven] {
+            for sc in [
+                Scenario::mesh(6).router(router).load(Load::Lambda(0.2)),
+                Scenario::torus(5).router(router).load(Load::Lambda(0.2)),
+            ] {
+                let rates = sc.try_edge_rates().unwrap();
+                assert_eq!(rates.len(), sc.topology.num_edges());
+                assert!(rates.iter().all(|r| r.is_finite() && *r >= 0.0));
+                let total: f64 = rates.iter().sum();
+                let expect = 0.2 * sc.num_sources() as f64 * sc.mean_distance();
+                assert!(
+                    (total - expect).abs() < 1e-9,
+                    "{router:?} on {}: total {total} vs {expect}",
+                    sc.label()
+                );
+                let lam = sc.try_stability_lambda().unwrap();
+                assert!(lam.is_finite() && lam > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn oddeven_stability_exceeds_greedy_on_transpose() {
+        // Odd-even spreads the transpose's corner-turn traffic over two
+        // minimal candidates, so its busiest edge carries less flow than
+        // greedy's single XY path: λ* (fixed point) > λ* (enumeration).
+        let greedy = Scenario::mesh(16)
+            .traffic(TrafficSpec::transpose())
+            .stability_lambda();
+        let oddeven = Scenario::mesh(16)
+            .router(RouterSpec::OddEven)
+            .traffic(TrafficSpec::transpose())
+            .try_stability_lambda()
+            .unwrap();
+        assert!(
+            oddeven > greedy * 1.05,
+            "odd-even λ* = {oddeven} should beat greedy λ* = {greedy}"
+        );
     }
 }

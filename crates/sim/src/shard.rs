@@ -66,7 +66,7 @@ use crate::observer::Observer;
 use crate::rng::{derive_rng, exp_sample, poisson_sample};
 use crate::service::ServiceKind;
 use meshbound_routing::dest::DestSampler;
-use meshbound_routing::Router;
+use meshbound_routing::{LocalView, Router};
 use meshbound_stats::{Reservoir, Welford};
 use meshbound_topology::{EdgeId, NodeId, Partition, Topology};
 use rand::rngs::SmallRng;
@@ -154,6 +154,22 @@ struct Local<S> {
     is_cut: Vec<bool>,
     /// For cut edges: the target node and the shard that owns it.
     cut_to: Vec<(NodeId, u32)>,
+}
+
+/// [`LocalView`] over one shard's owned edges. Out-edges belong to their
+/// source's shard, so every edge an adaptive router inspects at a node this
+/// shard owns is in the shard's dense `edges` slab — `edge_local` maps the
+/// global id down to it.
+struct ShardView<'a> {
+    edges: &'a [EdgeState],
+    part: &'a Partition,
+}
+
+impl LocalView for ShardView<'_> {
+    #[inline]
+    fn queue_len(&self, e: EdgeId) -> u32 {
+        self.edges[self.part.edge_local(e)].qlen
+    }
 }
 
 impl<S: Copy> Local<S> {
@@ -266,7 +282,11 @@ impl<S: Copy> Local<S> {
             state,
             gen_time: now,
         });
-        let first = match sim.router.next_edge(&sim.topo, src, dst, state) {
+        let view = ShardView {
+            edges: &self.edges,
+            part,
+        };
+        let first = match sim.router.next_hop(&sim.topo, src, dst, state, &view) {
             Some(e) => e,
             None => {
                 return Err(SimError::RouterStalled {
@@ -303,7 +323,11 @@ impl<S: Copy> Local<S> {
             self.free.push(pid);
             return Ok(());
         }
-        let next = match sim.router.next_edge(&sim.topo, cur, pk.dst, pk.state) {
+        let view = ShardView {
+            edges: &self.edges,
+            part,
+        };
+        let next = match sim.router.next_hop(&sim.topo, cur, pk.dst, pk.state, &view) {
             Some(e) => e,
             None => {
                 return Err(SimError::RouterStalled {

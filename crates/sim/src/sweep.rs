@@ -375,7 +375,8 @@ impl SweepSpec {
     /// ```text
     /// topo=mesh:5|mesh:10|torus:8     (required; any Scenario topology head)
     /// load=rho:0.2|util:0.9|lambda:0.1 (required; convention:value pairs)
-    /// router=greedy|randomized         (default greedy)
+    /// router=greedy|oddeven            (default greedy; also randomized,
+    ///                                  westfirst)
     /// traffic=uniform|transpose|hotspot:0.2 (default uniform; also
     ///                                  nearby:<stop>, bernoulli:<p>,
     ///                                  bitrev, bitcomp, shuffle,
@@ -438,13 +439,7 @@ impl SweepSpec {
                     sweep.routers = split_axis(value)
                         .map_err(bad)?
                         .into_iter()
-                        .map(|item| match item {
-                            "greedy" => Ok(RouterSpec::Greedy),
-                            "randomized" => Ok(RouterSpec::Randomized),
-                            other => Err(bad(format!(
-                                "unknown router `{other}` (expected greedy or randomized)"
-                            ))),
-                        })
+                        .map(|item| RouterSpec::parse_token(item).map_err(bad))
                         .collect::<Result<_, _>>()?;
                 }
                 "traffic" | "dest" => {
@@ -577,10 +572,7 @@ impl SweepSpec {
                 &self
                     .routers
                     .iter()
-                    .map(|r| match r {
-                        RouterSpec::Greedy => "greedy",
-                        RouterSpec::Randomized => "randomized",
-                    })
+                    .map(|r| r.as_str())
                     .collect::<Vec<_>>()
                     .join("|"),
             );

@@ -109,6 +109,129 @@ fn engines_agree_with_every_tracking_option_enabled() {
 }
 
 #[test]
+fn greedy_routing_policy_reproduces_the_pre_policy_fingerprints() {
+    // Golden pin: these fingerprints were captured *before* the per-hop
+    // `RoutingPolicy` refactor, when the engines consumed whole
+    // `Router::route` paths. Greedy routing is oblivious — queue state
+    // must never change its decisions — so routing hop by hop through
+    // `next_hop` has to reproduce the old trajectories bit for bit, on
+    // every engine. A mismatch means the adapter changed the physics.
+    struct Pin {
+        sc: fn() -> Scenario,
+        lambda: f64,
+        events: u64,
+        delay_bits: u64,
+        completed: u64,
+        time_avg_n_bits: u64,
+    }
+    let pins = [
+        Pin {
+            sc: || Scenario::mesh(4),
+            lambda: 0.08,
+            events: 1765,
+            delay_bits: 0x40034e42a2b5e7f1,
+            completed: 461,
+            time_avg_n_bits: 0x4008fa97cee2fe1b,
+        },
+        Pin {
+            sc: || Scenario::torus(4),
+            lambda: 0.08,
+            events: 1542,
+            delay_bits: 0x3fff6cfb98aa1384,
+            completed: 463,
+            time_avg_n_bits: 0x40045a74a48281eb,
+        },
+        Pin {
+            sc: || Scenario::hypercube(4),
+            lambda: 0.2,
+            events: 3856,
+            delay_bits: 0x40009025f0b3aae9,
+            completed: 1132,
+            time_avg_n_bits: 0x401a4bfa0449b79a,
+        },
+        Pin {
+            sc: || Scenario::butterfly(3),
+            lambda: 0.3,
+            events: 3952,
+            delay_bits: 0x40098a857354d1bd,
+            completed: 863,
+            time_avg_n_bits: 0x401f24b1257a6a4e,
+        },
+        Pin {
+            sc: || Scenario::mesh_kd(&[3, 3, 3]),
+            lambda: 0.06,
+            events: 2380,
+            delay_bits: 0x4005c289c7b2432a,
+            completed: 576,
+            time_avg_n_bits: 0x401197309818a7c1,
+        },
+    ];
+    let engines = [
+        EngineSpec::Heap,
+        EngineSpec::Calendar,
+        EngineSpec::Auto,
+        EngineSpec::Sharded { shards: 1 },
+    ];
+    for pin in &pins {
+        let sc = (pin.sc)()
+            .load(Load::Lambda(pin.lambda))
+            .horizon(400.0)
+            .warmup(40.0)
+            .seed(17);
+        let label = sc.spec_string();
+        for engine in engines {
+            let res = sc.clone().engine(engine).run();
+            assert_eq!(
+                res.events_processed, pin.events,
+                "{label} {engine}: events_processed drifted from the pre-policy pin"
+            );
+            assert_eq!(
+                res.avg_delay.to_bits(),
+                pin.delay_bits,
+                "{label} {engine}: avg_delay drifted from the pre-policy pin"
+            );
+            assert_eq!(
+                res.completed, pin.completed,
+                "{label} {engine}: completed drifted from the pre-policy pin"
+            );
+            assert_eq!(
+                res.time_avg_n.to_bits(),
+                pin.time_avg_n_bits,
+                "{label} {engine}: time_avg_n drifted from the pre-policy pin"
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_for_adaptive_routers() {
+    // Adaptive routers are not table-eligible (`is_route_deterministic`
+    // is false), so every engine routes them per hop through `next_hop`
+    // with live queue views — heap, calendar, auto and sharded:1 must
+    // still agree bit for bit on mesh and torus.
+    for router in [RouterSpec::WestFirst, RouterSpec::OddEven] {
+        for sc in [
+            Scenario::mesh(5).load(Load::Lambda(0.12)),
+            Scenario::mesh(4)
+                .traffic(TrafficSpec::transpose())
+                .load(Load::Lambda(0.2)),
+            Scenario::torus(4).load(Load::Lambda(0.12)),
+        ] {
+            let sc = sc.router(router).horizon(600.0).warmup(60.0).seed(29);
+            let label = sc.spec_string();
+            check_all_engines(sc.clone());
+            let calendar = sc.clone().engine(EngineSpec::Calendar).run();
+            let sharded = sc.engine(EngineSpec::Sharded { shards: 1 }).run();
+            assert_bit_identical(
+                &format!("{label} sharded:1-vs-calendar"),
+                &calendar,
+                &sharded,
+            );
+        }
+    }
+}
+
+#[test]
 fn engines_agree_for_randomized_router_fallback() {
     // The randomized router is not table-eligible: Auto must fall back to
     // on-the-fly routing and still match the heap engine exactly.

@@ -79,7 +79,13 @@ fn usage() -> String {
          options (router=greedy|randomized|westfirst|oddeven, traffic,\n\
          src, lambda/rho/util or\n\
          load=<convention>:<value>, horizon, warmup, seed, service, slot,\n\
-         sample, self, saturated, quantiles, queues, engine).\n\
+         sample, self, saturated, quantiles, queues, engine, faults).\n\
+         \n\
+         faults= injects a deterministic failure schedule: none,\n\
+         links:<rate>, nodes:<rate>, link:<id>, node:<id>, joined with\n\
+         `+` and optionally extended with at:<t> and repair:<dt>, e.g.\n\
+         faults=links:0.05+at:100+repair:400. Unroutable packets become\n\
+         accounted drops and the output reports the delivered fraction.\n\
          \n\
          traffic= names the workload: uniform, nearby:<stop>,\n\
          bernoulli:<p>, transpose, bitrev, bitcomp, shuffle or\n\
@@ -96,8 +102,8 @@ fn usage() -> String {
          the current scale) or an axis grammar like\n\
          `topo=mesh:5|torus:8 load=rho:0.2|rho:0.8\n\
          traffic=uniform|transpose reps=2 seed=7 horizon=auto:1500:12000`\n\
-         (axes: topo, load, router, traffic, engine; shared knobs: src,\n\
-         service, reps, seed, horizon, warmup, saturated).",
+         (axes: topo, load, router, traffic, faults, engine; shared\n\
+         knobs: src, service, reps, seed, horizon, warmup, saturated).",
         ARTIFACTS.join("|")
     )
 }
@@ -319,7 +325,9 @@ fn main() -> ExitCode {
         }
     }
     for sc in &scenarios {
-        run_scenario(sc);
+        if let Err(code) = run_scenario(sc) {
+            return code;
+        }
     }
 
     if what.is_empty() && !expecting_specs {
@@ -422,20 +430,40 @@ fn main() -> ExitCode {
 }
 
 /// Simulates one parsed scenario and prints the analytic report next to
-/// the measured delay.
-fn run_scenario(sc: &Scenario) {
+/// the measured delay. A mid-simulation failure is a structured
+/// single-line error on stderr and a nonzero exit — never a panic
+/// backtrace.
+fn run_scenario(sc: &Scenario) -> Result<(), ExitCode> {
     println!("scenario: {}", sc.spec_string());
     print!("{}", BoundsReport::compute_for(sc).to_text());
-    let res = sc.run();
+    let res = match sc.try_run() {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
     println!(
         "  simulated: T = {:.3} (completed {} packets, E[N] = {:.2}, \
          Little cross-check {:.3}, peak edge utilization {:.3})",
         res.avg_delay, res.completed, res.time_avg_n, res.little_delay, res.max_edge_utilization
     );
+    if sc.faults.is_some() {
+        println!(
+            "  degraded: delivered {:.4} of generated; drops: dead-end {}, \
+             local-min {}, ttl {}, link-down {}",
+            res.delivered_fraction,
+            res.dropped.dead_end,
+            res.dropped.local_minimum,
+            res.dropped.ttl_exceeded,
+            res.dropped.link_down
+        );
+    }
     println!(
         "  engine {}: {} events at {:.0}k events/s\n",
         sc.engine,
         res.events_processed,
         res.events_per_sec / 1e3
     );
+    Ok(())
 }

@@ -69,10 +69,11 @@ pub mod sweep;
 
 pub use meshbound_queueing::load::Load;
 pub use meshbound_sim::{
-    EngineSpec, HorizonPolicy, PatternSpec, PermutationKind, RouterSpec, Scenario, ScenarioError,
-    SourceSpec, SweepError, SweepSpec, TopologySpec, TrafficSpec,
+    DropCause, DropCounts, EngineSpec, FaultSpec, HorizonPolicy, PatternSpec, PermutationKind,
+    RouterSpec, Scenario, ScenarioError, SourceSpec, SweepError, SweepSpec, TopologySpec,
+    TrafficSpec,
 };
-pub use report::BoundsReport;
+pub use report::{BoundsReport, DegradationReport};
 pub use sweep::{run_cells, run_sweep, BoundsCheck, Jobs, SweepCellReport, SweepReport};
 
 /// Re-export of the topology crate (array, torus, hypercube, butterfly…).

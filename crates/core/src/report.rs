@@ -13,9 +13,41 @@ use meshbound_queueing::bounds::{
 use meshbound_queueing::load::{mesh_stability_threshold, optimal_stability_threshold, Load};
 use meshbound_queueing::remaining::{dbar_closed, light_load_r, sbar_closed};
 use meshbound_queueing::single::md1_mean_number;
-use meshbound_sim::{PatternSpec, Scenario, TopologySpec};
+use meshbound_sim::{DropCounts, PatternSpec, Scenario, TopologySpec};
 use meshbound_topology::Mesh2D;
 use serde::{Deserialize, Serialize};
+
+/// Degradation summary of a faulted scenario: how far delivery falls
+/// short of the healthy model and why.
+///
+/// The analytic half (`dead_edges`, `reachable_fraction`,
+/// `post_fault_lambda_star`) is filled by
+/// [`BoundsReport::compute_for`] from the materialized fault plan at the
+/// scenario's own seed. The measured half (`delivered_fraction`,
+/// `dropped`) starts zeroed and is populated by the sweep executor from
+/// the simulated replications — the analytic report alone cannot know
+/// it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Fraction of post-warmup generated packets actually delivered
+    /// (simulated; 0 until a simulation fills it in).
+    pub delivered_fraction: f64,
+    /// Per-cause drop tally over the simulated replications (zeroed until
+    /// a simulation fills it in).
+    pub dropped: DropCounts,
+    /// Distinct edges the fault plan takes down at least once.
+    pub dead_edges: usize,
+    /// Fraction of sampled source–destination pairs the router still
+    /// connects with every failing edge permanently dead (worst case
+    /// over the timeline — repairs only help).
+    pub reachable_fraction: f64,
+    /// First-order post-fault stability estimate: the healthy `λ*`
+    /// scaled by [`reachable_fraction`](Self::reachable_fraction). The
+    /// surviving traffic concentrates on fewer paths, so the true
+    /// threshold can sit below this value; it is an upper estimate, not
+    /// a bound.
+    pub post_fault_lambda_star: f64,
+}
 
 /// Every closed-form quantity the paper derives for a scenario at a given
 /// load, gathered in one structure.
@@ -87,6 +119,10 @@ pub struct BoundsReport {
     /// mostly-zero matrix cannot masquerade as a healthy all-sources
     /// workload (the offered load concentrates on the speaking rows).
     pub silent_sources: usize,
+    /// Degradation summary when the scenario injects faults (`None` for
+    /// healthy scenarios — every field above describes the fault-free
+    /// topology either way).
+    pub degradation: Option<DegradationReport>,
 }
 
 impl BoundsReport {
@@ -120,6 +156,7 @@ impl BoundsReport {
             stability_lambda: mesh_stability_threshold(n),
             optimal_stability_lambda: optimal_stability_threshold(n),
             silent_sources: 0,
+            degradation: None,
         }
     }
 
@@ -141,7 +178,7 @@ impl BoundsReport {
             panic!("{e}");
         }
         let uniform_sources = sc.traffic.source.is_uniform();
-        match (&sc.topology, &sc.traffic.pattern) {
+        let mut report = match (&sc.topology, &sc.traffic.pattern) {
             (TopologySpec::Mesh { rows, cols }, PatternSpec::Uniform)
                 if rows == cols
                     && uniform_sources
@@ -171,7 +208,21 @@ impl BoundsReport {
             // only non-uniform *sources* fall through to enumeration.
             (TopologySpec::Butterfly { k }, _) if uniform_sources => Self::butterfly_report(sc, *k),
             _ => Self::generic_report(sc),
+        };
+        // Every bound above describes the fault-free topology; a fault
+        // spec additionally gets the surviving-reachability analysis.
+        // The measured half of the degradation (delivered fraction,
+        // drops) is filled in by whoever runs the simulation.
+        if let Some((dead_edges, reachable_fraction)) = sc.fault_reachability() {
+            report.degradation = Some(DegradationReport {
+                delivered_fraction: 0.0,
+                dropped: DropCounts::default(),
+                dead_edges,
+                reachable_fraction,
+                post_fault_lambda_star: report.stability_lambda * reachable_fraction,
+            });
         }
+        report
     }
 
     /// §6 torus: Theorem 10's copy bound applies (it needs neither layering
@@ -206,6 +257,7 @@ impl BoundsReport {
             stability_lambda: torus_bounds::stability_threshold(n),
             optimal_stability_lambda: 0.0,
             silent_sources: sc.silent_sources(),
+            degradation: None,
         }
     }
 
@@ -244,6 +296,7 @@ impl BoundsReport {
             stability_lambda: 1.0 / p,
             optimal_stability_lambda: 0.0,
             silent_sources: sc.silent_sources(),
+            degradation: None,
         }
     }
 
@@ -280,6 +333,7 @@ impl BoundsReport {
             stability_lambda: 2.0,
             optimal_stability_lambda: 0.0,
             silent_sources: sc.silent_sources(),
+            degradation: None,
         }
     }
 
@@ -334,6 +388,7 @@ impl BoundsReport {
             stability_lambda: lambda / peak,
             optimal_stability_lambda: 0.0,
             silent_sources: sc.silent_sources(),
+            degradation: None,
         }
     }
 
@@ -400,6 +455,23 @@ impl BoundsReport {
                  the offered load concentrates on the remaining sources\n",
                 self.silent_sources, self.nodes
             ));
+        }
+        if let Some(d) = &self.degradation {
+            s.push_str(&format!(
+                "  degradation: {} dead edges, reachability {:.4}, post-fault λ* ≈ {:.4}\n",
+                d.dead_edges, d.reachable_fraction, d.post_fault_lambda_star
+            ));
+            if d.delivered_fraction > 0.0 || d.dropped.total() > 0 {
+                s.push_str(&format!(
+                    "  delivered {:.4} of generated; drops: dead-end {}, local-min {}, \
+                     ttl {}, link-down {}\n",
+                    d.delivered_fraction,
+                    d.dropped.dead_end,
+                    d.dropped.local_minimum,
+                    d.dropped.ttl_exceeded,
+                    d.dropped.link_down
+                ));
+            }
         }
         s
     }
@@ -595,6 +667,41 @@ mod tests {
         let r = BoundsReport::compute(8, Load::TableRho(0.5));
         assert_eq!(r.silent_sources, 0);
         assert!(!r.to_text().contains("silent"));
+    }
+
+    #[test]
+    fn faulted_scenarios_grow_a_degradation_section() {
+        use meshbound_sim::FaultSpec;
+        let healthy = Scenario::mesh(6).load(Load::TableRho(0.5));
+        assert!(BoundsReport::compute_for(&healthy).degradation.is_none());
+        let faulted = healthy.clone().faults(FaultSpec::links(0.1));
+        let r = BoundsReport::compute_for(&faulted);
+        let d = r.degradation.as_ref().expect("faults => degradation");
+        assert!(d.dead_edges > 0);
+        assert!((0.0..=1.0).contains(&d.reachable_fraction));
+        assert!(
+            (d.post_fault_lambda_star - r.stability_lambda * d.reachable_fraction).abs() < 1e-12
+        );
+        // The measured half starts zeroed — the simulation fills it in.
+        assert_eq!(d.delivered_fraction, 0.0);
+        assert_eq!(d.dropped.total(), 0);
+        // The healthy bounds themselves are untouched by the fault spec.
+        let base = BoundsReport::compute_for(&healthy);
+        assert_eq!(r.upper.to_bits(), base.upper.to_bits());
+        assert_eq!(r.lower_best.to_bits(), base.lower_best.to_bits());
+        assert!(r.to_text().contains("degradation:"));
+        assert!(!base.to_text().contains("degradation:"));
+        // Same seed, same spec → same plan → same reachability.
+        let again = BoundsReport::compute_for(&faulted);
+        assert_eq!(
+            d.reachable_fraction.to_bits(),
+            again
+                .degradation
+                .as_ref()
+                .unwrap()
+                .reachable_fraction
+                .to_bits()
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! [`SweepReport::without_timings`] before comparing reports.
 
 use crate::report::BoundsReport;
-use meshbound_sim::{Scenario, SweepError, SweepSpec};
+use meshbound_sim::{DropCounts, FaultSpec, Scenario, SweepError, SweepSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -37,8 +37,10 @@ use std::time::Instant;
 /// cell's wall clock into `setup_s` (analytic bounds + edge-rate cache
 /// warmup) and `sim_s` (replication hot loop) and redefined
 /// `events_per_sec` over `sim_s` alone; v5 added the per-cell `router`
-/// label alongside the `router=` sweep axis.
-pub const SCHEMA: &str = "meshbound.sweep/v5";
+/// label alongside the `router=` sweep axis; v6 added the per-cell
+/// `faults` label, the `delivered_fraction`/`dropped` drop accounting,
+/// and the `degradation` section inside each cell's bounds report.
+pub const SCHEMA: &str = "meshbound.sweep/v6";
 
 /// Tolerance for judging a simulated mean delay against analytic bounds.
 ///
@@ -114,6 +116,9 @@ pub struct SweepCellReport {
     /// The cell's router label (`"greedy"`, `"randomized"`,
     /// `"westfirst"` or `"oddeven"`).
     pub router: String,
+    /// The cell's fault label (e.g. `"links:0.05"`, `"none"` for a
+    /// healthy cell).
+    pub faults: String,
     /// The structured scenario (topology, router, traffic, load, seed, …).
     pub scenario: Scenario,
     /// Replications run for this cell.
@@ -136,6 +141,12 @@ pub struct SweepCellReport {
     pub generated: u64,
     /// Packets delivered, summed over replications.
     pub completed: u64,
+    /// `completed / generated` over all replications (1 minus the drop
+    /// and still-in-flight fractions; 0 when nothing was generated).
+    pub delivered_fraction: f64,
+    /// Fault-induced drops by cause, summed over replications (all zero
+    /// for healthy cells).
+    pub dropped: DropCounts,
     /// Future-event-list events processed, summed over replications
     /// (deterministic: a pure work measure).
     pub events_processed: u64,
@@ -148,7 +159,9 @@ pub struct SweepCellReport {
     /// The analytic report at this cell's operating point.
     pub bounds: BoundsReport,
     /// Whether the simulated delay respects the bounds (see
-    /// [`BoundsCheck`]); vacuously true where no finite bound applies.
+    /// [`BoundsCheck`]); vacuously true where no finite bound applies,
+    /// and for faulted cells — the analytic bounds describe the healthy
+    /// topology and do not constrain a degraded one.
     pub within_bounds: bool,
     /// Whether a finite upper bound constrained this cell (the torus has
     /// none, and saturated loads push the Theorem 7 bound to `∞`).
@@ -330,7 +343,7 @@ pub fn run_cells(spec: &str, cells: Vec<Scenario>, reps: usize, jobs: Jobs) -> S
 /// loop alone.
 fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
     let t0 = Instant::now();
-    let bounds = BoundsReport::compute_for(sc);
+    let mut bounds = BoundsReport::compute_for(sc);
     let setup_s = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let rep = sc.run_replicated(reps);
@@ -343,13 +356,30 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
     };
     let mut throughput = 0.0;
     let (mut generated, mut completed, mut events_processed) = (0u64, 0u64, 0u64);
+    let mut dropped = DropCounts::default();
     for run in &rep.runs {
         throughput += run.completed as f64 / run.measure_time;
         generated += run.generated;
         completed += run.completed;
         events_processed += run.events_processed;
+        dropped.merge(&run.dropped);
     }
     throughput /= rep.runs.len() as f64;
+    let delivered_fraction = if generated > 0 {
+        completed as f64 / generated as f64
+    } else {
+        0.0
+    };
+    // The simulated half of the degradation section lives here — the
+    // analytic report only knows the fault plan, not the outcome.
+    if let Some(d) = bounds.degradation.as_mut() {
+        d.delivered_fraction = delivered_fraction;
+        d.dropped = dropped;
+    }
+    // Healthy analytic bounds do not constrain a faulted topology:
+    // faulted cells pass vacuously, like cells with no finite upper
+    // bound.
+    let within_bounds = sc.faults.is_some() || check.verdict(delay_mean, &bounds);
     let events_per_sec = if sim_s > 0.0 {
         events_processed as f64 / sim_s
     } else {
@@ -360,6 +390,10 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
         label: sc.label(),
         traffic: sc.traffic.label(),
         router: sc.router.as_str().to_string(),
+        faults: sc
+            .faults
+            .as_ref()
+            .map_or_else(|| "none".to_string(), FaultSpec::spec_token),
         scenario: sc.clone(),
         reps,
         delay_mean,
@@ -370,9 +404,11 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
         throughput,
         generated,
         completed,
+        delivered_fraction,
+        dropped,
         events_processed,
         events_per_sec,
-        within_bounds: check.verdict(delay_mean, &bounds),
+        within_bounds,
         upper_bound_finite: bounds.upper.is_finite(),
         bounds,
         setup_s,
@@ -472,6 +508,11 @@ mod tests {
         assert!(json.contains("\"traffic\":\"uniform\""));
         // v5: every cell carries its router label.
         assert!(json.contains("\"router\":\"greedy\""));
+        // v6: every cell carries its fault label and drop accounting.
+        assert!(json.contains("\"faults\":\"none\""));
+        assert!(json.contains("\"delivered_fraction\":"));
+        assert!(json.contains("\"link_down\":0"));
+        assert!(json.contains("\"degradation\":null"));
         // The torus's open upper bound serializes as null, not Infinity.
         assert!(json.contains("\"upper\":null"));
         assert!(!json.contains("inf"));
@@ -495,6 +536,35 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"traffic\":\"transpose\""));
         assert!(json.contains("\"traffic\":\"hotspot:0.25\""));
+    }
+
+    #[test]
+    fn faulted_cells_report_degradation_and_pass_bounds_vacuously() {
+        let spec = meshbound_sim::SweepSpec::parse(
+            "topo=mesh:5 load=rho:0.4 faults=none|links:0.1 horizon=600 warmup=60",
+        )
+        .unwrap();
+        let report = run_sweep(&spec, Jobs::Sequential).unwrap();
+        assert_eq!(report.num_cells, 2);
+        let healthy = &report.cells[0];
+        let faulted = &report.cells[1];
+        assert_eq!(healthy.faults, "none");
+        assert!(healthy.bounds.degradation.is_none());
+        assert_eq!(healthy.dropped.total(), 0);
+        assert_eq!(faulted.faults, "links:0.1");
+        assert!(faulted.dropped.total() > 0, "{}", faulted.spec);
+        assert!(faulted.delivered_fraction < healthy.delivered_fraction);
+        assert!(faulted.within_bounds, "faulted verdicts are vacuous");
+        assert!(report.all_within_bounds);
+        let d = faulted.bounds.degradation.as_ref().unwrap();
+        assert!(d.dead_edges > 0);
+        assert!((0.0..=1.0).contains(&d.reachable_fraction));
+        assert!((d.delivered_fraction - faulted.delivered_fraction).abs() < 1e-15);
+        assert_eq!(d.dropped, faulted.dropped);
+        // The labels and the degradation section reach the JSON.
+        let json = report.to_json();
+        assert!(json.contains("\"faults\":\"links:0.1\""));
+        assert!(json.contains("\"degradation\":{"));
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use pattern::{
 };
 pub use policy::{policy_route, LocalView, RoutingPolicy, SplitRouting, ZeroView};
 pub use randomized::{Order, RandomizedGreedy};
-pub use router::{ObliviousRouter, Router};
+pub use router::{ObliviousRouter, RouteOutcome, Router};
 pub use table::RouteTable;
 pub use torus::TorusGreedy;
 #[allow(deprecated)]

@@ -41,6 +41,14 @@ pub trait LocalView {
     /// deciding packet's current node. Querying a non-local edge is
     /// unspecified (engines may panic or return garbage).
     fn queue_len(&self, e: EdgeId) -> u32;
+
+    /// Whether out-edge `e` is currently alive. Engines simulating a
+    /// fault schedule override this with the run's liveness mask; the
+    /// default (always live) keeps every pre-fault view — and therefore
+    /// every healthy simulation — bit-identical.
+    fn is_live(&self, _e: EdgeId) -> bool {
+        true
+    }
 }
 
 /// The empty-network view: every queue reports zero occupancy.

@@ -4,6 +4,29 @@ use crate::policy::LocalView;
 use meshbound_topology::{EdgeId, NodeId, Topology};
 use rand::rngs::SmallRng;
 
+/// The typed result of a fault-aware per-hop decision
+/// ([`Router::route_outcome`]).
+///
+/// On a healthy topology every outcome is `Forward`; the failure variants
+/// exist so engines can *account* for unroutable packets (drops by cause)
+/// instead of aborting the run. They are also the structural home for the
+/// geo-routing semantics the ring/small-world roadmap item needs: a
+/// distance-greedy router on an augmented ring fails in exactly these two
+/// ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteOutcome {
+    /// Cross this edge next.
+    Forward(EdgeId),
+    /// No live out-edge leaves the current node (or the router has no hop
+    /// at all for this destination — a contract violation when the
+    /// topology is healthy).
+    DeadEnd,
+    /// Live out-edges exist, but none makes progress toward the
+    /// destination: the packet is stuck in a local minimum of the
+    /// router's distance function.
+    LocalMinimum,
+}
+
 /// An incremental router: given a packet's current node, destination and
 /// per-packet state, produce the next edge to cross.
 ///
@@ -41,6 +64,56 @@ pub trait Router<T: Topology> {
         _local: &dyn LocalView,
     ) -> Option<EdgeId> {
         self.next_edge(topo, here, dst, state)
+    }
+
+    /// The fault-aware per-hop decision: like [`Router::next_hop`], but
+    /// consulting the view's link liveness ([`LocalView::is_live`]) and
+    /// returning a typed [`RouteOutcome`] instead of an `Option`.
+    ///
+    /// The provided implementation first asks `next_hop`; a live preferred
+    /// edge forwards unchanged, so under an all-live view the outcome is
+    /// bit-identical to the classic path. When the preferred edge is dead
+    /// the router detours deterministically: it scans the node's out-edges
+    /// in edge order and takes the first *live productive* one (strictly
+    /// decreasing [`Router::remaining_hops`]). With live edges but no
+    /// productive one the packet is at a [`RouteOutcome::LocalMinimum`];
+    /// with no live out-edge at all (or no `next_hop` despite
+    /// `here != dst`) it is at a [`RouteOutcome::DeadEnd`].
+    fn route_outcome(
+        &self,
+        topo: &T,
+        here: NodeId,
+        dst: NodeId,
+        state: Self::State,
+        local: &dyn LocalView,
+    ) -> RouteOutcome {
+        let want = self.next_hop(topo, here, dst, state, local);
+        if let Some(e) = want {
+            if local.is_live(e) {
+                return RouteOutcome::Forward(e);
+            }
+        } else {
+            // The router has no hop for this pair at all — a healthy-
+            // topology contract violation, not a congestion condition, so
+            // no detour scan applies.
+            return RouteOutcome::DeadEnd;
+        }
+        let here_hops = self.remaining_hops(topo, here, dst, state);
+        let mut any_live = false;
+        for e in topo.out_edges(here) {
+            if !local.is_live(e) {
+                continue;
+            }
+            any_live = true;
+            if self.remaining_hops(topo, topo.edge_target(e), dst, state) < here_hops {
+                return RouteOutcome::Forward(e);
+            }
+        }
+        if any_live {
+            RouteOutcome::LocalMinimum
+        } else {
+            RouteOutcome::DeadEnd
+        }
     }
 
     /// Number of edges the packet still has to cross from `cur` (including

@@ -45,6 +45,7 @@
 pub mod copysys;
 pub mod engine;
 pub mod events;
+pub mod fault;
 pub mod network;
 pub mod observer;
 pub mod ps;
@@ -58,6 +59,7 @@ pub mod sweep;
 pub mod traffic;
 
 pub use engine::EngineSpec;
+pub use fault::{DropCause, DropCounts, FaultPlan, FaultSpec};
 pub use meshbound_queueing::load::Load;
 pub use meshbound_routing::pattern::PermutationKind;
 pub use network::{EdgeThroughputStats, NetworkSim, SimError, SimResult};

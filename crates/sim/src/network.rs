@@ -30,11 +30,12 @@
 
 use crate::engine::{EngineSpec, ROUTE_TABLE_MAX_NODES, STREAMING_STATS_MAX_EDGES};
 use crate::events::{CalendarQueue, EventQueue, HeapQueue};
+use crate::fault::{ttl_budget, DropCause, DropCounts, FaultPlan};
 use crate::observer::Observer;
 use crate::rng::{derive_rng, exp_sample, poisson_sample};
 use crate::service::ServiceKind;
 use meshbound_routing::dest::DestSampler;
-use meshbound_routing::{LocalView, RouteTable, Router, ZeroView};
+use meshbound_routing::{LocalView, RouteOutcome, RouteTable, Router, ZeroView};
 use meshbound_topology::{EdgeId, NodeId, Topology};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -103,6 +104,13 @@ pub struct SimResult {
     pub generated: u64,
     /// Packets delivered that were generated after warmup.
     pub completed: u64,
+    /// Packets dropped by the fault machinery, tallied by cause. All-zero
+    /// on a healthy run — nothing drops without a fault plan.
+    pub dropped: DropCounts,
+    /// `completed / generated`: the fraction of the measured offered load
+    /// that was delivered (the rest dropped or was still in flight at the
+    /// horizon). Zero when nothing was generated.
+    pub delivered_fraction: f64,
     /// Time-averaged number in system `E[N]`.
     pub time_avg_n: f64,
     /// Time-averaged remaining services `E[R]` (Table II numerator).
@@ -174,15 +182,17 @@ pub struct EdgeThroughputStats {
 
 /// A structural failure inside a simulation run.
 ///
-/// The only variant today is a router stall: the router returned no next
-/// edge for a packet that had not reached its destination. That is always
-/// a router/topology contract violation (greedy routers are total), so
+/// A router stall is always a router/topology contract violation on a
+/// *healthy* topology (greedy routers are total; under a fault plan an
+/// unroutable packet becomes an accounted drop instead), so
 /// [`NetworkSim::run`] panics on it; [`NetworkSim::try_run`] surfaces it
-/// as a value for callers that prefer to handle it.
+/// as a value for callers that prefer to handle it. An unsupported
+/// configuration means the requested engine cannot honor the run's
+/// parameters at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The router produced no next edge at `node` for a packet destined
-    /// for `dst`.
+    /// for `dst` on a healthy topology.
     RouterStalled {
         /// Node the packet was stranded at.
         node: NodeId,
@@ -190,6 +200,12 @@ pub enum SimError {
         dst: NodeId,
         /// Type name of the offending router.
         router: &'static str,
+    },
+    /// The selected engine cannot honor the run's configuration (e.g. the
+    /// sharded engine's lookahead contract).
+    UnsupportedConfig {
+        /// What the engine cannot do, and why.
+        reason: String,
     },
 }
 
@@ -200,6 +216,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "router {router} stalled at {node} before reaching destination {dst}"
             ),
+            SimError::UnsupportedConfig { reason } => {
+                write!(f, "unsupported configuration: {reason}")
+            }
         }
     }
 }
@@ -211,6 +230,16 @@ impl std::error::Error for SimError {}
 pub(crate) fn router_name<R: ?Sized>() -> &'static str {
     let full = std::any::type_name::<R>();
     full.rsplit("::").next().unwrap_or(full)
+}
+
+/// The one [`SimError::RouterStalled`] construction site shared by every
+/// engine: a packet stuck at `node` heading for `dst` under router `R`.
+pub(crate) fn stall<R: ?Sized>(node: NodeId, dst: NodeId) -> SimError {
+    SimError::RouterStalled {
+        node,
+        dst,
+        router: router_name::<R>(),
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,6 +254,10 @@ enum Ev {
     Warmup,
     /// `N(t)` sampling tick.
     Sample,
+    /// Liveness transition `k` of the run's fault plan. Scheduled only
+    /// when a plan is installed, so fault-free runs process the exact
+    /// pre-fault event sequence.
+    Fault(u32),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -232,6 +265,9 @@ pub(crate) struct Packet<S> {
     pub(crate) dst: NodeId,
     pub(crate) state: S,
     pub(crate) gen_time: f64,
+    /// Remaining misroute budget ([`ttl_budget`] of the route length),
+    /// decremented per hop; consulted only when a fault plan is active.
+    pub(crate) ttl: u32,
 }
 
 /// Sentinel for "no packet" in the intrusive edge-queue lists.
@@ -274,12 +310,20 @@ impl Default for EdgeState {
 /// switch.
 pub(crate) struct QueueView<'a> {
     pub(crate) edges: &'a [EdgeState],
+    /// Per-edge liveness under the run's fault plan; the empty slice means
+    /// "no plan" and reports every edge live at zero cost.
+    pub(crate) live: &'a [bool],
 }
 
 impl LocalView for QueueView<'_> {
     #[inline]
     fn queue_len(&self, e: EdgeId) -> u32 {
         self.edges[e.index()].qlen
+    }
+
+    #[inline]
+    fn is_live(&self, e: EdgeId) -> bool {
+        self.live.is_empty() || self.live[e.index()]
     }
 }
 
@@ -372,6 +416,9 @@ where
     pub(crate) service_rates: Vec<f64>,
     pub(crate) sat_edge: Vec<bool>,
     pub(crate) track_saturated: bool,
+    /// Materialized failure timeline ([`FaultPlan::is_empty`] = healthy
+    /// run on the exact pre-fault code path).
+    pub(crate) fault_plan: FaultPlan,
 }
 
 impl<T, R, D> NetworkSim<T, R, D>
@@ -397,7 +444,18 @@ where
             service_rates: vec![1.0; num_edges],
             sat_edge: vec![false; num_edges],
             track_saturated: false,
+            fault_plan: FaultPlan::default(),
         }
+    }
+
+    /// Installs a materialized fault plan (see [`FaultPlan::materialize`]).
+    /// The engines replay its timeline: failed edges stop accepting
+    /// packets, waiting packets drop where they stand, and unroutable
+    /// packets become accounted drops instead of [`SimError`]s.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Restricts packet generation to the given sources (e.g. butterfly
@@ -467,7 +525,10 @@ where
     /// a deterministic router and a topology under the size gate; the
     /// deterministic-service precompute applies regardless.
     fn build_tables(&self) -> EngineTables {
-        let routes = (self.router.is_route_deterministic()
+        // Route tables are blind to liveness, so fault runs stay on the
+        // on-the-fly routing path.
+        let routes = (self.fault_plan.is_empty()
+            && self.router.is_route_deterministic()
             && self.topo.num_nodes() <= ROUTE_TABLE_MAX_NODES
             && RouteTable::fits(&self.topo))
         .then(|| RouteTable::build(&self.topo, &self.router));
@@ -562,6 +623,15 @@ where
         let mut packets: Vec<Packet<R::State>> = Vec::with_capacity(1024);
         let mut qnext: Vec<u32> = Vec::with_capacity(1024);
         let mut free: Vec<u32> = Vec::new();
+        // Liveness mask under the fault plan. Kept empty on healthy runs
+        // so `QueueView::is_live` short-circuits and the hot loop stays
+        // on the exact pre-fault path.
+        let fault_active = !self.fault_plan.is_empty();
+        let mut live: Vec<bool> = if fault_active {
+            vec![true; num_edges]
+        } else {
+            Vec::new()
+        };
 
         // Prime the event list. Zero-rate sources never get an arrival
         // event; every positive-rate source draws in list order, so the
@@ -587,6 +657,11 @@ where
         if let Some(dt) = cfg.sample_every {
             assert!(dt > 0.0);
             queue.schedule(dt, Ev::Sample);
+        }
+        for (k, fe) in self.fault_plan.events.iter().enumerate() {
+            if fe.time <= cfg.horizon {
+                queue.schedule(fe.time, Ev::Fault(k as u32));
+            }
         }
 
         let mut events_processed: u64 = 0;
@@ -619,6 +694,7 @@ where
                         &mut rng,
                         &mut obs,
                         &mut edges,
+                        &live,
                         &mut qtrack,
                         &mut qnext,
                         &mut packets,
@@ -644,6 +720,7 @@ where
                                 &mut rng,
                                 &mut obs,
                                 &mut edges,
+                                &live,
                                 &mut qtrack,
                                 &mut qnext,
                                 &mut packets,
@@ -667,7 +744,7 @@ where
                     let duration = now - edge.service_start;
                     obs.service_done(now, ei, duration, self.sat_edge[ei]);
                     edge.busy = false;
-                    if edge.qlen > 0 {
+                    if edge.qlen > 0 && (live.is_empty() || live[ei]) {
                         Self::start_service(
                             edge,
                             ei,
@@ -688,23 +765,77 @@ where
                     if cur == pk.dst {
                         obs.packet_exits(now, pk.gen_time, true);
                         free.push(pid);
+                    } else if fault_active {
+                        // Fault-aware forwarding: unroutable packets and
+                        // exhausted misroute budgets become accounted
+                        // drops, never run-aborting errors.
+                        let decision = if pk.ttl == 0 {
+                            Err(DropCause::TtlExceeded)
+                        } else {
+                            let view = QueueView {
+                                edges: &edges,
+                                live: &live,
+                            };
+                            match self
+                                .router
+                                .route_outcome(&self.topo, cur, pk.dst, pk.state, &view)
+                            {
+                                RouteOutcome::Forward(next) => Ok(next),
+                                RouteOutcome::DeadEnd => Err(DropCause::DeadEnd),
+                                RouteOutcome::LocalMinimum => Err(DropCause::LocalMinimum),
+                            }
+                        };
+                        match decision {
+                            Ok(next) => {
+                                packets[pid as usize].ttl -= 1;
+                                let ni = next.index();
+                                Self::enqueue(
+                                    &mut edges[ni],
+                                    ni,
+                                    pid,
+                                    now,
+                                    cfg.service,
+                                    self.service_rates[ni],
+                                    det_of(det, ni),
+                                    &mut rng,
+                                    &mut queue,
+                                    cfg.track_edge_queues.then(|| &mut qtrack[ni]),
+                                    &mut qnext,
+                                );
+                            }
+                            Err(cause) => {
+                                let remaining = self
+                                    .router
+                                    .remaining_hops(&self.topo, cur, pk.dst, pk.state);
+                                let sat = if self.track_saturated {
+                                    self.count_saturated_on_route(cur, pk.dst, pk.state)
+                                } else {
+                                    0
+                                };
+                                obs.packet_dropped(
+                                    now,
+                                    remaining as f64,
+                                    sat as f64,
+                                    pk.gen_time,
+                                    cause,
+                                );
+                                free.push(pid);
+                            }
+                        }
                     } else {
                         let next = match routes {
                             Some(r) => r.next_edge(cur, pk.dst),
                             None => {
-                                let view = QueueView { edges: &edges };
+                                let view = QueueView {
+                                    edges: &edges,
+                                    live: &live,
+                                };
                                 match self
                                     .router
                                     .next_hop(&self.topo, cur, pk.dst, pk.state, &view)
                                 {
                                     Some(e) => e,
-                                    None => {
-                                        return Err(SimError::RouterStalled {
-                                            node: cur,
-                                            dst: pk.dst,
-                                            router: router_name::<R>(),
-                                        })
-                                    }
+                                    None => return Err(stall::<R>(cur, pk.dst)),
                                 }
                             }
                         };
@@ -724,6 +855,70 @@ where
                         );
                     }
                 }
+                Ev::Fault(k) => {
+                    let fe = self.fault_plan.events[k as usize];
+                    let ei = fe.edge.index();
+                    if fe.up {
+                        live[ei] = true;
+                        // Defensive: the flush below leaves at most the
+                        // in-flight head queued on a dead edge, but if a
+                        // packet is waiting, service must restart.
+                        if edges[ei].qlen > 0 && !edges[ei].busy {
+                            Self::start_service(
+                                &mut edges[ei],
+                                ei,
+                                now,
+                                cfg.service,
+                                self.service_rates[ei],
+                                det_of(det, ei),
+                                &mut rng,
+                                &mut queue,
+                            );
+                        }
+                    } else {
+                        live[ei] = false;
+                        if cfg.track_edge_queues {
+                            qtick(&mut qtrack[ei], edges[ei].qlen, now);
+                        }
+                        // The in-flight transmission (if any) finishes;
+                        // everything waiting behind it drops on the spot.
+                        let edge = &mut edges[ei];
+                        let mut pid = if edge.busy {
+                            let waiting = qnext[edge.head as usize];
+                            qnext[edge.head as usize] = NIL;
+                            edge.tail = edge.head;
+                            edge.qlen = 1;
+                            waiting
+                        } else {
+                            let waiting = edge.head;
+                            edge.head = NIL;
+                            edge.tail = NIL;
+                            edge.qlen = 0;
+                            waiting
+                        };
+                        let at = self.topo.edge_source(fe.edge);
+                        while pid != NIL {
+                            let next_waiting = qnext[pid as usize];
+                            let pk = packets[pid as usize];
+                            let remaining =
+                                self.router.remaining_hops(&self.topo, at, pk.dst, pk.state);
+                            let sat = if self.track_saturated {
+                                self.count_saturated_on_route(at, pk.dst, pk.state)
+                            } else {
+                                0
+                            };
+                            obs.packet_dropped(
+                                now,
+                                remaining as f64,
+                                sat as f64,
+                                pk.gen_time,
+                                DropCause::LinkDown,
+                            );
+                            free.push(pid);
+                            pid = next_waiting;
+                        }
+                    }
+                }
             }
         }
 
@@ -739,6 +934,12 @@ where
             delay_std_err: obs.delay.standard_error(),
             generated: obs.generated,
             completed: obs.completed,
+            dropped: obs.dropped,
+            delivered_fraction: if obs.generated > 0 {
+                obs.completed as f64 / obs.generated as f64
+            } else {
+                0.0
+            },
             time_avg_n,
             time_avg_r,
             time_avg_rs,
@@ -808,6 +1009,7 @@ where
         rng: &mut SmallRng,
         obs: &mut Observer,
         edges: &mut [EdgeState],
+        live: &[bool],
         qtrack: &mut [QTrack],
         qnext: &mut Vec<u32>,
         packets: &mut Vec<Packet<R::State>>,
@@ -848,12 +1050,14 @@ where
             ),
         };
         obs.packet_enters(now, hops, sat);
+        let ttl = ttl_budget(hops);
         let pid = match free.pop() {
             Some(id) => {
                 packets[id as usize] = Packet {
                     dst,
                     state,
                     gen_time: now,
+                    ttl,
                 };
                 id
             }
@@ -862,22 +1066,47 @@ where
                     dst,
                     state,
                     gen_time: now,
+                    ttl,
                 });
                 (packets.len() - 1) as u32
             }
         };
         let first = match first {
             Some(e) => e,
-            None => {
-                let view = QueueView { edges: &*edges };
+            None if live.is_empty() => {
+                let view = QueueView {
+                    edges: &*edges,
+                    live,
+                };
                 match self.router.next_hop(&self.topo, src, dst, state, &view) {
                     Some(e) => e,
-                    None => {
-                        return Err(SimError::RouterStalled {
-                            node: src,
-                            dst,
-                            router: router_name::<R>(),
-                        })
+                    None => return Err(stall::<R>(src, dst)),
+                }
+            }
+            None => {
+                // Fault-aware first hop: a source walled in by dead links
+                // drops its fresh packet instead of aborting the run.
+                let view = QueueView {
+                    edges: &*edges,
+                    live,
+                };
+                match self
+                    .router
+                    .route_outcome(&self.topo, src, dst, state, &view)
+                {
+                    RouteOutcome::Forward(e) => {
+                        packets[pid as usize].ttl -= 1;
+                        e
+                    }
+                    outcome => {
+                        let cause = if outcome == RouteOutcome::DeadEnd {
+                            DropCause::DeadEnd
+                        } else {
+                            DropCause::LocalMinimum
+                        };
+                        obs.packet_dropped(now, hops as f64, sat as f64, now, cause);
+                        free.push(pid);
+                        return Ok(());
                     }
                 }
             }
@@ -1266,6 +1495,7 @@ mod tests {
                 assert_ne!(node, dst);
                 assert_eq!(*router, "Stuck");
             }
+            other => panic!("expected a stall, got {other}"),
         }
         let msg = err.to_string();
         assert!(msg.contains("Stuck") && msg.contains("stalled"), "{msg}");
@@ -1274,6 +1504,70 @@ mod tests {
             .expect_err("run() must panic on a stall");
         let text = panic.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(text.contains("stalled"), "{text}");
+    }
+
+    /// A fault plan turns unroutable packets into accounted drops — the
+    /// run completes, attributes every loss to a cause, and stays
+    /// bit-identical across the single-core engines.
+    #[test]
+    fn fault_plan_drops_packets_instead_of_stalling() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mesh = Mesh2D::square(4);
+        let plan = FaultPlan::materialize(&FaultSpec::links(0.2), 9, &mesh);
+        let run = |engine: EngineSpec| {
+            let cfg = NetConfig {
+                lambda: 0.2,
+                horizon: 2_000.0,
+                warmup: 100.0,
+                seed: 9,
+                engine,
+                ..NetConfig::default()
+            };
+            NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg)
+                .with_fault_plan(plan.clone())
+                .run()
+        };
+        let cal = run(EngineSpec::Calendar);
+        assert!(cal.dropped.total() > 0, "{:?}", cal.dropped);
+        assert!(cal.delivered_fraction < 1.0);
+        assert!(cal.completed > 0, "some pairs must survive 20% link loss");
+        for other in [run(EngineSpec::Heap), run(EngineSpec::Auto)] {
+            assert_eq!(cal.avg_delay.to_bits(), other.avg_delay.to_bits());
+            assert_eq!(cal.dropped, other.dropped);
+            assert_eq!(cal.completed, other.completed);
+            assert_eq!(cal.events_processed, other.events_processed);
+        }
+    }
+
+    /// A repaired network resumes delivering: with failures confined to
+    /// `[50, 250)`, more packets complete than under permanent failures.
+    #[test]
+    fn repairs_restore_delivery() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mesh = Mesh2D::square(4);
+        let cfg = NetConfig {
+            lambda: 0.15,
+            horizon: 4_000.0,
+            warmup: 0.0,
+            seed: 12,
+            ..NetConfig::default()
+        };
+        let forever = FaultPlan::materialize(&FaultSpec::links(0.25).at(50.0), 12, &mesh);
+        let transient =
+            FaultPlan::materialize(&FaultSpec::links(0.25).at(50.0).repair(200.0), 12, &mesh);
+        let broken = NetworkSim::new(mesh.clone(), GreedyXY, UniformDest, cfg.clone())
+            .with_fault_plan(forever)
+            .run();
+        let healed = NetworkSim::new(mesh, GreedyXY, UniformDest, cfg)
+            .with_fault_plan(transient)
+            .run();
+        assert!(
+            healed.delivered_fraction > broken.delivered_fraction,
+            "healed {} vs broken {}",
+            healed.delivered_fraction,
+            broken.delivered_fraction
+        );
+        assert!(healed.dropped.total() < broken.dropped.total());
     }
 
     #[test]

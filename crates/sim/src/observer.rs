@@ -9,6 +9,7 @@
 //! plus per-packet delay moments and per-edge busy time / service counts
 //! (used to verify Theorem 6's arrival rates empirically).
 
+use crate::fault::{DropCause, DropCounts};
 use meshbound_stats::{Reservoir, TimeWeighted, Welford};
 
 /// Live statistics of one simulation run.
@@ -30,6 +31,9 @@ pub struct Observer {
     pub generated: u64,
     /// Packets delivered whose generation was post-warmup.
     pub completed: u64,
+    /// Packets dropped by the fault machinery (post-warmup generations
+    /// only, like `completed`), tallied by cause.
+    pub dropped: DropCounts,
     /// Warmup time after which statistics accumulate.
     pub warmup: f64,
     /// Optional sampled trajectory of `N(t)` for stability diagnostics.
@@ -51,6 +55,7 @@ impl Observer {
             edge_services: vec![0; num_edges],
             generated: 0,
             completed: 0,
+            dropped: DropCounts::default(),
             warmup,
             n_samples: Vec::new(),
             delay_sample: None,
@@ -117,6 +122,30 @@ impl Observer {
         }
     }
 
+    /// Records a packet dropped by the fault machinery at `now`: it leaves
+    /// the system with `remaining` services undone (`sat_remaining` of
+    /// them saturated) and counts toward the per-cause drop tally iff it
+    /// was generated after warmup — the same gate `completed` uses, so
+    /// `completed + dropped ≤ generated` holds exactly.
+    #[inline]
+    pub fn packet_dropped(
+        &mut self,
+        now: f64,
+        remaining: f64,
+        sat_remaining: f64,
+        generated_at: f64,
+        cause: DropCause,
+    ) {
+        self.n_sys.add(now, -1.0);
+        self.r_total.add(now, -remaining);
+        if sat_remaining > 0.0 {
+            self.rs_total.add(now, -sat_remaining);
+        }
+        if generated_at >= self.warmup {
+            self.dropped.record(cause);
+        }
+    }
+
     /// Records a zero-distance packet (source = destination): it spends no
     /// time in the system but counts toward the delay average, matching the
     /// paper's model where "we allow a packet's destination to be the same
@@ -178,6 +207,24 @@ mod tests {
         obs.packet_exits(12.5, 11.0, true);
         assert_eq!(obs.completed, 1);
         assert!((obs.delay.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drops_reverse_integrals_and_gate_on_generation_time() {
+        let mut obs = Observer::new(1, 10.0);
+        obs.packet_enters(5.0, 3, 1);
+        // Generated pre-warmup: the integrals unwind but no drop counts.
+        obs.packet_dropped(8.0, 3.0, 1.0, 5.0, DropCause::LinkDown);
+        assert_eq!(obs.dropped.total(), 0);
+        assert!((obs.n_sys.value()).abs() < 1e-12);
+        obs.packet_enters(11.0, 4, 0);
+        obs.packet_dropped(13.0, 2.0, 0.0, 11.0, DropCause::DeadEnd);
+        assert_eq!(obs.dropped.dead_end, 1);
+        assert_eq!(obs.dropped.total(), 1);
+        assert!((obs.n_sys.value()).abs() < 1e-12);
+        // The packet entered with 4 remaining services but was dropped
+        // with only 2 left: R unwinds by the 2 still undone.
+        assert!((obs.r_total.value() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -35,7 +35,8 @@
 //! for the inverse).
 
 use crate::engine::{EngineSpec, SPARSE_RATES_MIN_NODES, STREAMING_STATS_MAX_EDGES};
-use crate::network::{NetConfig, NetworkSim, SimResult};
+use crate::fault::{FaultPlan, FaultSpec};
+use crate::network::{NetConfig, NetworkSim, SimError, SimResult};
 use crate::rng::splitmix64;
 use crate::runner::ReplicatedResult;
 use crate::service::ServiceKind;
@@ -456,6 +457,10 @@ pub enum ScenarioError {
     ///
     /// [`adaptive_edge_rates`]: meshbound_routing::adaptive_edge_rates
     Convergence(TrafficConvergenceError),
+    /// The simulation itself failed mid-run with a structural
+    /// [`SimError`] (surfaced by [`Scenario::try_run`]; the panicking
+    /// [`Scenario::run`] aborts instead).
+    Sim(SimError),
 }
 
 impl ScenarioError {
@@ -474,6 +479,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Parse(m) => write!(f, "scenario parse error: {m}"),
             ScenarioError::Unsupported(m) => write!(f, "unsupported scenario: {m}"),
             ScenarioError::Convergence(e) => write!(f, "scenario rate solver: {e}"),
+            ScenarioError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
 }
@@ -482,6 +488,7 @@ impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioError::Convergence(e) => Some(e),
+            ScenarioError::Sim(e) => Some(e),
             _ => None,
         }
     }
@@ -490,6 +497,12 @@ impl std::error::Error for ScenarioError {
 impl From<TrafficConvergenceError> for ScenarioError {
     fn from(e: TrafficConvergenceError) -> Self {
         ScenarioError::Convergence(e)
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> Self {
+        ScenarioError::Sim(e)
     }
 }
 
@@ -564,6 +577,11 @@ pub struct Scenario {
     pub delay_quantiles: bool,
     /// Track per-edge time-averaged queue lengths.
     pub track_edge_queues: bool,
+    /// Optional fault schedule ([`FaultSpec`]): deterministic, seed-derived
+    /// link/node failures materialized into a [`FaultPlan`] per run.
+    /// `None` keeps the healthy fast path bit-identical to pre-fault
+    /// builds.
+    pub faults: Option<FaultSpec>,
     /// Hot-path engine ([`EngineSpec::Auto`] by default). Engines only
     /// move wall-clock time; results are bit-identical across them.
     pub engine: EngineSpec,
@@ -594,6 +612,7 @@ impl Scenario {
             sample_every: None,
             delay_quantiles: false,
             track_edge_queues: false,
+            faults: None,
             engine: EngineSpec::Auto,
         }
     }
@@ -749,6 +768,15 @@ impl Scenario {
         self
     }
 
+    /// Installs a fault schedule (see [`FaultSpec`]). The concrete failed
+    /// edges are drawn deterministically from the master seed when the
+    /// scenario runs.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Selects the hot-path engine (see [`EngineSpec`]). Results are
     /// bit-identical whichever engine runs the scenario.
     #[must_use]
@@ -824,6 +852,60 @@ impl Scenario {
                 .filter(|row| row.iter().all(|&w| w == 0.0))
                 .count(),
             _ => 0,
+        }
+    }
+
+    /// Materializes this scenario's fault plan (under the scenario's own
+    /// seed) and estimates the surviving-topology reachability: the
+    /// fraction of sampled source–destination pairs the router still
+    /// connects with every failing edge treated as permanently dead —
+    /// the worst case over the timeline, since repairs only help.
+    ///
+    /// Returns `(dead_edges, reachable_fraction)`, or `None` for healthy
+    /// scenarios (no `faults=` clause). Deterministic for a fixed
+    /// `(seed, faults, topology, router)`; see
+    /// [`reachable_fraction`](crate::fault::reachable_fraction).
+    #[must_use]
+    pub fn fault_reachability(&self) -> Option<(usize, f64)> {
+        use crate::fault::reachable_fraction;
+        let spec = self.faults.as_ref()?;
+        fn survey<T: Topology, R: Router<T>>(
+            spec: &FaultSpec,
+            seed: u64,
+            topo: &T,
+            router: &R,
+        ) -> Option<(usize, f64)> {
+            let plan = FaultPlan::materialize(spec, seed, topo);
+            let frac = reachable_fraction(topo, router, &plan.down_edges, seed);
+            Some((plan.down_edges.len(), frac))
+        }
+        match (&self.topology, self.router) {
+            (TopologySpec::Mesh { rows, cols }, router) => {
+                let mesh = Mesh2D::rect(*rows, *cols);
+                match router {
+                    RouterSpec::Greedy => survey(spec, self.seed, &mesh, &GreedyXY),
+                    RouterSpec::Randomized => survey(spec, self.seed, &mesh, &RandomizedGreedy),
+                    RouterSpec::WestFirst => survey(spec, self.seed, &mesh, &WestFirst),
+                    RouterSpec::OddEven => survey(spec, self.seed, &mesh, &OddEven),
+                }
+            }
+            (TopologySpec::Torus { n }, router) => {
+                let torus = Torus2D::new(*n);
+                match router {
+                    RouterSpec::WestFirst => survey(spec, self.seed, &torus, &WestFirst),
+                    RouterSpec::OddEven => survey(spec, self.seed, &torus, &OddEven),
+                    _ => survey(spec, self.seed, &torus, &TorusGreedy),
+                }
+            }
+            (TopologySpec::Hypercube { dim }, _) => {
+                survey(spec, self.seed, &Hypercube::new(*dim), &DimOrder)
+            }
+            (TopologySpec::Butterfly { k }, _) => {
+                survey(spec, self.seed, &Butterfly::new(*k), &ButterflyRouter)
+            }
+            (TopologySpec::MeshKd { dims }, _) => {
+                survey(spec, self.seed, &MeshKD::new(dims), &KdGreedy)
+            }
         }
     }
 
@@ -1323,6 +1405,11 @@ impl Scenario {
                 ));
             }
         }
+        if let Some(faults) = &self.faults {
+            if let Err(e) = faults.check(self.topology.num_nodes(), self.topology.num_edges()) {
+                return bad(e);
+            }
+        }
         if let Some(rates) = &self.service_rates {
             if rates.len() != self.topology.num_edges() {
                 return bad(format!(
@@ -1347,10 +1434,28 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics if [`Scenario::validate`] rejects the specification.
+    /// Panics if [`Scenario::validate`] rejects the specification or the
+    /// simulation fails mid-run — use [`Scenario::try_run`] to handle
+    /// both as typed errors.
     #[must_use]
     pub fn run(&self) -> SimResult {
         self.run_seeded(self.seed)
+    }
+
+    /// Runs the scenario once, surfacing every failure — invalid
+    /// specification, rate-solver divergence, or a structural
+    /// mid-simulation [`SimError`] — as a typed [`ScenarioError`] instead
+    /// of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Unsupported`]/[`ScenarioError::Parse`]
+    /// when validation rejects the specification,
+    /// [`ScenarioError::Convergence`] when an adaptive router's rate
+    /// solver diverges, and [`ScenarioError::Sim`] when the simulation
+    /// itself fails.
+    pub fn try_run(&self) -> Result<SimResult, ScenarioError> {
+        self.try_run_seeded(self.seed)
     }
 
     /// Runs `reps` independent replications in parallel (one derived seed
@@ -1378,13 +1483,20 @@ impl Scenario {
         splitmix64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// Panicking wrapper around [`Scenario::try_run_seeded`].
+    pub(crate) fn run_seeded(&self, seed: u64) -> SimResult {
+        self.try_run_seeded(seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// The single dispatch point: maps the specification onto the concrete
     /// `NetworkSim` instantiation and runs it with `seed` as the master
     /// seed.
-    pub(crate) fn run_seeded(&self, seed: u64) -> SimResult {
-        if let Err(e) = self.validate() {
-            panic!("{e}");
-        }
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::try_run`].
+    pub fn try_run_seeded(&self, seed: u64) -> Result<SimResult, ScenarioError> {
+        self.validate()?;
         let net = self.net_config(seed);
         match (&self.topology, self.router, &self.traffic.pattern) {
             (TopologySpec::Mesh { rows, cols }, router, pattern) => {
@@ -1509,14 +1621,22 @@ impl Scenario {
         net: NetConfig,
         sat: &[EdgeId],
         sources: Option<Vec<NodeId>>,
-    ) -> SimResult
+    ) -> Result<SimResult, ScenarioError>
     where
         T: Topology + Sync,
         R: Router<T> + Sync,
         D: DestSampler<T> + Sync,
     {
         let lambda = net.lambda;
+        let seed = net.seed;
+        let plan = match &self.faults {
+            Some(spec) => FaultPlan::materialize(spec, seed, &topo),
+            None => FaultPlan::default(),
+        };
         let mut sim = NetworkSim::new(topo, router, dest, net);
+        if !plan.is_empty() {
+            sim = sim.with_fault_plan(plan);
+        }
         if let Some(s) = sources {
             sim = sim.with_sources(s);
         }
@@ -1529,7 +1649,7 @@ impl Scenario {
         if let Some(rates) = &self.service_rates {
             sim = sim.with_service_rates(rates.clone());
         }
-        sim.run()
+        sim.try_run().map_err(ScenarioError::Sim)
     }
 
     // ----------------------------------------------------------------
@@ -1671,6 +1791,9 @@ impl Scenario {
                 "saturated" => sc.track_saturated = bool_of(key, value)?,
                 "quantiles" => sc.delay_quantiles = bool_of(key, value)?,
                 "queues" => sc.track_edge_queues = bool_of(key, value)?,
+                "faults" => {
+                    sc.faults = FaultSpec::parse_token(value).map_err(ScenarioError::parse)?;
+                }
                 "engine" => {
                     sc.engine = EngineSpec::parse_str(value).map_err(ScenarioError::parse)?
                 }
@@ -1754,6 +1877,9 @@ impl Scenario {
         }
         if self.track_edge_queues {
             s.push_str(",queues=true");
+        }
+        if let Some(faults) = &self.faults {
+            s.push_str(&format!(",faults={}", faults.spec_token()));
         }
         match self.engine {
             EngineSpec::Auto => {}
@@ -2340,6 +2466,51 @@ mod tests {
         assert_eq!(long, sc);
         assert!(Scenario::parse("mesh:6,shards=0").is_err());
         assert!(Scenario::parse("mesh:6,shards=two").is_err());
+    }
+
+    #[test]
+    fn faults_clause_round_trips_and_validates() {
+        let sc = Scenario::parse("mesh:6,rho=0.4,faults=links:0.05+at:100+repair:200").unwrap();
+        let faults = sc.faults.clone().expect("faults parsed");
+        assert_eq!(faults.spec_token(), "links:0.05+at:100+repair:200");
+        let spec = sc.spec_string();
+        assert!(
+            spec.contains(",faults=links:0.05+at:100+repair:200"),
+            "{spec}"
+        );
+        assert_eq!(Scenario::parse(&spec).unwrap(), sc);
+        // The faults clause stays ahead of the engine clause so the engine
+        // suffix contract (`…,shards=N`) holds for faulted specs too.
+        let sharded = Scenario::parse("mesh:6,rho=0.4,faults=links:0.05,shards=4").unwrap();
+        let spec = sharded.spec_string();
+        assert!(spec.ends_with(",shards=4"), "{spec}");
+        assert_eq!(Scenario::parse(&spec).unwrap(), sharded);
+        // `faults=none` is the explicit healthy spelling and is not
+        // emitted back.
+        let none = Scenario::parse("mesh:6,rho=0.4,faults=none").unwrap();
+        assert_eq!(none.faults, None);
+        assert!(
+            !none.spec_string().contains("faults"),
+            "{}",
+            none.spec_string()
+        );
+        // Out-of-range rates and ids are typed errors.
+        assert!(Scenario::parse("mesh:4,faults=links:1.5").is_err());
+        assert!(Scenario::parse("mesh:4,faults=link:9999").is_err());
+        assert!(Scenario::parse("mesh:4,faults=node:400").is_err());
+        assert!(Scenario::parse("mesh:4,faults=warp:0.1").is_err());
+    }
+
+    #[test]
+    fn faulted_scenario_reports_degraded_delivery() {
+        let sc = Scenario::parse("mesh:6,lambda=0.1,faults=links:0.1,horizon=800,warmup=80,seed=5")
+            .unwrap();
+        let a = sc.try_run().unwrap();
+        let b = sc.try_run().unwrap();
+        assert!(a.dropped.total() > 0, "no drops under links:0.1");
+        assert!(a.delivered_fraction < 1.0 && a.delivered_fraction > 0.0);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.avg_delay.to_bits(), b.avg_delay.to_bits());
     }
 
     #[test]

@@ -58,15 +58,16 @@
 
 use crate::engine::STREAMING_STATS_MAX_EDGES;
 use crate::events::{CalendarQueue, EventQueue};
+use crate::fault::{ttl_budget, DropCause, DropCounts, FaultPlan};
 use crate::network::{
-    q_pop, q_push, qtick, router_name, EdgeState, EdgeThroughputStats, NetworkSim, Packet, QTrack,
-    SimError, SimResult,
+    q_pop, q_push, qtick, stall, EdgeState, EdgeThroughputStats, NetworkSim, Packet, QTrack,
+    SimError, SimResult, NIL,
 };
 use crate::observer::Observer;
 use crate::rng::{derive_rng, exp_sample, poisson_sample};
 use crate::service::ServiceKind;
 use meshbound_routing::dest::DestSampler;
-use meshbound_routing::{LocalView, Router};
+use meshbound_routing::{LocalView, RouteOutcome, Router};
 use meshbound_stats::{Reservoir, Welford};
 use meshbound_topology::{EdgeId, NodeId, Partition, Topology};
 use rand::rngs::SmallRng;
@@ -93,6 +94,8 @@ struct Msg<S> {
     dst: NodeId,
     gen_time: f64,
     state: S,
+    /// Remaining misroute budget, carried across the shard boundary.
+    ttl: u32,
 }
 
 type Batch<S> = Vec<Msg<S>>;
@@ -123,6 +126,10 @@ enum SEv {
     Warmup,
     /// `N(t)` sampling tick.
     Sample,
+    /// Liveness transition `k` of the run's fault plan. Every shard
+    /// replays the full (global) timeline so the shared liveness mask
+    /// agrees everywhere; only the owning shard flushes an edge's queue.
+    Fault(u32),
 }
 
 /// What one shard thread returns: its observer, its event count, and its
@@ -154,6 +161,10 @@ struct Local<S> {
     is_cut: Vec<bool>,
     /// For cut edges: the target node and the shard that owns it.
     cut_to: Vec<(NodeId, u32)>,
+    /// Per-edge liveness (**global** indexing) under the run's fault
+    /// plan; empty on healthy runs, keeping the hot loop on the exact
+    /// pre-fault path.
+    live: Vec<bool>,
 }
 
 /// [`LocalView`] over one shard's owned edges. Out-edges belong to their
@@ -163,12 +174,19 @@ struct Local<S> {
 struct ShardView<'a> {
     edges: &'a [EdgeState],
     part: &'a Partition,
+    /// Global liveness mask (empty = every edge live).
+    live: &'a [bool],
 }
 
 impl LocalView for ShardView<'_> {
     #[inline]
     fn queue_len(&self, e: EdgeId) -> u32 {
         self.edges[self.part.edge_local(e)].qlen
+    }
+
+    #[inline]
+    fn is_live(&self, e: EdgeId) -> bool {
+        self.live.is_empty() || self.live[e.index()]
     }
 }
 
@@ -219,6 +237,7 @@ impl<S: Copy> Local<S> {
                 dst: pk.dst,
                 gen_time: pk.gen_time,
                 state: pk.state,
+                ttl: pk.ttl,
             });
         }
     }
@@ -244,6 +263,33 @@ impl<S: Copy> Local<S> {
         if !self.edges[le].busy {
             self.start_service(sim, le, ge, now);
         }
+    }
+
+    /// Drops the packet in slot `pid` at node `at` (the single-core drop
+    /// accounting: unwind the integrals by the remaining work, tally the
+    /// cause, recycle the slot).
+    fn drop_packet<T, R, D>(
+        &mut self,
+        sim: &NetworkSim<T, R, D>,
+        now: f64,
+        at: NodeId,
+        pid: u32,
+        cause: DropCause,
+    ) where
+        T: Topology + Sync,
+        R: Router<T, State = S> + Sync,
+        D: DestSampler<T> + Sync,
+    {
+        let pk = self.packets[pid as usize];
+        let remaining = sim.router.remaining_hops(&sim.topo, at, pk.dst, pk.state);
+        let sat = if sim.track_saturated {
+            sim.count_saturated_on_route(at, pk.dst, pk.state)
+        } else {
+            0
+        };
+        self.obs
+            .packet_dropped(now, remaining as f64, sat as f64, pk.gen_time, cause);
+        self.free.push(pid);
     }
 
     /// Generates one packet at `src` (the single-core `inject`, with the
@@ -281,19 +327,35 @@ impl<S: Copy> Local<S> {
             dst,
             state,
             gen_time: now,
+            ttl: ttl_budget(hops),
         });
         let view = ShardView {
             edges: &self.edges,
             part,
+            live: &self.live,
         };
-        let first = match sim.router.next_hop(&sim.topo, src, dst, state, &view) {
-            Some(e) => e,
-            None => {
-                return Err(SimError::RouterStalled {
-                    node: src,
-                    dst,
-                    router: router_name::<R>(),
-                })
+        let first = if self.live.is_empty() {
+            match sim.router.next_hop(&sim.topo, src, dst, state, &view) {
+                Some(e) => e,
+                None => return Err(stall::<R>(src, dst)),
+            }
+        } else {
+            // Fault-aware first hop: a walled-in source drops its fresh
+            // packet instead of aborting the run.
+            match sim.router.route_outcome(&sim.topo, src, dst, state, &view) {
+                RouteOutcome::Forward(e) => {
+                    self.packets[pid as usize].ttl -= 1;
+                    e
+                }
+                outcome => {
+                    let cause = if outcome == RouteOutcome::DeadEnd {
+                        DropCause::DeadEnd
+                    } else {
+                        DropCause::LocalMinimum
+                    };
+                    self.drop_packet(sim, now, src, pid, cause);
+                    return Ok(());
+                }
             }
         };
         self.enqueue(sim, part.edge_local(first), first.index() as u32, pid, now);
@@ -326,15 +388,34 @@ impl<S: Copy> Local<S> {
         let view = ShardView {
             edges: &self.edges,
             part,
+            live: &self.live,
         };
-        let next = match sim.router.next_hop(&sim.topo, cur, pk.dst, pk.state, &view) {
-            Some(e) => e,
-            None => {
-                return Err(SimError::RouterStalled {
-                    node: cur,
-                    dst: pk.dst,
-                    router: router_name::<R>(),
-                })
+        let next = if self.live.is_empty() {
+            match sim.router.next_hop(&sim.topo, cur, pk.dst, pk.state, &view) {
+                Some(e) => e,
+                None => return Err(stall::<R>(cur, pk.dst)),
+            }
+        } else if pk.ttl == 0 {
+            self.drop_packet(sim, now, cur, pid, DropCause::TtlExceeded);
+            return Ok(());
+        } else {
+            match sim
+                .router
+                .route_outcome(&sim.topo, cur, pk.dst, pk.state, &view)
+            {
+                RouteOutcome::Forward(e) => {
+                    self.packets[pid as usize].ttl -= 1;
+                    e
+                }
+                outcome => {
+                    let cause = if outcome == RouteOutcome::DeadEnd {
+                        DropCause::DeadEnd
+                    } else {
+                        DropCause::LocalMinimum
+                    };
+                    self.drop_packet(sim, now, cur, pid, cause);
+                    return Ok(());
+                }
             }
         };
         self.enqueue(sim, part.edge_local(next), next.index() as u32, pid, now);
@@ -346,11 +427,17 @@ impl<S: Copy> Local<S> {
 /// partitions the topology, spawns one thread per shard, and merges the
 /// per-shard statistics into one [`SimResult`].
 ///
+/// # Errors
+///
+/// [`SimError::UnsupportedConfig`] when `shards > 1` produces cut edges
+/// under a non-deterministic service distribution (no finite lookahead
+/// exists); shard-local [`SimError`]s are collected through the barrier
+/// protocol rather than unwinding across worker threads.
+///
 /// # Panics
 ///
-/// Panics when `shards > 1` produces cut edges under a non-deterministic
-/// service distribution (no finite lookahead exists), or when a shard
-/// thread panics (the panic is propagated).
+/// Panics only when a shard thread itself panics (the panic is
+/// propagated).
 pub(crate) fn run_sharded<T, R, D>(
     sim: NetworkSim<T, R, D>,
     wall: Instant,
@@ -363,27 +450,31 @@ where
 {
     let part = Partition::contiguous(&sim.topo, shards);
     let k = part.shards();
-    assert!(
-        part.cut_edges().is_empty() || sim.cfg.service == ServiceKind::Deterministic,
-        "the sharded engine requires deterministic service times when shards > 1: \
-         the conservative lookahead is the minimum cut-edge service time, which \
-         only exists when service times are bounded below"
-    );
-    let lookahead = part
-        .cut_edges()
-        .iter()
-        .map(|e| 1.0 / sim.service_rates[e.index()])
-        .fold(f64::INFINITY, f64::min);
-    // Epoch `j` covers event times `[j·Δ, (j+1)·Δ)`; the final epoch is
+    if !part.cut_edges().is_empty() && sim.cfg.service != ServiceKind::Deterministic {
+        return Err(SimError::UnsupportedConfig {
+            reason: "the sharded engine requires deterministic service times when shards > 1: \
+                     the conservative lookahead is the minimum cut-edge service time, which \
+                     only exists when service times are bounded below"
+                .into(),
+        });
+    }
+    // Epoch `j` covers event times `[w_j, w_{j+1})` where the window ends
+    // come from the fault-aware lookahead schedule; the final epoch is
     // unbounded and terminates on the horizon like the single-core loop.
     // All handoffs emitted during the final epoch would land past the
     // horizon (their send time is within Δ of it), so it needs no
-    // exchange — which is also why `epochs` rather than `epochs − 1`
-    // barriers suffice.
-    let epochs = if lookahead.is_finite() {
-        (sim.cfg.horizon / lookahead).floor() as u64 + 1
+    // exchange.
+    let windows = if part.cut_edges().is_empty() {
+        // No cross-shard traffic (shards = 1): one unbounded epoch, no
+        // barriers, whatever the fault plan says.
+        vec![f64::INFINITY]
     } else {
-        1
+        window_ends(
+            part.cut_edges(),
+            &sim.service_rates,
+            &sim.fault_plan,
+            sim.cfg.horizon,
+        )
     };
 
     // Shard-local source lists, preserving global order (and hence, for a
@@ -411,6 +502,7 @@ where
     let sim_ref = &sim;
     let part_ref = &part;
     let sources_ref = &source_lists;
+    let windows_ref = &windows;
     let results: Vec<Result<ShardOut, Option<SimError>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = txs
             .into_iter()
@@ -423,8 +515,7 @@ where
                         part_ref,
                         me,
                         &sources_ref[me],
-                        lookahead,
-                        epochs,
+                        windows_ref,
                         &tx_row,
                         &rx_row,
                     )
@@ -462,6 +553,50 @@ where
     Ok(merge(&sim, &part, outs, wall))
 }
 
+/// The epoch cutoffs of the conservative window protocol, fault-aware.
+///
+/// Each window's lookahead Δ is the minimum service time over the cut
+/// edges **live during that window** (a dead edge starts no service, so
+/// it cannot emit a handoff), and windows never straddle a fault event —
+/// liveness transitions land exactly on epoch boundaries, where every
+/// shard recomputes the same Δ from the same plan. The final entry is
+/// `∞`: the last epoch runs to the horizon without a barrier.
+fn window_ends(cut: &[EdgeId], service_rates: &[f64], plan: &FaultPlan, horizon: f64) -> Vec<f64> {
+    let cut_set: std::collections::HashSet<EdgeId> = cut.iter().copied().collect();
+    let mut dead: std::collections::HashSet<EdgeId> = std::collections::HashSet::new();
+    let mut ends = Vec::new();
+    let mut start = 0.0f64;
+    let mut idx = 0;
+    loop {
+        // Apply every transition at or before the window start; what's
+        // left of the plan is strictly inside or past this window.
+        while idx < plan.events.len() && plan.events[idx].time <= start {
+            let fe = &plan.events[idx];
+            if cut_set.contains(&fe.edge) {
+                if fe.up {
+                    dead.remove(&fe.edge);
+                } else {
+                    dead.insert(fe.edge);
+                }
+            }
+            idx += 1;
+        }
+        let delta = cut
+            .iter()
+            .filter(|e| !dead.contains(e))
+            .map(|e| 1.0 / service_rates[e.index()])
+            .fold(f64::INFINITY, f64::min);
+        let next_fault = plan.events.get(idx).map_or(f64::INFINITY, |fe| fe.time);
+        let end = (start + delta).min(next_fault);
+        if !end.is_finite() || end > horizon {
+            ends.push(f64::INFINITY);
+            return ends;
+        }
+        ends.push(end);
+        start = end;
+    }
+}
+
 /// One shard's run: the single-core hot loop windowed into epochs, with a
 /// batch exchange at each epoch boundary. Returns `Err(None)` when a peer
 /// disappears mid-run (its own error is reported from its thread) and
@@ -472,8 +607,7 @@ fn shard_loop<T, R, D>(
     part: &Partition,
     me: usize,
     sources: &[(u32, NodeId)],
-    lookahead: f64,
-    epochs: u64,
+    windows: &[f64],
     tx_row: &[Option<SyncSender<Batch<R::State>>>],
     rx_row: &[Option<Receiver<Batch<R::State>>>],
 ) -> Result<ShardOut, Option<SimError>>
@@ -518,6 +652,11 @@ where
         outboxes: (0..k).map(|_| Vec::new()).collect(),
         is_cut,
         cut_to,
+        live: if sim.fault_plan.is_empty() {
+            Vec::new()
+        } else {
+            vec![true; sim.topo.num_edges()]
+        },
     };
 
     // Prime the event list exactly like the single-core loop, restricted
@@ -544,6 +683,11 @@ where
         assert!(dt > 0.0);
         local.queue.schedule(dt, SEv::Sample);
     }
+    for (fk, fe) in sim.fault_plan.events.iter().enumerate() {
+        if fe.time <= cfg.horizon {
+            local.queue.schedule(fe.time, SEv::Fault(fk as u32));
+        }
+    }
 
     // `Arrival` carries the *global* source index (so rates stay
     // positional); map it back to the packed list position only for
@@ -551,13 +695,8 @@ where
     let node_of = |gi: u32| sim.sources[gi as usize];
 
     let mut events: u64 = 0;
-    'run: for epoch in 0..epochs {
-        let last = epoch + 1 == epochs;
-        let cutoff = if last {
-            f64::INFINITY
-        } else {
-            (epoch + 1) as f64 * lookahead
-        };
+    'run: for (wi, &cutoff) in windows.iter().enumerate() {
+        let last = wi + 1 == windows.len();
         while let Some((t, ev)) = local.queue.next() {
             if t >= cutoff {
                 // Not ours to run yet: push it back (it re-enters the
@@ -615,7 +754,7 @@ where
                     let duration = now - edge.service_start;
                     local.obs.service_done(now, le, duration, sim.sat_edge[ei]);
                     local.edges[le].busy = false;
-                    if local.edges[le].qlen > 0 {
+                    if local.edges[le].qlen > 0 && (local.live.is_empty() || local.live[ei]) {
                         local.start_service(sim, le, ge, now);
                     }
                     if local.is_cut[le] {
@@ -630,6 +769,52 @@ where
                 SEv::Handoff(pid) => {
                     let cur = local.hand_node[pid as usize];
                     local.forward(sim, part, now, cur, pid).map_err(Some)?;
+                }
+                SEv::Fault(fk) => {
+                    let fe = sim.fault_plan.events[fk as usize];
+                    let gi = fe.edge.index();
+                    if fe.up {
+                        local.live[gi] = true;
+                        if part.edge_shard(fe.edge) == me {
+                            let le = part.edge_local(fe.edge);
+                            // Defensive restart, mirroring the single-core
+                            // engine (the flush leaves at most the
+                            // in-flight head on a dead edge).
+                            if local.edges[le].qlen > 0 && !local.edges[le].busy {
+                                local.start_service(sim, le, gi as u32, now);
+                            }
+                        }
+                    } else {
+                        local.live[gi] = false;
+                        if part.edge_shard(fe.edge) == me {
+                            let le = part.edge_local(fe.edge);
+                            if cfg.track_edge_queues {
+                                qtick(&mut local.qtrack[le], local.edges[le].qlen, now);
+                            }
+                            // The in-flight transmission (if any) finishes;
+                            // everything waiting behind it drops here.
+                            let edge = &mut local.edges[le];
+                            let mut pid = if edge.busy {
+                                let waiting = local.qnext[edge.head as usize];
+                                local.qnext[edge.head as usize] = NIL;
+                                edge.tail = edge.head;
+                                edge.qlen = 1;
+                                waiting
+                            } else {
+                                let waiting = edge.head;
+                                edge.head = NIL;
+                                edge.tail = NIL;
+                                edge.qlen = 0;
+                                waiting
+                            };
+                            let at = sim.topo.edge_source(fe.edge);
+                            while pid != NIL {
+                                let next_waiting = local.qnext[pid as usize];
+                                local.drop_packet(sim, now, at, pid, DropCause::LinkDown);
+                                pid = next_waiting;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -663,6 +848,7 @@ where
                 dst: m.dst,
                 state: m.state,
                 gen_time: m.gen_time,
+                ttl: m.ttl,
             });
             local.hand_node[pid as usize] = m.node;
             local.queue.schedule(m.time, SEv::Handoff(pid));
@@ -713,6 +899,7 @@ where
     let mut peak_n = 0.0;
     let mut generated = 0u64;
     let mut completed = 0u64;
+    let mut dropped = DropCounts::default();
     let mut events_processed = 0u64;
     for o in &outs {
         delay.merge(&o.obs.delay);
@@ -723,6 +910,7 @@ where
         peak_n += o.obs.n_sys.peak();
         generated += o.obs.generated;
         completed += o.obs.completed;
+        dropped.merge(&o.obs.dropped);
         events_processed += o.events;
     }
     let time_avg_n = n_integral / measure_time;
@@ -788,6 +976,12 @@ where
         delay_std_err: delay.standard_error(),
         generated,
         completed,
+        dropped,
+        delivered_fraction: if generated > 0 {
+            completed as f64 / generated as f64
+        } else {
+            0.0
+        },
         time_avg_n,
         time_avg_r,
         time_avg_rs,
@@ -928,5 +1122,59 @@ mod tests {
         let b = run(EngineSpec::Sharded { shards: 64 });
         assert_bits(&a, &b);
         assert!(a.completed > 0);
+    }
+
+    fn run_faulted(engine: EngineSpec) -> SimResult {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let cfg = NetConfig {
+            lambda: 0.15,
+            horizon: 800.0,
+            warmup: 80.0,
+            seed: 9,
+            engine,
+            ..NetConfig::default()
+        };
+        let topo = Mesh2D::square(5);
+        let spec = FaultSpec::links(0.2).at(100.0);
+        let plan = FaultPlan::materialize(&spec, cfg.seed, &topo);
+        NetworkSim::new(topo, GreedyXY, UniformDest, cfg)
+            .with_fault_plan(plan)
+            .run()
+    }
+
+    #[test]
+    fn faulted_sharded_runs_are_bit_identical_and_drop_packets() {
+        for shards in [1, 2, 3] {
+            let a = run_faulted(EngineSpec::Sharded { shards });
+            let b = run_faulted(EngineSpec::Sharded { shards });
+            assert_eq!(a.avg_delay.to_bits(), b.avg_delay.to_bits());
+            assert_eq!(a.generated, b.generated);
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.dropped, b.dropped);
+            assert_eq!(a.events_processed, b.events_processed);
+            assert!(a.dropped.total() > 0, "{shards} shards saw no drops");
+            assert!(a.delivered_fraction < 1.0);
+            assert!(a.completed > 0);
+        }
+    }
+
+    #[test]
+    fn faulted_one_shard_matches_the_calendar_engine_bit_for_bit() {
+        let calendar = run_faulted(EngineSpec::Calendar);
+        let sharded = run_faulted(EngineSpec::Sharded { shards: 1 });
+        assert_eq!(calendar.avg_delay.to_bits(), sharded.avg_delay.to_bits());
+        assert_eq!(calendar.generated, sharded.generated);
+        assert_eq!(calendar.completed, sharded.completed);
+        assert_eq!(calendar.dropped, sharded.dropped);
+    }
+
+    #[test]
+    fn faulted_sharded_runs_agree_statistically_with_the_oracle() {
+        let oracle = run_faulted(EngineSpec::Calendar);
+        let sharded = run_faulted(EngineSpec::Sharded { shards: 2 });
+        assert!(sharded.dropped.total() > 0);
+        let rel = (sharded.delivered_fraction - oracle.delivered_fraction).abs()
+            / oracle.delivered_fraction;
+        assert!(rel < 0.10, "delivered fraction off by {rel:.3}");
     }
 }

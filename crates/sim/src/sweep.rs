@@ -27,6 +27,7 @@
 //! (`meshbound::sweep`).
 
 use crate::engine::EngineSpec;
+use crate::fault::FaultSpec;
 use crate::rng::splitmix64;
 use crate::scenario::{
     RouterSpec, Scenario, ScenarioError, TopologySpec, DEFAULT_HORIZON, DEFAULT_WARMUP,
@@ -121,6 +122,12 @@ pub struct SweepSpec {
     pub patterns: Vec<PatternSpec>,
     /// Source model shared by every cell (`src=` clause; not an axis).
     pub source: SourceSpec,
+    /// Fault axis (`faults=` clause; `none` is the healthy entry). Each
+    /// cell materializes its own deterministic [`FaultPlan`] from the
+    /// cell seed, so a faulted sweep is as replayable as a healthy one.
+    ///
+    /// [`FaultPlan`]: crate::fault::FaultPlan
+    pub faults: Vec<Option<FaultSpec>>,
     /// Engine axis (defaults to `[Auto]`). Engines produce bit-identical
     /// results and share per-cell seeds, so an `engine=` axis measures
     /// pure wall-clock differences — the perf-ablation use case.
@@ -156,6 +163,7 @@ impl SweepSpec {
             routers: vec![RouterSpec::Greedy],
             patterns: vec![PatternSpec::Uniform],
             source: SourceSpec::Uniform,
+            faults: vec![None],
             engines: vec![EngineSpec::Auto],
             service: ServiceKind::Deterministic,
             reps: 1,
@@ -200,6 +208,13 @@ impl SweepSpec {
     #[must_use]
     pub fn source(mut self, source: SourceSpec) -> Self {
         self.source = source;
+        self
+    }
+
+    /// Sets the fault axis (`None` entries are healthy cells).
+    #[must_use]
+    pub fn faults(mut self, faults: Vec<Option<FaultSpec>>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -252,6 +267,7 @@ impl SweepSpec {
             * self.loads.len()
             * self.routers.len()
             * self.patterns.len()
+            * self.faults.len()
             * self.engines.len()
     }
 
@@ -275,6 +291,7 @@ impl SweepSpec {
             ("load", self.loads.len()),
             ("router", self.routers.len()),
             ("traffic", self.patterns.len()),
+            ("faults", self.faults.len()),
             ("engine", self.engines.len()),
             ("reps", self.reps),
         ] {
@@ -301,34 +318,37 @@ impl SweepSpec {
             for &load in &self.loads {
                 for &router in &self.routers {
                     for pattern in &self.patterns {
-                        for &engine in &self.engines {
-                            let mut sc = Scenario::new(topology.clone())
-                                .router(router)
-                                .pattern(pattern.clone())
-                                .source(self.source.clone())
-                                .load(load)
-                                .service(self.service)
-                                .track_saturated(self.track_saturated)
-                                .engine(engine);
-                            // First validation catches unsupported
-                            // combinations before `cell_rho` resolves the
-                            // load against them.
-                            let invalid = |sc: &Scenario, e: ScenarioError| {
-                                SweepError::InvalidCell(format!("`{}`: {e}", sc.spec_string()))
-                            };
-                            sc.validate().map_err(|e| invalid(&sc, e))?;
-                            let (horizon, warmup) = self.horizon.resolve(cell_rho(&sc));
-                            sc = sc.horizon(horizon).warmup(warmup);
-                            let seed = self.cell_seed(&sc);
-                            sc = sc.seed(seed);
-                            sc.validate().map_err(|e| invalid(&sc, e))?;
-                            let spec = sc.spec_string();
-                            if !seen.insert(spec.clone()) {
-                                return Err(SweepError::DuplicateCell(format!(
-                                    "`{spec}` appears twice — deduplicate the axis lists"
-                                )));
+                        for faults in &self.faults {
+                            for &engine in &self.engines {
+                                let mut sc = Scenario::new(topology.clone())
+                                    .router(router)
+                                    .pattern(pattern.clone())
+                                    .source(self.source.clone())
+                                    .load(load)
+                                    .service(self.service)
+                                    .track_saturated(self.track_saturated)
+                                    .engine(engine);
+                                sc.faults = faults.clone();
+                                // First validation catches unsupported
+                                // combinations before `cell_rho` resolves
+                                // the load against them.
+                                let invalid = |sc: &Scenario, e: ScenarioError| {
+                                    SweepError::InvalidCell(format!("`{}`: {e}", sc.spec_string()))
+                                };
+                                sc.validate().map_err(|e| invalid(&sc, e))?;
+                                let (horizon, warmup) = self.horizon.resolve(cell_rho(&sc));
+                                sc = sc.horizon(horizon).warmup(warmup);
+                                let seed = self.cell_seed(&sc);
+                                sc = sc.seed(seed);
+                                sc.validate().map_err(|e| invalid(&sc, e))?;
+                                let spec = sc.spec_string();
+                                if !seen.insert(spec.clone()) {
+                                    return Err(SweepError::DuplicateCell(format!(
+                                        "`{spec}` appears twice — deduplicate the axis lists"
+                                    )));
+                                }
+                                cells.push(sc);
                             }
-                            cells.push(sc);
                         }
                     }
                 }
@@ -383,6 +403,11 @@ impl SweepSpec {
     ///                                  hotspot:<frac>:<node>; `dest=` is
     ///                                  the pre-PR-5 alias)
     /// src=uniform|hotspot:4[:<node>]   (shared source model, not an axis)
+    /// faults=none|links:0.05           (default none; fault axis — each
+    ///                                  entry is a [`FaultSpec`] token such
+    ///                                  as links:<rate>, nodes:<rate>,
+    ///                                  link:<id>, node:<id>, joined with
+    ///                                  `+`, plus at:<t> and repair:<dt>)
     /// engine=auto|heap|calendar|sharded:<N> (default auto; a perf
     ///                                  ablation axis — single-core engines
     ///                                  are bit-identical, `sharded:<N>`
@@ -451,6 +476,13 @@ impl SweepSpec {
                 }
                 "src" => {
                     sweep.source = SourceSpec::parse_token(value).map_err(bad)?;
+                }
+                "faults" => {
+                    sweep.faults = split_axis(value)
+                        .map_err(bad)?
+                        .into_iter()
+                        .map(|item| FaultSpec::parse_token(item).map_err(bad))
+                        .collect::<Result<_, _>>()?;
                 }
                 "engine" => {
                     sweep.engines = split_axis(value)
@@ -595,6 +627,20 @@ impl SweepSpec {
             if let Some(token) = self.source.spec_token() {
                 out.push_str(&format!(" src={token}"));
             }
+        }
+        if self.faults != [None] {
+            out.push_str(" faults=");
+            out.push_str(
+                &self
+                    .faults
+                    .iter()
+                    .map(|f| {
+                        f.as_ref()
+                            .map_or_else(|| "none".into(), FaultSpec::spec_token)
+                    })
+                    .collect::<Vec<_>>()
+                    .join("|"),
+            );
         }
         if self.engines != [EngineSpec::Auto] {
             out.push_str(" engine=");
@@ -902,6 +948,54 @@ mod tests {
         )
         .unwrap();
         assert_eq!(legacy, sweep);
+    }
+
+    #[test]
+    fn faults_axis_expands_and_round_trips() {
+        let sweep = SweepSpec::parse(
+            "topo=mesh:4 load=rho:0.2 faults=none|links:0.05|links:0.1+at:50+repair:100 \
+             horizon=400 warmup=40",
+        )
+        .unwrap();
+        assert_eq!(sweep.num_cells(), 3);
+        let cells = sweep.expand().unwrap();
+        assert_eq!(cells[0].faults, None);
+        assert!(cells[1].faults.is_some());
+        assert!(cells[2].faults.is_some());
+        // Healthy and faulted cells differ in spec, so their derived
+        // seeds decorrelate.
+        assert_ne!(cells[0].seed, cells[1].seed);
+        // Every cell spec round-trips through Scenario::parse, and the
+        // sweep grammar through its own spec string.
+        for cell in &cells {
+            assert_eq!(&Scenario::parse(&cell.spec_string()).unwrap(), cell);
+        }
+        assert_eq!(SweepSpec::parse(&sweep.spec_string()).unwrap(), sweep);
+        // A default (all-healthy) axis emits no faults clause.
+        assert!(!small().spec_string().contains("faults"));
+        // Malformed fault tokens are parse errors; out-of-range rates and
+        // an emptied axis surface at expansion.
+        assert!(SweepSpec::parse("topo=mesh:4 load=rho:0.2 faults=warp:1").is_err());
+        let bad_rate = SweepSpec::parse("topo=mesh:4 load=rho:0.2 faults=links:2.0").unwrap();
+        assert!(matches!(bad_rate.expand(), Err(SweepError::InvalidCell(_))));
+        assert!(matches!(
+            small().faults(Vec::new()).expand(),
+            Err(SweepError::EmptyAxis(_))
+        ));
+    }
+
+    #[test]
+    fn healthy_cell_seeds_are_unchanged_by_the_faults_axis_default() {
+        // `faults` defaults to `[None]`, which must leave every pre-fault
+        // cell spec string — and therefore every derived seed — untouched.
+        let cells = small().expand().unwrap();
+        for cell in &cells {
+            assert!(
+                !cell.spec_string().contains("faults"),
+                "{}",
+                cell.spec_string()
+            );
+        }
     }
 
     #[test]

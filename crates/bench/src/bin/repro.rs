@@ -40,7 +40,10 @@
 use meshbound::experiments::{extensions, fig1, fig2, table1, table2, table3, Scale};
 use meshbound::queueing::load::{mesh_stability_threshold, optimal_stability_threshold};
 use meshbound::sweep::{run_cells, run_sweep, Jobs};
-use meshbound::{BoundsReport, EngineSpec, Load, Scenario, SweepSpec};
+use meshbound::{
+    set_progress_sink, BoundsReport, EngineSpec, Load, ProbeSpec, Scenario, SweepSpec,
+};
+use std::io::IsTerminal;
 use std::process::ExitCode;
 
 const ARTIFACTS: &[&str] = &[
@@ -69,7 +72,9 @@ fn usage() -> String {
         "usage: repro [--quick] [{}]\n\
          \x20      repro [--quick] [--engine auto|heap|calendar|sharded:<N>] scenario <spec> [<spec>…]\n\
          \x20      repro [--quick] [--shards N] scenario <spec> [<spec>…]\n\
-         \x20      repro [--quick] [--engine E] sweep <spec> [--out FILE] [--jobs N] [--check]\n\
+         \x20      repro [--progress] [--telemetry FILE] scenario <spec>\n\
+         \x20      repro [--progress] timeline <spec> [<spec>…]\n\
+         \x20      repro [--quick] [--engine E] [--progress] sweep <spec> [--out FILE] [--jobs N] [--check]\n\
          \n\
          scenario specs look like `torus:8,util=0.9,horizon=5000`,\n\
          `mesh:8,traffic=transpose,util=0.5` or (quoted, whitespace and\n\
@@ -98,12 +103,22 @@ fn usage() -> String {
          --engine sharded:N, the conservative parallel engine (N >= 2\n\
          needs service=det).\n\
          \n\
+         probes=<series>[@<dt>] turns on telemetry: deterministic\n\
+         sim-clock sampling of nsys, maxq, drops, delivered and/or\n\
+         shards (or all; none = off, the default) onto a bounded\n\
+         flight-recorder buffer. `repro timeline <spec>` runs a spec\n\
+         (defaulting probes=all) and prints each series as an ASCII\n\
+         trajectory; `--telemetry FILE` writes the probed scenario's\n\
+         meshbound.telemetry/v1 JSON report; `--progress` streams a\n\
+         probe-tick progress line to stderr (TTY only).\n\
+         \n\
          sweep specs are either table1|table2|table3 (the paper grids at\n\
          the current scale) or an axis grammar like\n\
          `topo=mesh:5|torus:8 load=rho:0.2|rho:0.8\n\
          traffic=uniform|transpose reps=2 seed=7 horizon=auto:1500:12000`\n\
          (axes: topo, load, router, traffic, faults, engine; shared\n\
-         knobs: src, service, reps, seed, horizon, warmup, saturated).",
+         knobs: src, service, reps, seed, horizon, warmup, saturated,\n\
+         probes).",
         ARTIFACTS.join("|")
     )
 }
@@ -148,8 +163,67 @@ fn extract_shards(args: &mut Vec<String>) -> Result<Option<EngineSpec>, String> 
     Ok(Some(EngineSpec::Sharded { shards }))
 }
 
+/// Extracts a `--telemetry <path>` flag from `args` — the output file for
+/// the probed scenario's `meshbound.telemetry/v1` JSON report.
+fn extract_telemetry(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--telemetry") else {
+        return Ok(None);
+    };
+    let Some(path) = args.get(pos + 1).cloned() else {
+        return Err("`--telemetry` needs a file path".into());
+    };
+    args.drain(pos..=pos + 1);
+    if args.iter().any(|a| a == "--telemetry") {
+        return Err("`--telemetry` given twice".into());
+    }
+    Ok(Some(path))
+}
+
+/// Extracts a boolean `--progress` flag from `args`.
+fn extract_progress(args: &mut Vec<String>) -> bool {
+    let before = args.len();
+    args.retain(|a| a != "--progress");
+    args.len() != before
+}
+
+/// Installs a stderr progress line fed by the telemetry probe ticks of the
+/// next run: percentage of the sim horizon, events processed, and events
+/// per wall-clock second. No-op (returns false) when stderr is not a TTY —
+/// redirected logs never fill with carriage returns.
+fn install_progress() -> bool {
+    if !std::io::stderr().is_terminal() {
+        return false;
+    }
+    let start = std::time::Instant::now();
+    set_progress_sink(Some(std::sync::Arc::new(move |now, horizon, events| {
+        let pct = (100.0 * now / horizon).min(100.0);
+        let secs = start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 {
+            events as f64 / secs
+        } else {
+            0.0
+        };
+        eprint!(
+            "\r  {pct:5.1}%  t={now:.0}/{horizon:.0}  {events} events  {:.0}k ev/s   ",
+            rate / 1e3
+        );
+    })));
+    true
+}
+
+/// Clears the progress sink and wipes the stderr line it was drawing.
+fn clear_progress() {
+    set_progress_sink(None);
+    eprint!("\r{:78}\r", "");
+}
+
 /// The `repro sweep` subcommand.
-fn sweep_command(args: &[String], mut quick: bool, engine: Option<EngineSpec>) -> ExitCode {
+fn sweep_command(
+    args: &[String],
+    mut quick: bool,
+    engine: Option<EngineSpec>,
+    progress: bool,
+) -> ExitCode {
     let mut spec: Option<&str> = None;
     let mut out: Option<&str> = None;
     let mut jobs: usize = 0; // 0 = the full Rayon pool
@@ -200,6 +274,9 @@ fn sweep_command(args: &[String], mut quick: bool, engine: Option<EngineSpec>) -
             None => cells,
         }
     };
+    // Live progress rides the telemetry probe ticks of probed cells — a
+    // sweep without a `probes=` clause has no ticks and stays silent.
+    let live = progress && install_progress();
     let report = match spec {
         "table1" => run_cells(
             "table1",
@@ -230,6 +307,9 @@ fn sweep_command(args: &[String], mut quick: bool, engine: Option<EngineSpec>) -
             }
         }
     };
+    if live {
+        clear_progress();
+    }
     print!("{}", report.to_text());
     if let Some(path) = out {
         if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
@@ -261,16 +341,33 @@ fn main() -> ExitCode {
         }
         (Ok(engine), Ok(shards)) => engine.or(shards),
     };
+    let progress = extract_progress(&mut args);
+    let telemetry_out = match extract_telemetry(&mut args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("repro: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
     // The sweep subcommand has its own flags (`--out`, `--jobs`, `--check`)
     // and is handled separately; only `--quick` may precede it.
     if let Some(pos) = args.iter().position(|a| a == "sweep") {
         if args[..pos].iter().all(|a| a == "--quick") {
+            if telemetry_out.is_some() {
+                eprintln!(
+                    "repro: `--telemetry` applies to the scenario and timeline \
+                     commands — `sweep` writes its report with `--out`\n{}",
+                    usage()
+                );
+                return ExitCode::from(2);
+            }
             // The guard admits only `--quick` prefixes, so any prefix at
             // all means quick mode.
-            return sweep_command(&args[pos + 1..], pos > 0, engine);
+            return sweep_command(&args[pos + 1..], pos > 0, engine, progress);
         }
     }
     let mut quick = false;
+    let mut timeline = false;
     let mut what: Vec<&str> = Vec::new();
     let mut specs: Vec<&str> = Vec::new();
     let mut expecting_specs = false;
@@ -286,6 +383,10 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
             "scenario" if !expecting_specs => expecting_specs = true,
+            "timeline" if !expecting_specs => {
+                expecting_specs = true;
+                timeline = true;
+            }
             name if expecting_specs => specs.push(name),
             name if ARTIFACTS.contains(&name) => what.push(name),
             name => {
@@ -295,7 +396,11 @@ fn main() -> ExitCode {
         }
     }
     if expecting_specs && specs.is_empty() {
-        eprintln!("repro: `scenario` needs at least one spec\n{}", usage());
+        eprintln!(
+            "repro: `{}` needs at least one spec\n{}",
+            if timeline { "timeline" } else { "scenario" },
+            usage()
+        );
         return ExitCode::from(2);
     }
 
@@ -308,16 +413,44 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    if (telemetry_out.is_some() || progress) && !expecting_specs {
+        eprintln!(
+            "repro: `--telemetry`/`--progress` apply to the scenario, timeline \
+             and sweep commands\n{}",
+            usage()
+        );
+        return ExitCode::from(2);
+    }
+    if telemetry_out.is_some() && specs.len() != 1 {
+        eprintln!(
+            "repro: `--telemetry` writes one report — give exactly one spec\n{}",
+            usage()
+        );
+        return ExitCode::from(2);
+    }
 
     // Parse every spec before running any, so a typo in the last spec
     // cannot waste the minutes the first ones take.
     let mut scenarios = Vec::new();
     for spec in specs {
         match Scenario::parse(spec) {
-            Ok(sc) => scenarios.push(match engine {
-                Some(e) => sc.engine(e),
-                None => sc,
-            }),
+            Ok(sc) => {
+                let mut sc = match engine {
+                    Some(e) => sc.engine(e),
+                    None => sc,
+                };
+                // `timeline` and `--telemetry` need series to report;
+                // `--progress` needs ticks to fire. A spec that already
+                // says `probes=` keeps its own selection.
+                if sc.probes.is_none() {
+                    if timeline || telemetry_out.is_some() {
+                        sc = sc.probes(ProbeSpec::parse_token("all").unwrap().unwrap());
+                    } else if progress {
+                        sc = sc.probes(ProbeSpec::parse_token("nsys").unwrap().unwrap());
+                    }
+                }
+                scenarios.push(sc);
+            }
             Err(e) => {
                 eprintln!("repro: {e}\n{}", usage());
                 return ExitCode::from(2);
@@ -325,8 +458,31 @@ fn main() -> ExitCode {
         }
     }
     for sc in &scenarios {
-        if let Err(code) = run_scenario(sc) {
-            return code;
+        let live = progress && install_progress();
+        let ran = run_scenario(sc);
+        if live {
+            clear_progress();
+        }
+        let res = match ran {
+            Ok(res) => res,
+            Err(code) => return code,
+        };
+        if timeline {
+            match &res.telemetry {
+                Some(tel) => print!("{}", tel.render_timeline()),
+                None => println!("  (no telemetry: spec says probes=none)"),
+            }
+        }
+        if let Some(path) = &telemetry_out {
+            let Some(tel) = &res.telemetry else {
+                eprintln!("repro: `--telemetry` needs probes — spec says probes=none");
+                return ExitCode::from(2);
+            };
+            if let Err(e) = std::fs::write(path, tel.to_json_pretty()) {
+                eprintln!("repro: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
         }
     }
 
@@ -430,10 +586,11 @@ fn main() -> ExitCode {
 }
 
 /// Simulates one parsed scenario and prints the analytic report next to
-/// the measured delay. A mid-simulation failure is a structured
-/// single-line error on stderr and a nonzero exit — never a panic
-/// backtrace.
-fn run_scenario(sc: &Scenario) -> Result<(), ExitCode> {
+/// the measured delay, returning the full result (the `timeline` and
+/// `--telemetry` paths read its telemetry). A mid-simulation failure is a
+/// structured single-line error on stderr and a nonzero exit — never a
+/// panic backtrace.
+fn run_scenario(sc: &Scenario) -> Result<meshbound::sim::SimResult, ExitCode> {
     println!("scenario: {}", sc.spec_string());
     print!("{}", BoundsReport::compute_for(sc).to_text());
     let res = match sc.try_run() {
@@ -465,5 +622,5 @@ fn run_scenario(sc: &Scenario) -> Result<(), ExitCode> {
         res.events_processed,
         res.events_per_sec / 1e3
     );
-    Ok(())
+    Ok(res)
 }

@@ -69,9 +69,9 @@ pub mod sweep;
 
 pub use meshbound_queueing::load::Load;
 pub use meshbound_sim::{
-    DropCause, DropCounts, EngineSpec, FaultSpec, HorizonPolicy, PatternSpec, PermutationKind,
-    RouterSpec, Scenario, ScenarioError, SourceSpec, SweepError, SweepSpec, TopologySpec,
-    TrafficSpec,
+    set_progress_sink, DropCause, DropCounts, EngineSpec, FaultSpec, HorizonPolicy, PatternSpec,
+    PermutationKind, ProbeSpec, ProgressFn, RouterSpec, Scenario, ScenarioError, SourceSpec,
+    SweepError, SweepSpec, TelemetryReport, TopologySpec, TrafficSpec, TELEMETRY_SCHEMA,
 };
 pub use report::{BoundsReport, DegradationReport};
 pub use sweep::{run_cells, run_sweep, BoundsCheck, Jobs, SweepCellReport, SweepReport};

@@ -26,7 +26,7 @@
 //! [`SweepReport::without_timings`] before comparing reports.
 
 use crate::report::BoundsReport;
-use meshbound_sim::{DropCounts, FaultSpec, Scenario, SweepError, SweepSpec};
+use meshbound_sim::{DropCounts, FaultSpec, Scenario, SweepError, SweepSpec, TelemetryReport};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -39,8 +39,12 @@ use std::time::Instant;
 /// `events_per_sec` over `sim_s` alone; v5 added the per-cell `router`
 /// label alongside the `router=` sweep axis; v6 added the per-cell
 /// `faults` label, the `delivered_fraction`/`dropped` drop accounting,
-/// and the `degradation` section inside each cell's bounds report.
-pub const SCHEMA: &str = "meshbound.sweep/v6";
+/// and the `degradation` section inside each cell's bounds report; v7
+/// added the shared `probes=` telemetry clause and the optional per-cell
+/// `telemetry` flight-recorder report (schema `meshbound.telemetry/v1`) —
+/// unprobed sweeps serialize byte-identically to v6 apart from this
+/// schema tag.
+pub const SCHEMA: &str = "meshbound.sweep/v7";
 
 /// Tolerance for judging a simulated mean delay against analytic bounds.
 ///
@@ -103,7 +107,12 @@ impl Jobs {
 
 /// One executed sweep cell: the scenario, its simulated statistics, the
 /// matching analytic bounds and the verdict.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Serialize` is hand-written (field order matches declaration order,
+/// like the derive) so the optional `telemetry` section is omitted —
+/// rather than emitted as `null` — when the cell ran without probes,
+/// keeping unprobed report JSON byte-identical to schema v6.
+#[derive(Debug, Clone, Deserialize)]
 pub struct SweepCellReport {
     /// The cell's full scenario spec string (round-trips through
     /// `Scenario::parse`).
@@ -175,6 +184,46 @@ pub struct SweepCellReport {
     pub sim_s: f64,
     /// Wall-clock seconds this cell took (simulation + bounds).
     pub wall_s: f64,
+    /// Flight-recorder telemetry of the cell's first replication, when
+    /// the sweep's `probes=` clause was set (schema
+    /// `meshbound.telemetry/v1`). Omitted from the JSON entirely when
+    /// absent.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+impl Serialize for SweepCellReport {
+    fn serialize(&self, w: &mut serde::json::Writer) {
+        w.begin_object();
+        w.field("spec", &self.spec);
+        w.field("label", &self.label);
+        w.field("traffic", &self.traffic);
+        w.field("router", &self.router);
+        w.field("faults", &self.faults);
+        w.field("scenario", &self.scenario);
+        w.field("reps", &self.reps);
+        w.field("delay_mean", &self.delay_mean);
+        w.field("delay_half_width", &self.delay_half_width);
+        w.field("time_avg_n", &self.time_avg_n);
+        w.field("r_ratio", &self.r_ratio);
+        w.field("rs_ratio", &self.rs_ratio);
+        w.field("throughput", &self.throughput);
+        w.field("generated", &self.generated);
+        w.field("completed", &self.completed);
+        w.field("delivered_fraction", &self.delivered_fraction);
+        w.field("dropped", &self.dropped);
+        w.field("events_processed", &self.events_processed);
+        w.field("events_per_sec", &self.events_per_sec);
+        w.field("bounds", &self.bounds);
+        w.field("within_bounds", &self.within_bounds);
+        w.field("upper_bound_finite", &self.upper_bound_finite);
+        w.field("setup_s", &self.setup_s);
+        w.field("sim_s", &self.sim_s);
+        w.field("wall_s", &self.wall_s);
+        if let Some(telemetry) = &self.telemetry {
+            w.field("telemetry", telemetry);
+        }
+        w.end_object();
+    }
 }
 
 /// A complete executed sweep: header, per-cell results, timing roll-up.
@@ -414,6 +463,10 @@ fn run_cell(sc: &Scenario, reps: usize, check: BoundsCheck) -> SweepCellReport {
         setup_s,
         sim_s,
         wall_s: t0.elapsed().as_secs_f64(),
+        // One representative trajectory per cell: replications share the
+        // cell's physics, so the first run's flight recorder stands for
+        // the cell without multiplying report size by `reps`.
+        telemetry: rep.runs.first().and_then(|r| r.telemetry.clone()),
     }
 }
 
@@ -565,6 +618,39 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"faults\":\"links:0.1\""));
         assert!(json.contains("\"degradation\":{"));
+    }
+
+    #[test]
+    fn probed_sweeps_attach_telemetry_without_perturbing_results() {
+        let base = "topo=mesh:4 load=rho:0.2 horizon=400 warmup=40";
+        let plain = run_sweep(&SweepSpec::parse(base).unwrap(), Jobs::Sequential).unwrap();
+        let probed = run_sweep(
+            &SweepSpec::parse(&format!("{base} probes=nsys,shards")).unwrap(),
+            Jobs::Sequential,
+        )
+        .unwrap();
+        // An unprobed report carries no telemetry key at all — the v7
+        // JSON is byte-identical to v6 apart from the schema tag.
+        let plain_json = plain.to_json();
+        assert!(!plain_json.contains("telemetry"));
+        assert!(plain_json.starts_with("{\"schema\":\"meshbound.sweep/v7\""));
+        assert!(plain.cells[0].telemetry.is_none());
+        // The probed twin shares the cell seed and every simulated number
+        // bit for bit; only the telemetry section differs.
+        let (a, b) = (&plain.cells[0], &probed.cells[0]);
+        assert_eq!(a.scenario.seed, b.scenario.seed);
+        assert_eq!(a.delay_mean.to_bits(), b.delay_mean.to_bits());
+        assert_eq!(a.time_avg_n.to_bits(), b.time_avg_n.to_bits());
+        assert_eq!(a.events_processed, b.events_processed);
+        let telemetry = b
+            .telemetry
+            .as_ref()
+            .expect("probed cell lost its telemetry");
+        assert_eq!(telemetry.schema, meshbound_sim::TELEMETRY_SCHEMA);
+        let names: Vec<&str> = telemetry.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["nsys", "shard0:events", "shard0:qmass"]);
+        assert!(telemetry.series.iter().all(|s| !s.samples.is_empty()));
+        assert!(probed.to_json().contains("\"telemetry\":{\"schema\":"));
     }
 
     #[test]

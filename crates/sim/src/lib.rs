@@ -56,6 +56,7 @@ pub mod scenario;
 pub mod service;
 pub mod shard;
 pub mod sweep;
+pub mod telemetry;
 pub mod traffic;
 
 pub use engine::EngineSpec;
@@ -67,4 +68,7 @@ pub use runner::ReplicatedResult;
 pub use scenario::{RouterSpec, Scenario, ScenarioError, TopologySpec};
 pub use service::ServiceKind;
 pub use sweep::{HorizonPolicy, SweepError, SweepSpec};
+pub use telemetry::{
+    set_progress_sink, ProbeSpec, ProgressFn, SeriesReport, TelemetryReport, TELEMETRY_SCHEMA,
+};
 pub use traffic::{PatternSpec, SourceSpec, TrafficSpec};

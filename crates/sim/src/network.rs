@@ -34,6 +34,7 @@ use crate::fault::{ttl_budget, DropCause, DropCounts, FaultPlan};
 use crate::observer::Observer;
 use crate::rng::{derive_rng, exp_sample, poisson_sample};
 use crate::service::ServiceKind;
+use crate::telemetry::{ProbeSample, ProbeSpec, Recorder, TelemetryReport};
 use meshbound_routing::dest::DestSampler;
 use meshbound_routing::{LocalView, RouteOutcome, RouteTable, Router, ZeroView};
 use meshbound_topology::{EdgeId, NodeId, Topology};
@@ -68,6 +69,12 @@ pub struct NetConfig {
     /// are larger" diagnostic). Adds one integrator update per enqueue and
     /// dequeue.
     pub track_edge_queues: bool,
+    /// Telemetry probes: which time series to sample at deterministic
+    /// sim-clock ticks. `None` (the default) schedules no probe events
+    /// and leaves every result field bit-identical to a pre-telemetry
+    /// build; `Some` attaches a [`TelemetryReport`] without perturbing
+    /// any other field — probes read engine state but never mutate it.
+    pub probes: Option<ProbeSpec>,
     /// Hot-path engine selection (event queue + routing tables). All
     /// engines produce bit-identical results.
     pub engine: EngineSpec,
@@ -86,6 +93,7 @@ impl Default for NetConfig {
             sample_every: None,
             delay_quantiles: false,
             track_edge_queues: false,
+            probes: None,
             engine: EngineSpec::Auto,
         }
     }
@@ -162,6 +170,10 @@ pub struct SimResult {
     /// Per-edge time-averaged queue length (including the packet in
     /// service), when `track_edge_queues` was enabled.
     pub edge_mean_queue: Option<Vec<f64>>,
+    /// Flight-recorder telemetry, when [`NetConfig::probes`] was set.
+    /// Purely additive: every other field is bit-identical to the same
+    /// run with probes off.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Streaming cross-edge summary of per-edge service throughput, computed
@@ -258,6 +270,11 @@ enum Ev {
     /// when a plan is installed, so fault-free runs process the exact
     /// pre-fault event sequence.
     Fault(u32),
+    /// Telemetry probe tick. Scheduled only when probes are configured;
+    /// the handler reads engine state, draws no randomness and mutates
+    /// nothing, and its event count is subtracted at result assembly, so
+    /// probed runs stay bit-identical to unprobed ones.
+    Probe,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -663,6 +680,14 @@ where
                 queue.schedule(fe.time, Ev::Fault(k as u32));
             }
         }
+        // Probe priming comes last so `probes=None` leaves the schedule
+        // call sequence — and hence every event sequence number — exactly
+        // as a pre-telemetry build produced it.
+        let mut recorder = cfg.probes.as_ref().map(|spec| {
+            let rec = Recorder::new(spec, cfg.horizon);
+            queue.schedule(rec.base(), Ev::Probe);
+            rec
+        });
 
         let mut events_processed: u64 = 0;
         let mut now;
@@ -919,10 +944,43 @@ where
                         }
                     }
                 }
+                Ev::Probe => {
+                    let rec = recorder.as_mut().expect("probe event without recorder");
+                    let spec = *rec.spec();
+                    let mut sample = ProbeSample {
+                        nsys: obs.n_sys.value(),
+                        drops: obs.dropped.total() as f64,
+                        delivered: obs.completed as f64,
+                        // Engine events excluding probe ticks: this event
+                        // is already counted and `rec.ticks()` holds the
+                        // prior ones, so the series matches what a
+                        // probes-off run would have counted at `now`.
+                        events: (events_processed - rec.ticks() - 1) as f64,
+                        ..ProbeSample::default()
+                    };
+                    if spec.maxq || spec.shards {
+                        let mut maxq = 0u32;
+                        let mut qmass = 0u64;
+                        for e in &edges {
+                            maxq = maxq.max(e.qlen);
+                            qmass += u64::from(e.qlen);
+                        }
+                        sample.maxq = f64::from(maxq);
+                        sample.qmass = qmass as f64;
+                    }
+                    rec.record(now, &sample);
+                    crate::telemetry::emit_progress(now, cfg.horizon, sample.events as u64);
+                    queue.schedule(now + rec.interval(), Ev::Probe);
+                }
             }
         }
 
-        // Close the integrals at the horizon.
+        // Close the integrals at the horizon. Probe ticks ride the event
+        // list but are not engine work: subtracting them keeps
+        // `events_processed` bit-identical to a probes-off run.
+        if let Some(rec) = &recorder {
+            events_processed -= rec.ticks();
+        }
         let measure_time = (cfg.horizon - cfg.warmup).max(f64::MIN_POSITIVE);
         let time_avg_n = obs.n_sys.integral(cfg.horizon) / measure_time;
         let time_avg_r = obs.r_total.integral(cfg.horizon) / measure_time;
@@ -997,7 +1055,8 @@ where
                     })
                     .collect()
             }),
-            n_samples: obs.n_samples,
+            n_samples: obs.n_samples.into_samples(),
+            telemetry: recorder.map(Recorder::into_report),
         })
     }
 

@@ -40,6 +40,7 @@ use crate::network::{NetConfig, NetworkSim, SimError, SimResult};
 use crate::rng::splitmix64;
 use crate::runner::ReplicatedResult;
 use crate::service::ServiceKind;
+use crate::telemetry::ProbeSpec;
 use crate::traffic::{PatternSpec, SourceSpec, TrafficSpec};
 use meshbound_queueing::load::Load;
 use meshbound_queueing::remaining::saturated_edges;
@@ -540,7 +541,7 @@ pub(crate) fn default_horizon_for(topology: &TopologySpec) -> (f64, f64) {
 /// [`Scenario::run_replicated`] runs independent replications in parallel,
 /// and `meshbound::BoundsReport::compute_for` reports every closed-form
 /// bound available at its operating point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct Scenario {
     /// Network family and size.
     pub topology: TopologySpec,
@@ -582,9 +583,45 @@ pub struct Scenario {
     /// `None` keeps the healthy fast path bit-identical to pre-fault
     /// builds.
     pub faults: Option<FaultSpec>,
+    /// Optional telemetry probes ([`ProbeSpec`]): deterministic
+    /// sim-clock time-series sampling with flight-recorder storage.
+    /// Probes never perturb results — `None` (the default) schedules no
+    /// probe events at all, and probed runs are bit-identical to
+    /// unprobed ones apart from the attached report.
+    pub probes: Option<ProbeSpec>,
     /// Hot-path engine ([`EngineSpec::Auto`] by default). Engines only
     /// move wall-clock time; results are bit-identical across them.
     pub engine: EngineSpec,
+}
+
+// Hand-written (field-for-field identical to the derive) so the `probes`
+// key appears only when probes are on: pre-telemetry consumers of sweep
+// JSON see byte-identical `scenario` objects for unprobed cells.
+impl Serialize for Scenario {
+    fn serialize(&self, w: &mut serde::json::Writer) {
+        w.begin_object();
+        w.field("topology", &self.topology);
+        w.field("router", &self.router);
+        w.field("traffic", &self.traffic);
+        w.field("load", &self.load);
+        w.field("horizon", &self.horizon);
+        w.field("warmup", &self.warmup);
+        w.field("seed", &self.seed);
+        w.field("service", &self.service);
+        w.field("include_self_packets", &self.include_self_packets);
+        w.field("track_saturated", &self.track_saturated);
+        w.field("service_rates", &self.service_rates);
+        w.field("slot", &self.slot);
+        w.field("sample_every", &self.sample_every);
+        w.field("delay_quantiles", &self.delay_quantiles);
+        w.field("track_edge_queues", &self.track_edge_queues);
+        w.field("faults", &self.faults);
+        if let Some(probes) = &self.probes {
+            w.field("probes", probes);
+        }
+        w.field("engine", &self.engine);
+        w.end_object();
+    }
 }
 
 impl Scenario {
@@ -613,6 +650,7 @@ impl Scenario {
             delay_quantiles: false,
             track_edge_queues: false,
             faults: None,
+            probes: None,
             engine: EngineSpec::Auto,
         }
     }
@@ -774,6 +812,16 @@ impl Scenario {
     #[must_use]
     pub fn faults(mut self, faults: FaultSpec) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Turns on telemetry probes (see [`ProbeSpec`]). Probes sample
+    /// deterministic sim-clock series into a flight recorder and attach a
+    /// [`crate::telemetry::TelemetryReport`] to the result; they never
+    /// change the simulation's outcome.
+    #[must_use]
+    pub fn probes(mut self, probes: ProbeSpec) -> Self {
+        self.probes = Some(probes);
         self
     }
 
@@ -1410,6 +1458,11 @@ impl Scenario {
                 return bad(e);
             }
         }
+        if let Some(probes) = &self.probes {
+            if let Err(e) = probes.check() {
+                return bad(e);
+            }
+        }
         if let Some(rates) = &self.service_rates {
             if rates.len() != self.topology.num_edges() {
                 return bad(format!(
@@ -1609,6 +1662,7 @@ impl Scenario {
             sample_every: self.sample_every,
             delay_quantiles: self.delay_quantiles,
             track_edge_queues: self.track_edge_queues,
+            probes: self.probes,
             engine: self.engine,
         }
     }
@@ -1672,8 +1726,11 @@ impl Scenario {
     /// `load=lambda:<v>|rho:<v>|util:<v>`), and `horizon=`, `warmup=`,
     /// `seed=`, `service=det|exp`, `slot=`, `sample=`, `self=`,
     /// `saturated=`, `quantiles=`, `queues=` (booleans take
-    /// `true`/`false`), `engine=auto|heap|calendar|sharded:<N>` and
-    /// `shards=<N>` (shorthand for the sharded engine). Per-edge
+    /// `true`/`false`), `faults=…|none`,
+    /// `probes=<series>[,<series>…][@<dt>]|none` (series from `nsys`,
+    /// `maxq`, `drops`, `delivered`, `shards` — see
+    /// [`ProbeSpec::parse_token`]), `engine=auto|heap|calendar|sharded:<N>`
+    /// and `shards=<N>` (shorthand for the sharded engine). Per-edge
     /// `service_rates`, per-source rate vectors and traffic matrices have
     /// no spec syntax — set them on the builder.
     ///
@@ -1683,11 +1740,33 @@ impl Scenario {
     /// [`ScenarioError::Unsupported`] when the parsed combination fails
     /// [`Scenario::validate`].
     pub fn parse(spec: &str) -> Result<Self, ScenarioError> {
-        let mut parts = spec
+        let mut raw = spec
             .split(|c: char| c == ',' || c.is_whitespace())
             .filter(|p| !p.is_empty());
-        let head = parts.next().unwrap_or_default().trim();
+        let head = raw.next().unwrap_or_default().trim();
         let mut sc = Scenario::new(TopologySpec::parse_head(head)?);
+        // `probes=` is the one clause whose value is itself
+        // comma-joined (`probes=nsys,maxq`), so the comma split above
+        // fragments it. Re-attach any `=`-less fragment to a directly
+        // preceding `probes=` part; everywhere else a part without `=`
+        // stays a parse error.
+        let mut parts: Vec<String> = Vec::new();
+        for part in raw {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if !part.contains('=') {
+                if let Some(prev) = parts.last_mut() {
+                    if prev.starts_with("probes=") {
+                        prev.push(',');
+                        prev.push_str(part);
+                        continue;
+                    }
+                }
+            }
+            parts.push(part.to_string());
+        }
         let mut load_seen = false;
         let f64_of = |key: &str, v: &str| -> Result<f64, ScenarioError> {
             v.parse::<f64>()
@@ -1702,11 +1781,8 @@ impl Scenario {
                 ))),
             }
         };
-        for part in parts {
-            let part = part.trim();
-            if part.is_empty() {
-                continue;
-            }
+        for part in &parts {
+            let part = part.as_str();
             let (key, value) = part.split_once('=').ok_or_else(|| {
                 ScenarioError::parse(format!("expected `key=value`, got `{part}`"))
             })?;
@@ -1794,6 +1870,9 @@ impl Scenario {
                 "faults" => {
                     sc.faults = FaultSpec::parse_token(value).map_err(ScenarioError::parse)?;
                 }
+                "probes" => {
+                    sc.probes = ProbeSpec::parse_token(value).map_err(ScenarioError::parse)?;
+                }
                 "engine" => {
                     sc.engine = EngineSpec::parse_str(value).map_err(ScenarioError::parse)?
                 }
@@ -1880,6 +1959,9 @@ impl Scenario {
         }
         if let Some(faults) = &self.faults {
             s.push_str(&format!(",faults={}", faults.spec_token()));
+        }
+        if let Some(probes) = &self.probes {
+            s.push_str(&format!(",probes={}", probes.spec_token()));
         }
         match self.engine {
             EngineSpec::Auto => {}

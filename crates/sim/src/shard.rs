@@ -66,6 +66,7 @@ use crate::network::{
 use crate::observer::Observer;
 use crate::rng::{derive_rng, exp_sample, poisson_sample};
 use crate::service::ServiceKind;
+use crate::telemetry::{ProbeSample, Recorder};
 use meshbound_routing::dest::DestSampler;
 use meshbound_routing::{LocalView, RouteOutcome, Router};
 use meshbound_stats::{Reservoir, Welford};
@@ -130,6 +131,12 @@ enum SEv {
     /// replays the full (global) timeline so the shared liveness mask
     /// agrees everywhere; only the owning shard flushes an edge's queue.
     Fault(u32),
+    /// Telemetry probe tick. Every shard runs the identical tick
+    /// schedule (same base interval, same decimation — decimation is a
+    /// pure function of tick count), so per-shard recorders merge
+    /// sample-by-sample after the join. Scheduled only when probes are
+    /// configured; the handler reads shard state and mutates nothing.
+    Probe,
 }
 
 /// What one shard thread returns: its observer, its event count, and its
@@ -138,6 +145,8 @@ struct ShardOut {
     obs: Observer,
     events: u64,
     queue_integrals: Option<Vec<f64>>,
+    /// This shard's telemetry recorder, when probes are configured.
+    recorder: Option<Recorder>,
 }
 
 /// A shard's mutable world. Everything in here is owned by exactly one
@@ -688,6 +697,13 @@ where
             local.queue.schedule(fe.time, SEv::Fault(fk as u32));
         }
     }
+    // Probe priming comes last so `probes=None` leaves the schedule call
+    // sequence exactly as a pre-telemetry build produced it.
+    let mut recorder = cfg.probes.as_ref().map(|spec| {
+        let rec = Recorder::for_shard(spec, cfg.horizon, me);
+        local.queue.schedule(rec.base(), SEv::Probe);
+        rec
+    });
 
     // `Arrival` carries the *global* source index (so rates stay
     // positional); map it back to the packed list position only for
@@ -695,6 +711,7 @@ where
     let node_of = |gi: u32| sim.sources[gi as usize];
 
     let mut events: u64 = 0;
+    let mut cut_handoffs: u64 = 0;
     'run: for (wi, &cutoff) in windows.iter().enumerate() {
         let last = wi + 1 == windows.len();
         while let Some((t, ev)) = local.queue.next() {
@@ -767,6 +784,7 @@ where
                     }
                 }
                 SEv::Handoff(pid) => {
+                    cut_handoffs += 1;
                     let cur = local.hand_node[pid as usize];
                     local.forward(sim, part, now, cur, pid).map_err(Some)?;
                 }
@@ -815,6 +833,38 @@ where
                             }
                         }
                     }
+                }
+                SEv::Probe => {
+                    let rec = recorder.as_mut().expect("probe event without recorder");
+                    let spec = *rec.spec();
+                    let mut sample = ProbeSample {
+                        nsys: local.obs.n_sys.value(),
+                        drops: local.obs.dropped.total() as f64,
+                        delivered: local.obs.completed as f64,
+                        // Engine events excluding probe ticks: this event
+                        // is counted and `rec.ticks()` holds the prior
+                        // ones, matching what a probes-off shard counts.
+                        events: (events - rec.ticks() - 1) as f64,
+                        cut: cut_handoffs as f64,
+                        ..ProbeSample::default()
+                    };
+                    if spec.maxq || spec.shards {
+                        let mut maxq = 0u32;
+                        let mut qmass = 0u64;
+                        for e in &local.edges {
+                            maxq = maxq.max(e.qlen);
+                            qmass += u64::from(e.qlen);
+                        }
+                        sample.maxq = f64::from(maxq);
+                        sample.qmass = qmass as f64;
+                    }
+                    rec.record(now, &sample);
+                    if me == 0 {
+                        // One writer only: shard 0 speaks for the run (its
+                        // event count, the shared clock).
+                        crate::telemetry::emit_progress(now, cfg.horizon, sample.events as u64);
+                    }
+                    local.queue.schedule(now + rec.interval(), SEv::Probe);
                 }
             }
         }
@@ -866,10 +916,16 @@ where
             })
             .collect()
     });
+    // Probe ticks rode this shard's event list but are not engine work:
+    // subtracting keeps the event count bit-identical to probes-off.
+    if let Some(rec) = &recorder {
+        events -= rec.ticks();
+    }
     Ok(ShardOut {
         obs: local.obs,
         events,
         queue_integrals,
+        recorder,
     })
 }
 
@@ -880,7 +936,7 @@ where
 fn merge<T, R, D>(
     sim: &NetworkSim<T, R, D>,
     part: &Partition,
-    outs: Vec<ShardOut>,
+    mut outs: Vec<ShardOut>,
     wall: Instant,
 ) -> SimResult
 where
@@ -890,6 +946,13 @@ where
 {
     let cfg = &sim.cfg;
     let measure_time = (cfg.horizon - cfg.warmup).max(f64::MIN_POSITIVE);
+
+    // Per-shard telemetry recorders merge deterministically in shard
+    // order: all shards ran the identical probe tick schedule, so shared
+    // series combine sample-by-sample (sum/max) and per-shard series
+    // concatenate.
+    let recorders: Vec<Recorder> = outs.iter_mut().filter_map(|o| o.recorder.take()).collect();
+    let telemetry = (!recorders.is_empty()).then(|| Recorder::merge(recorders).into_report());
 
     let mut delay = Welford::new();
     let mut n_integral = 0.0;
@@ -931,20 +994,15 @@ where
     }
     let max_util = edge_busy.iter().cloned().fold(0.0f64, f64::max) / measure_time;
 
-    // `N(t)` sampling ticks fire at identical times on every shard, so the
+    // `N(t)` sampling ticks fire at identical times on every shard, and
+    // the flight-recorder decimation is a pure function of the tick
+    // count, so every shard retains the identical tick set and the
     // trajectories zip elementwise.
-    let mut n_samples = outs[0].obs.n_samples.clone();
+    let mut n_series = outs[0].obs.n_samples.clone();
     for o in &outs[1..] {
-        assert_eq!(
-            o.obs.n_samples.len(),
-            n_samples.len(),
-            "shards disagree on sample ticks"
-        );
-        for (acc, s) in n_samples.iter_mut().zip(&o.obs.n_samples) {
-            debug_assert_eq!(acc.0.to_bits(), s.0.to_bits());
-            acc.1 += s.1;
-        }
+        n_series.combine_values(&o.obs.n_samples, |a, b| a + b);
     }
+    let n_samples = n_series.into_samples();
 
     let quantiles = cfg.delay_quantiles.then(|| {
         let mut merged = Reservoir::new(RESERVOIR_CAPACITY, cfg.seed ^ 0x5EED);
@@ -1031,6 +1089,7 @@ where
         delay_p99: quantiles.as_ref().and_then(|r| r.quantile(0.99)),
         edge_mean_queue,
         n_samples,
+        telemetry,
     }
 }
 

@@ -33,6 +33,7 @@ use crate::scenario::{
     RouterSpec, Scenario, ScenarioError, TopologySpec, DEFAULT_HORIZON, DEFAULT_WARMUP,
 };
 use crate::service::ServiceKind;
+use crate::telemetry::ProbeSpec;
 use crate::traffic::{PatternSpec, SourceSpec};
 use meshbound_queueing::load::Load;
 use serde::{Deserialize, Serialize};
@@ -128,6 +129,12 @@ pub struct SweepSpec {
     ///
     /// [`FaultPlan`]: crate::fault::FaultPlan
     pub faults: Vec<Option<FaultSpec>>,
+    /// Telemetry probes shared by every cell (`probes=` clause; not an
+    /// axis — probes never change the physics, so sweeping them would
+    /// only duplicate cells). `None` (the default) keeps every cell spec
+    /// string, and therefore every derived cell seed, byte-identical to
+    /// a pre-telemetry sweep.
+    pub probes: Option<ProbeSpec>,
     /// Engine axis (defaults to `[Auto]`). Engines produce bit-identical
     /// results and share per-cell seeds, so an `engine=` axis measures
     /// pure wall-clock differences — the perf-ablation use case.
@@ -164,6 +171,7 @@ impl SweepSpec {
             patterns: vec![PatternSpec::Uniform],
             source: SourceSpec::Uniform,
             faults: vec![None],
+            probes: None,
             engines: vec![EngineSpec::Auto],
             service: ServiceKind::Deterministic,
             reps: 1,
@@ -215,6 +223,13 @@ impl SweepSpec {
     #[must_use]
     pub fn faults(mut self, faults: Vec<Option<FaultSpec>>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the shared telemetry probes (`None` turns telemetry off).
+    #[must_use]
+    pub fn probes(mut self, probes: Option<ProbeSpec>) -> Self {
+        self.probes = probes;
         self
     }
 
@@ -329,6 +344,7 @@ impl SweepSpec {
                                     .track_saturated(self.track_saturated)
                                     .engine(engine);
                                 sc.faults = faults.clone();
+                                sc.probes = self.probes;
                                 // First validation catches unsupported
                                 // combinations before `cell_rho` resolves
                                 // the load against them.
@@ -363,20 +379,23 @@ impl SweepSpec {
     /// streams.
     ///
     /// Only the cell's *physical* parameters feed the hash — its `seed`
-    /// field is ignored, and so is its `engine` (engines are bit-identical,
+    /// field is ignored, and so are its `engine` (engines are bit-identical,
     /// so cells differing only in engine share a seed and therefore produce
-    /// identical results: an `engine=` axis is a pure wall-clock ablation).
+    /// identical results: an `engine=` axis is a pure wall-clock ablation)
+    /// and its `probes` (telemetry reads state without perturbing it, so a
+    /// probed sweep replays the exact sample paths of its unprobed twin).
     /// Re-deriving the seed of an already-expanded cell (e.g. one parsed
     /// back out of a sweep report) returns the value
     /// [`SweepSpec::expand`] assigned it.
     #[must_use]
     pub fn cell_seed(&self, cell: &Scenario) -> u64 {
-        // Scenario spec strings omit the seed and engine clauses at their
-        // defaults, so clearing both reproduces the pre-seeding,
-        // engine-free parameter string.
+        // Scenario spec strings omit the seed, engine and probes clauses
+        // at their defaults, so clearing all three reproduces the
+        // pre-seeding, engine-free, telemetry-free parameter string.
         let mut unseeded = cell.clone();
         unseeded.seed = crate::scenario::DEFAULT_SEED;
         unseeded.engine = EngineSpec::Auto;
+        unseeded.probes = None;
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in unseeded.spec_string().bytes() {
             hash ^= u64::from(byte);
@@ -413,6 +432,13 @@ impl SweepSpec {
     ///                                  are bit-identical, `sharded:<N>`
     ///                                  is the conservative parallel
     ///                                  engine)
+    /// probes=nsys,maxq@10              (default none; shared telemetry
+    ///                                  clause, not an axis — a comma-joined
+    ///                                  subset of nsys, maxq, drops,
+    ///                                  delivered, shards (or all) with an
+    ///                                  optional @<dt> interval; probes
+    ///                                  never change simulated results or
+    ///                                  cell seeds)
     /// service=det|exp                  (default det)
     /// reps=2      seed=7               (defaults 1 and 1)
     /// horizon=2000 warmup=200          (fixed policy, the default)
@@ -490,6 +516,9 @@ impl SweepSpec {
                         .into_iter()
                         .map(|item| EngineSpec::parse_str(item).map_err(bad))
                         .collect::<Result<_, _>>()?;
+                }
+                "probes" => {
+                    sweep.probes = ProbeSpec::parse_token(value).map_err(bad)?;
                 }
                 "service" => {
                     sweep.service = match value {
@@ -641,6 +670,9 @@ impl SweepSpec {
                     .collect::<Vec<_>>()
                     .join("|"),
             );
+        }
+        if let Some(probes) = &self.probes {
+            out.push_str(&format!(" probes={}", probes.spec_token()));
         }
         if self.engines != [EngineSpec::Auto] {
             out.push_str(" engine=");
@@ -995,6 +1027,53 @@ mod tests {
                 "{}",
                 cell.spec_string()
             );
+        }
+    }
+
+    #[test]
+    fn probes_clause_expands_and_round_trips() {
+        let sweep = SweepSpec::parse(
+            "topo=mesh:4 load=rho:0.2|rho:0.6 probes=nsys,maxq@10 horizon=400 warmup=40",
+        )
+        .unwrap();
+        let probes = sweep.probes.unwrap();
+        assert!(probes.nsys && probes.maxq && !probes.shards);
+        assert_eq!(probes.every, Some(10.0));
+        // The shared clause reaches every cell, and every cell spec
+        // round-trips through Scenario::parse.
+        let cells = sweep.expand().unwrap();
+        for cell in &cells {
+            assert_eq!(cell.probes, Some(probes));
+            assert!(cell.spec_string().contains("probes=nsys,maxq@10"));
+            assert_eq!(&Scenario::parse(&cell.spec_string()).unwrap(), cell);
+        }
+        // The sweep grammar round-trips through its own spec string.
+        assert_eq!(SweepSpec::parse(&sweep.spec_string()).unwrap(), sweep);
+        // `probes=none` spells the default and emits no clause.
+        let off =
+            SweepSpec::parse("topo=mesh:4 load=rho:0.2|rho:0.6 probes=none horizon=400 warmup=40")
+                .unwrap();
+        assert_eq!(off.probes, None);
+        assert!(!off.spec_string().contains("probes"));
+        // Malformed probe tokens are parse errors.
+        assert!(SweepSpec::parse("topo=mesh:4 load=rho:0.2 probes=speed").is_err());
+        assert!(SweepSpec::parse("topo=mesh:4 load=rho:0.2 probes=nsys@0").is_err());
+    }
+
+    #[test]
+    fn cell_seeds_are_unchanged_by_probes() {
+        // Telemetry never changes the physics, so a probed sweep must
+        // replay the exact sample paths — i.e. the exact cell seeds — of
+        // its unprobed twin, and default cells carry no probes clause.
+        let plain = small().expand().unwrap();
+        let probed = small()
+            .probes(ProbeSpec::parse_token("all").unwrap())
+            .expand()
+            .unwrap();
+        for (a, b) in plain.iter().zip(&probed) {
+            assert_eq!(a.seed, b.seed, "{}", a.spec_string());
+            assert!(!a.spec_string().contains("probes"));
+            assert!(b.spec_string().contains("probes="));
         }
     }
 

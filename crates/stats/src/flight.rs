@@ -1,0 +1,286 @@
+//! Bounded time-series storage with flight-recorder decimation.
+//!
+//! Long simulations want trajectories — `N(t)`, queue mass, drop counts —
+//! but an unbounded `Vec<(t, v)>` grows linearly with the horizon. A
+//! [`DecimatingSeries`] keeps at most `capacity` samples at any horizon:
+//! when the buffer fills it discards every other retained sample in place
+//! and doubles its stride, so the surviving samples always sit at
+//! contiguous multiples of `stride × Δ` for the caller's base interval Δ.
+//! Memory is `O(capacity)` forever; resolution degrades gracefully (by
+//! powers of two) instead of storage growing without bound.
+//!
+//! Decimation is a pure function of the number of samples pushed — never
+//! of the sample *values* or of wall-clock time — so two series fed the
+//! same number of ticks always agree on which ticks they retained. The
+//! sharded simulation engine relies on this to merge per-shard series
+//! sample-by-sample.
+
+/// A fixed-capacity time series that halves its resolution instead of
+/// growing.
+///
+/// Two feeding modes cover the two call sites in the simulator:
+///
+/// * [`DecimatingSeries::record`] stores every call. Use it when the
+///   caller can reschedule its sampling clock at the widened
+///   [`DecimatingSeries::stride`] after an overflow (the telemetry
+///   probes do this, so no work is wasted on samples that would be
+///   discarded).
+/// * [`DecimatingSeries::offer`] counts every call but stores only each
+///   `stride`-th one. Use it when the sampling clock is fixed and cannot
+///   be rescheduled (the observer's `N(t)` sampler fires at a
+///   user-chosen interval that other consumers depend on).
+///
+/// Both modes retain identical tick sets for identical call counts.
+///
+/// # Examples
+///
+/// ```
+/// use meshbound_stats::DecimatingSeries;
+/// let mut s = DecimatingSeries::new(4);
+/// for k in 1..=32 {
+///     s.offer(k as f64, (k * k) as f64);
+/// }
+/// assert!(s.len() <= 4);
+/// assert_eq!(s.stride(), 16);
+/// // The newest sample always survives decimation.
+/// assert_eq!(s.samples().last().unwrap().0, 32.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecimatingSeries {
+    capacity: usize,
+    stride: u64,
+    offered: u64,
+    samples: Vec<(f64, f64)>,
+}
+
+impl DecimatingSeries {
+    /// Creates an empty series holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` or `capacity` is odd (decimation halves
+    /// the buffer in place, which needs an even capacity to keep the
+    /// newest sample).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity >= 2 && capacity.is_multiple_of(2),
+            "DecimatingSeries capacity must be an even number >= 2, got {capacity}"
+        );
+        Self {
+            capacity,
+            stride: 1,
+            offered: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Stores `(t, v)` unconditionally, decimating if the buffer is now
+    /// full. Callers in this mode should re-read [`DecimatingSeries::stride`]
+    /// after each call and schedule their next sample `stride × Δ` ahead.
+    pub fn record(&mut self, t: f64, v: f64) {
+        self.offered += self.stride;
+        self.samples.push((t, v));
+        self.maybe_decimate();
+    }
+
+    /// Counts a sample taken at a fixed base interval, storing only every
+    /// `stride`-th one. Returns `true` when the sample was stored.
+    pub fn offer(&mut self, t: f64, v: f64) -> bool {
+        self.offered += 1;
+        if !self.offered.is_multiple_of(self.stride) {
+            return false;
+        }
+        self.samples.push((t, v));
+        self.maybe_decimate();
+        true
+    }
+
+    /// Drops the 0-based even-index samples and doubles the stride once
+    /// the buffer is full. With samples at ticks `k·s` for `k = 1..=cap`,
+    /// the survivors sit at ticks `2s, 4s, …, cap·s` — contiguous
+    /// multiples of the doubled stride, newest sample included.
+    fn maybe_decimate(&mut self) {
+        if self.samples.len() < self.capacity {
+            return;
+        }
+        let mut keep = 0;
+        for i in (1..self.samples.len()).step_by(2) {
+            self.samples[keep] = self.samples[i];
+            keep += 1;
+        }
+        self.samples.truncate(keep);
+        self.stride *= 2;
+    }
+
+    /// Current stride: the retained samples sit `stride` base intervals
+    /// apart. Always a power of two; 1 until the first decimation.
+    #[must_use]
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Maximum number of samples the series will hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total samples offered or recorded over the series' lifetime (in
+    /// base-interval ticks), independent of how many were retained.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The retained `(time, value)` samples, oldest first.
+    #[must_use]
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Combines this series' values with another series sampled on the
+    /// identical tick schedule: each retained value becomes
+    /// `f(self, other)` at the same tick. The parallel-merge step for
+    /// series tracked independently per shard (sum for counts, max for
+    /// peaks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two series retain different sample counts (they were
+    /// not fed the same tick schedule); debug-asserts the retained tick
+    /// times agree bit-for-bit.
+    pub fn combine_values(&mut self, other: &Self, f: impl Fn(f64, f64) -> f64) {
+        assert_eq!(
+            self.samples.len(),
+            other.samples.len(),
+            "combine_values needs series on the same tick schedule"
+        );
+        for (a, b) in self.samples.iter_mut().zip(&other.samples) {
+            debug_assert_eq!(a.0.to_bits(), b.0.to_bits(), "sample ticks disagree");
+            a.1 = f(a.1, b.1);
+        }
+    }
+
+    /// Consumes the series, returning the retained samples.
+    #[must_use]
+    pub fn into_samples(self) -> Vec<(f64, f64)> {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn odd_capacity_rejected() {
+        let _ = DecimatingSeries::new(3);
+    }
+
+    #[test]
+    fn below_capacity_keeps_everything() {
+        let mut s = DecimatingSeries::new(8);
+        for k in 1..=7u64 {
+            assert!(s.offer(k as f64, k as f64));
+        }
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.stride(), 1);
+        let times: Vec<f64> = s.samples().iter().map(|p| p.0).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn first_decimation_keeps_even_ticks() {
+        let mut s = DecimatingSeries::new(8);
+        for k in 1..=8u64 {
+            s.offer(k as f64, k as f64);
+        }
+        assert_eq!(s.stride(), 2);
+        let times: Vec<f64> = s.samples().iter().map(|p| p.0).collect();
+        assert_eq!(times, vec![2.0, 4.0, 6.0, 8.0]);
+        // The next stored offer is tick 10; tick 9 is skipped.
+        assert!(!s.offer(9.0, 9.0));
+        assert!(s.offer(10.0, 10.0));
+    }
+
+    #[test]
+    fn record_mode_matches_offer_mode_tick_sets() {
+        // Offer mode at base interval 1 vs record mode rescheduling at
+        // the widened stride must retain identical tick sets.
+        let mut offered = DecimatingSeries::new(8);
+        for k in 1..=64u64 {
+            offered.offer(k as f64, 0.0);
+        }
+        let mut recorded = DecimatingSeries::new(8);
+        let mut t = 0u64;
+        while t < 64 {
+            t += recorded.stride();
+            if t <= 64 {
+                recorded.record(t as f64, 0.0);
+            }
+        }
+        let a: Vec<f64> = offered.samples().iter().map(|p| p.0).collect();
+        let b: Vec<f64> = recorded.samples().iter().map(|p| p.0).collect();
+        assert_eq!(a, b);
+        assert_eq!(offered.stride(), recorded.stride());
+    }
+
+    #[test]
+    fn million_offers_stay_bounded() {
+        let mut s = DecimatingSeries::new(64);
+        for k in 1..=1_000_000u64 {
+            s.offer(k as f64, k as f64);
+        }
+        assert!(s.len() <= 64);
+        assert!(s.stride().is_power_of_two());
+        assert_eq!(s.offered(), 1_000_000);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_flight_recorder_invariants(
+            ticks in 1u64..5000,
+            half_cap in 1usize..32,
+        ) {
+            let capacity = 2 * half_cap;
+            let mut s = DecimatingSeries::new(capacity);
+            for k in 1..=ticks {
+                s.offer(k as f64, (k as f64).sin());
+            }
+            // Bounded memory.
+            prop_assert!(s.len() <= capacity);
+            // Stride is a power of two.
+            prop_assert!(s.stride().is_power_of_two());
+            // Retained ticks are contiguous multiples of the stride,
+            // ending at the newest stored tick.
+            let stride = s.stride();
+            let times: Vec<u64> = s.samples().iter().map(|p| p.0 as u64).collect();
+            let last_stored = (ticks / stride) * stride;
+            for (i, &t) in times.iter().rev().enumerate() {
+                prop_assert_eq!(t, last_stored - i as u64 * stride);
+            }
+            // Once at least `stride` ticks have elapsed, something is
+            // retained and the newest retained tick is within one
+            // stride of the latest offer.
+            if ticks >= stride {
+                prop_assert!(!s.is_empty());
+                prop_assert!(ticks - last_stored < stride);
+            }
+        }
+    }
+}

@@ -109,6 +109,26 @@ impl TimeWeighted {
         self.start_time = now;
         self.peak = self.value;
     }
+
+    /// Merges another integrator into this one at time `now`, for exact
+    /// parallel combination of a signal that was tracked in disjoint parts
+    /// (e.g. one integrator per shard of a sharded simulation).
+    ///
+    /// Both integrals are closed at `now` and summed — the integral of a
+    /// sum of signals is the sum of the integrals — and the current values
+    /// add, so [`TimeWeighted::time_average`] of the merge equals the
+    /// time average a single integrator over the combined signal would
+    /// report. The merged start time is the earlier of the two. The peak
+    /// becomes the **sum** of the component peaks: component maxima at
+    /// different instants only bound the combined signal's true peak, so
+    /// the sum is an upper bound, exact when the parts peak together.
+    pub fn merge(&mut self, other: &Self, now: f64) {
+        self.advance(now);
+        self.integral += other.integral(now);
+        self.value += other.value;
+        self.peak += other.peak;
+        self.start_time = self.start_time.min(other.start_time);
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +180,22 @@ mod tests {
         assert_eq!(tw.time_average(3.0), 0.0);
     }
 
+    #[test]
+    fn merge_combines_disjoint_parts() {
+        // Two shards each tracking part of one signal: the merged time
+        // average equals a single integrator over the summed signal.
+        let mut a = TimeWeighted::new(0.0, 1.0);
+        let mut b = TimeWeighted::new(0.0, 2.0);
+        let mut whole = TimeWeighted::new(0.0, 3.0);
+        a.set(2.0, 4.0);
+        whole.set(2.0, 6.0);
+        b.set(5.0, 0.0);
+        whole.set(5.0, 4.0);
+        a.merge(&b, 8.0);
+        assert!((a.time_average(8.0) - whole.time_average(8.0)).abs() < 1e-12);
+        assert_eq!(a.value(), whole.value());
+    }
+
     proptest! {
         #[test]
         fn prop_average_bounded_by_extremes(
@@ -179,6 +215,40 @@ mod tests {
             let avg = tw.time_average(end);
             prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
             prop_assert!(tw.peak() >= hi);
+        }
+
+        #[test]
+        fn prop_merge_of_splits_matches_single_pass(
+            steps in proptest::collection::vec(
+                (0.001f64..10.0, -100.0f64..100.0, any::<bool>()),
+                1..60,
+            ),
+        ) {
+            // Route each step to one of two part-integrators; a third
+            // integrator sees the combined signal. Merging the parts must
+            // reproduce the single-pass integral and average to 1e-12.
+            let mut left = TimeWeighted::new(0.0, 0.0);
+            let mut right = TimeWeighted::new(0.0, 0.0);
+            let mut whole = TimeWeighted::new(0.0, 0.0);
+            let mut t = 0.0;
+            for &(dt, v, goes_left) in &steps {
+                t += dt;
+                if goes_left {
+                    let delta = v - left.value();
+                    left.set(t, v);
+                    whole.add(t, delta);
+                } else {
+                    let delta = v - right.value();
+                    right.set(t, v);
+                    whole.add(t, delta);
+                }
+            }
+            let end = t + 1.0;
+            left.merge(&right, end);
+            let scale = 1.0 + whole.integral(end).abs();
+            prop_assert!((left.integral(end) - whole.integral(end)).abs() < 1e-12 * scale);
+            prop_assert!((left.time_average(end) - whole.time_average(end)).abs() < 1e-12 * scale);
+            prop_assert!((left.value() - whole.value()).abs() < 1e-9);
         }
     }
 }
